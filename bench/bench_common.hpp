@@ -1,0 +1,61 @@
+// Shared plumbing for the reproduction harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper. They all
+// need the same setup: the characterised paper bus (cached on disk after
+// the first run) and the 10 benchmark traces. Cycle counts default to a
+// laptop-friendly fraction of the paper's 10M cycles per benchmark and can
+// be raised with --cycles=<n>.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/system.hpp"
+#include "cpu/kernels.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace razorbus::bench {
+
+inline core::SystemOptions options_with_progress(const char* what) {
+  core::SystemOptions options;
+  std::string label = what;
+  options.progress = [label, printed = -1](int done, int total) mutable {
+    const int pct = total ? done * 100 / total : 100;
+    if (pct / 10 != printed) {
+      printed = pct / 10;
+      std::fprintf(stderr, "[characterising %s: %d%%]\n", label.c_str(), pct);
+    }
+  };
+  return options;
+}
+
+// The characterised paper bus (built once, then loaded from the cache).
+inline const core::DvsBusSystem& paper_system() {
+  static const core::DvsBusSystem system(interconnect::BusDesign::paper_bus(),
+                                         options_with_progress("paper bus"));
+  return system;
+}
+
+// All 10 benchmark traces at `cycles` cycles each, in Table 1 order.
+inline std::vector<trace::Trace> suite_traces(std::size_t cycles) {
+  std::vector<trace::Trace> traces;
+  for (const auto& bench : cpu::spec2000_suite()) {
+    std::fprintf(stderr, "[tracing %s: %zu cycles]\n", bench.name.c_str(), cycles);
+    traces.push_back(bench.capture(cycles));
+  }
+  return traces;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace razorbus::bench

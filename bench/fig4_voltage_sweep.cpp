@@ -1,0 +1,53 @@
+// Fig. 4: normalized energy and error rate vs statically scaled supply,
+// for (a) slow process / 100C / 10% IR drop and (b) typical process / 100C /
+// no IR drop, with all 10 benchmarks combined.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace razorbus;
+using namespace razorbus::bench;
+
+namespace {
+
+void sweep_for(const tech::PvtCorner& corner, const std::vector<trace::Trace>& traces) {
+  const core::StaticSweepResult sweep =
+      core::static_voltage_sweep(paper_system(), corner, traces);
+
+  std::printf("\nPVT corner: %s  (shadow-safe floor %.0f mV)\n", corner.name().c_str(),
+              to_mV(sweep.floor_supply));
+  Table table({"Supply (mV)", "Error Rate (%)", "Bus Energy (norm)",
+               "Bus+Recovery (norm)"});
+  for (auto it = sweep.points.rbegin(); it != sweep.points.rend(); ++it) {
+    table.row()
+        .add(to_mV(it->supply), 0)
+        .add(100.0 * it->error_rate, 2)
+        .add(it->norm_bus_energy, 3)
+        .add(it->norm_total_energy, 3);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 200000));
+  flags.reject_unused();
+
+  print_header("fig4_voltage_sweep: energy & error rate vs scaled supply",
+               "Fig. 4(a) and 4(b)");
+  std::printf("Combined trace: 10 benchmarks x %zu cycles "
+              "(paper: 10M each; raise with --cycles=N)\n", cycles);
+
+  const auto traces = suite_traces(cycles);
+  sweep_for(tech::worst_case_corner(), traces);   // Fig. 4(a)
+  sweep_for(tech::typical_corner(), traces);      // Fig. 4(b)
+
+  std::printf(
+      "\nExpected shape (paper): at the worst corner errors appear immediately\n"
+      "below 1200 mV; at the typical corner the bus is error-free down to\n"
+      "~980 mV; energy falls roughly quadratically; the recovery overhead\n"
+      "curve sits just above the bus energy curve.\n");
+  return 0;
+}

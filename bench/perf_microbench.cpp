@@ -1,0 +1,93 @@
+// Engine microbenchmarks (google-benchmark): throughput of the simulation
+// layers that the reproduction harnesses are built on. Useful when tuning
+// experiment cycle budgets.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "bus/simulator.hpp"
+#include "cpu/kernels.hpp"
+#include "spice/transient.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace razorbus;
+
+namespace {
+
+void BM_BusSimulatorStep(benchmark::State& state) {
+  const auto& system = bench::paper_system();
+  bus::BusSimulator sim = system.make_simulator(tech::typical_corner());
+  sim.set_supply(1.0);
+  trace::SyntheticConfig cfg;
+  cfg.cycles = 4096;
+  cfg.load_rate = 0.4;
+  const trace::Trace t = trace::generate_synthetic(cfg, "bench");
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step(t.words[i++ & 4095]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BusSimulatorStep);
+
+void BM_BusSimulatorStepIdle(benchmark::State& state) {
+  const auto& system = bench::paper_system();
+  bus::BusSimulator sim = system.make_simulator(tech::typical_corner());
+  sim.set_supply(1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step(0u));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BusSimulatorStepIdle);
+
+void BM_TableSliceInterpolation(benchmark::State& state) {
+  const auto& table = bench::paper_system().table();
+  double v = 0.90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.slice(tech::ProcessCorner::typical, 100.0, v));
+    v = v >= 1.19 ? 0.90 : v + 0.001;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableSliceInterpolation);
+
+void BM_MachineStep(benchmark::State& state) {
+  cpu::Machine machine = cpu::benchmark_by_name("gap").make_machine();
+  std::uint32_t data = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(machine.step(data));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineStep);
+
+void BM_TransientClusterRun(benchmark::State& state) {
+  const auto& design = bench::paper_system().design();
+  const tech::DriverModel driver(design.node);
+  const interconnect::ClusterCharacterizer chr(design, driver);
+  interconnect::ClusterSpec spec;
+  spec.victim = interconnect::WireActivity::rise;
+  spec.left = interconnect::WireActivity::fall;
+  spec.right = interconnect::WireActivity::fall;
+  spec.vdd = 1.0;
+  spec.corner = tech::ProcessCorner::typical;
+  spec.temp_c = 100.0;
+  for (auto _ : state) benchmark::DoNotOptimize(chr.run(spec));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TransientClusterRun);
+
+void BM_OracleCriticalIndex(benchmark::State& state) {
+  const auto& system = bench::paper_system();
+  const dvs::OracleSelector oracle(system.design(), system.table(),
+                                   tech::typical_corner());
+  Rng rng(5);
+  std::uint32_t prev = 0;
+  for (auto _ : state) {
+    const auto cur = static_cast<std::uint32_t>(rng.next_u64());
+    benchmark::DoNotOptimize(oracle.critical_grid_index(prev, cur));
+    prev = cur;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OracleCriticalIndex);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Domain example: the paper's motivating scenario end to end.
+//
+// An Alpha-style execution core issues loads; their data words travel over
+// the 6 mm memory read bus into double-sampling flip-flops at the memory
+// unit (paper Fig. 1). This example runs the whole SPEC2000-substitute
+// suite back to back under the closed-loop controller — at a PVT corner of
+// your choice — and reports per-program energy, error and voltage numbers,
+// i.e. a miniature Table 1 + Fig. 8.
+//
+//   $ ./examples/memory_read_bus --corner=typical --temp=100 --ir=0 --cycles=500000
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/system.hpp"
+#include "cpu/kernels.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace razorbus;
+
+  const CliFlags flags(argc, argv);
+  tech::PvtCorner corner;
+  corner.process = tech::process_corner_from_string(flags.get("corner", "typical"));
+  corner.temp_c = flags.get_double("temp", 100.0);
+  corner.ir_drop_fraction = flags.get_double("ir", 0.0);
+  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 500000));
+  flags.reject_unused();
+
+  core::DvsBusSystem system(interconnect::BusDesign::paper_bus());
+  std::printf("Memory read bus at %s\n", corner.name().c_str());
+  std::printf("  fixed-VS supply %4.0f mV | DVS floor %4.0f mV | worst delay %3.0f ps\n",
+              to_mV(system.fixed_vs_supply(corner.process)),
+              to_mV(system.dvs_floor(corner.process)),
+              to_ps(system.nominal_worst_delay(corner)));
+
+  std::vector<trace::Trace> traces;
+  for (const auto& bench : cpu::spec2000_suite()) traces.push_back(bench.capture(cycles));
+
+  core::DvsRunConfig cfg;
+  cfg.record_series = true;
+  const core::ConsecutiveRunReport report =
+      core::run_consecutive(system, corner, traces, cfg);
+
+  Table table({"Benchmark", "Gain (%)", "Avg err (%)", "Avg V (mV)", "Errors", "Cycles"});
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const auto& r = report.per_trace[i];
+    table.row()
+        .add(traces[i].name)
+        .add(100.0 * r.energy_gain(), 1)
+        .add(100.0 * r.totals.error_rate(), 2)
+        .add(to_mV(r.average_supply), 0)
+        .add(static_cast<long long>(r.totals.errors))
+        .add(static_cast<long long>(r.totals.cycles));
+  }
+  table.print(std::cout);
+
+  // A coarse "strip chart" of the supply voltage across the whole run.
+  std::printf("\nSupply voltage over time (each char = %zu windows):\n",
+              std::max<std::size_t>(1, report.series.size() / 72));
+  const std::size_t stride = std::max<std::size_t>(1, report.series.size() / 72);
+  std::string strip;
+  for (std::size_t i = 0; i < report.series.size(); i += stride) {
+    const double v = report.series[i].supply;
+    // Map 0.84..1.20 V to '0'..'9'.
+    const int level =
+        std::max(0, std::min(9, static_cast<int>((v - 0.84) / (1.20 - 0.84) * 9.99)));
+    strip += static_cast<char>('0' + level);
+  }
+  std::printf("  1.2V=9 .. 0.84V=0 : %s\n", strip.c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Trace tooling walkthrough: capture, SimPoint reduction, file round-trip.
+//
+// The paper evaluates 10M-instruction SimPoint windows of SPEC2000. This
+// example shows the equivalent workflow in this library: capture a long
+// trace from a benchmark kernel, select representative windows, verify that
+// an experiment on the reduced trace approximates the full result, and
+// save/reload the trace from disk.
+//
+//   $ ./examples/trace_tools --benchmark=mgrid --cycles=800000
+#include <cstdio>
+#include <filesystem>
+
+#include "core/experiments.hpp"
+#include "core/system.hpp"
+#include "cpu/kernels.hpp"
+#include "cpu/simpoint.hpp"
+#include "trace/io.hpp"
+#include "util/cli.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace razorbus;
+
+  const CliFlags flags(argc, argv);
+  const std::string name = flags.get("benchmark", "mgrid");
+  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 800000));
+  flags.reject_unused();
+
+  // 1. Capture the full trace.
+  const trace::Trace full = cpu::benchmark_by_name(name).capture(cycles);
+  const trace::TraceStats stats = trace::compute_stats(full);
+  std::printf("%s: %zu cycles, toggle rate %.3f, worst-pattern rate %.4f\n",
+              full.name.c_str(), full.cycles(), stats.toggle_rate,
+              stats.worst_pattern_rate);
+
+  // 2. SimPoint selection: 10k-cycle windows, 5 clusters.
+  cpu::SimPointConfig spc;
+  spc.window_cycles = 10000;
+  spc.clusters = 5;
+  const cpu::SimPointResult points = cpu::select_simpoints(full, spc);
+  std::printf("\nselected %zu simpoints out of %zu windows:\n", points.points.size(),
+              points.total_windows);
+  for (const auto& p : points.points)
+    std::printf("  window %3zu (cycle %7zu)  weight %.2f\n", p.window_index,
+                p.begin_cycle, p.weight);
+  const trace::Trace reduced = cpu::materialize_simpoints(full, points, 10);
+
+  // 3. Cross-check: a closed-loop DVS run on the reduced trace approximates
+  //    the full-trace result at a fraction of the simulation cost.
+  core::DvsBusSystem system(interconnect::BusDesign::paper_bus());
+  const auto corner = tech::typical_corner();
+  core::DvsRunConfig cfg;
+  cfg.start_supply = system.dvs_floor(corner.process) + 0.1;  // skip the descent
+  const auto on_full = core::run_closed_loop(system, corner, full, cfg);
+  const auto on_reduced = core::run_closed_loop(system, corner, reduced, cfg);
+  std::printf("\nDVS gain: full trace %.1f%% (%zu cycles) vs simpoints %.1f%% (%zu cycles)\n",
+              100.0 * on_full.energy_gain(), full.cycles(),
+              100.0 * on_reduced.energy_gain(), reduced.cycles());
+
+  // 4. File round-trip.
+  const std::string path = "./" + full.name + ".rbtrace";
+  trace::save_trace_file(full, path);
+  const trace::Trace loaded = trace::load_trace_file(path);
+  std::printf("\nsaved and reloaded %s (%zu cycles, %.1f MiB)\n", path.c_str(),
+              loaded.cycles(),
+              static_cast<double>(std::filesystem::file_size(path)) / (1024.0 * 1024.0));
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "bus/businvert.hpp"
+
+namespace razorbus::bus {
+
+BusInvertResult bus_invert_encode(const trace::Trace& raw) {
+  BusInvertResult result;
+  result.encoded.name = raw.name + "+businvert";
+  result.encoded.words.reserve(raw.words.size());
+  result.invert_line.reserve(raw.words.size());
+
+  std::uint32_t bus = 0;   // current physical bus state
+  bool invert = false;     // current invert-line state
+  for (const std::uint32_t word : raw.words) {
+    const std::uint32_t direct = invert ? ~word : word;  // keep line unchanged
+    const int toggles_direct = __builtin_popcount(bus ^ direct);
+    // Flipping the invert line transmits the complement (+1 for the line).
+    const int toggles_flipped = __builtin_popcount(bus ^ ~direct) + 1;
+    if (toggles_flipped < toggles_direct) {
+      invert = !invert;
+      bus = ~direct;
+      ++result.inversions;
+    } else {
+      bus = direct;
+    }
+    result.encoded.words.push_back(bus);
+    result.invert_line.push_back(invert);
+  }
+  return result;
+}
+
+trace::Trace bus_invert_decode(const trace::Trace& encoded,
+                               const std::vector<bool>& invert_line) {
+  trace::Trace out;
+  out.name = encoded.name + "+decoded";
+  out.words.reserve(encoded.words.size());
+  for (std::size_t i = 0; i < encoded.words.size(); ++i) {
+    const bool invert = i < invert_line.size() && invert_line[i];
+    out.words.push_back(invert ? ~encoded.words[i] : encoded.words[i]);
+  }
+  return out;
+}
+
+std::uint64_t total_toggles(const trace::Trace& trace) {
+  std::uint64_t toggles = 0;
+  std::uint32_t prev = 0;
+  for (const std::uint32_t w : trace.words) {
+    toggles += static_cast<std::uint64_t>(__builtin_popcount(prev ^ w));
+    prev = w;
+  }
+  return toggles;
+}
+
+std::uint64_t invert_line_toggles(const std::vector<bool>& invert_line) {
+  std::uint64_t toggles = 0;
+  bool prev = false;
+  for (const bool b : invert_line) {
+    if (b != prev) ++toggles;
+    prev = b;
+  }
+  return toggles;
+}
+
+}  // namespace razorbus::bus

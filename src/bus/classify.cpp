@@ -1,0 +1,48 @@
+#include "bus/classify.hpp"
+
+#include <stdexcept>
+
+namespace razorbus::bus {
+
+using lut::NeighborActivity;
+using lut::PatternClass;
+using lut::VictimActivity;
+
+WireClassifier::WireClassifier(const interconnect::BusDesign& design)
+    : n_bits_(design.n_bits) {
+  if (n_bits_ <= 0 || n_bits_ > 32)
+    throw std::invalid_argument("WireClassifier: 1..32 bits supported");
+  for (int i = 0; i < n_bits_; ++i) {
+    left_shield_[static_cast<std::size_t>(i)] =
+        design.left_neighbor(i) == interconnect::NeighborKind::shield;
+    right_shield_[static_cast<std::size_t>(i)] =
+        design.right_neighbor(i) == interconnect::NeighborKind::shield;
+  }
+}
+
+int WireClassifier::classify(std::uint32_t prev, std::uint32_t cur, int bit) const {
+  const auto i = static_cast<std::size_t>(bit);
+  const bool vp = (prev >> bit) & 1u;
+  const bool vc = (cur >> bit) & 1u;
+  const VictimActivity victim = lut::classify_victim(vp, vc);
+
+  NeighborActivity left = NeighborActivity::shield;
+  if (!left_shield_[i]) {
+    const bool lp = (prev >> (bit - 1)) & 1u;
+    const bool lc = (cur >> (bit - 1)) & 1u;
+    left = lut::classify_neighbor(lp, lc);
+  }
+  NeighborActivity right = NeighborActivity::shield;
+  if (!right_shield_[i]) {
+    const bool rp = (prev >> (bit + 1)) & 1u;
+    const bool rc = (cur >> (bit + 1)) & 1u;
+    right = lut::classify_neighbor(rp, rc);
+  }
+  return PatternClass::encode(victim, left, right);
+}
+
+void WireClassifier::classify_all(std::uint32_t prev, std::uint32_t cur, int* out) const {
+  for (int bit = 0; bit < n_bits_; ++bit) out[bit] = classify(prev, cur, bit);
+}
+
+}  // namespace razorbus::bus

@@ -1,0 +1,36 @@
+// Per-cycle, per-wire pattern classification.
+//
+// Given the previous and current words on the bus, each signal wire is
+// assigned the pattern class (victim transition, left activity, right
+// activity) used to index the delay/energy tables. Shield positions come
+// from the bus layout (a shield after every `shield_group` signals).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "interconnect/bus_design.hpp"
+#include "lut/pattern.hpp"
+
+namespace razorbus::bus {
+
+// Precomputed per-bit shield adjacency for fast classification.
+class WireClassifier {
+ public:
+  explicit WireClassifier(const interconnect::BusDesign& design);
+
+  int n_bits() const { return n_bits_; }
+
+  // Pattern class of wire `bit` for the prev -> cur word transition.
+  int classify(std::uint32_t prev, std::uint32_t cur, int bit) const;
+
+  // Classify all wires at once into `out` (must hold n_bits entries).
+  void classify_all(std::uint32_t prev, std::uint32_t cur, int* out) const;
+
+ private:
+  int n_bits_;
+  std::array<bool, 32> left_shield_{};
+  std::array<bool, 32> right_shield_{};
+};
+
+}  // namespace razorbus::bus

@@ -1,0 +1,145 @@
+#include "bus/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace razorbus::bus {
+
+namespace {
+
+razor::FlopTiming make_timing(const interconnect::BusDesign& design) {
+  razor::FlopTiming t{};
+  t.main_capture_limit = design.main_capture_limit();
+  t.shadow_capture_limit = design.shadow_capture_limit();
+  // Short paths must not race past the delayed shadow clock. Common-mode
+  // jitter moves data and clock together, so leave a small allowance
+  // rather than comparing against the raw shadow delay.
+  t.min_path_limit = design.shadow_delay_fraction * design.clock_period() - 15e-12;
+  return t;
+}
+
+}  // namespace
+
+BusSimulator::BusSimulator(const interconnect::BusDesign& design,
+                           const lut::DelayEnergyTable& table, tech::PvtCorner environment,
+                           razor::RecoveryCostModel recovery)
+    : design_(design),
+      table_(table),
+      environment_(environment),
+      recovery_(recovery),
+      leakage_(design.node),
+      classifier_(design),
+      bank_(design.n_bits, make_timing(design)),
+      arrivals_(static_cast<std::size_t>(design.n_bits), -1.0),
+      classes_(static_cast<std::size_t>(design.n_bits), 0) {
+  design_.validate();
+  if (design_.repeater_size <= 0.0)
+    throw std::invalid_argument("BusSimulator: repeaters not sized");
+  set_supply(design_.node.vdd_nominal);
+}
+
+void BusSimulator::set_supply(double volts) {
+  if (volts <= 0.0) throw std::invalid_argument("BusSimulator: non-positive supply");
+  if (volts == supply_) return;
+  supply_ = volts;
+  refresh_operating_point();
+}
+
+void BusSimulator::refresh_operating_point() {
+  const double v_eff = environment_.effective_supply(supply_);
+  slice_ = table_.slice(environment_.process, environment_.temp_c, v_eff);
+  // The tables are characterised at the drooped driver voltage; the charge
+  // is still drawn from the un-drooped supply rail.
+  energy_scale_ = supply_ / v_eff;
+
+  const double n_drivers =
+      static_cast<double>(design_.n_bits) * static_cast<double>(design_.n_segments);
+  const double leak_current = leakage_.current(design_.repeater_size, environment_.process,
+                                               environment_.temp_c, v_eff);
+  leakage_energy_per_cycle_ = n_drivers * leak_current * supply_ * design_.clock_period();
+}
+
+double BusSimulator::wire_energy(int cls) const {
+  return slice_.energy[cls] * energy_scale_;
+}
+
+void BusSimulator::set_timing_jitter(double sigma_seconds, std::uint64_t seed) {
+  if (sigma_seconds < 0.0) throw std::invalid_argument("negative jitter sigma");
+  jitter_sigma_ = sigma_seconds;
+  jitter_rng_ = Rng(seed);
+}
+
+CycleResult BusSimulator::step(std::uint32_t word) {
+  CycleResult out;
+
+  if (word == prev_word_) {
+    // Idle bus: nothing switches, no flop can err, no dynamic energy.
+    bank_.tick_hold();
+    out.bus_energy = leakage_energy_per_cycle_;
+    out.overhead_energy = recovery_.cycle_overhead(design_.n_bits);
+    ++totals_.cycles;
+    totals_.bus_energy += out.bus_energy;
+    totals_.overhead_energy += out.overhead_energy;
+    return out;
+  }
+
+  classifier_.classify_all(prev_word_, word, classes_.data());
+  const double jitter =
+      jitter_sigma_ > 0.0 ? jitter_rng_.normal(0.0, jitter_sigma_) : 0.0;
+
+  double dynamic_energy = 0.0;
+  double worst = 0.0;
+  for (int bit = 0; bit < classifier_.n_bits(); ++bit) {
+    const int cls = classes_[static_cast<std::size_t>(bit)];
+    dynamic_energy += wire_energy(cls);
+    const double d = slice_.delay[cls];
+    if (std::isnan(d)) {
+      arrivals_[static_cast<std::size_t>(bit)] = -1.0;
+    } else {
+      const double arrival = d + jitter;
+      arrivals_[static_cast<std::size_t>(bit)] = arrival;
+      if (arrival > worst) worst = arrival;
+    }
+  }
+
+  const razor::BankCycleResult bank = bank_.clock(word, arrivals_);
+  out.error = bank.error;
+  out.shadow_failure = bank.shadow_failure;
+  out.worst_delay = worst;
+  out.bus_energy = dynamic_energy + leakage_energy_per_cycle_;
+  out.overhead_energy = recovery_.cycle_overhead(design_.n_bits);
+  if (bank.error) out.overhead_energy += recovery_.error_overhead(design_.n_bits);
+
+  prev_word_ = word;
+  ++totals_.cycles;
+  if (out.error) ++totals_.errors;
+  if (out.shadow_failure) ++totals_.shadow_failures;
+  totals_.bus_energy += out.bus_energy;
+  totals_.overhead_energy += out.overhead_energy;
+  return out;
+}
+
+void BusSimulator::reset(std::uint32_t initial_word) {
+  prev_word_ = initial_word;
+  totals_ = RunningTotals{};
+  bank_ = razor::FlopBank(design_.n_bits, make_timing(design_));
+}
+
+double BusSimulator::peek_cycle_energy(std::uint32_t word) const {
+  double energy = leakage_energy_per_cycle_;
+  for (int bit = 0; bit < classifier_.n_bits(); ++bit)
+    energy += slice_.energy[classifier_.classify(prev_word_, word, bit)] * energy_scale_;
+  return energy;
+}
+
+RunningTotals BusSimulator::run_reference(const interconnect::BusDesign& design,
+                                          const lut::DelayEnergyTable& table,
+                                          tech::PvtCorner environment,
+                                          const std::vector<std::uint32_t>& words) {
+  BusSimulator sim(design, table, environment);
+  sim.set_supply(design.node.vdd_nominal);
+  for (const auto w : words) sim.step(w);
+  return sim.totals();
+}
+
+}  // namespace razorbus::bus

@@ -1,0 +1,113 @@
+// Cycle-level simulator of the DVS bus with double-sampling receivers.
+//
+// Each cycle a 32-bit word is driven onto the bus. Per wire, the simulator
+// classifies the switching pattern, looks up the in-to-out delay and the
+// supply energy from the characterised tables, clocks the Razor flop bank,
+// and accrues leakage and flop/recovery overheads. This is the engine
+// behind every experiment: static voltage sweeps (Fig. 4/5), the oracle
+// distribution study (Fig. 6), and closed-loop DVS runs (Table 1, Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/classify.hpp"
+#include "interconnect/bus_design.hpp"
+#include "lut/table.hpp"
+#include "razor/bank.hpp"
+#include "tech/corner.hpp"
+#include "tech/leakage.hpp"
+#include "util/rng.hpp"
+
+namespace razorbus::bus {
+
+struct CycleResult {
+  bool error = false;           // bank error signal (>=1 flop corrected)
+  bool shadow_failure = false;  // unrecoverable capture miss
+  double bus_energy = 0.0;      // wire switching + repeater leakage (J)
+  double overhead_energy = 0.0; // flop clocking, detection, recovery (J)
+  double worst_delay = 0.0;     // max arrival across wires (s)
+};
+
+struct RunningTotals {
+  std::uint64_t cycles = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t shadow_failures = 0;
+  double bus_energy = 0.0;
+  double overhead_energy = 0.0;
+
+  double total_energy() const { return bus_energy + overhead_energy; }
+  double error_rate() const {
+    return cycles ? static_cast<double>(errors) / static_cast<double>(cycles) : 0.0;
+  }
+};
+
+class BusSimulator {
+ public:
+  // `table` must outlive the simulator. The operating environment (process
+  // corner, temperature, IR drop) is fixed per run; the supply is mutable
+  // (that is what the DVS loop controls).
+  BusSimulator(const interconnect::BusDesign& design, const lut::DelayEnergyTable& table,
+               tech::PvtCorner environment,
+               razor::RecoveryCostModel recovery = {});
+
+  // Change the regulator output voltage. Cheap when unchanged; on change,
+  // re-interpolates the per-class slice (the per-cycle hot path is pure
+  // table reads).
+  void set_supply(double volts);
+  double supply() const { return supply_; }
+
+  // Optional cycle-to-cycle arrival-time jitter (clock + supply noise),
+  // applied common-mode to all wires each cycle. Zero disables (default;
+  // keeps unit tests deterministic). Experiments use a few ps, which
+  // smooths the otherwise pattern-class-quantised error onset.
+  void set_timing_jitter(double sigma_seconds, std::uint64_t seed = 0x7a5e11u);
+
+  const interconnect::BusDesign& design() const { return design_; }
+  const tech::PvtCorner& environment() const { return environment_; }
+
+  // Drive the next word; returns this cycle's outcome.
+  CycleResult step(std::uint32_t word);
+
+  // Reset bus/flop state and totals (keeps the operating point).
+  void reset(std::uint32_t initial_word = 0);
+
+  const RunningTotals& totals() const { return totals_; }
+
+  // Energy one cycle would consume at the CURRENT operating point if the
+  // given word were driven — without mutating state. Used by tests.
+  double peek_cycle_energy(std::uint32_t word) const;
+
+  // Reference energy per cycle of the conventional bus: same environment,
+  // supply fixed at nominal. Used to normalise gains.
+  static RunningTotals run_reference(const interconnect::BusDesign& design,
+                                     const lut::DelayEnergyTable& table,
+                                     tech::PvtCorner environment,
+                                     const std::vector<std::uint32_t>& words);
+
+ private:
+  void refresh_operating_point();
+  double wire_energy(int cls) const;
+
+  const interconnect::BusDesign& design_;
+  const lut::DelayEnergyTable& table_;
+  tech::PvtCorner environment_;
+  razor::RecoveryCostModel recovery_;
+  tech::LeakageModel leakage_;
+  WireClassifier classifier_;
+  razor::FlopBank bank_;
+
+  double supply_ = 0.0;
+  lut::TableSlice slice_{};
+  double leakage_energy_per_cycle_ = 0.0;
+  double energy_scale_ = 1.0;  // rail-vs-effective voltage correction (IR drop)
+  double jitter_sigma_ = 0.0;
+  Rng jitter_rng_{0x7a5e11u};
+
+  std::uint32_t prev_word_ = 0;
+  RunningTotals totals_;
+  std::vector<double> arrivals_;
+  std::vector<int> classes_;
+};
+
+}  // namespace razorbus::bus

@@ -1,0 +1,220 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dvs/regulator.hpp"
+
+namespace razorbus::core {
+
+StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
+                                       const tech::PvtCorner& environment,
+                                       const std::vector<trace::Trace>& traces,
+                                       double timing_jitter_sigma) {
+  StaticSweepResult result;
+  result.floor_supply = system.shadow_floor(environment);
+  const double vnom = system.design().node.vdd_nominal;
+  const double step = 0.020;
+
+  // Supplies from the floor to nominal, anchored at the nominal grid.
+  std::vector<double> supplies;
+  for (double v = vnom; v > result.floor_supply - 1e-9; v -= step) supplies.push_back(v);
+  std::sort(supplies.begin(), supplies.end());
+
+  for (const double v : supplies) {
+    bus::BusSimulator sim = system.make_simulator(environment);
+    if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
+    sim.set_supply(v);
+    for (const auto& t : traces)
+      for (const auto word : t.words) sim.step(word);
+
+    SweepPoint p;
+    p.supply = v;
+    p.error_rate = sim.totals().error_rate();
+    p.bus_energy = sim.totals().bus_energy;
+    p.total_energy = sim.totals().total_energy();
+    result.points.push_back(p);
+  }
+
+  result.baseline_bus_energy = result.points.back().bus_energy;  // nominal supply
+  for (auto& p : result.points) {
+    p.norm_bus_energy = p.bus_energy / result.baseline_bus_energy;
+    p.norm_total_energy = p.total_energy / result.baseline_bus_energy;
+  }
+  return result;
+}
+
+std::vector<TargetGainPoint> gains_for_targets(const StaticSweepResult& sweep,
+                                               const std::vector<double>& targets) {
+  if (sweep.points.empty()) throw std::invalid_argument("gains_for_targets: empty sweep");
+  std::vector<TargetGainPoint> out;
+  for (const double target : targets) {
+    TargetGainPoint g;
+    g.target_error_rate = target;
+    // Lowest supply whose error rate stays within the target (0 -> exact 0).
+    const SweepPoint* chosen = &sweep.points.back();
+    for (const auto& p : sweep.points) {
+      const bool ok = target == 0.0 ? p.error_rate == 0.0 : p.error_rate <= target;
+      if (ok) {
+        chosen = &p;
+        break;
+      }
+    }
+    g.chosen_supply = chosen->supply;
+    g.achieved_error_rate = chosen->error_rate;
+    g.energy_gain = 1.0 - chosen->total_energy / sweep.baseline_bus_energy;
+    out.push_back(g);
+  }
+  return out;
+}
+
+VoltageDistribution oracle_voltage_distribution(const DvsBusSystem& system,
+                                                const tech::PvtCorner& environment,
+                                                const trace::Trace& trace,
+                                                double target_error_rate,
+                                                std::uint64_t window_cycles) {
+  dvs::OracleSelector oracle(system.design(), system.table(), environment);
+  dvs::OracleConfig config;
+  config.window_cycles = window_cycles;
+  config.target_error_rate = target_error_rate;
+  config.vmin = system.shadow_floor(environment);
+  const dvs::OracleResult r = oracle.select(trace, config);
+
+  VoltageDistribution out;
+  out.benchmark = trace.name;
+  out.target_error_rate = target_error_rate;
+  out.time_at_voltage = r.time_at_voltage.fractions();
+  out.achieved_error_rate = r.achieved_error_rate;
+  return out;
+}
+
+ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
+                                     const tech::PvtCorner& environment,
+                                     const std::vector<trace::Trace>& traces,
+                                     const DvsRunConfig& config) {
+  const double vnom = system.design().node.vdd_nominal;
+  const double floor = system.dvs_floor(environment.process);
+  const double start = config.start_supply > 0.0 ? config.start_supply : vnom;
+
+  bus::BusSimulator sim = system.make_simulator(environment);
+  if (config.timing_jitter_sigma > 0.0) sim.set_timing_jitter(config.timing_jitter_sigma);
+  dvs::VoltageRegulator regulator(start, floor, vnom, config.regulator_delay_cycles);
+  dvs::ThresholdController controller(config.controller);
+  sim.set_supply(regulator.voltage());
+
+  ConsecutiveRunReport report;
+  std::uint64_t cycle = 0;
+  std::uint64_t prev_windows = 0;
+
+  for (const auto& trace : traces) {
+    const bus::RunningTotals before = sim.totals();
+    double supply_sum = 0.0;
+
+    for (const auto word : trace.words) {
+      sim.set_supply(regulator.advance(cycle));
+      const bus::CycleResult r = sim.step(word);
+      supply_sum += sim.supply();
+
+      const dvs::VoltageDecision decision = controller.observe_cycle(r.error);
+      if (decision == dvs::VoltageDecision::step_down)
+        regulator.request_change(-config.controller.voltage_step, cycle);
+      else if (decision == dvs::VoltageDecision::step_up)
+        regulator.request_change(+config.controller.voltage_step, cycle);
+
+      if (config.record_series && controller.windows_completed() != prev_windows) {
+        prev_windows = controller.windows_completed();
+        report.series.push_back(
+            {cycle + 1, sim.supply(), controller.last_window_error_rate()});
+      }
+      ++cycle;
+    }
+
+    DvsRunReport r;
+    r.totals.cycles = sim.totals().cycles - before.cycles;
+    r.totals.errors = sim.totals().errors - before.errors;
+    r.totals.shadow_failures = sim.totals().shadow_failures - before.shadow_failures;
+    r.totals.bus_energy = sim.totals().bus_energy - before.bus_energy;
+    r.totals.overhead_energy = sim.totals().overhead_energy - before.overhead_energy;
+    r.floor_supply = floor;
+    r.average_supply =
+        trace.words.empty() ? sim.supply()
+                            : supply_sum / static_cast<double>(trace.words.size());
+    r.baseline_bus_energy =
+        bus::BusSimulator::run_reference(system.design(), system.table(), environment,
+                                         trace.words)
+            .bus_energy;
+    report.per_trace.push_back(std::move(r));
+  }
+  return report;
+}
+
+DvsRunReport run_closed_loop(const DvsBusSystem& system, const tech::PvtCorner& environment,
+                             const trace::Trace& trace, const DvsRunConfig& config) {
+  ConsecutiveRunReport r = run_consecutive(system, environment, {trace}, config);
+  DvsRunReport out = std::move(r.per_trace.front());
+  out.series = std::move(r.series);
+  return out;
+}
+
+DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
+                                          const tech::PvtCorner& environment,
+                                          const trace::Trace& trace,
+                                          const ProportionalRunConfig& config) {
+  const double vnom = system.design().node.vdd_nominal;
+  const double floor = system.dvs_floor(environment.process);
+  const double start = config.start_supply > 0.0 ? config.start_supply : vnom;
+
+  bus::BusSimulator sim = system.make_simulator(environment);
+  dvs::VoltageRegulator regulator(start, floor, vnom, config.regulator_delay_cycles);
+  dvs::ProportionalController controller(config.controller);
+  sim.set_supply(regulator.voltage());
+
+  double supply_sum = 0.0;
+  std::uint64_t cycle = 0;
+  for (const auto word : trace.words) {
+    sim.set_supply(regulator.advance(cycle));
+    const bus::CycleResult r = sim.step(word);
+    supply_sum += sim.supply();
+    const double delta = controller.observe_cycle(r.error);
+    if (delta != 0.0) regulator.request_change(delta, cycle);
+    ++cycle;
+  }
+
+  DvsRunReport report;
+  report.totals = sim.totals();
+  report.floor_supply = floor;
+  report.average_supply =
+      trace.words.empty() ? sim.supply() : supply_sum / static_cast<double>(cycle);
+  report.baseline_bus_energy =
+      bus::BusSimulator::run_reference(system.design(), system.table(), environment,
+                                       trace.words)
+          .bus_energy;
+  return report;
+}
+
+DvsRunReport run_fixed_vs(const DvsBusSystem& system, const tech::PvtCorner& environment,
+                          const trace::Trace& trace) {
+  const double supply = system.fixed_vs_supply(environment.process);
+
+  // Conventional receiver: no double-sampling overhead at all.
+  razor::RecoveryCostModel no_overhead;
+  no_overhead.flop_clock_energy = 0.0;
+  no_overhead.detection_energy_per_cycle = 0.0;
+
+  bus::BusSimulator sim(system.design(), system.table(), environment, no_overhead);
+  sim.set_supply(supply);
+  for (const auto word : trace.words) sim.step(word);
+
+  DvsRunReport report;
+  report.totals = sim.totals();
+  report.floor_supply = supply;
+  report.average_supply = supply;
+  report.baseline_bus_energy =
+      bus::BusSimulator::run_reference(system.design(), system.table(), environment,
+                                       trace.words)
+          .bus_energy;
+  return report;
+}
+
+}  // namespace razorbus::core

@@ -1,0 +1,137 @@
+// Experiment drivers reproducing the paper's evaluation.
+//
+// Every table and figure of the paper maps to one of these functions; the
+// bench binaries are thin printers around them (see DESIGN.md section 4
+// for the experiment index).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "dvs/controller.hpp"
+#include "dvs/proportional.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace razorbus::core {
+
+// ---------------------------------------------------------------- Fig. 4
+struct SweepPoint {
+  double supply = 0.0;        // regulator output (V)
+  double error_rate = 0.0;    // bus timing errors per cycle
+  double bus_energy = 0.0;    // J over the traces (wires + leakage)
+  double total_energy = 0.0;  // + razor/recovery overhead
+  double norm_bus_energy = 0.0;    // relative to the nominal-supply bus energy
+  double norm_total_energy = 0.0;  // same normalisation, with overhead
+};
+
+struct StaticSweepResult {
+  std::vector<SweepPoint> points;   // ascending supply
+  double baseline_bus_energy = 0.0; // bus energy at the nominal supply (J)
+  double floor_supply = 0.0;        // shadow-safe minimum for this corner
+};
+
+// Run the combined traces at every 20 mV grid supply from the corner's
+// shadow floor up to nominal.
+StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
+                                       const tech::PvtCorner& environment,
+                                       const std::vector<trace::Trace>& traces,
+                                       double timing_jitter_sigma = 0.0);
+
+// ---------------------------------------------------------------- Fig. 5
+struct TargetGainPoint {
+  double target_error_rate = 0.0;
+  double chosen_supply = 0.0;
+  double achieved_error_rate = 0.0;
+  double energy_gain = 0.0;  // 1 - E(total at chosen) / E(bus at nominal)
+};
+
+// Lowest static supply whose combined error rate stays within each target;
+// reports the resulting energy gains (0 targets require exactly 0 errors).
+std::vector<TargetGainPoint> gains_for_targets(const StaticSweepResult& sweep,
+                                               const std::vector<double>& targets);
+
+// ---------------------------------------------------------------- Fig. 6
+struct VoltageDistribution {
+  std::string benchmark;
+  double target_error_rate = 0.0;
+  // (supply, fraction of execution time) sorted by supply.
+  std::vector<std::pair<double, double>> time_at_voltage;
+  double achieved_error_rate = 0.0;
+};
+
+VoltageDistribution oracle_voltage_distribution(const DvsBusSystem& system,
+                                                const tech::PvtCorner& environment,
+                                                const trace::Trace& trace,
+                                                double target_error_rate,
+                                                std::uint64_t window_cycles = 10000);
+
+// ------------------------------------------------------- Table 1 / Fig. 8
+struct WindowSample {
+  std::uint64_t end_cycle = 0;
+  double supply = 0.0;      // at the window boundary
+  double error_rate = 0.0;  // of the closed window
+};
+
+struct DvsRunConfig {
+  dvs::ControllerConfig controller{};
+  std::uint64_t regulator_delay_cycles = 3000;  // 2 us at 1.5 GHz
+  double start_supply = 0.0;                    // 0 = nominal
+  double timing_jitter_sigma = 0.0;
+  bool record_series = false;                   // keep per-window samples (Fig. 8)
+};
+
+struct DvsRunReport {
+  bus::RunningTotals totals;
+  double baseline_bus_energy = 0.0;  // same trace at nominal, conventional bus
+  double floor_supply = 0.0;
+  double average_supply = 0.0;       // cycle-weighted
+  std::vector<WindowSample> series;
+
+  double energy_gain() const {
+    return baseline_bus_energy > 0.0
+               ? 1.0 - totals.total_energy() / baseline_bus_energy
+               : 0.0;
+  }
+  double error_rate() const { return totals.error_rate(); }
+};
+
+// Closed-loop DVS over one trace (controller + ramping regulator).
+DvsRunReport run_closed_loop(const DvsBusSystem& system, const tech::PvtCorner& environment,
+                             const trace::Trace& trace, const DvsRunConfig& config = {});
+
+// Fixed-VS baseline: run the trace at the fixed-VS supply for the corner's
+// process. Gains are zero errors by construction.
+DvsRunReport run_fixed_vs(const DvsBusSystem& system, const tech::PvtCorner& environment,
+                          const trace::Trace& trace);
+
+// Closed loop with the PROPORTIONAL controller the paper discusses and
+// rejects (Section 5). Same regulator model; the controller requests
+// multi-step changes proportional to the band error. Used by the ablation
+// bench to test the paper's "simpler is sufficient" argument.
+struct ProportionalRunConfig {
+  dvs::ProportionalConfig controller{};
+  std::uint64_t regulator_delay_cycles = 3000;
+  double start_supply = 0.0;
+};
+
+DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
+                                          const tech::PvtCorner& environment,
+                                          const trace::Trace& trace,
+                                          const ProportionalRunConfig& config = {});
+
+// Continue a closed-loop run across consecutive traces without resetting
+// controller/regulator state (Fig. 8 runs the 10 benchmarks back to back).
+struct ConsecutiveRunReport {
+  std::vector<DvsRunReport> per_trace;
+  std::vector<WindowSample> series;  // stitched, cycle offsets cumulative
+};
+
+ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
+                                     const tech::PvtCorner& environment,
+                                     const std::vector<trace::Trace>& traces,
+                                     const DvsRunConfig& config = {});
+
+}  // namespace razorbus::core

@@ -1,0 +1,120 @@
+#include "cpu/isa.hpp"
+
+#include <sstream>
+
+namespace razorbus::cpu {
+
+namespace {
+
+const char* mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::halt: return "halt";
+    case Opcode::nop: return "nop";
+    case Opcode::loadi: return "loadi";
+    case Opcode::mov: return "mov";
+    case Opcode::add: return "add";
+    case Opcode::sub: return "sub";
+    case Opcode::mul: return "mul";
+    case Opcode::divu: return "divu";
+    case Opcode::and_: return "and";
+    case Opcode::or_: return "or";
+    case Opcode::xor_: return "xor";
+    case Opcode::shl: return "shl";
+    case Opcode::shr: return "shr";
+    case Opcode::sra: return "sra";
+    case Opcode::addi: return "addi";
+    case Opcode::muli: return "muli";
+    case Opcode::andi: return "andi";
+    case Opcode::ori: return "ori";
+    case Opcode::xori: return "xori";
+    case Opcode::shli: return "shli";
+    case Opcode::shri: return "shri";
+    case Opcode::popcnt: return "popcnt";
+    case Opcode::load: return "load";
+    case Opcode::store: return "store";
+    case Opcode::beq: return "beq";
+    case Opcode::bne: return "bne";
+    case Opcode::blt: return "blt";
+    case Opcode::bge: return "bge";
+    case Opcode::bltu: return "bltu";
+    case Opcode::jmp: return "jmp";
+    case Opcode::fadd: return "fadd";
+    case Opcode::fsub: return "fsub";
+    case Opcode::fmul: return "fmul";
+    case Opcode::fdiv: return "fdiv";
+    case Opcode::itof: return "itof";
+    case Opcode::ftoi: return "ftoi";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool is_control_flow(Opcode op) {
+  switch (op) {
+    case Opcode::beq:
+    case Opcode::bne:
+    case Opcode::blt:
+    case Opcode::bge:
+    case Opcode::bltu:
+    case Opcode::jmp: return true;
+    default: return false;
+  }
+}
+
+std::string disassemble(const Instruction& instr) {
+  std::ostringstream ss;
+  ss << mnemonic(instr.op);
+  auto reg = [](int r) { return "r" + std::to_string(r); };
+  switch (instr.op) {
+    case Opcode::halt:
+    case Opcode::nop: break;
+    case Opcode::loadi: ss << ' ' << reg(instr.rd) << ", " << instr.imm; break;
+    case Opcode::mov:
+    case Opcode::popcnt:
+    case Opcode::itof:
+    case Opcode::ftoi: ss << ' ' << reg(instr.rd) << ", " << reg(instr.ra); break;
+    case Opcode::add:
+    case Opcode::sub:
+    case Opcode::mul:
+    case Opcode::divu:
+    case Opcode::and_:
+    case Opcode::or_:
+    case Opcode::xor_:
+    case Opcode::shl:
+    case Opcode::shr:
+    case Opcode::sra:
+    case Opcode::fadd:
+    case Opcode::fsub:
+    case Opcode::fmul:
+    case Opcode::fdiv:
+      ss << ' ' << reg(instr.rd) << ", " << reg(instr.ra) << ", " << reg(instr.rb);
+      break;
+    case Opcode::addi:
+    case Opcode::muli:
+    case Opcode::andi:
+    case Opcode::ori:
+    case Opcode::xori:
+    case Opcode::shli:
+    case Opcode::shri:
+      ss << ' ' << reg(instr.rd) << ", " << reg(instr.ra) << ", " << instr.imm;
+      break;
+    case Opcode::load:
+      ss << ' ' << reg(instr.rd) << ", [" << reg(instr.ra) << " + " << instr.imm << ']';
+      break;
+    case Opcode::store:
+      ss << " [" << reg(instr.ra) << " + " << instr.imm << "], " << reg(instr.rb);
+      break;
+    case Opcode::beq:
+    case Opcode::bne:
+    case Opcode::blt:
+    case Opcode::bge:
+    case Opcode::bltu:
+      ss << ' ' << reg(instr.ra) << ", " << reg(instr.rb) << ", @" << instr.imm;
+      break;
+    case Opcode::jmp: ss << " @" << instr.imm; break;
+  }
+  return ss.str();
+}
+
+}  // namespace razorbus::cpu

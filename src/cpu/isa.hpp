@@ -1,0 +1,59 @@
+// Mini load/store ISA for the benchmark substrate.
+//
+// The paper obtains memory-read-bus data traces from SPEC2000 binaries run
+// under SimpleScalar's functional simulator (sim-safe). We replace that
+// with a small RISC-style ISA, a functional simulator, and ten benchmark
+// kernels whose load-data streams mimic the published benchmarks'
+// character. One instruction per cycle (IPC = 1), exactly as the paper
+// assumes; every executed LOAD drives its data word onto the bus.
+//
+// 16 general registers, 32-bit words, word-addressed memory. Floating
+// point ops operate on IEEE-754 single bit patterns held in the integer
+// registers (bit-cast), which is what puts realistic FP bit patterns on
+// the bus for the FP benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace razorbus::cpu {
+
+enum class Opcode : std::uint8_t {
+  halt,
+  nop,
+  loadi,  // rd <- imm (full 32-bit immediate)
+  mov,    // rd <- ra
+  add, sub, mul, divu,          // rd <- ra op rb (divu: rb==0 -> 0)
+  and_, or_, xor_,              // rd <- ra op rb
+  shl, shr, sra,                // rd <- ra shifted by rb & 31
+  addi, muli, andi, ori, xori,  // rd <- ra op imm
+  shli, shri,                   // rd <- ra shifted by imm & 31
+  popcnt,                       // rd <- number of set bits in ra
+  load,   // rd <- mem[ra + imm]   (drives the memory read bus)
+  store,  // mem[ra + imm] <- rb
+  beq, bne, blt, bge, bltu,     // if (ra cmp rb) pc <- target
+  jmp,    // pc <- target
+  fadd, fsub, fmul, fdiv,       // IEEE-754 single on register bit patterns
+  itof,   // rd <- float(int32(ra)) bit pattern
+  ftoi,   // rd <- int32(truncate(float bit pattern in ra))
+};
+
+struct Instruction {
+  Opcode op = Opcode::nop;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::int64_t imm = 0;  // immediate or resolved branch target (instruction index)
+};
+
+constexpr int kRegisterCount = 16;
+
+// Human-readable form, e.g. "add r3, r1, r2" (debugging and tests).
+std::string disassemble(const Instruction& instr);
+
+// True for the branch/jump opcodes whose imm is an instruction index.
+bool is_control_flow(Opcode op);
+// True for opcodes that read memory (drive the bus).
+inline bool is_load(Opcode op) { return op == Opcode::load; }
+
+}  // namespace razorbus::cpu

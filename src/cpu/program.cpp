@@ -1,0 +1,143 @@
+#include "cpu/program.hpp"
+
+#include <stdexcept>
+
+namespace razorbus::cpu {
+
+void ProgramBuilder::check_register(int r) {
+  if (r < 0 || r >= kRegisterCount)
+    throw std::invalid_argument("ProgramBuilder: register out of range");
+}
+
+ProgramBuilder& ProgramBuilder::emit(Opcode op, int rd, int ra, int rb, std::int64_t imm) {
+  check_register(rd);
+  check_register(ra);
+  check_register(rb);
+  code_.push_back({op, static_cast<std::uint8_t>(rd), static_cast<std::uint8_t>(ra),
+                   static_cast<std::uint8_t>(rb), imm});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::emit_branch(Opcode op, int ra, int rb,
+                                            const std::string& target) {
+  fixups_.emplace_back(code_.size(), target);
+  return emit(op, 0, ra, rb, -1);
+}
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  if (!labels_.emplace(name, code_.size()).second)
+    throw std::invalid_argument("ProgramBuilder: duplicate label " + name);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::halt() { return emit(Opcode::halt); }
+ProgramBuilder& ProgramBuilder::nop() { return emit(Opcode::nop); }
+ProgramBuilder& ProgramBuilder::loadi(int rd, std::uint32_t imm) {
+  return emit(Opcode::loadi, rd, 0, 0, static_cast<std::int64_t>(imm));
+}
+ProgramBuilder& ProgramBuilder::mov(int rd, int ra) { return emit(Opcode::mov, rd, ra); }
+ProgramBuilder& ProgramBuilder::add(int rd, int ra, int rb) {
+  return emit(Opcode::add, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::sub(int rd, int ra, int rb) {
+  return emit(Opcode::sub, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::mul(int rd, int ra, int rb) {
+  return emit(Opcode::mul, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::divu(int rd, int ra, int rb) {
+  return emit(Opcode::divu, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::and_(int rd, int ra, int rb) {
+  return emit(Opcode::and_, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::or_(int rd, int ra, int rb) {
+  return emit(Opcode::or_, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::xor_(int rd, int ra, int rb) {
+  return emit(Opcode::xor_, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::shl(int rd, int ra, int rb) {
+  return emit(Opcode::shl, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::shr(int rd, int ra, int rb) {
+  return emit(Opcode::shr, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::sra(int rd, int ra, int rb) {
+  return emit(Opcode::sra, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::addi(int rd, int ra, std::int32_t imm) {
+  return emit(Opcode::addi, rd, ra, 0, imm);
+}
+ProgramBuilder& ProgramBuilder::muli(int rd, int ra, std::int32_t imm) {
+  return emit(Opcode::muli, rd, ra, 0, imm);
+}
+ProgramBuilder& ProgramBuilder::andi(int rd, int ra, std::uint32_t imm) {
+  return emit(Opcode::andi, rd, ra, 0, static_cast<std::int64_t>(imm));
+}
+ProgramBuilder& ProgramBuilder::ori(int rd, int ra, std::uint32_t imm) {
+  return emit(Opcode::ori, rd, ra, 0, static_cast<std::int64_t>(imm));
+}
+ProgramBuilder& ProgramBuilder::xori(int rd, int ra, std::uint32_t imm) {
+  return emit(Opcode::xori, rd, ra, 0, static_cast<std::int64_t>(imm));
+}
+ProgramBuilder& ProgramBuilder::shli(int rd, int ra, int amount) {
+  return emit(Opcode::shli, rd, ra, 0, amount);
+}
+ProgramBuilder& ProgramBuilder::shri(int rd, int ra, int amount) {
+  return emit(Opcode::shri, rd, ra, 0, amount);
+}
+ProgramBuilder& ProgramBuilder::popcnt(int rd, int ra) { return emit(Opcode::popcnt, rd, ra); }
+ProgramBuilder& ProgramBuilder::load(int rd, int ra, std::int32_t offset) {
+  return emit(Opcode::load, rd, ra, 0, offset);
+}
+ProgramBuilder& ProgramBuilder::store(int ra, std::int32_t offset, int rb) {
+  return emit(Opcode::store, 0, ra, rb, offset);
+}
+ProgramBuilder& ProgramBuilder::beq(int ra, int rb, const std::string& t) {
+  return emit_branch(Opcode::beq, ra, rb, t);
+}
+ProgramBuilder& ProgramBuilder::bne(int ra, int rb, const std::string& t) {
+  return emit_branch(Opcode::bne, ra, rb, t);
+}
+ProgramBuilder& ProgramBuilder::blt(int ra, int rb, const std::string& t) {
+  return emit_branch(Opcode::blt, ra, rb, t);
+}
+ProgramBuilder& ProgramBuilder::bge(int ra, int rb, const std::string& t) {
+  return emit_branch(Opcode::bge, ra, rb, t);
+}
+ProgramBuilder& ProgramBuilder::bltu(int ra, int rb, const std::string& t) {
+  return emit_branch(Opcode::bltu, ra, rb, t);
+}
+ProgramBuilder& ProgramBuilder::jmp(const std::string& t) {
+  return emit_branch(Opcode::jmp, 0, 0, t);
+}
+ProgramBuilder& ProgramBuilder::fadd(int rd, int ra, int rb) {
+  return emit(Opcode::fadd, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::fsub(int rd, int ra, int rb) {
+  return emit(Opcode::fsub, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::fmul(int rd, int ra, int rb) {
+  return emit(Opcode::fmul, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::fdiv(int rd, int ra, int rb) {
+  return emit(Opcode::fdiv, rd, ra, rb);
+}
+ProgramBuilder& ProgramBuilder::itof(int rd, int ra) { return emit(Opcode::itof, rd, ra); }
+ProgramBuilder& ProgramBuilder::ftoi(int rd, int ra) { return emit(Opcode::ftoi, rd, ra); }
+
+Program ProgramBuilder::build() {
+  for (const auto& [index, label] : fixups_) {
+    const auto it = labels_.find(label);
+    if (it == labels_.end())
+      throw std::invalid_argument("ProgramBuilder: undefined label " + label);
+    code_[index].imm = static_cast<std::int64_t>(it->second);
+  }
+  Program p;
+  p.name = name_;
+  p.code = code_;
+  return p;
+}
+
+}  // namespace razorbus::cpu

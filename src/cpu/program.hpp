@@ -1,0 +1,82 @@
+// Program construction with symbolic labels.
+//
+// Benchmarks are written directly against this builder (there is no binary
+// encoding — the functional simulator executes Instruction structs, just as
+// sim-safe interprets decoded instructions).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cpu/isa.hpp"
+
+namespace razorbus::cpu {
+
+struct Program {
+  std::string name;
+  std::vector<Instruction> code;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+  // --- label management ---
+  ProgramBuilder& label(const std::string& name);
+
+  // --- instructions (fluent interface) ---
+  ProgramBuilder& halt();
+  ProgramBuilder& nop();
+  ProgramBuilder& loadi(int rd, std::uint32_t imm);
+  ProgramBuilder& mov(int rd, int ra);
+  ProgramBuilder& add(int rd, int ra, int rb);
+  ProgramBuilder& sub(int rd, int ra, int rb);
+  ProgramBuilder& mul(int rd, int ra, int rb);
+  ProgramBuilder& divu(int rd, int ra, int rb);
+  ProgramBuilder& and_(int rd, int ra, int rb);
+  ProgramBuilder& or_(int rd, int ra, int rb);
+  ProgramBuilder& xor_(int rd, int ra, int rb);
+  ProgramBuilder& shl(int rd, int ra, int rb);
+  ProgramBuilder& shr(int rd, int ra, int rb);
+  ProgramBuilder& sra(int rd, int ra, int rb);
+  ProgramBuilder& addi(int rd, int ra, std::int32_t imm);
+  ProgramBuilder& muli(int rd, int ra, std::int32_t imm);
+  ProgramBuilder& andi(int rd, int ra, std::uint32_t imm);
+  ProgramBuilder& ori(int rd, int ra, std::uint32_t imm);
+  ProgramBuilder& xori(int rd, int ra, std::uint32_t imm);
+  ProgramBuilder& shli(int rd, int ra, int amount);
+  ProgramBuilder& shri(int rd, int ra, int amount);
+  ProgramBuilder& popcnt(int rd, int ra);
+  ProgramBuilder& load(int rd, int ra, std::int32_t offset = 0);
+  ProgramBuilder& store(int ra, std::int32_t offset, int rb);
+  ProgramBuilder& beq(int ra, int rb, const std::string& target);
+  ProgramBuilder& bne(int ra, int rb, const std::string& target);
+  ProgramBuilder& blt(int ra, int rb, const std::string& target);
+  ProgramBuilder& bge(int ra, int rb, const std::string& target);
+  ProgramBuilder& bltu(int ra, int rb, const std::string& target);
+  ProgramBuilder& jmp(const std::string& target);
+  ProgramBuilder& fadd(int rd, int ra, int rb);
+  ProgramBuilder& fsub(int rd, int ra, int rb);
+  ProgramBuilder& fmul(int rd, int ra, int rb);
+  ProgramBuilder& fdiv(int rd, int ra, int rb);
+  ProgramBuilder& itof(int rd, int ra);
+  ProgramBuilder& ftoi(int rd, int ra);
+
+  // Resolve all labels and return the program. Throws std::invalid_argument
+  // on undefined/duplicate labels or bad register indices.
+  Program build();
+
+ private:
+  ProgramBuilder& emit(Opcode op, int rd = 0, int ra = 0, int rb = 0, std::int64_t imm = 0);
+  ProgramBuilder& emit_branch(Opcode op, int ra, int rb, const std::string& target);
+  static void check_register(int r);
+
+  std::string name_;
+  std::vector<Instruction> code_;
+  std::map<std::string, std::size_t> labels_;
+  // (instruction index, label) pairs awaiting resolution.
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+}  // namespace razorbus::cpu

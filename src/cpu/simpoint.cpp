@@ -1,0 +1,168 @@
+#include "cpu/simpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace razorbus::cpu {
+
+namespace {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<double> window_features(const trace::Trace& trace, std::size_t begin,
+                                    std::size_t cycles) {
+  trace::Trace window;
+  window.words.assign(trace.words.begin() + static_cast<std::ptrdiff_t>(begin),
+                      trace.words.begin() + static_cast<std::ptrdiff_t>(begin + cycles));
+  const trace::TraceStats stats = trace::compute_stats(window);
+
+  std::vector<double> features;
+  features.reserve(34);
+  for (const double t : stats.per_bit_toggle) features.push_back(t);
+  features.push_back(stats.active_cycle_rate);
+  features.push_back(stats.worst_pattern_rate);
+  return features;
+}
+
+SimPointResult select_simpoints(const trace::Trace& trace, const SimPointConfig& config) {
+  if (config.window_cycles == 0) throw std::invalid_argument("simpoint: zero window");
+  if (config.clusters == 0) throw std::invalid_argument("simpoint: zero clusters");
+  const std::size_t n_windows = trace.words.size() / config.window_cycles;
+  if (n_windows == 0)
+    throw std::invalid_argument("simpoint: trace shorter than one window");
+  const std::size_t k = std::min(config.clusters, n_windows);
+
+  // Feature matrix.
+  std::vector<std::vector<double>> features;
+  features.reserve(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w)
+    features.push_back(window_features(trace, w * config.window_cycles,
+                                       config.window_cycles));
+
+  // k-means++ style seeding: first center uniform, then proportional to
+  // squared distance from the nearest chosen center.
+  Rng rng(config.seed);
+  std::vector<std::vector<double>> centers;
+  centers.push_back(features[rng.next_below(n_windows)]);
+  std::vector<double> nearest(n_windows, 0.0);
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centers) best = std::min(best, squared_distance(features[w], c));
+      nearest[w] = best;
+      total += best;
+    }
+    if (total <= 0.0) break;  // all windows identical to a center
+    double pick = rng.next_double() * total;
+    std::size_t chosen = n_windows - 1;
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      pick -= nearest[w];
+      if (pick <= 0.0) {
+        chosen = w;
+        break;
+      }
+    }
+    centers.push_back(features[chosen]);
+  }
+
+  // Lloyd iterations.
+  std::vector<std::size_t> assignment(n_windows, 0);
+  for (int iter = 0; iter < config.kmeans_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double d = squared_distance(features[w], centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[w] != best) {
+        assignment[w] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Recompute means.
+    const std::size_t dims = features.front().size();
+    std::vector<std::vector<double>> sums(centers.size(), std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> counts(centers.size(), 0);
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      ++counts[assignment[w]];
+      for (std::size_t d = 0; d < dims; ++d) sums[assignment[w]][d] += features[w][d];
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] == 0) continue;  // keep the stale center
+      for (std::size_t d = 0; d < dims; ++d)
+        centers[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+  }
+
+  // Medoid per (non-empty) cluster, weight = cluster share.
+  SimPointResult result;
+  result.window_cycles = config.window_cycles;
+  result.total_windows = n_windows;
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    std::size_t medoid = n_windows;
+    double best_d = std::numeric_limits<double>::max();
+    std::size_t members = 0;
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      if (assignment[w] != c) continue;
+      ++members;
+      const double d = squared_distance(features[w], centers[c]);
+      if (d < best_d) {
+        best_d = d;
+        medoid = w;
+      }
+    }
+    if (medoid == n_windows) continue;  // empty cluster
+    SimPoint point;
+    point.window_index = medoid;
+    point.begin_cycle = medoid * config.window_cycles;
+    point.weight = static_cast<double>(members) / static_cast<double>(n_windows);
+    result.points.push_back(point);
+  }
+  std::sort(result.points.begin(), result.points.end(),
+            [](const SimPoint& a, const SimPoint& b) {
+              return a.window_index < b.window_index;
+            });
+  return result;
+}
+
+trace::Trace materialize_simpoints(const trace::Trace& trace, const SimPointResult& result,
+                                   std::size_t target_windows) {
+  if (result.points.empty())
+    throw std::invalid_argument("materialize_simpoints: empty selection");
+  trace::Trace out;
+  out.name = trace.name + "+simpoints";
+
+  // Replicate each window round(weight * target_windows) times, at least once.
+  for (const auto& point : result.points) {
+    const auto copies = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(point.weight * static_cast<double>(target_windows))));
+    const auto begin = trace.words.begin() + static_cast<std::ptrdiff_t>(point.begin_cycle);
+    const auto end = begin + static_cast<std::ptrdiff_t>(result.window_cycles);
+    for (std::size_t r = 0; r < copies; ++r) out.words.insert(out.words.end(), begin, end);
+  }
+  return out;
+}
+
+}  // namespace razorbus::cpu

@@ -1,0 +1,57 @@
+// SimPoint-style representative window selection.
+//
+// The paper uses the SimPoint toolset's Early SimPoints to pick 10M-
+// instruction windows that represent whole SPEC2000 runs. We provide the
+// same capability for bus traces: split the trace into fixed windows,
+// build a per-window feature vector (bit-toggle profile + activity +
+// worst-pattern density — the bus-level analogue of basic-block vectors),
+// cluster with k-means, and return one medoid window per cluster with a
+// weight proportional to its cluster's size. Running experiments on the
+// weighted simpoints approximates the full trace at a fraction of the
+// cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace razorbus::cpu {
+
+struct SimPointConfig {
+  std::size_t window_cycles = 10000;
+  std::size_t clusters = 4;       // k
+  int kmeans_iterations = 25;
+  std::uint64_t seed = 1;         // k-means++ style seeding
+};
+
+struct SimPoint {
+  std::size_t window_index = 0;  // which window of the trace
+  std::size_t begin_cycle = 0;
+  double weight = 0.0;           // fraction of windows this point represents
+};
+
+struct SimPointResult {
+  std::vector<SimPoint> points;        // sorted by window index
+  std::size_t window_cycles = 0;
+  std::size_t total_windows = 0;
+};
+
+// Selects simpoints for `trace`. Requires at least one full window; the
+// trailing partial window is ignored (as SimPoint does). Throws
+// std::invalid_argument on bad configs.
+SimPointResult select_simpoints(const trace::Trace& trace, const SimPointConfig& config);
+
+// Builds the weighted sub-trace: the selected windows concatenated, each
+// replicated in proportion to its weight so that the output is roughly
+// `target_windows` windows long. This keeps downstream tooling
+// trace-agnostic while honouring the cluster weights.
+trace::Trace materialize_simpoints(const trace::Trace& trace, const SimPointResult& result,
+                                   std::size_t target_windows = 10);
+
+// Per-window feature vector (exposed for tests): 32 per-bit toggle rates,
+// the active-cycle rate and the worst-pattern rate — 34 dimensions.
+std::vector<double> window_features(const trace::Trace& trace, std::size_t begin,
+                                    std::size_t cycles);
+
+}  // namespace razorbus::cpu

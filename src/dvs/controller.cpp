@@ -1,0 +1,38 @@
+#include "dvs/controller.hpp"
+
+#include <stdexcept>
+
+namespace razorbus::dvs {
+
+ThresholdController::ThresholdController(ControllerConfig config) : config_(config) {
+  if (config_.window_cycles == 0)
+    throw std::invalid_argument("ThresholdController: zero window");
+  if (config_.low_threshold < 0 || config_.high_threshold < config_.low_threshold)
+    throw std::invalid_argument("ThresholdController: bad thresholds");
+  if (config_.voltage_step <= 0)
+    throw std::invalid_argument("ThresholdController: non-positive step");
+}
+
+VoltageDecision ThresholdController::observe_cycle(bool error) {
+  if (error) ++errors_in_window_;
+  if (++cycle_in_window_ < config_.window_cycles) return VoltageDecision::hold;
+
+  last_rate_ = static_cast<double>(errors_in_window_) /
+               static_cast<double>(config_.window_cycles);
+  cycle_in_window_ = 0;
+  errors_in_window_ = 0;
+  ++windows_;
+
+  if (last_rate_ < config_.low_threshold) return VoltageDecision::step_down;
+  if (last_rate_ > config_.high_threshold) return VoltageDecision::step_up;
+  return VoltageDecision::hold;
+}
+
+void ThresholdController::reset() {
+  cycle_in_window_ = 0;
+  errors_in_window_ = 0;
+  last_rate_ = 0.0;
+  windows_ = 0;
+}
+
+}  // namespace razorbus::dvs

@@ -1,0 +1,49 @@
+// Error-rate-band threshold controller (paper Fig. 7).
+//
+// Counts bank errors over a fixed window (10,000 cycles). At each window
+// boundary: error rate < low  -> request -20 mV; error rate > high ->
+// request +20 mV; otherwise hold. The paper argues this simple scheme is
+// preferable to a proportional controller because the error-rate-vs-voltage
+// transfer function of the bus is strongly non-linear and program-
+// dependent.
+#pragma once
+
+#include <cstdint>
+
+namespace razorbus::dvs {
+
+struct ControllerConfig {
+  std::uint64_t window_cycles = 10000;
+  double low_threshold = 0.01;   // below: scale down
+  double high_threshold = 0.02;  // above: scale up
+  double voltage_step = 0.020;   // V per decision
+};
+
+// Decision produced at a window boundary.
+enum class VoltageDecision { hold, step_down, step_up };
+
+class ThresholdController {
+ public:
+  explicit ThresholdController(ControllerConfig config);
+
+  const ControllerConfig& config() const { return config_; }
+
+  // Feed one cycle's error flag. Returns a decision exactly at window
+  // boundaries (hold otherwise mid-window).
+  VoltageDecision observe_cycle(bool error);
+
+  // Error rate of the last full window.
+  double last_window_error_rate() const { return last_rate_; }
+  std::uint64_t windows_completed() const { return windows_; }
+
+  void reset();
+
+ private:
+  ControllerConfig config_;
+  std::uint64_t cycle_in_window_ = 0;
+  std::uint64_t errors_in_window_ = 0;
+  double last_rate_ = 0.0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace razorbus::dvs

@@ -1,0 +1,52 @@
+#include "dvs/fixed_vs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace razorbus::dvs {
+
+namespace {
+
+// Shared search: lowest supply on the 20 mV grid whose worst-pattern delay
+// (evaluated at the IR-drooped driver voltage) meets `delay_limit`.
+double lowest_safe_supply(const interconnect::BusDesign& design,
+                          const lut::DelayEnergyTable& table, tech::ProcessCorner process,
+                          const ConservativeEnvironment& env, double delay_limit) {
+  const int worst = lut::PatternClass::encode(lut::VictimActivity::rise,
+                                              lut::NeighborActivity::fall,
+                                              lut::NeighborActivity::fall);
+  const double vnom = design.node.vdd_nominal;
+  // Search the regulator's 20 mV grid anchored at the nominal supply.
+  const double step = 0.020;
+  double best = vnom;
+  bool found = false;
+  for (double v = vnom; v > table.grid().vmin() - 1e-9; v -= step) {
+    const double v_eff = v * (1.0 - env.ir_drop_fraction);
+    if (v_eff < table.grid().vmin() - 1e-9) break;
+    const double d = table.delay(worst, process, env.temp_c, v_eff);
+    if (std::isnan(d) || std::isinf(d) || d > delay_limit) break;
+    best = v;
+    found = true;
+  }
+  if (!found)
+    throw std::runtime_error(
+        "lowest_safe_supply: bus misses timing even at the nominal supply");
+  return best;
+}
+
+}  // namespace
+
+double fixed_vs_voltage(const interconnect::BusDesign& design,
+                        const lut::DelayEnergyTable& table, tech::ProcessCorner process,
+                        const ConservativeEnvironment& env) {
+  return lowest_safe_supply(design, table, process, env, design.main_capture_limit());
+}
+
+double dvs_floor_voltage(const interconnect::BusDesign& design,
+                         const lut::DelayEnergyTable& table, tech::ProcessCorner process,
+                         const ConservativeEnvironment& env) {
+  return lowest_safe_supply(design, table, process, env, design.shadow_capture_limit());
+}
+
+}  // namespace razorbus::dvs

@@ -1,0 +1,44 @@
+// Voltage floors and the fixed voltage scaling (VS) baseline.
+//
+// Fixed VS (paper Table 1) stands in for conventional self-tuning schemes
+// (correlating VCO, delay-line speed detectors, triple-latch monitors):
+// they can measure the global process corner but must remain conservative
+// about everything else, because a timing error is fatal for them. Their
+// supply is therefore the lowest voltage at which the WORST-CASE pattern
+// still meets the main flop's setup at the worst environment (100C, 10%
+// IR drop) for the measured process corner.
+//
+// The proposed DVS scheme only needs the shadow latch to be safe under the
+// same conservative assumptions — a much lower floor, with the gap between
+// the two floors recovered through error correction.
+#pragma once
+
+#include "interconnect/bus_design.hpp"
+#include "lut/table.hpp"
+#include "tech/corner.hpp"
+
+namespace razorbus::dvs {
+
+// Environment assumed when only the process corner is known.
+struct ConservativeEnvironment {
+  double temp_c = 100.0;
+  double ir_drop_fraction = 0.10;
+};
+
+// Lowest grid supply at which the worst-case switching pattern meets the
+// MAIN flip-flop capture limit under the conservative environment: the
+// fixed-VS baseline operating point. Never exceeds the nominal supply.
+double fixed_vs_voltage(const interconnect::BusDesign& design,
+                        const lut::DelayEnergyTable& table, tech::ProcessCorner process,
+                        const ConservativeEnvironment& env = {});
+
+// Lowest grid supply at which the worst-case pattern still meets the
+// SHADOW latch capture limit under the conservative environment: the
+// regulator floor of the proposed DVS scheme ("the only tuning factor is
+// the process corner; otherwise worst-case temperature and IR drop are
+// assumed").
+double dvs_floor_voltage(const interconnect::BusDesign& design,
+                         const lut::DelayEnergyTable& table, tech::ProcessCorner process,
+                         const ConservativeEnvironment& env = {});
+
+}  // namespace razorbus::dvs

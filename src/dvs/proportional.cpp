@@ -1,0 +1,35 @@
+#include "dvs/proportional.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace razorbus::dvs {
+
+ProportionalController::ProportionalController(ProportionalConfig config) : config_(config) {
+  if (config_.window_cycles == 0) throw std::invalid_argument("proportional: zero window");
+  if (config_.target_error_rate < 0.0 || config_.target_error_rate > 1.0)
+    throw std::invalid_argument("proportional: bad target");
+  if (config_.gain <= 0.0 || config_.step_quantum <= 0.0 || config_.max_step <= 0.0)
+    throw std::invalid_argument("proportional: non-positive gain/step");
+}
+
+double ProportionalController::observe_cycle(bool error) {
+  if (error) ++errors_in_window_;
+  if (++cycle_in_window_ < config_.window_cycles) return 0.0;
+
+  last_rate_ = static_cast<double>(errors_in_window_) /
+               static_cast<double>(config_.window_cycles);
+  cycle_in_window_ = 0;
+  errors_in_window_ = 0;
+  ++windows_;
+
+  // Error above target -> raise the voltage (positive delta).
+  const double raw = config_.gain * (last_rate_ - config_.target_error_rate);
+  const double clamped = std::clamp(raw, -config_.max_step, config_.max_step);
+  // Quantise to whole regulator steps (toward zero: don't overreact).
+  const double steps = std::trunc(clamped / config_.step_quantum);
+  return steps * config_.step_quantum;
+}
+
+}  // namespace razorbus::dvs

@@ -1,0 +1,31 @@
+#include "dvs/regulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace razorbus::dvs {
+
+VoltageRegulator::VoltageRegulator(double initial, double vmin, double vmax,
+                                   std::uint64_t delay_cycles)
+    : voltage_(initial), vmin_(vmin), vmax_(vmax), delay_cycles_(delay_cycles) {
+  if (vmin > vmax) throw std::invalid_argument("VoltageRegulator: vmin > vmax");
+  voltage_ = std::clamp(voltage_, vmin_, vmax_);
+}
+
+bool VoltageRegulator::request_change(double delta, std::uint64_t now) {
+  if (pending_) return false;
+  const double target = std::clamp(voltage_ + delta, vmin_, vmax_);
+  if (target == voltage_) return false;
+  pending_ = Pending{now + delay_cycles_, target};
+  return true;
+}
+
+double VoltageRegulator::advance(std::uint64_t now) {
+  if (pending_ && now >= pending_->apply_at) {
+    voltage_ = pending_->target;
+    pending_.reset();
+  }
+  return voltage_;
+}
+
+}  // namespace razorbus::dvs

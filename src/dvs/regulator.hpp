@@ -1,0 +1,52 @@
+// Voltage regulator with ramp delay (paper Fig. 7).
+//
+// Regulators adjust slowly (~1 us per 10 mV); the paper models this as the
+// 20 mV step taking effect 2 us (3000 cycles at 1.5 GHz) after the
+// controller's decision. Until then the bus keeps running at the old
+// voltage — which is why instantaneous error rates can overshoot the
+// target band (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace razorbus::dvs {
+
+class VoltageRegulator {
+ public:
+  // `delay_cycles`: cycles between a request and the new voltage taking
+  // effect. `vmin`/`vmax`: hard output clamps (vmin is the shadow-latch
+  // safety floor, vmax the nominal supply).
+  VoltageRegulator(double initial, double vmin, double vmax,
+                   std::uint64_t delay_cycles);
+
+  double voltage() const { return voltage_; }
+  double vmin() const { return vmin_; }
+  double vmax() const { return vmax_; }
+  bool change_pending() const { return pending_.has_value(); }
+
+  // Request a voltage change of `delta` volts at cycle `now`. Ignored when
+  // a change is already in flight (the paper's controller polls every
+  // 10,000 cycles with a 3,000-cycle ramp, so this cannot happen there).
+  // The applied target is clamped to [vmin, vmax]. Returns whether the
+  // request was accepted.
+  bool request_change(double delta, std::uint64_t now);
+
+  // Advance to cycle `now`; applies a pending change when due. Returns the
+  // (possibly updated) output voltage.
+  double advance(std::uint64_t now);
+
+ private:
+  struct Pending {
+    std::uint64_t apply_at;
+    double target;
+  };
+
+  double voltage_;
+  double vmin_;
+  double vmax_;
+  std::uint64_t delay_cycles_;
+  std::optional<Pending> pending_;
+};
+
+}  // namespace razorbus::dvs

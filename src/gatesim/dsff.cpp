@@ -1,0 +1,43 @@
+#include "gatesim/dsff.hpp"
+
+namespace razorbus::gatesim {
+
+DsffNets build_dsff(Netlist& netlist, double gate_delay) {
+  DsffNets nets;
+  nets.d = netlist.add_net("d");
+  nets.clk = netlist.add_net("clk");
+  nets.clk_del = netlist.add_net("clk_del");
+
+  const NetId clk_b = netlist.add_net("clk_b", true);        // !clk (clk starts low)
+  const NetId clk_del_b = netlist.add_net("clk_del_b", true);
+  const NetId mux_out = netlist.add_net("mux_out");
+  nets.master = netlist.add_net("master");
+  nets.q = netlist.add_net("q");
+  nets.shadow = netlist.add_net("shadow");
+  nets.error_l = netlist.add_net("error_l");
+
+  netlist.add_gate(GateKind::inv, clk_b, nets.clk, kNoNet, kNoNet, gate_delay / 2.0);
+  netlist.add_gate(GateKind::inv, clk_del_b, nets.clk_del, kNoNet, kNoNet,
+                   gate_delay / 2.0);
+
+  // Restore mux in the master's data path: Error_L selects the shadow value.
+  netlist.add_gate(GateKind::mux2, mux_out, nets.d, nets.shadow, nets.error_l, gate_delay);
+  // Master latch: transparent while clk low.
+  netlist.add_gate(GateKind::latch, nets.master, mux_out, clk_b, kNoNet, gate_delay);
+  // Slave latch: transparent while clk high; output is Q.
+  netlist.add_gate(GateKind::latch, nets.q, nets.master, nets.clk, kNoNet, gate_delay);
+  // Shadow latch: transparent while the delayed clock is low, closing at
+  // (rising edge + shadow delay).
+  netlist.add_gate(GateKind::latch, nets.shadow, nets.d, clk_del_b, kNoNet, gate_delay);
+  // Error_L = XOR of slave and shadow contents.
+  netlist.add_gate(GateKind::xor2, nets.error_l, nets.q, nets.shadow, kNoNet, gate_delay);
+  return nets;
+}
+
+void drive_dsff_clocks(Simulator& sim, const DsffNets& nets, double period,
+                       double shadow_delay, double t_stop, double first_rise) {
+  sim.schedule_clock(nets.clk, period, first_rise, t_stop);
+  sim.schedule_clock(nets.clk_del, period, first_rise + shadow_delay, t_stop);
+}
+
+}  // namespace razorbus::gatesim

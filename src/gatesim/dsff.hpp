@@ -1,0 +1,43 @@
+// Gate-level double-sampling flip-flop (paper Fig. 2).
+//
+// Structure:
+//   * master latch — transparent while clk is LOW; its data input comes
+//     through the restore mux (normal path: D; restore path: shadow value,
+//     selected by Error_L);
+//   * slave latch — transparent while clk is HIGH; its output is Q;
+//   * shadow latch — transparent while the DELAYED clock is low, so it
+//     keeps sampling D for `shadow delay` after the main rising edge;
+//   * Error_L = XOR(Q, shadow).
+//
+// When D meets setup at the rising edge, master/slave/shadow agree and
+// Error_L stays low. When D arrives after the edge but before the delayed
+// clock closes, the shadow latch has the right value, Error_L rises, the
+// mux steers the shadow value into the master during the next low phase,
+// and the following rising edge publishes the corrected Q — exactly the
+// recovery sequence of the paper.
+#pragma once
+
+#include "gatesim/gatesim.hpp"
+
+namespace razorbus::gatesim {
+
+struct DsffNets {
+  NetId d;        // data input (primary input)
+  NetId clk;      // main clock (primary input)
+  NetId clk_del;  // delayed clock (primary input)
+  NetId q;        // slave output
+  NetId shadow;   // shadow latch output
+  NetId error_l;  // local error signal
+  NetId master;   // master latch output (internal, exposed for tests)
+};
+
+// Builds the flop into `netlist` and returns its nets. `gate_delay` applies
+// to every latch/gate in the flop.
+DsffNets build_dsff(Netlist& netlist, double gate_delay = 10e-12);
+
+// Drives clk/clk_del with the paper's timing (clock `period`, shadow clock
+// delayed by `shadow_delay`) until `t_stop`.
+void drive_dsff_clocks(Simulator& sim, const DsffNets& nets, double period,
+                       double shadow_delay, double t_stop, double first_rise);
+
+}  // namespace razorbus::gatesim

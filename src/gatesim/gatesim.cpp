@@ -1,0 +1,118 @@
+#include "gatesim/gatesim.hpp"
+
+#include <stdexcept>
+
+namespace razorbus::gatesim {
+
+NetId Netlist::add_net(std::string name, bool initial) {
+  nets_.push_back({std::move(name), initial, {}});
+  return nets_.size() - 1;
+}
+
+std::size_t Netlist::add_gate(GateKind kind, NetId out, NetId a, NetId b, NetId c,
+                              double delay) {
+  if (out >= nets_.size()) throw std::invalid_argument("gate: bad output net");
+  if (delay <= 0.0) throw std::invalid_argument("gate: non-positive delay");
+  Gate gate{kind, out, {a, b, c}, delay};
+  const std::size_t index = gates_.size();
+  for (const NetId in : gate.in) {
+    if (in == kNoNet) continue;
+    if (in >= nets_.size()) throw std::invalid_argument("gate: bad input net");
+    nets_[in].fanout.push_back(index);
+  }
+  // Validate arity.
+  const int needed = (kind == GateKind::buf || kind == GateKind::inv) ? 1
+                     : (kind == GateKind::mux2) ? 3
+                                                : 2;
+  for (int i = 0; i < needed; ++i)
+    if (gate.in[static_cast<std::size_t>(i)] == kNoNet)
+      throw std::invalid_argument("gate: missing input");
+  gates_.push_back(gate);
+  return index;
+}
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
+  values_.resize(netlist_.net_count());
+  history_.resize(netlist_.net_count());
+  for (NetId n = 0; n < netlist_.net_count(); ++n) {
+    values_[n] = netlist_.initial_value(n);
+    history_[n].push_back({0.0, values_[n]});
+  }
+}
+
+bool Simulator::evaluate(const Gate& gate) const {
+  const bool a = gate.in[0] != kNoNet && values_[gate.in[0]];
+  const bool b = gate.in[1] != kNoNet && values_[gate.in[1]];
+  const bool c = gate.in[2] != kNoNet && values_[gate.in[2]];
+  switch (gate.kind) {
+    case GateKind::buf: return a;
+    case GateKind::inv: return !a;
+    case GateKind::and2: return a && b;
+    case GateKind::or2: return a || b;
+    case GateKind::xor2: return a != b;
+    case GateKind::nand2: return !(a && b);
+    case GateKind::mux2: return c ? b : a;
+    case GateKind::latch: return b ? a : values_[gate.out];  // transparent on en
+  }
+  return false;
+}
+
+void Simulator::enqueue_external(NetId net, double time, bool value) {
+  queue_.push(Event{time, seq_++, false, 0, net, value});
+}
+
+void Simulator::enqueue_gate(std::size_t gate, double time) {
+  queue_.push(Event{time, seq_++, true, gate, 0, false});
+}
+
+void Simulator::schedule(NetId net, double time, bool value) {
+  if (net >= netlist_.net_count()) throw std::invalid_argument("schedule: bad net");
+  enqueue_external(net, time, value);
+}
+
+void Simulator::schedule_clock(NetId net, double period, double first_rise, double t_stop) {
+  if (period <= 0.0) throw std::invalid_argument("schedule_clock: bad period");
+  for (double t = first_rise; t < t_stop; t += period) {
+    enqueue_external(net, t, true);
+    enqueue_external(net, t + period / 2.0, false);
+  }
+}
+
+void Simulator::apply(NetId net, bool value) {
+  if (values_[net] == value) return;
+  values_[net] = value;
+  history_[net].push_back({now_, value});
+  for (const std::size_t gi : netlist_.fanout(net)) {
+    const Gate& gate = netlist_.gates()[gi];
+    // Re-evaluated when the event fires; here we only check whether a
+    // change is plausible to keep the queue small.
+    if (evaluate(gate) != values_[gate.out]) enqueue_gate(gi, now_ + gate.delay);
+  }
+}
+
+void Simulator::run(double t_stop) {
+  while (!queue_.empty() && queue_.top().time <= t_stop) {
+    const Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    if (event.is_gate) {
+      const Gate& gate = netlist_.gates()[event.gate];
+      apply(gate.out, evaluate(gate));
+    } else {
+      apply(event.net, event.value);
+    }
+  }
+  now_ = t_stop;
+}
+
+bool Simulator::value_at(NetId net, double time) const {
+  const auto& events = history_.at(net);
+  bool value = events.front().value;
+  for (const auto& tr : events) {
+    if (tr.time > time) break;
+    value = tr.value;
+  }
+  return value;
+}
+
+}  // namespace razorbus::gatesim

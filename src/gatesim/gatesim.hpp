@@ -1,0 +1,124 @@
+// Event-driven gate-level logic simulator.
+//
+// Small digital substrate used to validate the double-sampling flip-flop of
+// paper Fig. 2 at the latch/gate level (the architectural experiments use
+// the behavioural model in src/razor; this module demonstrates that the
+// behavioural contract — clean capture / corrected / restore-through-mux —
+// follows from the circuit structure itself).
+//
+// Semantics: two-valued logic, per-gate inertial-free propagation delays,
+// last-write-wins event queue. Level-sensitive latches are first-class
+// (they are the heart of the Razor flop).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace razorbus::gatesim {
+
+using NetId = std::size_t;
+constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+
+enum class GateKind {
+  buf,    // out = a
+  inv,    // out = !a
+  and2,   // out = a & b
+  or2,    // out = a | b
+  xor2,   // out = a ^ b
+  nand2,  // out = !(a & b)
+  mux2,   // out = sel ? b : a     (inputs: a, b, sel)
+  latch,  // out follows d while en is high, holds while en is low (inputs: d, en)
+};
+
+struct Gate {
+  GateKind kind;
+  NetId out;
+  std::array<NetId, 3> in{kNoNet, kNoNet, kNoNet};
+  double delay;  // seconds from input change to output change
+};
+
+class Netlist {
+ public:
+  NetId add_net(std::string name, bool initial = false);
+  // Returns the gate index. Unused inputs stay kNoNet.
+  std::size_t add_gate(GateKind kind, NetId out, NetId a, NetId b = kNoNet,
+                       NetId c = kNoNet, double delay = 10e-12);
+
+  std::size_t net_count() const { return nets_.size(); }
+  bool initial_value(NetId n) const { return nets_[n].initial; }
+  const std::string& net_name(NetId n) const { return nets_[n].name; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  // Gate indices that read net `n` (fanout list).
+  const std::vector<std::size_t>& fanout(NetId n) const { return nets_[n].fanout; }
+
+ private:
+  struct Net {
+    std::string name;
+    bool initial;
+    std::vector<std::size_t> fanout;
+  };
+  std::vector<Net> nets_;
+  std::vector<Gate> gates_;
+};
+
+// A recorded value change on a net.
+struct Transition {
+  double time;
+  bool value;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  // External stimulus: drive `net` to `value` at `time` (overrides gates —
+  // use only for primary inputs).
+  void schedule(NetId net, double time, bool value);
+  // Convenience: a square clock on `net`, first rising edge at `first_rise`.
+  void schedule_clock(NetId net, double period, double first_rise, double t_stop);
+
+  // Run until `t_stop` (events beyond it stay queued).
+  void run(double t_stop);
+
+  bool value(NetId net) const { return values_[net]; }
+  // Value the net held at `time` (from the recorded history).
+  bool value_at(NetId net, double time) const;
+  const std::vector<Transition>& history(NetId net) const { return history_[net]; }
+
+ private:
+  // Two event kinds: external pin drives (net + value fixed at schedule
+  // time) and gate re-evaluations (the gate's output is computed at FIRE
+  // time from the then-current input values, so stale intermediate values
+  // cannot propagate).
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    bool is_gate;
+    std::size_t gate;  // when is_gate
+    NetId net;         // when !is_gate
+    bool value;        // when !is_gate
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  bool evaluate(const Gate& gate) const;
+  void apply(NetId net, bool value);
+  void enqueue_external(NetId net, double time, bool value);
+  void enqueue_gate(std::size_t gate, double time);
+
+  const Netlist& netlist_;
+  std::vector<bool> values_;
+  std::vector<std::vector<Transition>> history_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace razorbus::gatesim

@@ -1,0 +1,61 @@
+#include "interconnect/bus_design.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace razorbus::interconnect {
+
+NeighborKind BusDesign::left_neighbor(int bit) const {
+  if (bit < 0 || bit >= n_bits) throw std::out_of_range("left_neighbor: bad bit");
+  return bit % shield_group == 0 ? NeighborKind::shield : NeighborKind::signal;
+}
+
+NeighborKind BusDesign::right_neighbor(int bit) const {
+  if (bit < 0 || bit >= n_bits) throw std::out_of_range("right_neighbor: bad bit");
+  return (bit % shield_group == shield_group - 1 || bit == n_bits - 1)
+             ? NeighborKind::shield
+             : NeighborKind::signal;
+}
+
+int BusDesign::total_tracks() const {
+  // A shield before the first group, after every full group, and after a
+  // trailing partial group.
+  const int groups = (n_bits + shield_group - 1) / shield_group;
+  return n_bits + groups + 1;
+}
+
+BusDesign BusDesign::paper_bus() {
+  BusDesign d;
+  d.node = tech::node_130nm();
+  d.parasitics = extract_parasitics(WireGeometry::from_node(d.node));
+  return d;
+}
+
+BusDesign BusDesign::modified_bus(double ratio) {
+  BusDesign d = paper_bus();
+  d.parasitics = scale_coupling_ratio(d.parasitics, ratio);
+  return d;
+}
+
+BusDesign BusDesign::scaled_bus(const tech::TechnologyNode& node) {
+  BusDesign d;
+  d.node = node;
+  d.parasitics = extract_parasitics(WireGeometry::from_node(node));
+  return d;
+}
+
+void BusDesign::validate() const {
+  if (n_bits <= 0 || shield_group <= 0 || n_segments <= 0)
+    throw std::invalid_argument("BusDesign: counts must be positive");
+  if (length <= 0 || clock_freq <= 0)
+    throw std::invalid_argument("BusDesign: length/clock must be positive");
+  if (setup_slack_fraction < 0 || setup_slack_fraction >= 1)
+    throw std::invalid_argument("BusDesign: bad setup slack fraction");
+  if (shadow_delay_fraction <= 0 || shadow_delay_fraction >= 1)
+    throw std::invalid_argument("BusDesign: bad shadow delay fraction");
+  if (parasitics.r_per_m <= 0 || parasitics.cg_per_m <= 0 || parasitics.cc_per_m <= 0)
+    throw std::invalid_argument("BusDesign: parasitics not extracted");
+}
+
+}  // namespace razorbus::interconnect

@@ -1,0 +1,63 @@
+// Logical + electrical description of the DVS bus (paper Fig. 3).
+//
+// The paper's configuration: 32 signal wires, 6 mm long, routed at minimum
+// pitch on a global metal layer, a shield wire after every 4 signal wires,
+// repeaters every 1.5 mm, 1.5 GHz clock, repeaters sized so the worst-case
+// in-to-out delay is 600 ps (10% of the cycle reserved for setup + skew) at
+// the worst-case PVT corner and neighbor switching pattern at 1.2 V.
+#pragma once
+
+#include "interconnect/geometry.hpp"
+#include "tech/corner.hpp"
+#include "tech/node.hpp"
+
+namespace razorbus::interconnect {
+
+// What sits next to a given signal wire on one side.
+enum class NeighborKind { signal, shield };
+
+struct BusDesign {
+  tech::TechnologyNode node;
+  WireParasitics parasitics{};
+
+  int n_bits = 32;
+  int shield_group = 4;    // a shield wire after every `shield_group` signals
+  double length = 6e-3;    // m
+  int n_segments = 4;      // repeater every length / n_segments
+  double clock_freq = 1.5e9;
+  double setup_slack_fraction = 0.10;   // cycle fraction reserved for setup/skew
+  double shadow_delay_fraction = 1.0 / 3.0;  // shadow clock delay (33% of cycle)
+
+  double repeater_size = 0.0;  // unit-inverter multiples; set by size_repeaters()
+  double receiver_size = 4.0;  // receiving flip-flop input load, unit multiples
+
+  // --- Timing budget ---
+  double clock_period() const { return 1.0 / clock_freq; }
+  // Max in-to-out delay captured correctly by the main flip-flop.
+  double main_capture_limit() const { return clock_period() * (1.0 - setup_slack_fraction); }
+  // Max delay captured by the shadow latch (delayed clock).
+  double shadow_capture_limit() const {
+    return main_capture_limit() + shadow_delay_fraction * clock_period();
+  }
+  double segment_length() const { return length / n_segments; }
+
+  // --- Physical layout queries ---
+  NeighborKind left_neighbor(int bit) const;
+  NeighborKind right_neighbor(int bit) const;
+  // Signal + shield track count (routing footprint).
+  int total_tracks() const;
+
+  // The paper's bus on the 0.13 um node (repeaters not yet sized).
+  static BusDesign paper_bus();
+  // Same bus with the Section 6 modified interconnect architecture:
+  // Cc/Cg multiplied by `ratio` (1.95 in the paper) at constant R and
+  // constant worst-case load.
+  static BusDesign modified_bus(double ratio = 1.95);
+  // Paper-equivalent bus on a scaled technology node (Section 6 study).
+  static BusDesign scaled_bus(const tech::TechnologyNode& node);
+
+  // Throws std::invalid_argument when structurally inconsistent.
+  void validate() const;
+};
+
+}  // namespace razorbus::interconnect

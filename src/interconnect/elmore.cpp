@@ -1,0 +1,41 @@
+#include "interconnect/elmore.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace razorbus::interconnect {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}
+
+double switched_capacitance_per_m(const WireParasitics& p, double mf_left, double mf_right) {
+  return p.cg_per_m + (mf_left + mf_right) * p.cc_per_m;
+}
+
+double pattern_worst_delay(double r_total, double cg_total, double cc_total) {
+  return r_total * (cg_total + 4.0 * cc_total);
+}
+
+double pattern_delay_step(double r_total, double cc_total) { return r_total * cc_total; }
+
+double stage_elmore_delay(double r_driver, double c_driver_self, double r_wire_total,
+                          double c_wire_total, double c_load) {
+  return kLn2 * (r_driver * (c_wire_total + c_driver_self + c_load) +
+                 r_wire_total * (0.5 * c_wire_total + c_load));
+}
+
+double repeated_line_delay(double r_driver, double c_driver_self, double c_driver_in,
+                           double r_wire_total_per_seg, double c_wire_total_per_seg,
+                           double c_receiver, int n_segments) {
+  if (n_segments < 1) throw std::invalid_argument("repeated_line_delay: n_segments < 1");
+  double total = 0.0;
+  for (int s = 0; s < n_segments; ++s) {
+    const double c_load = (s + 1 < n_segments) ? c_driver_in : c_receiver;
+    total += stage_elmore_delay(r_driver, c_driver_self, r_wire_total_per_seg,
+                                c_wire_total_per_seg, c_load);
+  }
+  return total;
+}
+
+}  // namespace razorbus::interconnect

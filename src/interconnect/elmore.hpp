@@ -1,0 +1,38 @@
+// Elmore-delay analytics for the bus (paper eqs. 1 and 2, Fig. 9).
+//
+// Used for first-order reasoning, repeater-sizing seeds and as a fast
+// (lower-fidelity) alternative to the transient-simulated lookup tables.
+#pragma once
+
+#include "interconnect/geometry.hpp"
+#include "tech/device.hpp"
+
+namespace razorbus::interconnect {
+
+// Effective switched capacitance per unit length for a victim whose two
+// neighbors contribute Miller factors mf_left/mf_right on the coupling caps:
+//   0 = neighbor switches in the same direction,
+//   1 = neighbor quiet (or shield),
+//   2 = neighbor switches in the opposite direction.
+double switched_capacitance_per_m(const WireParasitics& p, double mf_left, double mf_right);
+
+// Paper eq. (1): worst-case lumped Elmore delay t = R (Cg + 4 Cc) for a wire
+// of resistance R with both neighbors switching opposite.
+double pattern_worst_delay(double r_total, double cg_total, double cc_total);
+
+// Paper eq. (2): the delay difference between switching pattern I (both
+// neighbors opposite) and pattern II per unit Miller-factor step: R * Cc.
+double pattern_delay_step(double r_total, double cc_total);
+
+// One repeater stage driving a wire of length `seg_len` terminated by
+// `c_load` (next repeater's gate or the receiving flip-flop):
+//   t = ln2 [ Rd (Cw + Cself + Cload) + Rw (Cw/2 + Cload) ].
+double stage_elmore_delay(double r_driver, double c_driver_self, double r_wire_total,
+                          double c_wire_total, double c_load);
+
+// Full in-to-out delay of a repeated bus line: `n_segments` identical stages.
+double repeated_line_delay(double r_driver, double c_driver_self, double c_driver_in,
+                           double r_wire_total_per_seg, double c_wire_total_per_seg,
+                           double c_receiver, int n_segments);
+
+}  // namespace razorbus::interconnect

@@ -1,0 +1,48 @@
+#include "interconnect/geometry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace razorbus::interconnect {
+
+namespace {
+constexpr double kEps0 = 8.8541878128e-12;  // F/m
+}
+
+WireGeometry WireGeometry::from_node(const tech::TechnologyNode& node) {
+  return {node.wire_width, node.wire_spacing, node.wire_thickness,
+          node.ild_height, node.eps_r,        node.resistivity};
+}
+
+WireParasitics extract_parasitics(const WireGeometry& g) {
+  if (g.width <= 0 || g.spacing <= 0 || g.thickness <= 0 || g.ild_height <= 0)
+    throw std::invalid_argument("extract_parasitics: non-positive geometry");
+
+  const double eps = kEps0 * g.eps_r;
+  const double w_h = g.width / g.ild_height;
+  const double t_h = g.thickness / g.ild_height;
+  const double s_h = g.spacing / g.ild_height;
+
+  // Sakurai's fit for the capacitance of a line over a plane (area + fringe).
+  const double cg = eps * (1.15 * w_h + 2.80 * std::pow(t_h, 0.222));
+
+  // Sakurai's fit for lateral coupling between two parallel lines.
+  const double cc =
+      eps * (0.03 * w_h + 0.83 * t_h - 0.07 * std::pow(t_h, 0.222)) *
+      std::pow(s_h, -1.34);
+
+  const double r = g.resistivity / (g.width * g.thickness);
+  return {r, cg, cc};
+}
+
+WireParasitics scale_coupling_ratio(const WireParasitics& p, double ratio_multiplier) {
+  if (ratio_multiplier <= 0.0)
+    throw std::invalid_argument("scale_coupling_ratio: multiplier must be positive");
+  const double c_worst = p.cg_per_m + 4.0 * p.cc_per_m;  // held constant
+  const double new_ratio = ratio_multiplier * p.cc_to_cg_ratio();
+  const double cg = c_worst / (1.0 + 4.0 * new_ratio);
+  const double cc = new_ratio * cg;
+  return {p.r_per_m, cg, cc};
+}
+
+}  // namespace razorbus::interconnect

@@ -1,0 +1,48 @@
+// Wire geometry and parasitic extraction.
+//
+// The paper extracts bus capacitances with a 2D field solver. We use the
+// widely validated closed-form fits by Sakurai (ground capacitance of a
+// line over a plane, and lateral coupling between parallel lines), which
+// capture the same geometric dependencies the Section 6 architecture study
+// manipulates: Cg grows with width, Cc grows with thickness and shrinks
+// rapidly with spacing.
+#pragma once
+
+#include "tech/node.hpp"
+
+namespace razorbus::interconnect {
+
+// Per-unit-length electrical description of one bus wire.
+struct WireParasitics {
+  double r_per_m;   // series resistance (ohm/m)
+  double cg_per_m;  // capacitance to ground plane / shields above-below (F/m)
+  double cc_per_m;  // lateral coupling capacitance to ONE neighbor (F/m)
+
+  double cc_to_cg_ratio() const { return cc_per_m / cg_per_m; }
+  // Total switched capacitance under the worst-case neighbor pattern
+  // (both neighbors switching opposite: Miller factor 2 per side).
+  double worst_case_c_per_m() const { return cg_per_m + 4.0 * cc_per_m; }
+};
+
+struct WireGeometry {
+  double width;      // m
+  double spacing;    // m
+  double thickness;  // m
+  double ild_height; // m (dielectric height to the return plane)
+  double eps_r;      // relative permittivity
+  double resistivity;// ohm * m
+
+  // Geometry at the node's minimum pitch.
+  static WireGeometry from_node(const tech::TechnologyNode& node);
+};
+
+// Closed-form parasitic extraction (Sakurai fits).
+WireParasitics extract_parasitics(const WireGeometry& g);
+
+// Section 6 architecture transform: return parasitics whose Cc/Cg ratio is
+// `ratio_multiplier` times the input's, holding both the wire resistance and
+// the worst-case switched capacitance (Cg + 4 Cc) constant. The worst-case
+// delay is therefore unchanged while the typical-case delay improves.
+WireParasitics scale_coupling_ratio(const WireParasitics& p, double ratio_multiplier);
+
+}  // namespace razorbus::interconnect

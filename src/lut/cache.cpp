@@ -1,0 +1,38 @@
+#include "lut/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace razorbus::lut {
+
+std::string cache_directory() {
+  const char* env = std::getenv("RAZORBUS_CACHE_DIR");
+  const std::string dir = env && *env ? env : ".razorbus_cache";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+DelayEnergyTable build_or_load(const interconnect::BusDesign& design,
+                               const tech::DriverModel& driver, const LutConfig& config,
+                               const std::function<void(int, int)>& progress) {
+  const std::uint64_t hash = table_key_hash(design, config);
+  std::ostringstream name;
+  name << cache_directory() << "/lut_" << std::hex << hash << ".bin";
+  const std::string path = name.str();
+
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      if (auto table = DelayEnergyTable::load(in, hash)) return *std::move(table);
+    }
+  }
+
+  DelayEnergyTable table = DelayEnergyTable::build(design, driver, config, progress);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (out) table.save(out, hash);
+  return table;
+}
+
+}  // namespace razorbus::lut

@@ -1,0 +1,71 @@
+#include "lut/pattern.hpp"
+
+#include <stdexcept>
+
+namespace razorbus::lut {
+
+int PatternClass::canonical(int cls) {
+  if (cls < 0 || cls >= kCount) throw std::out_of_range("PatternClass::canonical");
+  const auto v = victim_of(cls);
+  const auto l = left_of(cls);
+  const auto r = right_of(cls);
+  return static_cast<int>(l) <= static_cast<int>(r) ? cls : encode(v, r, l);
+}
+
+bool PatternClass::any_switching(int cls) {
+  if (victim_switches(cls)) return true;
+  const auto l = left_of(cls);
+  const auto r = right_of(cls);
+  auto moves = [](NeighborActivity n) {
+    return n == NeighborActivity::rise || n == NeighborActivity::fall;
+  };
+  return moves(l) || moves(r);
+}
+
+VictimActivity classify_victim(bool prev, bool cur) {
+  if (prev == cur) return cur ? VictimActivity::hold_high : VictimActivity::hold_low;
+  return cur ? VictimActivity::rise : VictimActivity::fall;
+}
+
+NeighborActivity classify_neighbor(bool prev, bool cur) {
+  if (prev == cur) return NeighborActivity::hold;
+  return cur ? NeighborActivity::rise : NeighborActivity::fall;
+}
+
+WireActivity to_wire_activity(VictimActivity v) {
+  switch (v) {
+    case VictimActivity::rise: return WireActivity::rise;
+    case VictimActivity::fall: return WireActivity::fall;
+    case VictimActivity::hold_low: return WireActivity::hold;
+    case VictimActivity::hold_high: return WireActivity::hold_high;
+  }
+  throw std::invalid_argument("to_wire_activity: bad victim");
+}
+
+WireActivity to_wire_activity(NeighborActivity n) {
+  switch (n) {
+    case NeighborActivity::rise: return WireActivity::rise;
+    case NeighborActivity::fall: return WireActivity::fall;
+    case NeighborActivity::hold: return WireActivity::hold;
+    case NeighborActivity::shield: return WireActivity::shield;
+  }
+  throw std::invalid_argument("to_wire_activity: bad neighbor");
+}
+
+double miller_factor_sum(int cls) {
+  const auto v = PatternClass::victim_of(cls);
+  if (v != VictimActivity::rise && v != VictimActivity::fall) return 0.0;
+  const bool victim_rises = v == VictimActivity::rise;
+  auto factor = [victim_rises](NeighborActivity n) {
+    switch (n) {
+      case NeighborActivity::rise: return victim_rises ? 0.0 : 2.0;
+      case NeighborActivity::fall: return victim_rises ? 2.0 : 0.0;
+      case NeighborActivity::hold:
+      case NeighborActivity::shield: return 1.0;
+    }
+    return 1.0;
+  };
+  return factor(PatternClass::left_of(cls)) + factor(PatternClass::right_of(cls));
+}
+
+}  // namespace razorbus::lut

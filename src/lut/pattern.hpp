@@ -1,0 +1,63 @@
+// Switching-pattern classification.
+//
+// The per-cycle behaviour of one bus wire is fully described (for the
+// linear characterization model) by the triple
+//   (victim transition, left-neighbor activity, right-neighbor activity)
+// with victim in {rise, fall, hold_low, hold_high} and each neighbor in
+// {rise, fall, hold, shield}. That yields 64 pattern classes. The lookup
+// tables index delay and energy by this class, replicating the paper's
+// "delays and energy tabulated for all possible data input combinations".
+#pragma once
+
+#include "interconnect/rc_builder.hpp"
+
+namespace razorbus::lut {
+
+using interconnect::WireActivity;
+
+// Victim axis (4 values).
+enum class VictimActivity : int { rise = 0, fall = 1, hold_low = 2, hold_high = 3 };
+// Neighbor axis (4 values).
+enum class NeighborActivity : int { rise = 0, fall = 1, hold = 2, shield = 3 };
+
+struct PatternClass {
+  static constexpr int kCount = 64;
+
+  static int encode(VictimActivity v, NeighborActivity l, NeighborActivity r) {
+    return static_cast<int>(v) * 16 + static_cast<int>(l) * 4 + static_cast<int>(r);
+  }
+  static VictimActivity victim_of(int cls) { return static_cast<VictimActivity>(cls / 16); }
+  static NeighborActivity left_of(int cls) {
+    return static_cast<NeighborActivity>((cls / 4) % 4);
+  }
+  static NeighborActivity right_of(int cls) { return static_cast<NeighborActivity>(cls % 4); }
+
+  // Victim delay/energy are symmetric under swapping the two neighbors, so
+  // only classes with left <= right need characterization; the rest map to
+  // their mirror.
+  static int canonical(int cls);
+  static bool is_canonical(int cls) { return canonical(cls) == cls; }
+
+  // Does the victim switch in this class (i.e. does a delay exist)?
+  static bool victim_switches(int cls) {
+    const auto v = victim_of(cls);
+    return v == VictimActivity::rise || v == VictimActivity::fall;
+  }
+  // Does anything switch at all? Quiet classes burn no dynamic energy.
+  static bool any_switching(int cls);
+};
+
+// Classify a victim bit from its previous/current logic values.
+VictimActivity classify_victim(bool prev, bool cur);
+// Classify a signal neighbor from its previous/current logic values.
+NeighborActivity classify_neighbor(bool prev, bool cur);
+
+// Conversions to the characterization cluster vocabulary.
+WireActivity to_wire_activity(VictimActivity v);
+WireActivity to_wire_activity(NeighborActivity n);
+
+// Sum of the Elmore Miller factors this class' neighbors impose on the
+// victim's coupling caps (0, 1 or 2 per side). Used for analytic checks.
+double miller_factor_sum(int cls);
+
+}  // namespace razorbus::lut

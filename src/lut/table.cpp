@@ -1,0 +1,301 @@
+#include "lut/table.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace razorbus::lut {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'B', 'L', 'U', 'T', '0', '0', '2'};
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+void hash_mix(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;  // FNV prime
+  }
+}
+
+void hash_double(std::uint64_t& h, double v) { hash_mix(h, &v, sizeof(v)); }
+void hash_int(std::uint64_t& h, std::int64_t v) { hash_mix(h, &v, sizeof(v)); }
+
+}  // namespace
+
+std::uint64_t table_key_hash(const interconnect::BusDesign& design, const LutConfig& config) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  const auto& n = design.node;
+  hash_mix(h, n.name.data(), n.name.size());
+  for (double v : {n.vdd_nominal, n.vth0, n.alpha, n.vth_temp_coeff,
+                   n.mobility_temp_exponent, n.dibl, n.r_unit, n.c_in_unit, n.c_self_unit,
+                   n.e_short_unit, n.i_leak_unit, n.leak_n})
+    hash_double(h, v);
+  for (double v : {design.parasitics.r_per_m, design.parasitics.cg_per_m,
+                   design.parasitics.cc_per_m, design.length, design.clock_freq,
+                   design.setup_slack_fraction, design.shadow_delay_fraction,
+                   design.repeater_size, design.receiver_size})
+    hash_double(h, v);
+  hash_int(h, design.n_bits);
+  hash_int(h, design.shield_group);
+  hash_int(h, design.n_segments);
+  for (double v : {config.vmin, config.vmax, config.vstep}) hash_double(h, v);
+  for (double t : config.temps) hash_double(h, t);
+  for (auto c : config.corners) hash_int(h, static_cast<std::int64_t>(c));
+  hash_int(h, interconnect::ClusterCharacterizer::kSectionsPerSegment);
+  return h;
+}
+
+DelayEnergyTable DelayEnergyTable::build(const interconnect::BusDesign& design,
+                                         const tech::DriverModel& driver,
+                                         const LutConfig& config,
+                                         const std::function<void(int, int)>& progress) {
+  DelayEnergyTable table;
+  table.grid_ = tech::SupplyGrid(config.vmin, config.vmax, config.vstep);
+  table.temps_ = config.temps;
+  table.corners_ = config.corners;
+  const std::size_t total_slots =
+      table.corners_.size() * table.temps_.size() * table.grid_.size() *
+      static_cast<std::size_t>(PatternClass::kCount);
+  table.delays_.assign(total_slots, kNan);
+  table.energies_.assign(total_slots, 0.0);
+
+  const interconnect::ClusterCharacterizer characterizer(design, driver);
+
+  // Count canonical classes that need simulation (for progress reporting).
+  int sims_per_point = 0;
+  for (int cls = 0; cls < PatternClass::kCount; ++cls)
+    if (PatternClass::is_canonical(cls) && PatternClass::any_switching(cls)) ++sims_per_point;
+  const int total = static_cast<int>(table.corners_.size() * table.temps_.size() *
+                                     table.grid_.size()) *
+                    sims_per_point;
+  int done = 0;
+
+  for (std::size_t ci = 0; ci < table.corners_.size(); ++ci) {
+    for (std::size_t ti = 0; ti < table.temps_.size(); ++ti) {
+      for (std::size_t vi = 0; vi < table.grid_.size(); ++vi) {
+        const double vdd = table.grid_.voltage(vi);
+        const bool conducts =
+            driver.conducts(table.corners_[ci], table.temps_[ti], vdd);
+        for (int cls = 0; cls < PatternClass::kCount; ++cls) {
+          if (!PatternClass::is_canonical(cls)) continue;
+          const std::size_t idx = table.flat_index(ci, ti, vi, cls);
+          if (!PatternClass::any_switching(cls)) {
+            table.energies_[idx] = 0.0;  // quiet cycle: no dynamic energy
+            continue;
+          }
+          if (!conducts) {
+            // Below the conduction limit the wire cannot switch in any
+            // bounded time; mark as unreachable (infinite delay).
+            if (PatternClass::victim_switches(cls))
+              table.delays_[idx] = std::numeric_limits<double>::infinity();
+            table.energies_[idx] = 0.0;
+            ++done;
+            continue;
+          }
+
+          interconnect::ClusterSpec spec;
+          spec.victim = to_wire_activity(PatternClass::victim_of(cls));
+          spec.left = to_wire_activity(PatternClass::left_of(cls));
+          spec.right = to_wire_activity(PatternClass::right_of(cls));
+          spec.vdd = vdd;
+          spec.corner = table.corners_[ci];
+          spec.temp_c = table.temps_[ti];
+          const interconnect::ClusterResult r = characterizer.run(spec);
+
+          if (PatternClass::victim_switches(cls))
+            table.delays_[idx] =
+                r.delay >= 0.0 ? r.delay : std::numeric_limits<double>::infinity();
+          table.energies_[idx] = r.victim_energy;
+          ++done;
+          if (progress) progress(done, total);
+        }
+        // Mirror non-canonical classes.
+        for (int cls = 0; cls < PatternClass::kCount; ++cls) {
+          if (PatternClass::is_canonical(cls)) continue;
+          const std::size_t src = table.flat_index(ci, ti, vi, PatternClass::canonical(cls));
+          const std::size_t dst = table.flat_index(ci, ti, vi, cls);
+          table.delays_[dst] = table.delays_[src];
+          table.energies_[dst] = table.energies_[src];
+        }
+      }
+    }
+  }
+  return table;
+}
+
+std::size_t DelayEnergyTable::corner_index(tech::ProcessCorner corner) const {
+  for (std::size_t i = 0; i < corners_.size(); ++i)
+    if (corners_[i] == corner) return i;
+  throw std::out_of_range("DelayEnergyTable: corner not characterised");
+}
+
+std::size_t DelayEnergyTable::temp_index(double temp_c) const {
+  for (std::size_t i = 0; i < temps_.size(); ++i)
+    if (std::abs(temps_[i] - temp_c) < 0.5) return i;
+  throw std::out_of_range("DelayEnergyTable: temperature not characterised");
+}
+
+std::size_t DelayEnergyTable::flat_index(std::size_t corner, std::size_t temp, std::size_t v,
+                                         int cls) const {
+  return ((corner * temps_.size() + temp) * grid_.size() + v) *
+             static_cast<std::size_t>(PatternClass::kCount) +
+         static_cast<std::size_t>(cls);
+}
+
+namespace {
+// Linear interpolation helper shared by delay() / energy() / slice().
+struct InterpPoint {
+  std::size_t lo;
+  std::size_t hi;
+  double frac;
+};
+
+InterpPoint interp_point(const tech::SupplyGrid& grid, double v) {
+  if (v <= grid.vmin()) return {0, 0, 0.0};
+  if (v >= grid.vmax()) return {grid.size() - 1, grid.size() - 1, 0.0};
+  const double raw = (v - grid.vmin()) / grid.step();
+  const auto lo = static_cast<std::size_t>(raw);
+  const std::size_t hi = std::min(lo + 1, grid.size() - 1);
+  return {lo, hi, raw - static_cast<double>(lo)};
+}
+
+double lerp(double a, double b, double f) {
+  if (std::isinf(a) || std::isinf(b)) return f < 1.0 ? a : b;
+  return a + (b - a) * f;
+}
+}  // namespace
+
+double DelayEnergyTable::delay(int cls, tech::ProcessCorner corner, double temp_c,
+                               double v) const {
+  const std::size_t ci = corner_index(corner);
+  const std::size_t ti = temp_index(temp_c);
+  const InterpPoint p = interp_point(grid_, v);
+  return lerp(delays_[flat_index(ci, ti, p.lo, cls)], delays_[flat_index(ci, ti, p.hi, cls)],
+              p.frac);
+}
+
+double DelayEnergyTable::energy(int cls, tech::ProcessCorner corner, double temp_c,
+                                double v) const {
+  const std::size_t ci = corner_index(corner);
+  const std::size_t ti = temp_index(temp_c);
+  const InterpPoint p = interp_point(grid_, v);
+  return lerp(energies_[flat_index(ci, ti, p.lo, cls)],
+              energies_[flat_index(ci, ti, p.hi, cls)], p.frac);
+}
+
+TableSlice DelayEnergyTable::slice(tech::ProcessCorner corner, double temp_c, double v) const {
+  const std::size_t ci = corner_index(corner);
+  const std::size_t ti = temp_index(temp_c);
+  const InterpPoint p = interp_point(grid_, v);
+  TableSlice s{};
+  for (int cls = 0; cls < PatternClass::kCount; ++cls) {
+    s.delay[cls] = lerp(delays_[flat_index(ci, ti, p.lo, cls)],
+                        delays_[flat_index(ci, ti, p.hi, cls)], p.frac);
+    s.energy[cls] = lerp(energies_[flat_index(ci, ti, p.lo, cls)],
+                         energies_[flat_index(ci, ti, p.hi, cls)], p.frac);
+  }
+  return s;
+}
+
+double DelayEnergyTable::min_shadow_safe_voltage(const interconnect::BusDesign& design,
+                                                 tech::ProcessCorner corner,
+                                                 double temp_c) const {
+  const int worst = PatternClass::encode(VictimActivity::rise, NeighborActivity::fall,
+                                         NeighborActivity::fall);
+  const double limit = design.shadow_capture_limit();
+  for (std::size_t vi = 0; vi < grid_.size(); ++vi) {
+    const double d = delay_at(worst, corner_index(corner), temp_index(temp_c), vi);
+    if (d <= limit) return grid_.voltage(vi);
+  }
+  return grid_.vmax() + grid_.step();
+}
+
+double DelayEnergyTable::delay_at(int cls, std::size_t ci, std::size_t ti,
+                                  std::size_t vi) const {
+  return delays_.at(flat_index(ci, ti, vi, cls));
+}
+
+double DelayEnergyTable::energy_at(int cls, std::size_t ci, std::size_t ti,
+                                   std::size_t vi) const {
+  return energies_.at(flat_index(ci, ti, vi, cls));
+}
+
+void DelayEnergyTable::save(std::ostream& os, std::uint64_t key_hash) const {
+  os.write(kMagic, sizeof(kMagic));
+  os.write(reinterpret_cast<const char*>(&key_hash), sizeof(key_hash));
+  const double vmin = grid_.vmin();
+  const double vmax = grid_.vmax();
+  const double step = grid_.step();
+  os.write(reinterpret_cast<const char*>(&vmin), sizeof(vmin));
+  os.write(reinterpret_cast<const char*>(&vmax), sizeof(vmax));
+  os.write(reinterpret_cast<const char*>(&step), sizeof(step));
+
+  const std::uint64_t n_temps = temps_.size();
+  const std::uint64_t n_corners = corners_.size();
+  os.write(reinterpret_cast<const char*>(&n_temps), sizeof(n_temps));
+  os.write(reinterpret_cast<const char*>(&n_corners), sizeof(n_corners));
+  os.write(reinterpret_cast<const char*>(temps_.data()),
+           static_cast<std::streamsize>(temps_.size() * sizeof(double)));
+  for (auto c : corners_) {
+    const std::int32_t v = static_cast<std::int32_t>(c);
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  const std::uint64_t n_values = delays_.size();
+  os.write(reinterpret_cast<const char*>(&n_values), sizeof(n_values));
+  os.write(reinterpret_cast<const char*>(delays_.data()),
+           static_cast<std::streamsize>(delays_.size() * sizeof(double)));
+  os.write(reinterpret_cast<const char*>(energies_.data()),
+           static_cast<std::streamsize>(energies_.size() * sizeof(double)));
+}
+
+std::optional<DelayEnergyTable> DelayEnergyTable::load(std::istream& is,
+                                                       std::uint64_t expected_hash) {
+  char magic[sizeof(kMagic)];
+  if (!is.read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return std::nullopt;
+  std::uint64_t hash = 0;
+  if (!is.read(reinterpret_cast<char*>(&hash), sizeof(hash)) || hash != expected_hash)
+    return std::nullopt;
+
+  double vmin = 0, vmax = 0, step = 0;
+  is.read(reinterpret_cast<char*>(&vmin), sizeof(vmin));
+  is.read(reinterpret_cast<char*>(&vmax), sizeof(vmax));
+  is.read(reinterpret_cast<char*>(&step), sizeof(step));
+  std::uint64_t n_temps = 0, n_corners = 0;
+  is.read(reinterpret_cast<char*>(&n_temps), sizeof(n_temps));
+  is.read(reinterpret_cast<char*>(&n_corners), sizeof(n_corners));
+  if (!is || n_temps == 0 || n_temps > 16 || n_corners == 0 || n_corners > 8)
+    return std::nullopt;
+
+  DelayEnergyTable table;
+  table.grid_ = tech::SupplyGrid(vmin, vmax, step);
+  table.temps_.resize(n_temps);
+  is.read(reinterpret_cast<char*>(table.temps_.data()),
+          static_cast<std::streamsize>(n_temps * sizeof(double)));
+  table.corners_.resize(n_corners);
+  for (auto& c : table.corners_) {
+    std::int32_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    c = static_cast<tech::ProcessCorner>(v);
+  }
+  std::uint64_t n_values = 0;
+  is.read(reinterpret_cast<char*>(&n_values), sizeof(n_values));
+  const std::uint64_t expected_values = n_corners * n_temps * table.grid_.size() *
+                                        static_cast<std::uint64_t>(PatternClass::kCount);
+  if (!is || n_values != expected_values) return std::nullopt;
+  table.delays_.resize(n_values);
+  table.energies_.resize(n_values);
+  is.read(reinterpret_cast<char*>(table.delays_.data()),
+          static_cast<std::streamsize>(n_values * sizeof(double)));
+  is.read(reinterpret_cast<char*>(table.energies_.data()),
+          static_cast<std::streamsize>(n_values * sizeof(double)));
+  if (!is) return std::nullopt;
+  return table;
+}
+
+}  // namespace razorbus::lut

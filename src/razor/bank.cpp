@@ -1,0 +1,41 @@
+#include "razor/bank.hpp"
+
+#include <stdexcept>
+
+namespace razorbus::razor {
+
+FlopBank::FlopBank(int n_bits, FlopTiming timing) : timing_(timing) {
+  if (n_bits <= 0 || n_bits > 32) throw std::invalid_argument("FlopBank: 1..32 bits");
+  flops_.resize(static_cast<std::size_t>(n_bits));
+}
+
+BankCycleResult FlopBank::clock(std::uint32_t word, const std::vector<double>& arrivals) {
+  if (arrivals.size() != flops_.size())
+    throw std::invalid_argument("FlopBank::clock: arrival count mismatch");
+
+  BankCycleResult result;
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    const bool bit = (word >> i) & 1u;
+    const CaptureOutcome outcome = flops_[i].clock(bit, arrivals[i], timing_);
+    if (outcome == CaptureOutcome::corrected) {
+      result.error = true;
+      ++result.corrected_bits;
+    } else if (outcome == CaptureOutcome::shadow_failure) {
+      result.shadow_failure = true;
+    }
+  }
+  result.captured = this->word();
+  ++cycles_;
+  if (result.error) ++error_cycles_;
+  if (result.shadow_failure) ++shadow_failures_;
+  return result;
+}
+
+std::uint32_t FlopBank::word() const {
+  std::uint32_t w = 0;
+  for (std::size_t i = 0; i < flops_.size(); ++i)
+    if (flops_[i].q()) w |= (1u << i);
+  return w;
+}
+
+}  // namespace razorbus::razor

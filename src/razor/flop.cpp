@@ -1,0 +1,50 @@
+#include "razor/flop.hpp"
+
+namespace razorbus::razor {
+
+CaptureOutcome DoubleSamplingFlop::clock(bool next_value, double arrival,
+                                         const FlopTiming& timing) {
+  if (timing.main_capture_limit <= 0.0 ||
+      timing.shadow_capture_limit < timing.main_capture_limit)
+    throw std::invalid_argument("DoubleSamplingFlop: inconsistent timing limits");
+
+  error_ = false;
+
+  if (next_value == line_ || arrival <= 0.0) {
+    // Wire held its value: both samples agree trivially.
+    q_ = line_;
+    shadow_ = line_;
+    return CaptureOutcome::clean;
+  }
+
+  if (timing.min_path_limit > 0.0 && arrival < timing.min_path_limit) {
+    // Short-path violation: the new value raced into the shadow latch
+    // before the delayed clock closed on the PREVIOUS value. The shadow
+    // latch content is corrupt, which is indistinguishable from a shadow
+    // capture failure at the architecture level.
+    line_ = next_value;
+    q_ = next_value;  // main latch did capture (it was fast), but...
+    shadow_ = next_value;
+    return CaptureOutcome::shadow_failure;
+  }
+
+  line_ = next_value;
+  if (arrival <= timing.main_capture_limit) {
+    q_ = next_value;
+    shadow_ = next_value;
+    return CaptureOutcome::clean;
+  }
+  if (arrival <= timing.shadow_capture_limit) {
+    // Main edge sampled the old value; shadow got the new one.
+    q_ = line_;          // after Error_L-driven restore, Q holds the correct value
+    shadow_ = next_value;
+    error_ = true;
+    return CaptureOutcome::corrected;
+  }
+  // Neither latch saw the transition in time.
+  q_ = next_value;  // eventually settles, but the cycle consumed wrong data
+  shadow_ = next_value;
+  return CaptureOutcome::shadow_failure;
+}
+
+}  // namespace razorbus::razor

@@ -1,0 +1,60 @@
+// Behavioural model of the double-sampling (Razor) flip-flop of Fig. 2.
+//
+// The flop samples its input D at the main clock edge and again at a clock
+// delayed by `shadow_delay`. If the two samples differ, Error_L is asserted
+// and the shadow value — which is correct by construction as long as the
+// data arrived before the delayed clock — is restored into the main latch
+// through the mux in the master feedback path.
+//
+// At the architectural level the relevant question each cycle is: did the
+// new value arrive before the main edge (clean capture), between the main
+// and shadow edges (timing error, recoverable), or after the shadow edge
+// (shadow capture failure — a silent data corruption the voltage floor must
+// make impossible)?
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace razorbus::razor {
+
+enum class CaptureOutcome : std::uint8_t {
+  clean,           // main latch captured the correct value
+  corrected,       // main missed, shadow caught it: Error_L asserted
+  shadow_failure,  // data arrived after even the delayed clock
+};
+
+struct FlopTiming {
+  double main_capture_limit;    // max arrival for clean capture (s)
+  double shadow_capture_limit;  // max arrival for the shadow latch (s)
+  // Arrivals EARLIER than this violate the shadow latch's hold constraint
+  // (short-path limit: next cycle's data racing through). 0 disables.
+  double min_path_limit = 0.0;
+};
+
+// One double-sampling flip-flop bit.
+class DoubleSamplingFlop {
+ public:
+  explicit DoubleSamplingFlop(bool initial = false)
+      : q_(initial), shadow_(initial), line_(initial) {}
+
+  // Clock one cycle. `next_value` is the value the bus wire is switching to
+  // this cycle; `arrival` is its in-to-out delay (<=0 means the wire held,
+  // so the old value is stably present). Returns the capture outcome and
+  // updates Q (visible output after any correction).
+  CaptureOutcome clock(bool next_value, double arrival, const FlopTiming& timing);
+
+  bool q() const { return q_; }
+  bool shadow() const { return shadow_; }
+  // Error_L as produced by the XOR of slave and shadow latches for the
+  // previous cycle.
+  bool error_signal() const { return error_; }
+
+ private:
+  bool q_;
+  bool shadow_;
+  bool line_;   // stable value currently on the wire
+  bool error_ = false;
+};
+
+}  // namespace razorbus::razor

@@ -1,0 +1,57 @@
+#include "spice/netlist.hpp"
+
+#include <stdexcept>
+
+namespace razorbus::spice {
+
+NodeId Circuit::add_node(std::string name) {
+  nodes_.push_back({std::move(name), false, 0.0});
+  return nodes_.size() - 1;
+}
+
+NodeId Circuit::add_fixed_node(std::string name, double potential) {
+  nodes_.push_back({std::move(name), true, potential});
+  return nodes_.size() - 1;
+}
+
+void Circuit::check_node(NodeId n, const char* what) const {
+  if (n >= nodes_.size()) throw std::invalid_argument(std::string(what) + ": bad node id");
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
+  check_node(a, "resistor");
+  check_node(b, "resistor");
+  if (ohms <= 0.0) throw std::invalid_argument("resistor: non-positive resistance");
+  resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double farads) {
+  check_node(a, "capacitor");
+  check_node(b, "capacitor");
+  if (farads <= 0.0) throw std::invalid_argument("capacitor: non-positive capacitance");
+  capacitors_.push_back({a, b, farads});
+}
+
+std::size_t Circuit::add_driver(Driver driver) {
+  check_node(driver.out, "driver out");
+  check_node(driver.vdd_rail, "driver rail");
+  if (driver.in != kNoNode) check_node(driver.in, "driver in");
+  if (driver.r_up <= 0.0 || driver.r_dn <= 0.0)
+    throw std::invalid_argument("driver: non-positive on-resistance");
+  drivers_.push_back(std::move(driver));
+  return drivers_.size() - 1;
+}
+
+void Circuit::validate() const {
+  for (const auto& d : drivers_) {
+    if (!is_fixed(d.vdd_rail)) throw std::invalid_argument("driver rail must be fixed");
+    if (is_fixed(d.out)) throw std::invalid_argument("driver output must not be fixed");
+    if (d.in != kNoNode && !d.schedule.empty())
+      throw std::invalid_argument("driver: inverter mode and schedule are exclusive");
+    for (std::size_t i = 1; i < d.schedule.size(); ++i)
+      if (d.schedule[i].time < d.schedule[i - 1].time)
+        throw std::invalid_argument("driver: schedule not sorted by time");
+  }
+}
+
+}  // namespace razorbus::spice

@@ -1,0 +1,99 @@
+// Circuit netlist for the mini transient simulator.
+//
+// The simulator supports exactly what bus characterisation needs:
+//   * resistors (wire segments, driver on-resistance),
+//   * capacitors to ground and coupling capacitors between nets,
+//   * fixed-potential nodes (supply rails, ground, shield wires),
+//   * switch-level drivers: an output pulled to VDD or GND through an
+//     on-resistance, toggled either by an explicit event schedule or as an
+//     inverter following another node (input crossing half swing).
+//
+// This is the "HSPICE substitute": the lookup tables of per-pattern wire
+// delay and energy are produced by transient runs of circuits built here.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace razorbus::spice {
+
+using NodeId = std::size_t;
+constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+struct Resistor {
+  NodeId a;
+  NodeId b;
+  double ohms;
+};
+
+struct Capacitor {
+  NodeId a;
+  NodeId b;
+  double farads;
+};
+
+// One scheduled logic transition of a driver output.
+struct DriverEvent {
+  double time;    // seconds
+  bool drive_up;  // true: pull to VDD rail; false: pull to ground
+};
+
+struct Driver {
+  NodeId out = kNoNode;
+  NodeId vdd_rail = kNoNode;  // fixed node providing the pull-up potential
+  double r_up = 0.0;          // on-resistance when pulling up (ohm)
+  double r_dn = 0.0;          // on-resistance when pulling down (ohm)
+  bool initial_up = false;    // DC state before any event
+
+  // Inverter mode: when `in` is a valid node, the driver output follows the
+  // logical complement of `in`, switching when v(in) crosses half the rail
+  // potential in the appropriate direction. Used to chain repeater stages.
+  NodeId in = kNoNode;
+
+  // Schedule mode: explicit transitions (used for the first stage).
+  std::vector<DriverEvent> schedule;
+};
+
+class Circuit {
+ public:
+  // Creates a floating (unknown-potential) node.
+  NodeId add_node(std::string name);
+  // Creates a fixed-potential node (rail / ground / shield).
+  NodeId add_fixed_node(std::string name, double potential);
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  // Returns the driver index (for per-driver energy queries).
+  std::size_t add_driver(Driver driver);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  bool is_fixed(NodeId n) const { return nodes_[n].fixed; }
+  double fixed_potential(NodeId n) const { return nodes_[n].potential; }
+  const std::string& node_name(NodeId n) const { return nodes_[n].name; }
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Driver>& drivers() const { return drivers_; }
+
+  // Sanity checks: element nodes valid, resistances/capacitances positive,
+  // driver rails fixed. Throws std::invalid_argument on violation.
+  void validate() const;
+
+ private:
+  struct Node {
+    std::string name;
+    bool fixed;
+    double potential;
+  };
+
+  void check_node(NodeId n, const char* what) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Driver> drivers_;
+};
+
+}  // namespace razorbus::spice

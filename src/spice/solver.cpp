@@ -1,0 +1,70 @@
+#include "spice/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace razorbus::spice {
+
+void DenseMatrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+LuFactorization::LuFactorization(const DenseMatrix& m) : lu_(m), pivot_(m.size()) {
+  const std::size_t n = lu_.size();
+  for (std::size_t i = 0; i < n; ++i) pivot_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    std::size_t best = k;
+    double best_mag = std::abs(lu_.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_.at(r, k));
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = r;
+      }
+    }
+    if (best_mag < 1e-30) throw std::runtime_error("LU: singular conductance matrix");
+    if (best != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_.at(k, c), lu_.at(best, c));
+      std::swap(pivot_[k], pivot_[best]);
+    }
+    const double inv_diag = 1.0 / lu_.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_.at(r, k) * inv_diag;
+      lu_.at(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_.at(r, c) -= factor * lu_.at(k, c);
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
+  std::vector<double> x = b;
+  solve_in_place(x);
+  return x;
+}
+
+void LuFactorization::solve_in_place(std::vector<double>& x) const {
+  const std::size_t n = lu_.size();
+  if (x.size() != n) throw std::invalid_argument("LU::solve: dimension mismatch");
+
+  // Apply row permutation.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[pivot_[i]];
+
+  // Forward substitution (unit lower triangle).
+  for (std::size_t r = 1; r < n; ++r) {
+    double acc = y[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_.at(r, c) * y[c];
+    y[r] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_.at(ri, c) * y[c];
+    y[ri] = acc / lu_.at(ri, ri);
+  }
+  x = std::move(y);
+}
+
+}  // namespace razorbus::spice

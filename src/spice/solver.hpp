@@ -1,0 +1,48 @@
+// Dense linear algebra for the circuit simulator.
+//
+// Circuits in this library are small (a few dozen to a few hundred nodes),
+// so a dense LU with partial pivoting is simpler and faster than a sparse
+// solver at this scale. The factorization is reused across timesteps; it is
+// only recomputed when the conductance matrix changes (driver switching).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace razorbus::spice {
+
+// Row-major dense square matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  std::size_t size() const { return n_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
+  void clear();
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+// LU factorization with partial pivoting. Throws std::runtime_error if the
+// matrix is singular to working precision.
+class LuFactorization {
+ public:
+  LuFactorization() = default;
+  explicit LuFactorization(const DenseMatrix& m);
+
+  // Solve A x = b; b.size() must equal the matrix dimension.
+  std::vector<double> solve(const std::vector<double>& b) const;
+  void solve_in_place(std::vector<double>& x) const;
+
+  std::size_t size() const { return lu_.size(); }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> pivot_;
+};
+
+}  // namespace razorbus::spice

@@ -1,0 +1,296 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace razorbus::spice {
+
+namespace {
+// Minimum conductance from every unknown node to ground. Keeps the matrix
+// non-singular for momentarily floating nodes (standard SPICE gmin).
+constexpr double kGmin = 1e-12;
+}  // namespace
+
+std::optional<double> TransientResult::last_rise_crossing(NodeId node) const {
+  const auto& c = crossings_.at(node);
+  if (c.last_rise < 0.0) return std::nullopt;
+  return c.last_rise;
+}
+
+std::optional<double> TransientResult::last_fall_crossing(NodeId node) const {
+  const auto& c = crossings_.at(node);
+  if (c.last_fall < 0.0) return std::nullopt;
+  return c.last_fall;
+}
+
+double TransientResult::driver_rail_energy(std::size_t driver_index) const {
+  return driver_energy_.at(driver_index);
+}
+
+const std::vector<double>& TransientResult::waveform(NodeId node) const {
+  for (std::size_t i = 0; i < recorded_nodes_.size(); ++i)
+    if (recorded_nodes_[i] == node) return recorded_waves_[i];
+  throw std::out_of_range("waveform: node was not recorded");
+}
+
+TransientSimulator::TransientSimulator(const Circuit& circuit, TransientConfig config,
+                                       double threshold_fraction)
+    : circuit_(circuit), config_(std::move(config)), threshold_fraction_(threshold_fraction) {
+  circuit_.validate();
+  if (config_.dt <= 0.0 || config_.t_stop <= 0.0)
+    throw std::invalid_argument("transient: dt and t_stop must be positive");
+
+  matrix_index_.assign(circuit_.node_count(), kNoNode);
+  for (NodeId n = 0; n < circuit_.node_count(); ++n) {
+    if (!circuit_.is_fixed(n)) {
+      matrix_index_[n] = unknown_nodes_.size();
+      unknown_nodes_.push_back(n);
+    }
+  }
+  if (unknown_nodes_.empty()) throw std::invalid_argument("transient: no unknown nodes");
+
+  max_rail_ = 0.0;
+  for (NodeId n = 0; n < circuit_.node_count(); ++n)
+    if (circuit_.is_fixed(n)) max_rail_ = std::max(max_rail_, circuit_.fixed_potential(n));
+
+  voltages_.assign(circuit_.node_count(), 0.0);
+  for (NodeId n = 0; n < circuit_.node_count(); ++n)
+    if (circuit_.is_fixed(n)) voltages_[n] = circuit_.fixed_potential(n);
+
+  driver_states_.reserve(circuit_.drivers().size());
+  for (const auto& d : circuit_.drivers()) driver_states_.push_back({d.initial_up, 0});
+}
+
+double TransientSimulator::node_voltage(NodeId n) const { return voltages_[n]; }
+
+double TransientSimulator::driver_threshold(const Driver& d) const {
+  return threshold_fraction_ * circuit_.fixed_potential(d.vdd_rail);
+}
+
+double TransientSimulator::cap_conductance_scale() const {
+  // Companion conductance per farad: C/h for backward Euler, 2C/h for
+  // trapezoidal. The step during which a driver toggles uses BE even in
+  // trapezoidal mode: the capacitor current is discontinuous there and the
+  // trapezoid rule would halve the initial charging current (the classic
+  // reason simulators take one BE step at discontinuities).
+  if (config_.integrator == Integrator::trapezoidal && !be_step_pending_)
+    return 2.0 / config_.dt;
+  return 1.0 / config_.dt;
+}
+
+void TransientSimulator::build_matrix() {
+  const std::size_t n = unknown_nodes_.size();
+  conductance_ = DenseMatrix(n);
+  const double g_cap_scale = cap_conductance_scale();
+
+  auto stamp = [&](NodeId a, NodeId b, double g) {
+    const std::size_t ia = matrix_index_[a];
+    const std::size_t ib = matrix_index_[b];
+    if (ia != kNoNode) conductance_.at(ia, ia) += g;
+    if (ib != kNoNode) conductance_.at(ib, ib) += g;
+    if (ia != kNoNode && ib != kNoNode) {
+      conductance_.at(ia, ib) -= g;
+      conductance_.at(ib, ia) -= g;
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) conductance_.at(i, i) += kGmin;
+  for (const auto& r : circuit_.resistors()) stamp(r.a, r.b, 1.0 / r.ohms);
+  for (const auto& c : circuit_.capacitors()) stamp(c.a, c.b, c.farads * g_cap_scale);
+  for (std::size_t i = 0; i < circuit_.drivers().size(); ++i) {
+    const auto& d = circuit_.drivers()[i];
+    const bool up = driver_states_[i].up;
+    // Pull-up connects to the rail node; pull-down to an implicit 0 V ground:
+    // stamp only the diagonal, the RHS contribution of ground is zero.
+    const double g = 1.0 / (up ? d.r_up : d.r_dn);
+    const std::size_t io = matrix_index_[d.out];
+    conductance_.at(io, io) += g;
+    if (up) {
+      // Off-diagonal to the rail handled via RHS (rail potential is fixed).
+    }
+  }
+  lu_ = LuFactorization(conductance_);
+}
+
+void TransientSimulator::dc_operating_point() {
+  // Steady state: capacitor currents are zero, so solve the resistive
+  // network only (cap stamps omitted).
+  const std::size_t n = unknown_nodes_.size();
+  DenseMatrix g_dc(n);
+  std::vector<double> rhs(n, 0.0);
+
+  auto stamp = [&](NodeId a, NodeId b, double g) {
+    const std::size_t ia = matrix_index_[a];
+    const std::size_t ib = matrix_index_[b];
+    if (ia != kNoNode) g_dc.at(ia, ia) += g;
+    if (ib != kNoNode) g_dc.at(ib, ib) += g;
+    if (ia != kNoNode && ib != kNoNode) {
+      g_dc.at(ia, ib) -= g;
+      g_dc.at(ib, ia) -= g;
+    } else if (ia != kNoNode && ib == kNoNode) {
+      rhs[ia] += g * circuit_.fixed_potential(b);
+    } else if (ib != kNoNode && ia == kNoNode) {
+      rhs[ib] += g * circuit_.fixed_potential(a);
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) g_dc.at(i, i) += kGmin;
+  for (const auto& r : circuit_.resistors()) stamp(r.a, r.b, 1.0 / r.ohms);
+  for (std::size_t i = 0; i < circuit_.drivers().size(); ++i) {
+    const auto& d = circuit_.drivers()[i];
+    const bool up = driver_states_[i].up;
+    const double g = 1.0 / (up ? d.r_up : d.r_dn);
+    const std::size_t io = matrix_index_[d.out];
+    g_dc.at(io, io) += g;
+    if (up) rhs[io] += g * circuit_.fixed_potential(d.vdd_rail);
+  }
+
+  const LuFactorization lu(g_dc);
+  const std::vector<double> x = lu.solve(rhs);
+  for (std::size_t i = 0; i < n; ++i) voltages_[unknown_nodes_[i]] = x[i];
+}
+
+TransientResult TransientSimulator::run() {
+  TransientResult result;
+  result.crossings_.assign(circuit_.node_count(), CrossingRecord{});
+  result.driver_energy_.assign(circuit_.drivers().size(), 0.0);
+  result.recorded_nodes_ = config_.record;
+  result.recorded_waves_.assign(config_.record.size(), {});
+
+  dc_operating_point();
+  be_step_pending_ = true;  // first step from the (steady) operating point
+  build_matrix();
+  cap_currents_.assign(circuit_.capacitors().size(), 0.0);
+
+  const double h = config_.dt;
+  const double threshold = threshold_fraction_ * max_rail_;
+  const std::size_t n = unknown_nodes_.size();
+  std::vector<double> rhs(n);
+  std::vector<double> prev = voltages_;
+  bool matrix_is_be = true;
+
+  const auto steps = static_cast<std::size_t>(std::ceil(config_.t_stop / h));
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * h;
+
+    // Apply driver events and inverter toggles due at the START of this
+    // step (time t-h), so a toggle scheduled at time T first affects the
+    // integration interval [T, T+h).
+    bool topology_changed = false;
+    for (std::size_t i = 0; i < circuit_.drivers().size(); ++i) {
+      const auto& d = circuit_.drivers()[i];
+      auto& st = driver_states_[i];
+      while (st.next_event < d.schedule.size() &&
+             d.schedule[st.next_event].time <= t - h + 1e-18) {
+        if (st.up != d.schedule[st.next_event].drive_up) {
+          st.up = d.schedule[st.next_event].drive_up;
+          topology_changed = true;
+        }
+        ++st.next_event;
+      }
+      if (d.in != kNoNode) {
+        const double vin = voltages_[d.in];
+        const double th = driver_threshold(d);
+        if (st.up && vin > th) {
+          st.up = false;  // input went high -> inverter pulls down
+          topology_changed = true;
+        } else if (!st.up && vin < th) {
+          st.up = true;  // input went low -> inverter pulls up
+          topology_changed = true;
+        }
+      }
+    }
+    if (topology_changed) be_step_pending_ = true;
+    const bool use_be =
+        config_.integrator == Integrator::backward_euler || be_step_pending_;
+    if (topology_changed || use_be != matrix_is_be) {
+      build_matrix();
+      matrix_is_be = use_be;
+    }
+    const double g_scale = cap_conductance_scale();
+
+    // Right-hand side: driver rail injections + capacitor history currents.
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    for (std::size_t i = 0; i < circuit_.drivers().size(); ++i) {
+      const auto& d = circuit_.drivers()[i];
+      if (driver_states_[i].up)
+        rhs[matrix_index_[d.out]] +=
+            circuit_.fixed_potential(d.vdd_rail) / d.r_up;
+    }
+    for (std::size_t ci = 0; ci < circuit_.capacitors().size(); ++ci) {
+      const auto& c = circuit_.capacitors()[ci];
+      // History current: g * v_prev for BE, g * v_prev + i_prev for TR.
+      double i_hist = c.farads * g_scale * (voltages_[c.a] - voltages_[c.b]);
+      if (!use_be) i_hist += cap_currents_[ci];
+      const std::size_t ia = matrix_index_[c.a];
+      const std::size_t ib = matrix_index_[c.b];
+      if (ia != kNoNode) rhs[ia] += i_hist;
+      if (ib != kNoNode) rhs[ib] -= i_hist;
+      // Fixed-side contribution: the cap stamp in build_matrix() has no
+      // off-diagonal to fixed nodes, so add g * V_fixed here.
+      if (ia != kNoNode && circuit_.is_fixed(c.b))
+        rhs[ia] += c.farads * g_scale * circuit_.fixed_potential(c.b);
+      if (ib != kNoNode && circuit_.is_fixed(c.a))
+        rhs[ib] += c.farads * g_scale * circuit_.fixed_potential(c.a);
+    }
+
+    lu_.solve_in_place(rhs);
+    prev.swap(voltages_);
+    for (std::size_t i = 0; i < n; ++i) voltages_[unknown_nodes_[i]] = rhs[i];
+    for (NodeId nd = 0; nd < circuit_.node_count(); ++nd)
+      if (circuit_.is_fixed(nd)) voltages_[nd] = circuit_.fixed_potential(nd);
+
+    // Update capacitor branch currents (trapezoidal state; cheap enough to
+    // track always).
+    for (std::size_t ci = 0; ci < circuit_.capacitors().size(); ++ci) {
+      const auto& c = circuit_.capacitors()[ci];
+      const double dv =
+          (voltages_[c.a] - voltages_[c.b]) - (prev[c.a] - prev[c.b]);
+      if (use_be)
+        cap_currents_[ci] = c.farads / h * dv;
+      else
+        cap_currents_[ci] = 2.0 * c.farads / h * dv - cap_currents_[ci];
+    }
+    be_step_pending_ = false;
+
+    // Rail energy accounting (signed: charge pushed back reduces the total).
+    for (std::size_t i = 0; i < circuit_.drivers().size(); ++i) {
+      const auto& d = circuit_.drivers()[i];
+      if (!driver_states_[i].up) continue;
+      const double v_rail = circuit_.fixed_potential(d.vdd_rail);
+      const double current = (v_rail - voltages_[d.out]) / d.r_up;
+      const double e = v_rail * current * h;
+      result.rail_energy_ += e;
+      result.driver_energy_[i] += e;
+    }
+
+    // Threshold crossings with linear interpolation inside the step.
+    for (NodeId nd = 0; nd < circuit_.node_count(); ++nd) {
+      if (circuit_.is_fixed(nd)) continue;
+      const double v0 = prev[nd];
+      const double v1 = voltages_[nd];
+      auto& rec = result.crossings_[nd];
+      if (v0 < threshold && v1 >= threshold) {
+        const double frac = (threshold - v0) / (v1 - v0);
+        rec.last_rise = t - h + frac * h;
+        ++rec.rise_count;
+      } else if (v0 > threshold && v1 <= threshold) {
+        const double frac = (v0 - threshold) / (v0 - v1);
+        rec.last_fall = t - h + frac * h;
+        ++rec.fall_count;
+      }
+    }
+
+    if (!config_.record.empty()) {
+      result.times_.push_back(t);
+      for (std::size_t i = 0; i < config_.record.size(); ++i)
+        result.recorded_waves_[i].push_back(voltages_[config_.record[i]]);
+    }
+  }
+
+  result.final_voltages_ = voltages_;
+  return result;
+}
+
+}  // namespace razorbus::spice

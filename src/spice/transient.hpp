@@ -1,0 +1,113 @@
+// Fixed-step transient analysis.
+//
+// Backward-Euler companion models for capacitors keep the step robust across
+// the conductance discontinuities introduced by switch-level drivers. The
+// conductance matrix only changes when a driver toggles, so the dense LU
+// factorization is reused between events. Delay measurements are taken as
+// threshold crossings of node waveforms; energy is the charge delivered by
+// the pull-up rails times the rail voltage (the standard definition used
+// when characterising bus energy per cycle).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "spice/solver.hpp"
+
+namespace razorbus::spice {
+
+// Companion-model choice for capacitors. Backward Euler is robust across
+// the conductance discontinuities of switch-level drivers (it damps the
+// step); trapezoidal is second-order accurate for the same dt (useful when
+// trading step size for speed). Driver events toggle from settled states
+// here (capacitor currents near zero), which keeps the trapezoidal history
+// consistent across the discontinuity.
+enum class Integrator { backward_euler, trapezoidal };
+
+struct TransientConfig {
+  double t_stop = 2e-9;   // seconds
+  double dt = 0.5e-12;    // timestep
+  Integrator integrator = Integrator::backward_euler;
+  // Nodes whose full waveforms should be recorded (tests/debugging only;
+  // crossing detection works for all nodes regardless).
+  std::vector<NodeId> record;
+};
+
+// Crossing bookkeeping for one node and one threshold.
+struct CrossingRecord {
+  int rise_count = 0;
+  int fall_count = 0;
+  double last_rise = -1.0;  // seconds; negative = never crossed
+  double last_fall = -1.0;
+};
+
+class TransientResult {
+ public:
+  // Last time v(node) crossed `threshold` going up / down; nullopt if never.
+  std::optional<double> last_rise_crossing(NodeId node) const;
+  std::optional<double> last_fall_crossing(NodeId node) const;
+  int rise_count(NodeId node) const { return crossings_[node].rise_count; }
+  int fall_count(NodeId node) const { return crossings_[node].fall_count; }
+
+  // Total energy delivered by all pull-up rails over the run (J).
+  double rail_energy() const { return rail_energy_; }
+  // Energy delivered through one driver's pull-up path (J).
+  double driver_rail_energy(std::size_t driver_index) const;
+
+  double final_voltage(NodeId node) const { return final_voltages_[node]; }
+
+  // Recorded waveform samples for nodes listed in TransientConfig::record.
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& waveform(NodeId node) const;
+
+ private:
+  friend class TransientSimulator;
+  std::vector<CrossingRecord> crossings_;
+  std::vector<double> final_voltages_;
+  double rail_energy_ = 0.0;
+  std::vector<double> driver_energy_;
+  std::vector<double> times_;
+  std::vector<NodeId> recorded_nodes_;
+  std::vector<std::vector<double>> recorded_waves_;
+};
+
+class TransientSimulator {
+ public:
+  // The crossing threshold for every node is `threshold_fraction` times the
+  // highest rail potential in the circuit (default: half swing).
+  TransientSimulator(const Circuit& circuit, TransientConfig config,
+                     double threshold_fraction = 0.5);
+
+  TransientResult run();
+
+ private:
+  struct DriverState {
+    bool up;
+    std::size_t next_event;
+  };
+
+  void build_matrix();
+  void dc_operating_point();
+  double node_voltage(NodeId n) const;
+  double driver_threshold(const Driver& d) const;
+  double cap_conductance_scale() const;
+
+  const Circuit& circuit_;
+  TransientConfig config_;
+  double threshold_fraction_;
+  double max_rail_;
+
+  // Mapping from circuit nodes to matrix rows (fixed nodes excluded).
+  std::vector<std::size_t> matrix_index_;   // per node; kNoNode-like for fixed
+  std::vector<NodeId> unknown_nodes_;       // matrix row -> node
+
+  std::vector<double> voltages_;            // per node, current values
+  std::vector<DriverState> driver_states_;
+  std::vector<double> cap_currents_;        // per capacitor (trapezoidal state)
+  bool be_step_pending_ = true;             // BE step at discontinuities (TR mode)
+  DenseMatrix conductance_;
+  LuFactorization lu_;
+};
+
+}  // namespace razorbus::spice

@@ -1,0 +1,54 @@
+#include "tech/corner.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace razorbus::tech {
+
+std::string to_string(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::slow: return "slow";
+    case ProcessCorner::typical: return "typical";
+    case ProcessCorner::fast: return "fast";
+  }
+  return "?";
+}
+
+ProcessCorner process_corner_from_string(const std::string& name) {
+  if (name == "slow") return ProcessCorner::slow;
+  if (name == "typical") return ProcessCorner::typical;
+  if (name == "fast") return ProcessCorner::fast;
+  throw std::invalid_argument("unknown process corner: " + name);
+}
+
+CornerParams corner_params(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::slow: return {0.93, +0.02};
+    case ProcessCorner::typical: return {1.0, 0.0};
+    case ProcessCorner::fast: return {1.08, -0.02};
+  }
+  return {1.0, 0.0};
+}
+
+std::string PvtCorner::name() const {
+  std::ostringstream ss;
+  ss << to_string(process) << " process, " << static_cast<int>(temp_c) << "C, ";
+  if (ir_drop_fraction > 0.0)
+    ss << static_cast<int>(ir_drop_fraction * 100.0 + 0.5) << "% IR drop";
+  else
+    ss << "no IR drop";
+  return ss.str();
+}
+
+PvtCorner worst_case_corner() { return {ProcessCorner::slow, 100.0, 0.10}; }
+PvtCorner typical_corner() { return {ProcessCorner::typical, 100.0, 0.0}; }
+
+std::array<PvtCorner, 5> fig5_corners() {
+  return {{{ProcessCorner::slow, 100.0, 0.10},
+           {ProcessCorner::slow, 100.0, 0.0},
+           {ProcessCorner::typical, 100.0, 0.0},
+           {ProcessCorner::fast, 100.0, 0.0},
+           {ProcessCorner::fast, 25.0, 0.0}}};
+}
+
+}  // namespace razorbus::tech

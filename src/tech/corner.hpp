@@ -1,0 +1,50 @@
+// Process / voltage-drop / temperature (PVT) corner definitions.
+//
+// The paper sweeps: process in {slow, typical, fast}, temperature in
+// {25C, 100C}, and local IR drop in {0%, 10%} of the supply seen by the
+// repeaters. Figure 5 uses five named corners spanning the delay range of
+// a non-DVS bus; `fig5_corners()` returns them in the paper's order.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace razorbus::tech {
+
+enum class ProcessCorner { slow, typical, fast };
+
+std::string to_string(ProcessCorner corner);
+ProcessCorner process_corner_from_string(const std::string& name);
+
+// Per-corner device adjustments applied on top of the typical model.
+struct CornerParams {
+  double drive_multiplier;  // relative saturation current
+  double vth_shift;         // V added to vth0
+};
+
+CornerParams corner_params(ProcessCorner corner);
+
+struct PvtCorner {
+  ProcessCorner process = ProcessCorner::typical;
+  double temp_c = 25.0;
+  double ir_drop_fraction = 0.0;  // fraction of supply lost at the repeaters
+
+  std::string name() const;
+
+  // Supply actually seen by drivers after IR drop.
+  double effective_supply(double vdd) const { return vdd * (1.0 - ir_drop_fraction); }
+
+  friend bool operator==(const PvtCorner&, const PvtCorner&) = default;
+};
+
+// Worst-case corner the bus is sized for: slow process, 100C, 10% IR drop.
+PvtCorner worst_case_corner();
+// Typical evaluation corner of Fig. 4(b) / Table 1: typical, 100C, no IR drop.
+PvtCorner typical_corner();
+
+// The five corners of Fig. 5, ordered slowest to fastest:
+// 1 slow/100C/10%IR, 2 slow/100C/noIR, 3 typical/100C/noIR,
+// 4 fast/100C/noIR, 5 fast/25C/noIR.
+std::array<PvtCorner, 5> fig5_corners();
+
+}  // namespace razorbus::tech

@@ -1,0 +1,48 @@
+#include "tech/device.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace razorbus::tech {
+
+namespace {
+constexpr double kT0Kelvin = 298.15;  // 25C reference
+}
+
+double DriverModel::vth_eff(ProcessCorner corner, double temp_c, double vdd) const {
+  const CornerParams cp = corner_params(corner);
+  return node_.vth0 + cp.vth_shift + node_.vth_temp_coeff * (temp_c - 25.0) -
+         node_.dibl * (vdd - node_.vdd_nominal);
+}
+
+bool DriverModel::conducts(ProcessCorner corner, double temp_c, double vdd) const {
+  // Require at least 100 mV of overdrive; below that the alpha-power model
+  // (and any realistically clocked bus) is far out of its useful range.
+  return vdd - vth_eff(corner, temp_c, vdd) > 0.1;
+}
+
+double DriverModel::effective_resistance(double size, ProcessCorner corner, double temp_c,
+                                         double vdd) const {
+  if (size <= 0.0) throw std::invalid_argument("driver size must be positive");
+  if (!conducts(corner, temp_c, vdd))
+    throw std::domain_error("driver does not conduct at vdd=" + std::to_string(vdd));
+
+  const CornerParams cp = corner_params(corner);
+  const double vth_nom = node_.vth0;  // typical corner, 25C, nominal supply
+  const double overdrive = vdd - vth_eff(corner, temp_c, vdd);
+  const double overdrive_nom = node_.vdd_nominal - vth_nom;
+
+  const double voltage_factor =
+      (vdd / node_.vdd_nominal) / std::pow(overdrive / overdrive_nom, node_.alpha);
+  const double temp_factor =
+      std::pow((temp_c + 273.15) / kT0Kelvin, node_.mobility_temp_exponent);
+
+  return node_.r_unit / size * voltage_factor * temp_factor / cp.drive_multiplier;
+}
+
+double DriverModel::short_circuit_energy(double size, double vdd) const {
+  const double v_ratio = vdd / node_.vdd_nominal;
+  return node_.e_short_unit * size * v_ratio * v_ratio;
+}
+
+}  // namespace razorbus::tech

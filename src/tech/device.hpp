@@ -1,0 +1,51 @@
+// Alpha-power-law driver (repeater) model.
+//
+// A repeater is a CMOS inverter of size S (multiples of the unit inverter).
+// Its switching behaviour is reduced to an effective resistance
+//
+//   R_eff(V) = r_unit / S * (V / Vnom) / ((V - Vth_eff) / (Vnom - Vth_nom))^alpha
+//              / drive_multiplier(corner) * (T / T0)^mobility_exponent
+//
+// following Sakurai-Newton's alpha-power MOSFET model: saturation current
+// I_dsat ~ (Vgs - Vth)^alpha, effective resistance ~ V / I_dsat. Vth_eff
+// includes the corner shift, the temperature coefficient and a DIBL term.
+// This captures exactly the supply/corner/temperature delay sensitivities
+// the paper's HSPICE tables encode.
+#pragma once
+
+#include "tech/corner.hpp"
+#include "tech/node.hpp"
+
+namespace razorbus::tech {
+
+class DriverModel {
+ public:
+  explicit DriverModel(TechnologyNode node) : node_(std::move(node)) {}
+
+  const TechnologyNode& node() const { return node_; }
+
+  // Effective threshold voltage under the given conditions.
+  double vth_eff(ProcessCorner corner, double temp_c, double vdd) const;
+
+  // True when the device still switches usefully: supply comfortably above
+  // threshold. Delay diverges as vdd -> vth; callers must not evaluate below.
+  bool conducts(ProcessCorner corner, double temp_c, double vdd) const;
+
+  // Effective switching resistance of a size-`size` driver at supply `vdd`
+  // (already net of IR drop). Throws std::domain_error if the device does
+  // not conduct at this point.
+  double effective_resistance(double size, ProcessCorner corner, double temp_c,
+                              double vdd) const;
+
+  // Input gate capacitance / self (drain) capacitance of a size-`size` driver.
+  double input_capacitance(double size) const { return node_.c_in_unit * size; }
+  double self_capacitance(double size) const { return node_.c_self_unit * size; }
+
+  // Short-circuit energy per output transition (scales with size and V^2).
+  double short_circuit_energy(double size, double vdd) const;
+
+ private:
+  TechnologyNode node_;
+};
+
+}  // namespace razorbus::tech

@@ -1,0 +1,37 @@
+#include "tech/leakage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace razorbus::tech {
+
+LeakageModel::LeakageModel(TechnologyNode node) : node_(std::move(node)) {
+  const double vt = thermal_voltage(25.0);
+  const double nominal_shape = std::exp(-node_.vth0 / (node_.leak_n * vt)) *
+                               (1.0 - std::exp(-node_.vdd_nominal / vt));
+  i0_ = node_.i_leak_unit / nominal_shape;
+}
+
+double LeakageModel::vth_eff(ProcessCorner corner, double temp_c, double vdd) const {
+  const CornerParams cp = corner_params(corner);
+  return node_.vth0 + cp.vth_shift + node_.vth_temp_coeff * (temp_c - 25.0) -
+         node_.dibl * (vdd - node_.vdd_nominal);
+}
+
+double LeakageModel::current(double size, ProcessCorner corner, double temp_c,
+                             double vdd) const {
+  if (size <= 0.0) throw std::invalid_argument("driver size must be positive");
+  if (vdd <= 0.0) return 0.0;
+  const double vt = thermal_voltage(temp_c);
+  return i0_ * size * std::exp(-vth_eff(corner, temp_c, vdd) / (node_.leak_n * vt)) *
+         (1.0 - std::exp(-vdd / vt));
+}
+
+double LeakageModel::energy(double size, ProcessCorner corner, double temp_c, double vdd,
+                            double duration) const {
+  return current(size, corner, temp_c, vdd) * vdd * duration;
+}
+
+}  // namespace razorbus::tech

@@ -1,0 +1,38 @@
+// Subthreshold leakage model for the bus repeaters.
+//
+// The paper tabulates repeater leakage per supply voltage and environment
+// condition and adds it to total bus energy. We model the standard
+// subthreshold current
+//
+//   I_leak = I0 * S * exp(-Vth_eff / (n * kT/q)) * (1 - exp(-V / kT/q))
+//
+// normalised so that a unit driver leaks `node.i_leak_unit` amps at
+// (Vnom, typical, 25C). Vth_eff carries the corner shift, temperature
+// coefficient and DIBL, which produces the expected strong growth of
+// leakage with temperature and supply.
+#pragma once
+
+#include "tech/corner.hpp"
+#include "tech/node.hpp"
+
+namespace razorbus::tech {
+
+class LeakageModel {
+ public:
+  explicit LeakageModel(TechnologyNode node);
+
+  // Leakage current (A) of a size-`size` driver.
+  double current(double size, ProcessCorner corner, double temp_c, double vdd) const;
+
+  // Leakage energy (J) burned by a size-`size` driver over `duration` seconds.
+  double energy(double size, ProcessCorner corner, double temp_c, double vdd,
+                double duration) const;
+
+ private:
+  double vth_eff(ProcessCorner corner, double temp_c, double vdd) const;
+
+  TechnologyNode node_;
+  double i0_;  // prefactor calibrated to node_.i_leak_unit at nominal conditions
+};
+
+}  // namespace razorbus::tech

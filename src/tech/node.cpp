@@ -1,0 +1,78 @@
+#include "tech/node.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace razorbus::tech {
+
+TechnologyNode node_130nm() {
+  TechnologyNode n;
+  n.name = "130nm";
+  n.vdd_nominal = 1.2_V;
+  n.vth0 = 0.35_V;
+  n.alpha = 1.3;
+  n.vth_temp_coeff = -0.5e-3;        // -0.5 mV/K
+  n.mobility_temp_exponent = 0.7;    // net drive-vs-T slope after Vth(T) offset
+  n.dibl = 0.08;
+  n.r_unit = 12.0_kohm;
+  n.c_in_unit = 1.8_fF;
+  n.c_self_unit = 1.2_fF;
+  n.e_short_unit = 0.05_fJ;
+  n.i_leak_unit = 2e-9;              // 2 nA per unit size at (1.2 V, typical, 25C)
+  n.leak_n = 1.5;
+  n.wire_width = 0.4_um;             // 0.8 um minimum pitch
+  n.wire_spacing = 0.4_um;
+  n.wire_thickness = 0.9_um;
+  n.ild_height = 0.8_um;
+  n.resistivity = 2.2e-8;            // Cu + barrier
+  n.eps_r = 3.6;                     // FSG-era dielectric
+  return n;
+}
+
+TechnologyNode node_90nm() {
+  TechnologyNode n = node_130nm();
+  n.name = "90nm";
+  n.vdd_nominal = 1.0_V;
+  n.vth0 = 0.32_V;
+  n.alpha = 1.25;
+  n.r_unit = 10.0_kohm;
+  n.c_in_unit = 1.2_fF;
+  n.c_self_unit = 0.8_fF;
+  n.i_leak_unit = 8e-9;
+  n.wire_width = 0.3_um;
+  n.wire_spacing = 0.3_um;
+  n.wire_thickness = 0.75_um;
+  n.ild_height = 0.65_um;
+  n.resistivity = 2.5e-8;            // more barrier/scattering impact
+  n.eps_r = 3.2;                     // early low-k
+  return n;
+}
+
+TechnologyNode node_65nm() {
+  TechnologyNode n = node_130nm();
+  n.name = "65nm";
+  n.vdd_nominal = 1.0_V;
+  n.vth0 = 0.30_V;
+  n.alpha = 1.2;
+  n.r_unit = 9.0_kohm;
+  n.c_in_unit = 0.8_fF;
+  n.c_self_unit = 0.55_fF;
+  n.i_leak_unit = 25e-9;
+  n.wire_width = 0.2_um;
+  n.wire_spacing = 0.2_um;
+  n.wire_thickness = 0.55_um;
+  n.ild_height = 0.5_um;
+  n.resistivity = 3.0e-8;
+  n.eps_r = 2.9;
+  return n;
+}
+
+TechnologyNode node_by_name(const std::string& name) {
+  if (name == "130nm") return node_130nm();
+  if (name == "90nm") return node_90nm();
+  if (name == "65nm") return node_65nm();
+  throw std::invalid_argument("unknown technology node: " + name);
+}
+
+}  // namespace razorbus::tech

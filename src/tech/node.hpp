@@ -1,0 +1,55 @@
+// Technology node description.
+//
+// The paper uses a 0.13 um CMOS process with global-layer wires at 0.8 um
+// minimum pitch and a 1.2 V nominal supply. We additionally define scaled
+// 90 nm and 65 nm nodes for the Section 6 technology-scaling study: wire
+// capacitance per unit length stays roughly constant while resistance per
+// unit length grows (narrower/thinner wires, higher effective resistivity
+// from barriers and surface scattering), cf. Ho et al., "The Future of
+// Wires".
+#pragma once
+
+#include <string>
+
+namespace razorbus::tech {
+
+struct TechnologyNode {
+  std::string name;
+
+  // --- Supply / device ---
+  double vdd_nominal;     // V
+  double vth0;            // zero-bias threshold voltage at 25C, typical corner (V)
+  double alpha;           // alpha-power-law velocity saturation index
+  double vth_temp_coeff;  // dVth/dT (V per degree C, negative)
+  double mobility_temp_exponent;  // drive ~ (T0/T)^exp, T in kelvin
+  double dibl;            // Vth reduction per volt of supply above/below nominal
+
+  // Unit-sized inverter characteristics at (vdd_nominal, typical, 25C).
+  double r_unit;          // effective switching resistance of a size-1 driver (ohm)
+  double c_in_unit;       // gate input capacitance of a size-1 driver (F)
+  double c_self_unit;     // drain/self-load capacitance of a size-1 driver (F)
+  double e_short_unit;    // short-circuit energy per transition per unit size at Vnom (J)
+  double i_leak_unit;     // leakage current of a size-1 driver at nominal conditions (A)
+  double leak_n;          // subthreshold slope factor n (I ~ exp(-Vth/(n kT/q)))
+
+  // --- Global wiring layer ---
+  double wire_width;      // minimum width (m)
+  double wire_spacing;    // minimum spacing (m)
+  double wire_thickness;  // metal thickness (m)
+  double ild_height;      // dielectric height to the plane below (m)
+  double resistivity;     // effective resistivity including barriers (ohm * m)
+  double eps_r;           // inter-layer dielectric relative permittivity
+
+  double min_pitch() const { return wire_width + wire_spacing; }
+};
+
+// The paper's process: 0.13 um, 1.2 V, 0.8 um global pitch.
+TechnologyNode node_130nm();
+// Scaled nodes used by the Section 6 technology-scaling study.
+TechnologyNode node_90nm();
+TechnologyNode node_65nm();
+
+// Lookup by name ("130nm", "90nm", "65nm"); throws on unknown names.
+TechnologyNode node_by_name(const std::string& name);
+
+}  // namespace razorbus::tech

@@ -1,0 +1,42 @@
+// Discrete supply-voltage grid.
+//
+// The paper characterises the bus and steps the regulator on a 20 mV grid.
+// SupplyGrid owns that discretisation: snapping, clamping and iteration over
+// grid points. Grid indices are stable identifiers used by the lookup tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace razorbus::tech {
+
+class SupplyGrid {
+ public:
+  // Grid of voltages {vmin, vmin+step, ..., vmax}; vmax must be reachable
+  // from vmin in whole steps (within tolerance) or it is rounded down.
+  SupplyGrid(double vmin, double vmax, double step = 0.020);
+
+  double vmin() const { return vmin_; }
+  double vmax() const { return vmax_; }
+  double step() const { return step_; }
+  std::size_t size() const { return count_; }
+
+  double voltage(std::size_t index) const;
+  // Nearest grid index for `v` (clamped to the grid range).
+  std::size_t index_of(double v) const;
+  // Snap `v` to the nearest grid voltage (clamped).
+  double snap(double v) const { return voltage(index_of(v)); }
+  // Clamp then move one step up/down, saturating at the ends.
+  double step_up(double v) const;
+  double step_down(double v) const;
+
+  std::vector<double> voltages() const;
+
+ private:
+  double vmin_;
+  double vmax_;
+  double step_;
+  std::size_t count_;
+};
+
+}  // namespace razorbus::tech

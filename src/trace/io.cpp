@@ -1,0 +1,71 @@
+#include "trace/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace razorbus::trace {
+
+namespace {
+constexpr char kMagic[8] = {'R', 'B', 'T', 'R', 'A', 'C', 'E', '1'};
+}
+
+void save_binary(const Trace& trace, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  const std::uint64_t name_len = trace.name.size();
+  os.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  os.write(trace.name.data(), static_cast<std::streamsize>(name_len));
+  const std::uint64_t n = trace.words.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(trace.words.data()),
+           static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+}
+
+std::optional<Trace> load_binary(std::istream& is) {
+  char magic[sizeof(kMagic)];
+  if (!is.read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return std::nullopt;
+  std::uint64_t name_len = 0;
+  if (!is.read(reinterpret_cast<char*>(&name_len), sizeof(name_len)) || name_len > 4096)
+    return std::nullopt;
+  Trace trace;
+  trace.name.resize(name_len);
+  if (!is.read(trace.name.data(), static_cast<std::streamsize>(name_len)))
+    return std::nullopt;
+  std::uint64_t n = 0;
+  if (!is.read(reinterpret_cast<char*>(&n), sizeof(n)) || n > (1ull << 33))
+    return std::nullopt;
+  trace.words.resize(n);
+  if (!is.read(reinterpret_cast<char*>(trace.words.data()),
+               static_cast<std::streamsize>(n * sizeof(std::uint32_t))))
+    return std::nullopt;
+  return trace;
+}
+
+void save_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_trace_file: cannot open " + path);
+  save_binary(trace, os);
+  if (!os) throw std::runtime_error("save_trace_file: write failed for " + path);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_trace_file: cannot open " + path);
+  auto trace = load_binary(is);
+  if (!trace) throw std::runtime_error("load_trace_file: not a trace file: " + path);
+  return *std::move(trace);
+}
+
+void export_csv(const Trace& trace, std::ostream& os) {
+  os << "cycle,word_hex\n";
+  char buffer[24];
+  for (std::size_t i = 0; i < trace.words.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%zu,%08x\n", i, trace.words[i]);
+    os << buffer;
+  }
+}
+
+}  // namespace razorbus::trace

@@ -1,0 +1,29 @@
+// Trace serialization.
+//
+// Binary format for fast reload of long captures (magic + name + words) and
+// CSV export for external analysis. Capturing 10M-cycle traces from the
+// mini-CPU is cheap, but storing them lets experiments share exact inputs
+// across processes and makes third-party traces usable.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace razorbus::trace {
+
+// Stream-level primitives.
+void save_binary(const Trace& trace, std::ostream& os);
+std::optional<Trace> load_binary(std::istream& is);
+
+// File-level helpers; throw std::runtime_error on I/O failure, and
+// load_trace_file also throws on a corrupt/unrecognised file.
+void save_trace_file(const Trace& trace, const std::string& path);
+Trace load_trace_file(const std::string& path);
+
+// One word per line, with a header row ("cycle,word_hex").
+void export_csv(const Trace& trace, std::ostream& os);
+
+}  // namespace razorbus::trace

@@ -1,0 +1,69 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace razorbus::trace {
+
+namespace {
+
+std::uint32_t next_word(SyntheticStyle style, std::uint32_t prev, double activity, Rng& rng) {
+  switch (style) {
+    case SyntheticStyle::uniform:
+      return static_cast<std::uint32_t>(rng.next_u64());
+    case SyntheticStyle::random_walk: {
+      // Flip a binomial number of random bit positions.
+      std::uint32_t word = prev;
+      const int max_flips = std::max(1, static_cast<int>(32.0 * activity));
+      const auto flips = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_flips)) + 1);
+      for (int i = 0; i < flips; ++i) word ^= 1u << rng.next_below(32);
+      return word;
+    }
+    case SyntheticStyle::fp_like: {
+      // IEEE-754 single: keep sign+exponent in a narrow band, randomize the
+      // mantissa (high `activity` = more mantissa entropy).
+      const std::uint32_t exponent = 0x3f000000u + (static_cast<std::uint32_t>(rng.next_below(8)) << 23);
+      const auto mantissa_bits = static_cast<std::uint32_t>(23.0 * activity);
+      const std::uint32_t mantissa_mask = mantissa_bits >= 23 ? 0x7fffffu
+                                          : ((1u << mantissa_bits) - 1u);
+      return exponent | (static_cast<std::uint32_t>(rng.next_u64()) & mantissa_mask);
+    }
+    case SyntheticStyle::pointer_like: {
+      // 1 MiB heap at a fixed base; word-aligned addresses with locality.
+      const std::uint32_t base = 0x40000000u;
+      const auto span = static_cast<std::uint32_t>(256.0 + activity * (1u << 18));
+      const std::uint32_t offset = static_cast<std::uint32_t>(rng.next_below(span)) << 2;
+      return base + offset;
+    }
+    case SyntheticStyle::sparse: {
+      std::uint32_t word = 0;
+      const auto set_bits = static_cast<int>(1 + rng.next_below(
+                                static_cast<std::uint64_t>(std::max(1.0, activity * 6.0))));
+      for (int i = 0; i < set_bits; ++i) word |= 1u << rng.next_below(32);
+      return word;
+    }
+    case SyntheticStyle::worst_case:
+      return prev == 0x55555555u ? 0xaaaaaaaau : 0x55555555u;
+  }
+  throw std::invalid_argument("generate_synthetic: unknown style");
+}
+
+}  // namespace
+
+Trace generate_synthetic(const SyntheticConfig& config, const std::string& name) {
+  if (config.load_rate < 0.0 || config.load_rate > 1.0)
+    throw std::invalid_argument("generate_synthetic: load_rate must be in [0,1]");
+  Trace out;
+  out.name = name;
+  out.words.reserve(config.cycles);
+  Rng rng(config.seed);
+  std::uint32_t word = 0;
+  for (std::size_t i = 0; i < config.cycles; ++i) {
+    if (rng.bernoulli(config.load_rate))
+      word = next_word(config.style, word, config.activity, rng);
+    out.words.push_back(word);
+  }
+  return out;
+}
+
+}  // namespace razorbus::trace

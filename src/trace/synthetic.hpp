@@ -1,0 +1,37 @@
+// Statistical trace generators.
+//
+// These complement the mini-CPU benchmark kernels: they give experiments a
+// way to dial in exact switching statistics (activity sweeps, worst-case
+// stress, idle buses) and provide property tests with controlled inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace razorbus::trace {
+
+enum class SyntheticStyle {
+  uniform,       // fresh uniform word whenever the bus is active
+  random_walk,   // flip a few random bits of the previous word
+  fp_like,       // stable sign/exponent bits, noisy mantissa
+  pointer_like,  // stable upper bits (heap base), noisy low bits
+  sparse,        // mostly-zero words with a few set bits
+  worst_case,    // alternating 0101.../1010... (max opposing transitions)
+};
+
+struct SyntheticConfig {
+  SyntheticStyle style = SyntheticStyle::uniform;
+  std::size_t cycles = 100000;
+  // Probability per cycle that a new word is driven (otherwise hold).
+  double load_rate = 0.4;
+  // Style knobs (interpreted per style, see the generator).
+  double activity = 0.5;  // 0..1, relative aggressiveness of bit flips
+  std::uint64_t seed = 1;
+};
+
+Trace generate_synthetic(const SyntheticConfig& config, const std::string& name);
+
+}  // namespace razorbus::trace

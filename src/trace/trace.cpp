@@ -1,0 +1,61 @@
+#include "trace/trace.hpp"
+
+namespace razorbus::trace {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.cycles = trace.cycles();
+  if (trace.words.size() < 2) return stats;
+
+  std::array<std::uint64_t, 32> bit_toggles{};
+  std::uint64_t toggles = 0;
+  std::uint64_t active_cycles = 0;
+  std::uint64_t worst_pattern_cycles = 0;
+
+  for (std::size_t i = 1; i < trace.words.size(); ++i) {
+    const std::uint32_t prev = trace.words[i - 1];
+    const std::uint32_t cur = trace.words[i];
+    const std::uint32_t diff = prev ^ cur;
+    if (diff) ++active_cycles;
+    toggles += static_cast<std::uint64_t>(__builtin_popcount(diff));
+    for (int b = 0; b < 32; ++b)
+      if ((diff >> b) & 1u) ++bit_toggles[static_cast<std::size_t>(b)];
+
+    // Worst-case pattern: an interior victim rising while both neighbors
+    // fall, or vice versa.
+    const std::uint32_t rise = ~prev & cur;
+    const std::uint32_t fall = prev & ~cur;
+    bool worst = false;
+    for (int b = 1; b < 31 && !worst; ++b) {
+      const bool vr = (rise >> b) & 1u;
+      const bool vf = (fall >> b) & 1u;
+      const bool lf = (fall >> (b - 1)) & 1u;
+      const bool rf = (fall >> (b + 1)) & 1u;
+      const bool lr = (rise >> (b - 1)) & 1u;
+      const bool rr = (rise >> (b + 1)) & 1u;
+      worst = (vr && lf && rf) || (vf && lr && rr);
+    }
+    if (worst) ++worst_pattern_cycles;
+  }
+
+  const auto transitions = static_cast<double>(trace.words.size() - 1);
+  stats.toggle_rate = static_cast<double>(toggles) / (transitions * 32.0);
+  stats.active_cycle_rate = static_cast<double>(active_cycles) / transitions;
+  stats.worst_pattern_rate = static_cast<double>(worst_pattern_cycles) / transitions;
+  for (int b = 0; b < 32; ++b)
+    stats.per_bit_toggle[static_cast<std::size_t>(b)] =
+        static_cast<double>(bit_toggles[static_cast<std::size_t>(b)]) / transitions;
+  return stats;
+}
+
+Trace concatenate(const std::vector<Trace>& traces, const std::string& name) {
+  Trace out;
+  out.name = name;
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.words.size();
+  out.words.reserve(total);
+  for (const auto& t : traces) out.words.insert(out.words.end(), t.words.begin(), t.words.end());
+  return out;
+}
+
+}  // namespace razorbus::trace

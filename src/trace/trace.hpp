@@ -1,0 +1,43 @@
+// Bus data traces and their statistics.
+//
+// A trace is the per-cycle sequence of 32-bit words observed on the memory
+// read bus (one word per cycle, IPC = 1 as in the paper; cycles without a
+// new load repeat the previous word — the bus holds).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace razorbus::trace {
+
+struct Trace {
+  std::string name;
+  std::vector<std::uint32_t> words;
+
+  std::size_t cycles() const { return words.size(); }
+};
+
+// Aggregate switching statistics of a trace; used to sanity-check that the
+// benchmark substitutes span the activity range the experiments rely on.
+struct TraceStats {
+  std::size_t cycles = 0;
+  // Fraction of bit positions toggling per cycle, averaged over the trace.
+  double toggle_rate = 0.0;
+  // Fraction of cycles in which at least one bit toggles.
+  double active_cycle_rate = 0.0;
+  // Per-cycle probability that some interior wire switches against BOTH its
+  // neighbors (the worst-case Miller pattern, paper Fig. 9 pattern I).
+  double worst_pattern_rate = 0.0;
+  // Per-bit toggle probability.
+  std::array<double, 32> per_bit_toggle{};
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+// Concatenate traces back to back (Fig. 8 runs the 10 benchmarks
+// consecutively).
+Trace concatenate(const std::vector<Trace>& traces, const std::string& name);
+
+}  // namespace razorbus::trace

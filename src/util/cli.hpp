@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+//
+// Supports `--name=value` and `--flag` forms. Unknown flags are an error so
+// typos in experiment sweeps fail loudly instead of silently using defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace razorbus {
+
+class CliFlags {
+ public:
+  // Parses argv; throws std::invalid_argument on malformed input.
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  // Names seen on the command line but never queried; used to reject typos.
+  std::vector<std::string> unused() const;
+  // Throws if any flag was provided that the program never asked about.
+  void reject_unused() const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace razorbus

@@ -1,0 +1,88 @@
+// Small deterministic random number generator.
+//
+// Experiments must be reproducible run-to-run and machine-to-machine, so we
+// use a fixed xoshiro256** implementation instead of std::mt19937 +
+// distribution objects (whose outputs are not portable across standard
+// library implementations).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace razorbus {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation),
+// seeded through SplitMix64 so that any 64-bit seed yields a good state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). Unbiased via rejection.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Standard normal via Box-Muller (no cached second value, keeps state small).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  // 32-bit word with each bit set independently with probability `p`.
+  std::uint32_t random_word(double p = 0.5) {
+    if (p == 0.5) return static_cast<std::uint32_t>(next_u64());
+    std::uint32_t w = 0;
+    for (int i = 0; i < 32; ++i)
+      if (bernoulli(p)) w |= (1u << i);
+    return w;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace razorbus

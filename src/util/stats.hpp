@@ -1,0 +1,81 @@
+// Streaming statistics and histograms used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace razorbus {
+
+// Welford-style streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+// bins so totals always match the number of samples added.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  std::size_t bin_index(double x) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+  // Fraction of total mass in bin i (0 if empty histogram).
+  double fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+// Discrete histogram keyed by exact values (e.g. supply-voltage grid points).
+// Used for Fig. 6 style "% of time spent at each supply voltage" plots.
+class DiscreteHistogram {
+ public:
+  void add(double key, double weight = 1.0);
+  double total() const { return total_; }
+  // Sorted (key, fraction-of-total) pairs.
+  std::vector<std::pair<double, double>> fractions() const;
+
+ private:
+  std::map<double, double> counts_;
+  double total_ = 0.0;
+};
+
+// Percentile of a sample vector (linear interpolation, p in [0,100]).
+// The input is copied and sorted; intended for reporting, not hot paths.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace razorbus

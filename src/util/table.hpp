@@ -1,0 +1,43 @@
+// Aligned-text and CSV table output for benches and examples.
+//
+// Benches print the same rows/series the paper reports; this helper keeps
+// that output readable on a terminal and machine-parsable when redirected
+// to a .csv file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace razorbus {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Start a new row. Subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 2);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long long>(value)); }
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  // Pretty-print with column alignment.
+  void print(std::ostream& os) const;
+  // Comma-separated output (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format helper: fixed-point with the given precision.
+std::string format_fixed(double value, int precision);
+
+}  // namespace razorbus

@@ -1,0 +1,57 @@
+// Physical unit helpers.
+//
+// All quantities in the library are plain `double`s in SI units (seconds,
+// volts, ohms, farads, joules, meters). These literal suffixes make the
+// intent explicit at construction sites: `600.0_ps`, `1.2_V`, `6.0_mm`.
+#pragma once
+
+namespace razorbus {
+
+inline namespace literals {
+
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+
+constexpr double operator""_ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kohm(long double v) { return static_cast<double>(v) * 1e3; }
+
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+
+constexpr double operator""_J(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pJ(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+
+constexpr double operator""_m(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mm(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+
+}  // namespace literals
+
+// Common conversions for reporting.
+constexpr double to_ps(double seconds) { return seconds * 1e12; }
+constexpr double to_ns(double seconds) { return seconds * 1e9; }
+constexpr double to_mV(double volts) { return volts * 1e3; }
+constexpr double to_fF(double farads) { return farads * 1e15; }
+constexpr double to_fJ(double joules) { return joules * 1e15; }
+constexpr double to_pJ(double joules) { return joules * 1e12; }
+constexpr double to_um(double meters) { return meters * 1e6; }
+constexpr double to_mm(double meters) { return meters * 1e3; }
+
+// Boltzmann constant times charge ratio: thermal voltage kT/q at `temp_c`.
+constexpr double thermal_voltage(double temp_c) {
+  return 8.617333262e-5 * (temp_c + 273.15);  // k/q in V/K times T in K
+}
+
+}  // namespace razorbus

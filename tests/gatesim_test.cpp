@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "gatesim/dsff.hpp"
+#include "gatesim/gatesim.hpp"
+#include "util/units.hpp"
+
+namespace razorbus::gatesim {
+namespace {
+
+// ---------------------------------------------------------------- gates
+
+TEST(GateSim, CombinationalGatesEvaluate) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId o_and = nl.add_net("and");
+  const NetId o_or = nl.add_net("or");
+  const NetId o_xor = nl.add_net("xor");
+  const NetId o_nand = nl.add_net("nand", true);  // !(0&0) = 1 initially
+  const NetId o_inv = nl.add_net("inv", true);
+  nl.add_gate(GateKind::and2, o_and, a, b);
+  nl.add_gate(GateKind::or2, o_or, a, b);
+  nl.add_gate(GateKind::xor2, o_xor, a, b);
+  nl.add_gate(GateKind::nand2, o_nand, a, b);
+  nl.add_gate(GateKind::inv, o_inv, a);
+
+  Simulator sim(nl);
+  sim.schedule(a, 100.0_ps, true);
+  sim.schedule(b, 200.0_ps, true);
+  sim.run(1.0_ns);
+  EXPECT_TRUE(sim.value(o_and));
+  EXPECT_TRUE(sim.value(o_or));
+  EXPECT_FALSE(sim.value(o_xor));  // 1 ^ 1
+  EXPECT_FALSE(sim.value(o_nand));
+  EXPECT_FALSE(sim.value(o_inv));
+  // Mid-simulation: only `a` high at 150 ps (+delay).
+  EXPECT_TRUE(sim.value_at(o_xor, 180.0_ps));
+}
+
+TEST(GateSim, PropagationDelayRespected) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId o = nl.add_net("o");
+  nl.add_gate(GateKind::buf, o, a, kNoNet, kNoNet, 25.0_ps);
+  Simulator sim(nl);
+  sim.schedule(a, 100.0_ps, true);
+  sim.run(1.0_ns);
+  ASSERT_EQ(sim.history(o).size(), 2u);  // initial + one rise
+  EXPECT_NEAR(sim.history(o)[1].time, 125.0_ps, 1e-15);
+}
+
+TEST(GateSim, MuxSelects) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b", true);
+  const NetId sel = nl.add_net("sel");
+  const NetId o = nl.add_net("o");
+  nl.add_gate(GateKind::mux2, o, a, b, sel);
+  Simulator sim(nl);
+  sim.run(50.0_ps);
+  EXPECT_FALSE(sim.value(o));  // sel=0 -> a=0
+  sim.schedule(sel, 100.0_ps, true);
+  sim.run(200.0_ps);
+  EXPECT_TRUE(sim.value(o));  // sel=1 -> b=1
+}
+
+TEST(GateSim, LatchTransparencyAndHold) {
+  Netlist nl;
+  const NetId d = nl.add_net("d");
+  const NetId en = nl.add_net("en");
+  const NetId q = nl.add_net("q");
+  nl.add_gate(GateKind::latch, q, d, en);
+  Simulator sim(nl);
+
+  sim.schedule(en, 100.0_ps, true);   // open
+  sim.schedule(d, 200.0_ps, true);    // q follows
+  sim.schedule(en, 300.0_ps, false);  // close
+  sim.schedule(d, 400.0_ps, false);   // must NOT propagate
+  sim.run(1.0_ns);
+  EXPECT_TRUE(sim.value(q));  // held the captured 1
+  // While open it followed.
+  EXPECT_TRUE(sim.value_at(q, 250.0_ps));
+  EXPECT_FALSE(sim.value_at(q, 150.0_ps));
+}
+
+TEST(GateSim, LatchCapturesValuePresentAtClose) {
+  Netlist nl;
+  const NetId d = nl.add_net("d", true);
+  const NetId en = nl.add_net("en", true);
+  const NetId q = nl.add_net("q", true);
+  nl.add_gate(GateKind::latch, q, d, en);
+  Simulator sim(nl);
+  sim.schedule(d, 90.0_ps, false);   // change just before close
+  sim.schedule(en, 120.0_ps, false);
+  sim.run(1.0_ns);
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST(GateSim, Validation) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  EXPECT_THROW(nl.add_gate(GateKind::and2, a, a), std::invalid_argument);  // missing b
+  EXPECT_THROW(nl.add_gate(GateKind::buf, 99, a), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateKind::buf, a, a, kNoNet, kNoNet, 0.0),
+               std::invalid_argument);
+  Simulator sim(nl);
+  EXPECT_THROW(sim.schedule(99, 0.0, true), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_clock(a, 0.0, 0.0, 1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------- double-sampling flop
+
+class DsffTest : public ::testing::Test {
+ protected:
+  static constexpr double kPeriod = 666.7e-12;     // 1.5 GHz
+  static constexpr double kShadowDelay = 222.2e-12;  // 33% of the cycle
+  static constexpr double kFirstRise = 1.0e-9;
+
+  DsffTest() : nets_(build_dsff(netlist_)), sim_(netlist_) {
+    drive_dsff_clocks(sim_, nets_, kPeriod, kShadowDelay, 12.0e-9, kFirstRise);
+  }
+
+  // Time of the n-th rising clock edge (n = 0 for the first).
+  static double edge(int n) { return kFirstRise + n * kPeriod; }
+
+  Netlist netlist_;
+  DsffNets nets_;
+  Simulator sim_;
+};
+
+TEST_F(DsffTest, CleanCaptureWhenSetupMet) {
+  // D rises well before the second edge.
+  sim_.schedule(nets_.d, edge(1) - 300.0_ps, true);
+  sim_.run(edge(2) - 50.0_ps);
+  EXPECT_TRUE(sim_.value(nets_.q));
+  EXPECT_TRUE(sim_.value(nets_.shadow));
+  EXPECT_FALSE(sim_.value(nets_.error_l));
+}
+
+TEST_F(DsffTest, LateArrivalRaisesErrorAndShadowIsCorrect) {
+  // D rises 100 ps AFTER the second edge: the main path misses it, the
+  // shadow latch (still open for 222 ps) catches it.
+  sim_.schedule(nets_.d, edge(1) + 100.0_ps, true);
+  sim_.run(edge(1) + kShadowDelay + 60.0_ps);
+  EXPECT_TRUE(sim_.value(nets_.shadow));   // correct value
+  EXPECT_TRUE(sim_.value(nets_.error_l));  // Q != shadow -> error flagged
+}
+
+TEST_F(DsffTest, RestoreCompletesByTheNextEdge) {
+  sim_.schedule(nets_.d, edge(1) + 100.0_ps, true);
+  // Run through the recovery cycle: after the NEXT rising edge the slave
+  // must publish the restored (shadow) value and the error must clear.
+  sim_.run(edge(2) + 100.0_ps);
+  EXPECT_TRUE(sim_.value(nets_.q));
+  EXPECT_FALSE(sim_.value(nets_.error_l));
+}
+
+TEST_F(DsffTest, ArrivalAfterShadowWindowIsMissedByBoth) {
+  // D rises after the delayed clock closed: this cycle's samples both hold
+  // the old value — the silent-corruption case the voltage floor forbids.
+  sim_.schedule(nets_.d, edge(1) + kShadowDelay + 80.0_ps, true);
+  sim_.run(edge(1) + kPeriod / 2.0 - 20.0_ps);  // before clk falls
+  EXPECT_FALSE(sim_.value(nets_.q));
+  EXPECT_FALSE(sim_.value(nets_.shadow));
+  EXPECT_FALSE(sim_.value(nets_.error_l));  // agreement on the WRONG value
+}
+
+TEST_F(DsffTest, BackToBackCleanTransitionsNeverRaiseError) {
+  // Alternate D each cycle with comfortable setup.
+  for (int cycle = 1; cycle <= 10; ++cycle)
+    sim_.schedule(nets_.d, edge(cycle) - 250.0_ps, cycle % 2 == 1);
+  for (int cycle = 1; cycle <= 10; ++cycle) {
+    sim_.run(edge(cycle) + kShadowDelay + 80.0_ps);
+    EXPECT_FALSE(sim_.value(nets_.error_l)) << "cycle " << cycle;
+    EXPECT_EQ(sim_.value(nets_.q), cycle % 2 == 1) << "cycle " << cycle;
+  }
+}
+
+TEST_F(DsffTest, BehaviouralModelAgreesWithGateLevel) {
+  // Cross-validation: sweep the arrival offset and compare the gate-level
+  // flop's outcome with the behavioural razor::DoubleSamplingFlop contract:
+  // before the edge -> clean; within the shadow window -> error+restore.
+  struct Case {
+    double offset;  // relative to edge(1)
+    bool expect_error;
+  };
+  for (const Case c : {Case{-200.0_ps, false}, Case{-80.0_ps, false},
+                       Case{+60.0_ps, true}, Case{+180.0_ps, true}}) {
+    Netlist nl;
+    const DsffNets nets = build_dsff(nl);
+    Simulator sim(nl);
+    drive_dsff_clocks(sim, nets, kPeriod, kShadowDelay, 8.0e-9, kFirstRise);
+    sim.schedule(nets.d, edge(1) + c.offset, true);
+    sim.run(edge(1) + kShadowDelay + 60.0_ps);
+    EXPECT_EQ(sim.value(nets.error_l), c.expect_error) << "offset " << c.offset;
+    EXPECT_TRUE(sim.value(nets.shadow)) << "offset " << c.offset;
+    // Either way the value is recovered by the next edge.
+    sim.run(edge(2) + 100.0_ps);
+    EXPECT_TRUE(sim.value(nets.q)) << "offset " << c.offset;
+    EXPECT_FALSE(sim.value(nets.error_l)) << "offset " << c.offset;
+  }
+}
+
+}  // namespace
+}  // namespace razorbus::gatesim

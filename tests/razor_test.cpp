@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "razor/bank.hpp"
+#include "razor/flop.hpp"
+#include "util/units.hpp"
+
+namespace razorbus::razor {
+namespace {
+
+FlopTiming paper_timing() {
+  // 1.5 GHz, 10% setup slack, shadow clock delayed by a third of the cycle.
+  FlopTiming t;
+  t.main_capture_limit = 600.0_ps;
+  t.shadow_capture_limit = 822.0_ps;
+  t.min_path_limit = 207.0_ps;
+  return t;
+}
+
+// ---------------------------------------------------------------- flop
+
+TEST(Flop, CleanCaptureOnTimelyArrival) {
+  DoubleSamplingFlop flop(false);
+  const auto outcome = flop.clock(true, 500.0_ps, paper_timing());
+  EXPECT_EQ(outcome, CaptureOutcome::clean);
+  EXPECT_TRUE(flop.q());
+  EXPECT_TRUE(flop.shadow());
+  EXPECT_FALSE(flop.error_signal());
+}
+
+TEST(Flop, LateArrivalIsCorrectedByShadow) {
+  DoubleSamplingFlop flop(false);
+  const auto outcome = flop.clock(true, 700.0_ps, paper_timing());
+  EXPECT_EQ(outcome, CaptureOutcome::corrected);
+  EXPECT_TRUE(flop.error_signal());
+  // After the Error_L-driven restore, Q carries the correct (shadow) value.
+  EXPECT_TRUE(flop.q());
+  EXPECT_TRUE(flop.shadow());
+}
+
+TEST(Flop, ArrivalPastShadowWindowIsAFailure) {
+  DoubleSamplingFlop flop(false);
+  const auto outcome = flop.clock(true, 900.0_ps, paper_timing());
+  EXPECT_EQ(outcome, CaptureOutcome::shadow_failure);
+}
+
+TEST(Flop, HoldCycleIsAlwaysClean) {
+  DoubleSamplingFlop flop(true);
+  // Same value again, regardless of the arrival annotation.
+  EXPECT_EQ(flop.clock(true, -1.0, paper_timing()), CaptureOutcome::clean);
+  EXPECT_EQ(flop.clock(true, 9999.0_ps, paper_timing()), CaptureOutcome::clean);
+  EXPECT_TRUE(flop.q());
+  EXPECT_FALSE(flop.error_signal());
+}
+
+TEST(Flop, ExactBoundariesAreInclusive) {
+  const FlopTiming t = paper_timing();
+  DoubleSamplingFlop a(false);
+  EXPECT_EQ(a.clock(true, t.main_capture_limit, t), CaptureOutcome::clean);
+  DoubleSamplingFlop b(false);
+  EXPECT_EQ(b.clock(true, t.shadow_capture_limit, t), CaptureOutcome::corrected);
+}
+
+TEST(Flop, ShortPathViolationFlagged) {
+  DoubleSamplingFlop flop(false);
+  // Arrives before the delayed shadow clock has closed on the previous
+  // value: the shadow latch content is corrupted.
+  EXPECT_EQ(flop.clock(true, 100.0_ps, paper_timing()), CaptureOutcome::shadow_failure);
+}
+
+TEST(Flop, ShortPathCheckDisabledWhenZero) {
+  FlopTiming t = paper_timing();
+  t.min_path_limit = 0.0;
+  DoubleSamplingFlop flop(false);
+  EXPECT_EQ(flop.clock(true, 100.0_ps, t), CaptureOutcome::clean);
+}
+
+TEST(Flop, ErrorSignalClearsOnNextCleanCycle) {
+  DoubleSamplingFlop flop(false);
+  flop.clock(true, 700.0_ps, paper_timing());
+  EXPECT_TRUE(flop.error_signal());
+  flop.clock(false, 400.0_ps, paper_timing());
+  EXPECT_FALSE(flop.error_signal());
+  EXPECT_FALSE(flop.q());
+}
+
+TEST(Flop, SequenceOfTransitionsTracksData) {
+  DoubleSamplingFlop flop(false);
+  const FlopTiming t = paper_timing();
+  const bool values[] = {true, false, true, true, false};
+  const double arrivals[] = {400.0_ps, 650.0_ps, 500.0_ps, -1.0, 810.0_ps};
+  for (int i = 0; i < 5; ++i) {
+    const auto outcome = flop.clock(values[i], arrivals[i], t);
+    EXPECT_NE(outcome, CaptureOutcome::shadow_failure);
+    EXPECT_EQ(flop.q(), values[i]);  // always correct after recovery
+  }
+}
+
+TEST(Flop, InconsistentTimingRejected) {
+  DoubleSamplingFlop flop(false);
+  FlopTiming bad;
+  bad.main_capture_limit = 600.0_ps;
+  bad.shadow_capture_limit = 500.0_ps;  // shadow before main: nonsense
+  EXPECT_THROW(flop.clock(true, 1.0_ps, bad), std::invalid_argument);
+  FlopTiming zero{};
+  EXPECT_THROW(flop.clock(true, 1.0_ps, zero), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- bank
+
+TEST(Bank, ErrorIsOrOfLocalErrors) {
+  FlopBank bank(4, paper_timing());
+  // Bits 0..3 arrive: one late (bit 2).
+  const auto r = bank.clock(0b1111, {400.0_ps, 500.0_ps, 700.0_ps, 599.0_ps});
+  EXPECT_TRUE(r.error);
+  EXPECT_EQ(r.corrected_bits, 1);
+  EXPECT_FALSE(r.shadow_failure);
+  EXPECT_EQ(r.captured, 0b1111u);  // corrected word is complete
+}
+
+TEST(Bank, NoErrorWhenAllTimely) {
+  FlopBank bank(8, paper_timing());
+  std::vector<double> arrivals(8, 400.0_ps);
+  const auto r = bank.clock(0xA5u, arrivals);
+  EXPECT_FALSE(r.error);
+  EXPECT_EQ(r.corrected_bits, 0);
+  EXPECT_EQ(bank.word(), 0xA5u);
+}
+
+TEST(Bank, MultipleLateBitsSingleBusError) {
+  // Paper: "a single bus timing error represents the assertion of the error
+  // signal by ONE OR MORE error detecting flip-flops in a single cycle".
+  FlopBank bank(4, paper_timing());
+  const auto r = bank.clock(0b1111, {700.0_ps, 700.0_ps, 700.0_ps, 700.0_ps});
+  EXPECT_TRUE(r.error);
+  EXPECT_EQ(r.corrected_bits, 4);
+  EXPECT_EQ(bank.error_cycles(), 1u);  // still one bank-level error
+}
+
+TEST(Bank, ShadowFailureDetected) {
+  FlopBank bank(2, paper_timing());
+  const auto r = bank.clock(0b11, {400.0_ps, 900.0_ps});
+  EXPECT_TRUE(r.shadow_failure);
+  EXPECT_EQ(bank.shadow_failures(), 1u);
+}
+
+TEST(Bank, CountersAccumulate) {
+  FlopBank bank(2, paper_timing());
+  bank.clock(0b01, {400.0_ps, -1.0});
+  bank.clock(0b11, {-1.0, 700.0_ps});
+  bank.clock(0b11, {-1.0, -1.0});
+  bank.tick_hold();
+  EXPECT_EQ(bank.cycles(), 4u);
+  EXPECT_EQ(bank.error_cycles(), 1u);
+  EXPECT_EQ(bank.shadow_failures(), 0u);
+}
+
+TEST(Bank, WordReflectsHeldAndNewBits) {
+  FlopBank bank(4, paper_timing());
+  bank.clock(0b0101, {400.0_ps, -1.0, 400.0_ps, -1.0});
+  EXPECT_EQ(bank.word(), 0b0101u);
+  // Bit 0 falls, bit 1 rises (late: corrected), bits 2-3 hold.
+  const auto r = bank.clock(0b0110, {500.0_ps, 650.0_ps, -1.0, -1.0});
+  EXPECT_TRUE(r.error);
+  EXPECT_EQ(bank.word(), 0b0110u);
+}
+
+TEST(Bank, ArrivalCountMismatchThrows) {
+  FlopBank bank(4, paper_timing());
+  EXPECT_THROW(bank.clock(0, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Bank, WidthValidation) {
+  EXPECT_THROW(FlopBank(0, paper_timing()), std::invalid_argument);
+  EXPECT_THROW(FlopBank(33, paper_timing()), std::invalid_argument);
+  EXPECT_NO_THROW(FlopBank(32, paper_timing()));
+}
+
+// ---------------------------------------------------------------- recovery
+
+TEST(RecoveryCost, OverheadScalesWithWidth) {
+  RecoveryCostModel m;
+  m.shadow_extra_fraction = 0.15;  // enable the standing term for this check
+  m.detection_energy_per_cycle = 1e-15;
+  EXPECT_GT(m.cycle_overhead(32), m.cycle_overhead(16));
+  EXPECT_GT(m.error_overhead(32), m.error_overhead(16));
+}
+
+TEST(RecoveryCost, DefaultModelIsRecoveryOnly) {
+  // The paper's overhead accounting (Fig. 4 "Bus energy + Recovery
+  // overhead") charges errors, not every cycle.
+  const RecoveryCostModel m;
+  EXPECT_DOUBLE_EQ(m.cycle_overhead(32), 0.0);
+  EXPECT_GT(m.error_overhead(32), 0.0);
+  // At a 2% error rate the average recovery overhead stays far below one
+  // wire transition (~pJ): the overhead curve hugs the bus energy curve.
+  EXPECT_LT(0.02 * m.error_overhead(32), 0.05e-12);
+}
+
+TEST(RecoveryCost, ZeroedModelIsFree) {
+  RecoveryCostModel m;
+  m.flop_clock_energy = 0.0;
+  m.detection_energy_per_cycle = 0.0;
+  EXPECT_DOUBLE_EQ(m.cycle_overhead(32), 0.0);
+  EXPECT_DOUBLE_EQ(m.error_overhead(32), 0.0);
+}
+
+// Parameterized sweep: arrivals across the whole window map to the right
+// outcome for every boundary region.
+struct ArrivalCase {
+  double arrival_ps;
+  CaptureOutcome expected;
+};
+
+class FlopArrivalSweep : public ::testing::TestWithParam<ArrivalCase> {};
+
+TEST_P(FlopArrivalSweep, OutcomeMatchesRegion) {
+  DoubleSamplingFlop flop(false);
+  const auto [arrival_ps, expected] = GetParam();
+  EXPECT_EQ(flop.clock(true, arrival_ps * 1e-12, paper_timing()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regions, FlopArrivalSweep,
+    ::testing::Values(ArrivalCase{150.0, CaptureOutcome::shadow_failure},  // short path
+                      ArrivalCase{207.0, CaptureOutcome::clean},
+                      ArrivalCase{300.0, CaptureOutcome::clean},
+                      ArrivalCase{599.9, CaptureOutcome::clean},
+                      ArrivalCase{600.1, CaptureOutcome::corrected},
+                      ArrivalCase{750.0, CaptureOutcome::corrected},
+                      ArrivalCase{821.9, CaptureOutcome::corrected},
+                      ArrivalCase{822.1, CaptureOutcome::shadow_failure},
+                      ArrivalCase{1500.0, CaptureOutcome::shadow_failure}));
+
+}  // namespace
+}  // namespace razorbus::razor

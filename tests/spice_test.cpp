@@ -1,0 +1,541 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/netlist.hpp"
+#include "spice/solver.hpp"
+#include "spice/transient.hpp"
+#include "util/units.hpp"
+
+namespace razorbus::spice {
+namespace {
+
+// ---------------------------------------------------------------- solver
+
+TEST(DenseMatrix, StoresAndClears) {
+  DenseMatrix m(3);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 0.0);
+  m.clear();
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+}
+
+TEST(Lu, SolvesIdentity) {
+  DenseMatrix m(3);
+  for (std::size_t i = 0; i < 3; ++i) m.at(i, i) = 1.0;
+  const LuFactorization lu(m);
+  const auto x = lu.solve({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Lu, SolvesKnown2x2) {
+  DenseMatrix m(2);
+  m.at(0, 0) = 2.0;
+  m.at(0, 1) = 1.0;
+  m.at(1, 0) = 1.0;
+  m.at(1, 1) = 3.0;
+  const LuFactorization lu(m);
+  const auto x = lu.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotsRowsWhenDiagonalIsZero) {
+  DenseMatrix m(2);
+  m.at(0, 0) = 0.0;
+  m.at(0, 1) = 1.0;
+  m.at(1, 0) = 1.0;
+  m.at(1, 1) = 0.0;
+  const LuFactorization lu(m);  // needs pivoting
+  const auto x = lu.solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  DenseMatrix m(2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 2.0;
+  m.at(1, 1) = 4.0;
+  EXPECT_THROW(LuFactorization{m}, std::runtime_error);
+}
+
+TEST(Lu, SolveDimensionMismatchThrows) {
+  DenseMatrix m(2);
+  m.at(0, 0) = m.at(1, 1) = 1.0;
+  const LuFactorization lu(m);
+  std::vector<double> wrong{1.0};
+  EXPECT_THROW(lu.solve_in_place(wrong), std::invalid_argument);
+}
+
+TEST(Lu, LargerRandomSystemRoundTrip) {
+  // A strictly diagonally dominant random system has a stable solution:
+  // verify A * x == b after solving.
+  const std::size_t n = 24;
+  DenseMatrix m(n);
+  std::vector<double> b(n);
+  unsigned state = 12345;
+  auto rnd = [&state] {
+    state = state * 1103515245u + 12345u;
+    return static_cast<double>((state >> 16) & 0x7fff) / 32768.0;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      m.at(r, c) = rnd() - 0.5;
+      row_sum += std::abs(m.at(r, c));
+    }
+    m.at(r, r) = row_sum + 1.0;
+    b[r] = rnd() * 10.0;
+  }
+  const LuFactorization lu(m);
+  const auto x = lu.solve(b);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < n; ++c) acc += m.at(r, c) * x[c];
+    EXPECT_NEAR(acc, b[r], 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- netlist
+
+TEST(Circuit, ValidatesElementNodes) {
+  Circuit c;
+  const NodeId a = c.add_node("a");
+  EXPECT_THROW(c.add_resistor(a, 57, 100.0), std::invalid_argument);
+  EXPECT_THROW(c.add_resistor(a, a, -5.0), std::invalid_argument);
+  EXPECT_THROW(c.add_capacitor(a, 57, 1e-15), std::invalid_argument);
+  EXPECT_THROW(c.add_capacitor(a, a, 0.0), std::invalid_argument);
+}
+
+TEST(Circuit, DriverValidation) {
+  Circuit c;
+  const NodeId out = c.add_node("out");
+  const NodeId rail = c.add_fixed_node("vdd", 1.2);
+
+  Driver bad_rail;
+  bad_rail.out = out;
+  bad_rail.vdd_rail = out;  // not fixed
+  bad_rail.r_up = bad_rail.r_dn = 100.0;
+  c.add_driver(bad_rail);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  Circuit c2;
+  const NodeId out2 = c2.add_node("out");
+  const NodeId rail2 = c2.add_fixed_node("vdd", 1.2);
+  Driver good;
+  good.out = out2;
+  good.vdd_rail = rail2;
+  good.r_up = good.r_dn = 100.0;
+  c2.add_driver(good);
+  EXPECT_NO_THROW(c2.validate());
+  (void)rail;
+}
+
+TEST(Circuit, DriverRejectsNonPositiveResistance) {
+  Circuit c;
+  const NodeId out = c.add_node("out");
+  const NodeId rail = c.add_fixed_node("vdd", 1.2);
+  Driver d;
+  d.out = out;
+  d.vdd_rail = rail;
+  d.r_up = 0.0;
+  d.r_dn = 100.0;
+  EXPECT_THROW(c.add_driver(d), std::invalid_argument);
+}
+
+TEST(Circuit, UnsortedScheduleRejected) {
+  Circuit c;
+  const NodeId out = c.add_node("out");
+  const NodeId rail = c.add_fixed_node("vdd", 1.2);
+  Driver d;
+  d.out = out;
+  d.vdd_rail = rail;
+  d.r_up = d.r_dn = 100.0;
+  d.schedule = {{2e-9, true}, {1e-9, false}};
+  c.add_driver(d);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- transient
+
+// RC charging step: driver pulls a single capacitor up through R.
+// Analytic: v(t) = V (1 - exp(-t/RC)); 50% crossing at t = RC ln 2.
+TEST(Transient, RcStepResponseMatchesAnalytic) {
+  constexpr double kR = 1000.0;     // ohm
+  constexpr double kC = 100e-15;    // F
+  constexpr double kV = 1.2;
+  constexpr double kTau = kR * kC;  // 100 ps
+
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", kV);
+  const NodeId out = c.add_node("out");
+  c.add_capacitor(out, c.add_fixed_node("gnd", 0.0), kC);
+  Driver d;
+  d.out = out;
+  d.vdd_rail = rail;
+  d.r_up = d.r_dn = kR;
+  d.initial_up = false;
+  d.schedule = {{100e-12, true}};
+  c.add_driver(d);
+
+  TransientConfig cfg;
+  cfg.t_stop = 1.2e-9;
+  cfg.dt = 0.25e-12;
+  TransientSimulator sim(c, cfg);
+  const TransientResult result = sim.run();
+
+  const auto cross = result.last_rise_crossing(out);
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_NEAR(*cross - 100e-12, kTau * std::log(2.0), 2e-12);
+  // Fully settled at the end.
+  EXPECT_NEAR(result.final_voltage(out), kV, 0.001);
+}
+
+// Energy drawn from the rail to charge C to V is exactly C V^2 (half stored,
+// half dissipated) for a step charge through a resistor.
+TEST(Transient, RailEnergyIsCVSquared) {
+  constexpr double kC = 200e-15;
+  constexpr double kV = 1.0;
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", kV);
+  const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+  const NodeId out = c.add_node("out");
+  c.add_capacitor(out, gnd, kC);
+  Driver d;
+  d.out = out;
+  d.vdd_rail = rail;
+  d.r_up = d.r_dn = 500.0;
+  d.initial_up = false;
+  d.schedule = {{50e-12, true}};
+  c.add_driver(d);
+
+  TransientConfig cfg;
+  cfg.t_stop = 1.5e-9;
+  cfg.dt = 0.25e-12;
+  TransientSimulator sim(c, cfg);
+  const TransientResult result = sim.run();
+  EXPECT_NEAR(result.rail_energy(), kC * kV * kV, 0.02 * kC * kV * kV);
+}
+
+// A discharging driver (pull-down) draws no rail energy.
+TEST(Transient, DischargeDrawsNoRailEnergy) {
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", 1.2);
+  const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+  const NodeId out = c.add_node("out");
+  c.add_capacitor(out, gnd, 100e-15);
+  Driver d;
+  d.out = out;
+  d.vdd_rail = rail;
+  d.r_up = d.r_dn = 500.0;
+  d.initial_up = true;
+  d.schedule = {{50e-12, false}};
+  c.add_driver(d);
+
+  TransientConfig cfg;
+  cfg.t_stop = 1e-9;
+  cfg.dt = 0.5e-12;
+  TransientSimulator sim(c, cfg);
+  const TransientResult result = sim.run();
+  // Only the (tiny) settling current before the event counts.
+  EXPECT_LT(result.rail_energy(), 1e-18);
+  EXPECT_TRUE(result.last_fall_crossing(out).has_value());
+}
+
+// Two cascaded inverters: the second switches only after the first's output
+// crosses threshold, so the total delay is about twice the single-stage one.
+TEST(Transient, InverterChainPropagates) {
+  constexpr double kR = 1000.0;
+  constexpr double kC = 100e-15;
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", 1.2);
+  const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+  const NodeId n1 = c.add_node("n1");
+  const NodeId n2 = c.add_node("n2");
+  c.add_capacitor(n1, gnd, kC);
+  c.add_capacitor(n2, gnd, kC);
+
+  Driver first;
+  first.out = n1;
+  first.vdd_rail = rail;
+  first.r_up = first.r_dn = kR;
+  first.initial_up = false;
+  first.schedule = {{100e-12, true}};
+  c.add_driver(first);
+
+  Driver second;  // inverter: n2 = NOT(n1)
+  second.out = n2;
+  second.vdd_rail = rail;
+  second.r_up = second.r_dn = kR;
+  second.initial_up = true;  // n1 starts low -> n2 high
+  second.in = n1;
+  c.add_driver(second);
+
+  TransientConfig cfg;
+  cfg.t_stop = 2e-9;
+  cfg.dt = 0.25e-12;
+  TransientSimulator sim(c, cfg);
+  const TransientResult result = sim.run();
+
+  const auto rise1 = result.last_rise_crossing(n1);
+  const auto fall2 = result.last_fall_crossing(n2);
+  ASSERT_TRUE(rise1.has_value());
+  ASSERT_TRUE(fall2.has_value());
+  EXPECT_GT(*fall2, *rise1);  // second stage lags the first
+  const double tau_ln2 = kR * kC * std::log(2.0);
+  EXPECT_NEAR(*fall2 - *rise1, tau_ln2, 0.35 * tau_ln2);
+  EXPECT_NEAR(result.final_voltage(n2), 0.0, 0.01);
+}
+
+// Capacitive coupling: a quiet floating victim capacitively tied to a
+// switching aggressor bounces, then is restored by its holding driver.
+TEST(Transient, CouplingInjectsGlitchThatDecays) {
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", 1.0);
+  const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+  const NodeId victim = c.add_node("victim");
+  const NodeId aggressor = c.add_node("aggressor");
+  c.add_capacitor(victim, gnd, 50e-15);
+  c.add_capacitor(aggressor, gnd, 50e-15);
+  c.add_capacitor(victim, aggressor, 100e-15);  // strong coupling
+
+  Driver hold;  // victim held low
+  hold.out = victim;
+  hold.vdd_rail = rail;
+  hold.r_up = hold.r_dn = 2000.0;
+  hold.initial_up = false;
+  c.add_driver(hold);
+
+  Driver attack;
+  attack.out = aggressor;
+  attack.vdd_rail = rail;
+  attack.r_up = attack.r_dn = 500.0;
+  attack.initial_up = false;
+  attack.schedule = {{100e-12, true}};
+  c.add_driver(attack);
+
+  TransientConfig cfg;
+  cfg.t_stop = 2e-9;
+  cfg.dt = 0.25e-12;
+  cfg.record = {victim};
+  TransientSimulator sim(c, cfg);
+  const TransientResult result = sim.run();
+
+  double peak = 0.0;
+  for (const double v : result.waveform(victim)) peak = std::max(peak, v);
+  EXPECT_GT(peak, 0.1);                              // visible glitch
+  EXPECT_LT(peak, 1.0);                              // bounded by the rail
+  EXPECT_NEAR(result.final_voltage(victim), 0.0, 0.01);  // restored
+}
+
+TEST(Transient, DcOperatingPointRespectsInitialDriverStates) {
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", 1.2);
+  const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+  const NodeId hi = c.add_node("hi");
+  const NodeId lo = c.add_node("lo");
+  c.add_capacitor(hi, gnd, 10e-15);
+  c.add_capacitor(lo, gnd, 10e-15);
+  Driver up;
+  up.out = hi;
+  up.vdd_rail = rail;
+  up.r_up = up.r_dn = 100.0;
+  up.initial_up = true;
+  c.add_driver(up);
+  Driver down;
+  down.out = lo;
+  down.vdd_rail = rail;
+  down.r_up = down.r_dn = 100.0;
+  down.initial_up = false;
+  c.add_driver(down);
+
+  TransientConfig cfg;
+  cfg.t_stop = 100e-12;
+  cfg.dt = 1e-12;
+  TransientSimulator sim(c, cfg);
+  const TransientResult result = sim.run();
+  EXPECT_NEAR(result.final_voltage(hi), 1.2, 1e-6);
+  EXPECT_NEAR(result.final_voltage(lo), 0.0, 1e-6);
+}
+
+TEST(Transient, RejectsBadConfig) {
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", 1.2);
+  (void)rail;
+  c.add_node("a");
+  TransientConfig bad;
+  bad.dt = 0.0;
+  EXPECT_THROW(TransientSimulator(c, bad), std::invalid_argument);
+}
+
+TEST(Transient, ThrowsWithoutUnknownNodes) {
+  Circuit c;
+  c.add_fixed_node("vdd", 1.2);
+  TransientConfig cfg;
+  EXPECT_THROW(TransientSimulator(c, cfg), std::invalid_argument);
+}
+
+TEST(Transient, WaveformRequestedNodeOnly) {
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", 1.2);
+  const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+  const NodeId a = c.add_node("a");
+  const NodeId b = c.add_node("b");
+  c.add_capacitor(a, gnd, 1e-15);
+  c.add_capacitor(b, gnd, 1e-15);
+  c.add_resistor(a, b, 100.0);
+  Driver d;
+  d.out = a;
+  d.vdd_rail = rail;
+  d.r_up = d.r_dn = 100.0;
+  d.initial_up = true;
+  c.add_driver(d);
+
+  TransientConfig cfg;
+  cfg.t_stop = 50e-12;
+  cfg.dt = 1e-12;
+  cfg.record = {a};
+  TransientSimulator sim(c, cfg);
+  const TransientResult result = sim.run();
+  EXPECT_EQ(result.waveform(a).size(), result.times().size());
+  EXPECT_THROW(result.waveform(b), std::out_of_range);
+}
+
+// Trapezoidal integration: second-order accurate, so at a coarse timestep
+// its delay error against the analytic RC answer must be clearly smaller
+// than backward Euler's.
+TEST(Transient, TrapezoidalBeatsBackwardEulerAtCoarseStep) {
+  constexpr double kR = 1000.0;
+  constexpr double kC = 100e-15;
+  constexpr double kTau = kR * kC;
+  const double exact = kTau * std::log(2.0);
+
+  auto delay_with = [&](Integrator integrator, double dt) {
+    Circuit c;
+    const NodeId rail = c.add_fixed_node("vdd", 1.0);
+    const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+    const NodeId out = c.add_node("out");
+    c.add_capacitor(out, gnd, kC);
+    Driver d;
+    d.out = out;
+    d.vdd_rail = rail;
+    d.r_up = d.r_dn = kR;
+    d.initial_up = false;
+    d.schedule = {{100e-12, true}};
+    c.add_driver(d);
+    TransientConfig cfg;
+    cfg.t_stop = 1.5e-9;
+    cfg.dt = dt;
+    cfg.integrator = integrator;
+    TransientSimulator sim(c, cfg);
+    const auto cross = sim.run().last_rise_crossing(out);
+    EXPECT_TRUE(cross.has_value());
+    return *cross - 100e-12;
+  };
+
+  const double dt = 4e-12;  // tau / 25: coarse
+  const double err_be = std::abs(delay_with(Integrator::backward_euler, dt) - exact);
+  const double err_tr = std::abs(delay_with(Integrator::trapezoidal, dt) - exact);
+  EXPECT_LT(err_tr, 0.5 * err_be);
+  // And at a fine step both are close to exact.
+  const double fine_tr = delay_with(Integrator::trapezoidal, 0.25e-12);
+  EXPECT_NEAR(fine_tr, exact, 1.5e-12);
+}
+
+TEST(Transient, TrapezoidalEnergyStillCVSquared) {
+  constexpr double kC = 200e-15;
+  constexpr double kV = 1.0;
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", kV);
+  const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+  const NodeId out = c.add_node("out");
+  c.add_capacitor(out, gnd, kC);
+  Driver d;
+  d.out = out;
+  d.vdd_rail = rail;
+  d.r_up = d.r_dn = 500.0;
+  d.initial_up = false;
+  d.schedule = {{50e-12, true}};
+  c.add_driver(d);
+
+  TransientConfig cfg;
+  cfg.t_stop = 1.5e-9;
+  cfg.dt = 1e-12;
+  cfg.integrator = Integrator::trapezoidal;
+  TransientSimulator sim(c, cfg);
+  const TransientResult result = sim.run();
+  EXPECT_NEAR(result.rail_energy(), kC * kV * kV, 0.02 * kC * kV * kV);
+}
+
+TEST(Transient, IntegratorsAgreeOnInverterChain) {
+  auto final_state = [&](Integrator integrator) {
+    Circuit c;
+    const NodeId rail = c.add_fixed_node("vdd", 1.2);
+    const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+    const NodeId n1 = c.add_node("n1");
+    const NodeId n2 = c.add_node("n2");
+    c.add_capacitor(n1, gnd, 100e-15);
+    c.add_capacitor(n2, gnd, 100e-15);
+    Driver first;
+    first.out = n1;
+    first.vdd_rail = rail;
+    first.r_up = first.r_dn = 1000.0;
+    first.initial_up = false;
+    first.schedule = {{100e-12, true}};
+    c.add_driver(first);
+    Driver second;
+    second.out = n2;
+    second.vdd_rail = rail;
+    second.r_up = second.r_dn = 1000.0;
+    second.initial_up = true;
+    second.in = n1;
+    c.add_driver(second);
+    TransientConfig cfg;
+    cfg.t_stop = 2e-9;
+    cfg.dt = 1e-12;
+    cfg.integrator = integrator;
+    TransientSimulator sim(c, cfg);
+    const TransientResult r = sim.run();
+    return std::pair<double, double>(r.final_voltage(n2),
+                                     r.last_fall_crossing(n2).value_or(-1.0));
+  };
+  const auto [v_be, t_be] = final_state(Integrator::backward_euler);
+  const auto [v_tr, t_tr] = final_state(Integrator::trapezoidal);
+  EXPECT_NEAR(v_be, v_tr, 0.02);
+  EXPECT_NEAR(t_be, t_tr, 5e-12);
+}
+
+// Crossing counters: a driver toggling twice produces one rise + one fall.
+TEST(Transient, CrossingCountsTrackToggles) {
+  Circuit c;
+  const NodeId rail = c.add_fixed_node("vdd", 1.0);
+  const NodeId gnd = c.add_fixed_node("gnd", 0.0);
+  const NodeId out = c.add_node("out");
+  c.add_capacitor(out, gnd, 20e-15);
+  Driver d;
+  d.out = out;
+  d.vdd_rail = rail;
+  d.r_up = d.r_dn = 200.0;
+  d.initial_up = false;
+  d.schedule = {{50e-12, true}, {500e-12, false}};
+  c.add_driver(d);
+
+  TransientConfig cfg;
+  cfg.t_stop = 1e-9;
+  cfg.dt = 0.5e-12;
+  TransientSimulator sim(c, cfg);
+  const TransientResult result = sim.run();
+  EXPECT_EQ(result.rise_count(out), 1);
+  EXPECT_EQ(result.fall_count(out), 1);
+  ASSERT_TRUE(result.last_fall_crossing(out).has_value());
+  EXPECT_GT(*result.last_fall_crossing(out), *result.last_rise_crossing(out));
+}
+
+}  // namespace
+}  // namespace razorbus::spice

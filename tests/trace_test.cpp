@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "trace/io.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+
+namespace razorbus::trace {
+namespace {
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, EmptyAndSingleWordTraces) {
+  Trace empty{"e", {}};
+  const TraceStats s0 = compute_stats(empty);
+  EXPECT_EQ(s0.cycles, 0u);
+  EXPECT_DOUBLE_EQ(s0.toggle_rate, 0.0);
+
+  Trace one{"o", {42}};
+  const TraceStats s1 = compute_stats(one);
+  EXPECT_EQ(s1.cycles, 1u);
+  EXPECT_DOUBLE_EQ(s1.toggle_rate, 0.0);
+}
+
+TEST(Stats, ConstantTraceHasNoActivity) {
+  Trace t{"c", std::vector<std::uint32_t>(100, 0xDEADBEEF)};
+  const TraceStats s = compute_stats(t);
+  EXPECT_DOUBLE_EQ(s.toggle_rate, 0.0);
+  EXPECT_DOUBLE_EQ(s.active_cycle_rate, 0.0);
+  EXPECT_DOUBLE_EQ(s.worst_pattern_rate, 0.0);
+}
+
+TEST(Stats, CheckerboardIsMaximallyHostile) {
+  Trace t{"x", {}};
+  for (int i = 0; i < 100; ++i) t.words.push_back(i % 2 ? 0x55555555u : 0xAAAAAAAAu);
+  const TraceStats s = compute_stats(t);
+  EXPECT_DOUBLE_EQ(s.toggle_rate, 1.0);         // every bit toggles every cycle
+  EXPECT_DOUBLE_EQ(s.active_cycle_rate, 1.0);
+  EXPECT_DOUBLE_EQ(s.worst_pattern_rate, 1.0);  // opposing neighbors everywhere
+}
+
+TEST(Stats, SingleBitToggleCounted) {
+  Trace t{"s", {0, 1, 0, 1, 0}};
+  const TraceStats s = compute_stats(t);
+  EXPECT_NEAR(s.toggle_rate, 1.0 / 32.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.active_cycle_rate, 1.0);
+  EXPECT_DOUBLE_EQ(s.per_bit_toggle[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.per_bit_toggle[1], 0.0);
+  EXPECT_DOUBLE_EQ(s.worst_pattern_rate, 0.0);  // no interior victim pattern
+}
+
+TEST(Stats, WorstPatternDetectsOpposingTriple) {
+  // Bit 2 rises while bits 1 and 3 fall: pattern I on an interior wire.
+  Trace t{"w", {0b01010, 0b00100}};
+  const TraceStats s = compute_stats(t);
+  EXPECT_DOUBLE_EQ(s.worst_pattern_rate, 1.0);
+  // The mirrored case: victim falls while neighbors rise.
+  Trace u{"w2", {0b00100, 0b01010}};
+  EXPECT_DOUBLE_EQ(compute_stats(u).worst_pattern_rate, 1.0);
+}
+
+TEST(Stats, PerBitTogglesSumToToggleRate) {
+  Trace t{"r", {}};
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) t.words.push_back(static_cast<std::uint32_t>(rng.next_u64()));
+  const TraceStats s = compute_stats(t);
+  double sum = 0.0;
+  for (const double p : s.per_bit_toggle) sum += p;
+  EXPECT_NEAR(sum / 32.0, s.toggle_rate, 1e-12);
+  EXPECT_NEAR(s.toggle_rate, 0.5, 0.02);  // uniform random words
+}
+
+TEST(Concatenate, PreservesOrderAndLength) {
+  Trace a{"a", {1, 2}};
+  Trace b{"b", {3}};
+  const Trace c = concatenate({a, b}, "ab");
+  EXPECT_EQ(c.name, "ab");
+  ASSERT_EQ(c.words.size(), 3u);
+  EXPECT_EQ(c.words[0], 1u);
+  EXPECT_EQ(c.words[2], 3u);
+}
+
+// ---------------------------------------------------------------- synthetic
+
+TEST(Synthetic, RespectsCycleCount) {
+  SyntheticConfig cfg;
+  cfg.cycles = 1234;
+  EXPECT_EQ(generate_synthetic(cfg, "t").words.size(), 1234u);
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticConfig cfg;
+  cfg.cycles = 1000;
+  cfg.seed = 99;
+  const Trace a = generate_synthetic(cfg, "a");
+  const Trace b = generate_synthetic(cfg, "b");
+  EXPECT_EQ(a.words, b.words);
+  cfg.seed = 100;
+  EXPECT_NE(generate_synthetic(cfg, "c").words, a.words);
+}
+
+TEST(Synthetic, LoadRateControlsHolds) {
+  SyntheticConfig cfg;
+  cfg.cycles = 20000;
+  cfg.load_rate = 0.1;
+  const TraceStats s = compute_stats(generate_synthetic(cfg, "t"));
+  EXPECT_NEAR(s.active_cycle_rate, 0.1, 0.02);
+
+  cfg.load_rate = 0.0;
+  const TraceStats idle = compute_stats(generate_synthetic(cfg, "idle"));
+  EXPECT_DOUBLE_EQ(idle.active_cycle_rate, 0.0);
+}
+
+TEST(Synthetic, LoadRateValidated) {
+  SyntheticConfig cfg;
+  cfg.load_rate = 1.5;
+  EXPECT_THROW(generate_synthetic(cfg, "t"), std::invalid_argument);
+}
+
+TEST(Synthetic, StyleActivityOrdering) {
+  auto worst_rate = [](SyntheticStyle style, double activity) {
+    SyntheticConfig cfg;
+    cfg.style = style;
+    cfg.cycles = 30000;
+    cfg.load_rate = 0.5;
+    cfg.activity = activity;
+    return compute_stats(generate_synthetic(cfg, "t")).worst_pattern_rate;
+  };
+  const double sparse = worst_rate(SyntheticStyle::sparse, 0.3);
+  const double uniform = worst_rate(SyntheticStyle::uniform, 0.5);
+  const double worst = worst_rate(SyntheticStyle::worst_case, 1.0);
+  EXPECT_LT(sparse, uniform);
+  EXPECT_LT(uniform, worst);
+  EXPECT_GT(worst, 0.45);  // alternating checkerboard whenever active
+}
+
+TEST(Synthetic, FpLikeKeepsExponentBand) {
+  SyntheticConfig cfg;
+  cfg.style = SyntheticStyle::fp_like;
+  cfg.cycles = 5000;
+  cfg.load_rate = 1.0;
+  cfg.activity = 0.8;
+  const Trace t = generate_synthetic(cfg, "fp");
+  const TraceStats s = compute_stats(t);
+  // Sign bit never toggles; low mantissa bits toggle heavily.
+  EXPECT_DOUBLE_EQ(s.per_bit_toggle[31], 0.0);
+  EXPECT_GT(s.per_bit_toggle[2], 0.3);
+}
+
+TEST(Synthetic, PointerLikeKeepsHighBitsStable) {
+  SyntheticConfig cfg;
+  cfg.style = SyntheticStyle::pointer_like;
+  cfg.cycles = 5000;
+  cfg.load_rate = 1.0;
+  const TraceStats s = compute_stats(generate_synthetic(cfg, "ptr"));
+  EXPECT_DOUBLE_EQ(s.per_bit_toggle[30], 0.0);  // heap base bits
+  EXPECT_DOUBLE_EQ(s.per_bit_toggle[0], 0.0);   // word alignment
+  EXPECT_GT(s.per_bit_toggle[4], 0.1);          // offset bits move
+}
+
+TEST(Synthetic, SparseWordsHaveFewBits) {
+  SyntheticConfig cfg;
+  cfg.style = SyntheticStyle::sparse;
+  cfg.cycles = 2000;
+  cfg.load_rate = 1.0;
+  cfg.activity = 0.5;
+  const Trace t = generate_synthetic(cfg, "sparse");
+  for (const auto w : t.words) EXPECT_LE(__builtin_popcount(w), 6);
+}
+
+TEST(Synthetic, RandomWalkTogglesFewBitsPerStep) {
+  SyntheticConfig cfg;
+  cfg.style = SyntheticStyle::random_walk;
+  cfg.cycles = 5000;
+  cfg.load_rate = 1.0;
+  cfg.activity = 0.1;  // at most ~3 flips per step
+  const TraceStats s = compute_stats(generate_synthetic(cfg, "walk"));
+  EXPECT_LT(s.toggle_rate, 0.12);
+  EXPECT_GT(s.toggle_rate, 0.0);
+}
+
+// ---------------------------------------------------------------- io
+
+TEST(TraceIo, BinaryRoundTripInMemory) {
+  SyntheticConfig cfg;
+  cfg.cycles = 3000;
+  cfg.seed = 42;
+  const Trace original = generate_synthetic(cfg, "roundtrip");
+  std::stringstream buffer;
+  save_binary(original, buffer);
+  const auto loaded = load_binary(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->words, original.words);
+}
+
+TEST(TraceIo, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("this is not a trace");
+  EXPECT_FALSE(load_binary(garbage).has_value());
+
+  const Trace t{"x", {1, 2, 3, 4, 5}};
+  std::stringstream buffer;
+  save_binary(t, buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() - 6);
+  std::stringstream truncated(data);
+  EXPECT_FALSE(load_binary(truncated).has_value());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "./trace_io_test.rbtrace";
+  const Trace t{"filetrip", {0xDEADBEEFu, 0, 42}};
+  save_trace_file(t, path);
+  const Trace loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.name, "filetrip");
+  EXPECT_EQ(loaded.words, t.words);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_trace_file(path), std::runtime_error);
+}
+
+TEST(TraceIo, CsvExportFormat) {
+  const Trace t{"csv", {0x0000001u, 0xFFFFFFFFu}};
+  std::ostringstream os;
+  export_csv(t, os);
+  EXPECT_EQ(os.str(), "cycle,word_hex\n0,00000001\n1,ffffffff\n");
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const Trace t{"empty", {}};
+  std::stringstream buffer;
+  save_binary(t, buffer);
+  const auto loaded = load_binary(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->words.empty());
+  EXPECT_EQ(loaded->name, "empty");
+}
+
+}  // namespace
+}  // namespace razorbus::trace
