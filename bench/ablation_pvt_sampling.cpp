@@ -17,68 +17,75 @@ using namespace razorbus;
 using namespace razorbus::bench;
 
 int main(int argc, char** argv) {
-  const CliFlags flags(argc, argv);
-  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 300000));
-  const auto samples = static_cast<int>(flags.get_int("samples", 24));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2025));
-  flags.reject_unused();
+  Scenario scenario;
+  scenario.name = "ablation_pvt_sampling";
+  scenario.description = "DVS gain distribution over random PVT";
+  scenario.paper_ref = "extension of Section 4 (the paper sweeps corners only)";
+  scenario.default_cycles = 300000;
+  scenario.extra_flags = {"samples", "seed"};
+  scenario.run = [](ScenarioContext& ctx) {
+    const auto samples = static_cast<int>(ctx.flags().get_int("samples", 24));
+    const auto seed = static_cast<std::uint64_t>(ctx.flags().get_int("seed", 2025));
 
-  print_header("ablation_pvt_sampling: DVS gain distribution over random PVT",
-               "extension of Section 4 (the paper sweeps corners only)");
+    const trace::Trace trace = cpu::benchmark_by_name("vortex").capture(ctx.cycles);
+    std::printf("Workload: vortex, %zu cycles, %d sampled operating points\n", ctx.cycles,
+                samples);
 
-  const trace::Trace trace = cpu::benchmark_by_name("vortex").capture(cycles);
-  std::printf("Workload: vortex, %zu cycles, %d sampled operating points\n", cycles,
-              samples);
+    Rng rng(seed);
+    RunningStats gain_stats;
+    RunningStats err_stats;
+    Histogram gain_hist(0.0, 0.6, 12);
 
-  Rng rng(seed);
-  RunningStats gain_stats;
-  RunningStats err_stats;
-  Histogram gain_hist(0.0, 0.6, 12);
+    Table table({"#", "Process", "Temp (C)", "IR drop (%)", "Gain (%)", "Err (%)"});
+    for (int s = 0; s < samples; ++s) {
+      tech::PvtCorner corner;
+      // Process corners are discrete (die-to-die); skew toward typical.
+      const double p = rng.next_double();
+      corner.process = p < 0.2   ? tech::ProcessCorner::slow
+                       : p < 0.8 ? tech::ProcessCorner::typical
+                                 : tech::ProcessCorner::fast;
+      corner.temp_c = rng.uniform(25.0, 100.0);
+      corner.ir_drop_fraction = rng.uniform(0.0, 0.10);
 
-  Table table({"#", "Process", "Temp (C)", "IR drop (%)", "Gain (%)", "Err (%)"});
-  for (int s = 0; s < samples; ++s) {
-    tech::PvtCorner corner;
-    // Process corners are discrete (die-to-die); skew toward typical.
-    const double p = rng.next_double();
-    corner.process = p < 0.2   ? tech::ProcessCorner::slow
-                     : p < 0.8 ? tech::ProcessCorner::typical
-                               : tech::ProcessCorner::fast;
-    corner.temp_c = rng.uniform(25.0, 100.0);
-    corner.ir_drop_fraction = rng.uniform(0.0, 0.10);
+      // Temperatures are characterised at 25/100C; evaluate at the nearer one
+      // (the table axis is coarse by design, like the paper's).
+      corner.temp_c = corner.temp_c < 62.5 ? 25.0 : 100.0;
 
-    // Temperatures are characterised at 25/100C; evaluate at the nearer one
-    // (the table axis is coarse by design, like the paper's).
-    corner.temp_c = corner.temp_c < 62.5 ? 25.0 : 100.0;
+      const core::DvsRunReport r =
+          core::run_closed_loop(paper_system(), corner, trace, core::DvsRunConfig{});
+      gain_stats.add(r.energy_gain());
+      err_stats.add(r.error_rate());
+      gain_hist.add(r.energy_gain());
 
-    const core::DvsRunReport r =
-        core::run_closed_loop(paper_system(), corner, trace, core::DvsRunConfig{});
-    gain_stats.add(r.energy_gain());
-    err_stats.add(r.error_rate());
-    gain_hist.add(r.energy_gain());
+      table.row()
+          .add(static_cast<long long>(s + 1))
+          .add(tech::to_string(corner.process))
+          .add(corner.temp_c, 0)
+          .add(100.0 * corner.ir_drop_fraction, 1)
+          .add(100.0 * r.energy_gain(), 1)
+          .add(100.0 * r.error_rate(), 2);
+    }
+    ctx.table("samples", table);
+    ctx.metric("gain_mean", gain_stats.mean());
+    ctx.metric("gain_stddev", gain_stats.stddev());
+    ctx.metric("gain_min", gain_stats.min());
+    ctx.metric("gain_max", gain_stats.max());
+    ctx.metric("err_mean", err_stats.mean());
 
-    table.row()
-        .add(static_cast<long long>(s + 1))
-        .add(tech::to_string(corner.process))
-        .add(corner.temp_c, 0)
-        .add(100.0 * corner.ir_drop_fraction, 1)
-        .add(100.0 * r.energy_gain(), 1)
-        .add(100.0 * r.error_rate(), 2);
-  }
-  table.print(std::cout);
-
-  std::printf("\nGain distribution: mean %.1f%%, stddev %.1f%%, min %.1f%%, max %.1f%%\n",
-              100.0 * gain_stats.mean(), 100.0 * gain_stats.stddev(),
-              100.0 * gain_stats.min(), 100.0 * gain_stats.max());
-  std::printf("Average error rate across samples: %.2f%%\n", 100.0 * err_stats.mean());
-  std::printf("\nHistogram (gain bucket -> share of samples):\n");
-  for (std::size_t b = 0; b < gain_hist.bins(); ++b) {
-    if (gain_hist.count(b) == 0.0) continue;
-    std::printf("  %4.0f-%4.0f%% : %5.1f%%\n", 100.0 * gain_hist.bin_lo(b),
-                100.0 * gain_hist.bin_hi(b), 100.0 * gain_hist.fraction(b));
-  }
-  std::printf(
-      "\nReading the output: every sampled part saves energy (the controller\n"
-      "adapts), with most of the population well above the worst-corner\n"
-      "result — the expected-case argument for error-tolerant DVS.\n");
-  return 0;
+    std::printf("\nGain distribution: mean %.1f%%, stddev %.1f%%, min %.1f%%, max %.1f%%\n",
+                100.0 * gain_stats.mean(), 100.0 * gain_stats.stddev(),
+                100.0 * gain_stats.min(), 100.0 * gain_stats.max());
+    std::printf("Average error rate across samples: %.2f%%\n", 100.0 * err_stats.mean());
+    std::printf("\nHistogram (gain bucket -> share of samples):\n");
+    for (std::size_t b = 0; b < gain_hist.bins(); ++b) {
+      if (gain_hist.count(b) == 0.0) continue;
+      std::printf("  %4.0f-%4.0f%% : %5.1f%%\n", 100.0 * gain_hist.bin_lo(b),
+                  100.0 * gain_hist.bin_hi(b), 100.0 * gain_hist.fraction(b));
+    }
+    std::printf(
+        "\nReading the output: every sampled part saves energy (the controller\n"
+        "adapts), with most of the population well above the worst-corner\n"
+        "result — the expected-case argument for error-tolerant DVS.\n");
+  };
+  return run_scenario(argc, argv, scenario);
 }

@@ -16,57 +16,58 @@ using namespace razorbus;
 using namespace razorbus::bench;
 
 int main(int argc, char** argv) {
-  const CliFlags flags(argc, argv);
-  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 300000));
-  flags.reject_unused();
+  Scenario scenario;
+  scenario.name = "ablation_repeater";
+  scenario.description = "repeater sizing vs the DVS opportunity";
+  scenario.paper_ref = "sizing philosophy of Section 3 (related work [3],[4])";
+  scenario.default_cycles = 300000;
+  scenario.run = [](ScenarioContext& ctx) {
+    const double nominal_size = paper_system().design().repeater_size;
+    const trace::Trace workload = cpu::benchmark_by_name("vortex").capture(ctx.cycles);
+    const auto corner = tech::typical_corner();
+    const auto worst = tech::worst_case_corner();
 
-  print_header("ablation_repeater: repeater sizing vs the DVS opportunity",
-               "sizing philosophy of Section 3 (related work [3],[4])");
+    Table table({"Size (x delay-opt)", "Repeater size", "Worst delay @WC (ps)",
+                 "Meets 600ps", "E/cycle @nom (pJ)", "DVS gain (%)"});
 
-  const double nominal_size = paper_system().design().repeater_size;
-  const trace::Trace workload = cpu::benchmark_by_name("vortex").capture(cycles);
-  const auto corner = tech::typical_corner();
-  const auto worst = tech::worst_case_corner();
+    for (const double mult : {0.6, 0.8, 1.0, 1.4}) {
+      interconnect::BusDesign design = interconnect::BusDesign::paper_bus();
+      design.repeater_size = nominal_size * mult;
+      char label[32];
+      std::snprintf(label, sizeof(label), "repeaters x%.1f", mult);
+      const core::DvsBusSystem system(design, options_with_progress(label));
 
-  Table table({"Size (x delay-opt)", "Repeater size", "Worst delay @WC (ps)",
-               "Meets 600ps", "E/cycle @nom (pJ)", "DVS gain (%)"});
+      const double wc_delay = system.nominal_worst_delay(worst);
+      const bool meets = wc_delay <= design.main_capture_limit() * 1.001;
 
-  for (const double mult : {0.6, 0.8, 1.0, 1.4}) {
-    interconnect::BusDesign design = interconnect::BusDesign::paper_bus();
-    design.repeater_size = nominal_size * mult;
-    char label[32];
-    std::snprintf(label, sizeof(label), "repeaters x%.1f", mult);
-    const core::DvsBusSystem system(design, options_with_progress(label));
+      // Per-cycle energy at the nominal supply on the reference bus.
+      const auto ref = bus::BusSimulator::run_reference(system.design(), system.table(),
+                                                        corner, workload.words);
+      const double e_cycle = ref.bus_energy / static_cast<double>(ref.cycles);
 
-    const double wc_delay = system.nominal_worst_delay(worst);
-    const bool meets = wc_delay <= design.main_capture_limit() * 1.001;
+      double gain = 0.0;
+      if (meets) {
+        const auto dvs =
+            core::run_closed_loop(system, corner, workload, core::DvsRunConfig{});
+        gain = dvs.energy_gain();
+        ctx.metric("gain_x" + format_fixed(mult, 1), gain);
+      }
 
-    // Per-cycle energy at the nominal supply on the reference bus.
-    const auto ref = bus::BusSimulator::run_reference(system.design(), system.table(),
-                                                      corner, workload.words);
-    const double e_cycle = ref.bus_energy / static_cast<double>(ref.cycles);
-
-    double gain = 0.0;
-    if (meets) {
-      const auto dvs =
-          core::run_closed_loop(system, corner, workload, core::DvsRunConfig{});
-      gain = dvs.energy_gain();
+      table.row()
+          .add(mult, 1)
+          .add(design.repeater_size, 1)
+          .add(to_ps(wc_delay), 0)
+          .add(meets ? "yes" : "NO")
+          .add(to_pJ(e_cycle), 2)
+          .add(meets ? format_fixed(100.0 * gain, 1) : "n/a");
     }
+    ctx.table("repeater_sizing", table);
 
-    table.row()
-        .add(mult, 1)
-        .add(design.repeater_size, 1)
-        .add(to_ps(wc_delay), 0)
-        .add(meets ? "yes" : "NO")
-        .add(to_pJ(e_cycle), 2)
-        .add(meets ? format_fixed(100.0 * gain, 1) : "n/a");
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nReading the table: the paper's delay-sized repeaters (x1.0) are the\n"
-      "smallest that meet the worst-case contract; oversizing buys little\n"
-      "extra DVS headroom but pays gate capacitance on every switch, while\n"
-      "undersizing violates the 600 ps design contract outright.\n");
-  return 0;
+    std::printf(
+        "\nReading the table: the paper's delay-sized repeaters (x1.0) are the\n"
+        "smallest that meet the worst-case contract; oversizing buys little\n"
+        "extra DVS headroom but pays gate capacitance on every switch, while\n"
+        "undersizing violates the 600 ps design contract outright.\n");
+  };
+  return run_scenario(argc, argv, scenario);
 }

@@ -1,13 +1,16 @@
 // Shared plumbing for the reproduction harnesses.
 //
-// Every bench binary regenerates one table or figure of the paper. They all
-// need the same setup: the characterised paper bus (cached on disk after
-// the first run) and the 10 benchmark traces. Cycle counts default to a
-// laptop-friendly fraction of the paper's 10M cycles per benchmark and can
-// be raised with --cycles=<n>.
+// Every bench binary regenerates one table or figure of the paper (see
+// DESIGN.md §4 for the index). They all share the same shape: characterise
+// the paper bus (cached on disk after the first run), capture traces, run
+// one experiment, print tables. The scenario runner factors that shape out
+// of the 13 mains: flag parsing (--cycles, --json), the banner, wall-clock
+// timing, and a machine-readable JSON report so the result and perf
+// trajectory of every scenario can be tracked across commits.
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,46 +19,69 @@
 #include "cpu/kernels.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace razorbus::bench {
 
-inline core::SystemOptions options_with_progress(const char* what) {
-  core::SystemOptions options;
-  std::string label = what;
-  options.progress = [label, printed = -1](int done, int total) mutable {
-    const int pct = total ? done * 100 / total : 100;
-    if (pct / 10 != printed) {
-      printed = pct / 10;
-      std::fprintf(stderr, "[characterising %s: %d%%]\n", label.c_str(), pct);
-    }
-  };
-  return options;
-}
+core::SystemOptions options_with_progress(const char* what);
 
 // The characterised paper bus (built once, then loaded from the cache).
-inline const core::DvsBusSystem& paper_system() {
-  static const core::DvsBusSystem system(interconnect::BusDesign::paper_bus(),
-                                         options_with_progress("paper bus"));
-  return system;
-}
+const core::DvsBusSystem& paper_system();
 
 // All 10 benchmark traces at `cycles` cycles each, in Table 1 order.
-inline std::vector<trace::Trace> suite_traces(std::size_t cycles) {
-  std::vector<trace::Trace> traces;
-  for (const auto& bench : cpu::spec2000_suite()) {
-    std::fprintf(stderr, "[tracing %s: %zu cycles]\n", bench.name.c_str(), cycles);
-    traces.push_back(bench.capture(cycles));
-  }
-  return traces;
-}
+std::vector<trace::Trace> suite_traces(std::size_t cycles);
 
-inline void print_header(const char* title, const char* paper_ref) {
-  std::printf("\n================================================================\n");
-  std::printf("%s\n", title);
-  std::printf("Reproduces: %s\n", paper_ref);
-  std::printf("================================================================\n");
-}
+void print_header(const char* title, const char* paper_ref);
+
+// ------------------------------------------------------- scenario runner
+
+// Handed to a scenario's run(): parsed flags, the resolved cycle budget,
+// and sinks for results. Everything recorded here lands in the JSON report
+// when the binary is invoked with --json[=path].
+class ScenarioContext {
+ public:
+  explicit ScenarioContext(CliFlags& flags) : flags_(flags) {}
+
+  CliFlags& flags() { return flags_; }
+  std::size_t cycles = 0;  // resolved --cycles (scenario default applied)
+
+  // Record a named scalar result (gain, error rate, throughput, ...).
+  void metric(const std::string& name, double value) { metrics_.set(name, value); }
+  // Record a named string annotation.
+  void note(const std::string& name, const std::string& value) {
+    notes_.set(name, value);
+  }
+  // Pretty-print a table to stdout AND record it in the report.
+  void table(const std::string& name, const Table& t);
+
+  Json& metrics() { return metrics_; }
+
+ private:
+  friend int run_scenario(int argc, char** argv, const struct Scenario& scenario);
+
+  CliFlags& flags_;
+  Json metrics_ = Json::object();
+  Json notes_ = Json::object();
+  Json tables_ = Json::object();
+};
+
+struct Scenario {
+  std::string name;         // binary-style identifier (fig4_voltage_sweep)
+  std::string description;  // one-line banner text
+  std::string paper_ref;    // which table/figure/section it reproduces
+  // Default --cycles value; 0 means the scenario takes no cycle budget.
+  std::size_t default_cycles = 0;
+  // Extra flag names run() will query (beyond --cycles/--json). Declared
+  // up front so a typo'd flag fails BEFORE the expensive run, not after.
+  std::vector<std::string> extra_flags;
+  std::function<void(ScenarioContext&)> run;
+};
+
+// Shared main(): parses flags, prints the banner, times run(), rejects
+// unknown flags, and with --json[=path] writes the report (default path
+// BENCH_<name>.json). Returns the process exit code.
+int run_scenario(int argc, char** argv, const Scenario& scenario);
 
 }  // namespace razorbus::bench

@@ -10,7 +10,8 @@ using namespace razorbus::bench;
 
 namespace {
 
-void sweep_for(const tech::PvtCorner& corner, const std::vector<trace::Trace>& traces) {
+void sweep_for(ScenarioContext& ctx, const tech::PvtCorner& corner,
+               const std::vector<trace::Trace>& traces) {
   const core::StaticSweepResult sweep =
       core::static_voltage_sweep(paper_system(), corner, traces);
 
@@ -25,29 +26,33 @@ void sweep_for(const tech::PvtCorner& corner, const std::vector<trace::Trace>& t
         .add(it->norm_bus_energy, 3)
         .add(it->norm_total_energy, 3);
   }
-  table.print(std::cout);
+  ctx.table(corner.name(), table);
+  ctx.metric(corner.name() + "_floor_mV", to_mV(sweep.floor_supply));
+  ctx.metric(corner.name() + "_norm_energy_at_floor",
+             sweep.points.front().norm_total_energy);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliFlags flags(argc, argv);
-  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 200000));
-  flags.reject_unused();
+  Scenario scenario;
+  scenario.name = "fig4_voltage_sweep";
+  scenario.description = "energy & error rate vs scaled supply";
+  scenario.paper_ref = "Fig. 4(a) and 4(b)";
+  scenario.default_cycles = 200000;
+  scenario.run = [](ScenarioContext& ctx) {
+    std::printf("Combined trace: 10 benchmarks x %zu cycles "
+                "(paper: 10M each; raise with --cycles=N)\n", ctx.cycles);
 
-  print_header("fig4_voltage_sweep: energy & error rate vs scaled supply",
-               "Fig. 4(a) and 4(b)");
-  std::printf("Combined trace: 10 benchmarks x %zu cycles "
-              "(paper: 10M each; raise with --cycles=N)\n", cycles);
+    const auto traces = suite_traces(ctx.cycles);
+    sweep_for(ctx, tech::worst_case_corner(), traces);  // Fig. 4(a)
+    sweep_for(ctx, tech::typical_corner(), traces);     // Fig. 4(b)
 
-  const auto traces = suite_traces(cycles);
-  sweep_for(tech::worst_case_corner(), traces);   // Fig. 4(a)
-  sweep_for(tech::typical_corner(), traces);      // Fig. 4(b)
-
-  std::printf(
-      "\nExpected shape (paper): at the worst corner errors appear immediately\n"
-      "below 1200 mV; at the typical corner the bus is error-free down to\n"
-      "~980 mV; energy falls roughly quadratically; the recovery overhead\n"
-      "curve sits just above the bus energy curve.\n");
-  return 0;
+    std::printf(
+        "\nExpected shape (paper): at the worst corner errors appear immediately\n"
+        "below 1200 mV; at the typical corner the bus is error-free down to\n"
+        "~980 mV; energy falls roughly quadratically; the recovery overhead\n"
+        "curve sits just above the bus energy curve.\n");
+  };
+  return run_scenario(argc, argv, scenario);
 }

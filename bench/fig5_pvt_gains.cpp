@@ -9,35 +9,37 @@ using namespace razorbus;
 using namespace razorbus::bench;
 
 int main(int argc, char** argv) {
-  const CliFlags flags(argc, argv);
-  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 100000));
-  flags.reject_unused();
+  Scenario scenario;
+  scenario.name = "fig5_pvt_gains";
+  scenario.description = "static energy gains vs PVT corner delay spread";
+  scenario.paper_ref = "Fig. 5";
+  scenario.default_cycles = 100000;
+  scenario.run = [](ScenarioContext& ctx) {
+    const auto traces = suite_traces(ctx.cycles);
 
-  print_header("fig5_pvt_gains: static energy gains vs PVT corner delay spread",
-               "Fig. 5");
-  const auto traces = suite_traces(cycles);
+    Table table({"PVT corner", "Delay @1.2V (ps)", "Gain 0% (%)", "Gain 2% (%)",
+                 "Gain 5% (%)", "V @2% (mV)"});
+    for (const auto& corner : tech::fig5_corners()) {
+      std::fprintf(stderr, "[sweeping %s]\n", corner.name().c_str());
+      const core::StaticSweepResult sweep =
+          core::static_voltage_sweep(paper_system(), corner, traces);
+      const auto gains = core::gains_for_targets(sweep, {0.0, 0.02, 0.05});
+      table.row()
+          .add(corner.name())
+          .add(to_ps(paper_system().nominal_worst_delay(corner)), 0)
+          .add(100.0 * gains[0].energy_gain, 1)
+          .add(100.0 * gains[1].energy_gain, 1)
+          .add(100.0 * gains[2].energy_gain, 1)
+          .add(to_mV(gains[1].chosen_supply), 0);
+      ctx.metric(corner.name() + "_gain_2pct", gains[1].energy_gain);
+    }
+    ctx.table("fig5", table);
 
-  Table table({"PVT corner", "Delay @1.2V (ps)", "Gain 0% (%)", "Gain 2% (%)",
-               "Gain 5% (%)", "V @2% (mV)"});
-  for (const auto& corner : tech::fig5_corners()) {
-    std::fprintf(stderr, "[sweeping %s]\n", corner.name().c_str());
-    const core::StaticSweepResult sweep =
-        core::static_voltage_sweep(paper_system(), corner, traces);
-    const auto gains = core::gains_for_targets(sweep, {0.0, 0.02, 0.05});
-    table.row()
-        .add(corner.name())
-        .add(to_ps(paper_system().nominal_worst_delay(corner)), 0)
-        .add(100.0 * gains[0].energy_gain, 1)
-        .add(100.0 * gains[1].energy_gain, 1)
-        .add(100.0 * gains[2].energy_gain, 1)
-        .add(to_mV(gains[1].chosen_supply), 0);
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape (paper): gains grow monotonically as the corner gets\n"
-      "faster (x axis: 600 ps down to ~420 ps); the 0%% and 2%% curves are\n"
-      "indistinguishable (error rates jump from 0 straight past 2%% on the\n"
-      "20 mV grid); 5%% sits somewhat higher; typical corner ~35%% at 0%%.\n");
-  return 0;
+    std::printf(
+        "\nExpected shape (paper): gains grow monotonically as the corner gets\n"
+        "faster (x axis: 600 ps down to ~420 ps); the 0%% and 2%% curves are\n"
+        "indistinguishable (error rates jump from 0 straight past 2%% on the\n"
+        "20 mV grid); 5%% sits somewhat higher; typical corner ~35%% at 0%%.\n");
+  };
+  return run_scenario(argc, argv, scenario);
 }

@@ -1,7 +1,16 @@
-// Engine microbenchmarks (google-benchmark): throughput of the simulation
-// layers that the reproduction harnesses are built on. Useful when tuning
-// experiment cycle budgets.
-#include <benchmark/benchmark.h>
+// Engine microbenchmarks: throughput of the simulation layers the
+// reproduction harnesses are built on.
+//
+// The headline numbers are the bus-cycle rates of the two engines
+// (EngineMode::reference per-wire golden path vs the bit-parallel batched
+// production path) on active, mixed and idle traffic. They are printed as
+// a table and always written to BENCH_engine.json (override the path with
+// --json=...) so the speedup trajectory can be tracked across commits.
+//
+// With --gbench the finer-grained google-benchmark suite (table slice
+// interpolation, mini-CPU stepping, transient cluster runs, oracle
+// classification) runs as well, when the library is available.
+#include <chrono>
 
 #include "bench_common.hpp"
 #include "bus/simulator.hpp"
@@ -9,29 +18,117 @@
 #include "spice/transient.hpp"
 #include "trace/synthetic.hpp"
 
+#if defined(RAZORBUS_HAVE_GBENCH)
+#include <benchmark/benchmark.h>
+#endif
+
 using namespace razorbus;
+using namespace razorbus::bench;
 
 namespace {
 
-void BM_BusSimulatorStep(benchmark::State& state) {
-  const auto& system = bench::paper_system();
-  bus::BusSimulator sim = system.make_simulator(tech::typical_corner());
-  sim.set_supply(1.0);
+trace::Trace make_trace(trace::SyntheticStyle style, double load_rate, std::size_t cycles,
+                        const char* name) {
   trace::SyntheticConfig cfg;
-  cfg.cycles = 4096;
-  cfg.load_rate = 0.4;
-  const trace::Trace t = trace::generate_synthetic(cfg, "bench");
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.step(t.words[i++ & 4095]));
+  cfg.style = style;
+  cfg.cycles = cycles;
+  cfg.load_rate = load_rate;
+  cfg.seed = 0xbeef;
+  return trace::generate_synthetic(cfg, name);
+}
+
+// Cycles/second of `mode` over `words`, re-running the trace until the
+// measurement window is long enough to trust.
+double measure_cps(bus::EngineMode mode, const std::vector<std::uint32_t>& words) {
+  bus::BusSimulator sim = paper_system().make_simulator(tech::typical_corner());
+  sim.set_engine_mode(mode);
+  sim.set_supply(1.00);
+  sim.run(words);  // warm up (and fault in the tables)
+
+  using clock = std::chrono::steady_clock;
+  std::uint64_t cycles_done = 0;
+  double elapsed = 0.0;
+  const auto t0 = clock::now();
+  do {
+    sim.run(words);
+    cycles_done += words.size();
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (elapsed < 0.25);
+  return static_cast<double>(cycles_done) / elapsed;
+}
+
+void engine_showdown(ScenarioContext& ctx) {
+  struct Workload {
+    const char* name;
+    trace::Trace trace;
+  };
+  const Workload workloads[] = {
+      {"active (load 1.0)",
+       make_trace(trace::SyntheticStyle::uniform, 1.0, ctx.cycles, "active")},
+      {"mixed (load 0.4)",
+       make_trace(trace::SyntheticStyle::uniform, 0.4, ctx.cycles, "mixed")},
+      {"worst-case toggle",
+       make_trace(trace::SyntheticStyle::worst_case, 1.0, ctx.cycles, "toggle")},
+      {"idle (load 0.02)",
+       make_trace(trace::SyntheticStyle::sparse, 0.02, ctx.cycles, "idle")},
+  };
+
+  Table table({"Workload", "Reference (Mcyc/s)", "Bit-parallel (Mcyc/s)", "Speedup"});
+  double active_speedup = 0.0;
+  for (const auto& w : workloads) {
+    const double ref_cps = measure_cps(bus::EngineMode::reference, w.trace.words);
+    const double fast_cps = measure_cps(bus::EngineMode::bit_parallel, w.trace.words);
+    const double speedup = fast_cps / ref_cps;
+    table.row()
+        .add(w.name)
+        .add(ref_cps / 1e6, 1)
+        .add(fast_cps / 1e6, 1)
+        .add(speedup, 2);
+
+    std::string key = w.name;
+    key = key.substr(0, key.find(' '));
+    ctx.metric(key + "_reference_cps", ref_cps);
+    ctx.metric(key + "_bit_parallel_cps", fast_cps);
+    ctx.metric(key + "_speedup", speedup);
+    if (key == "active") active_speedup = speedup;
   }
+  ctx.table("engine_throughput", table);
+  std::printf(
+      "\nThe bit-parallel batched engine is the default; the per-wire\n"
+      "reference path remains as the golden model (DESIGN.md §5).\n");
+  if (active_speedup < 5.0)
+    std::printf("WARNING: active-traffic speedup %.2fx below the 5x budget\n",
+                active_speedup);
+}
+
+}  // namespace
+
+#if defined(RAZORBUS_HAVE_GBENCH)
+namespace {
+
+void BM_BusSimulatorStepReference(benchmark::State& state) {
+  bus::BusSimulator sim = paper_system().make_simulator(tech::typical_corner());
+  sim.set_engine_mode(bus::EngineMode::reference);
+  sim.set_supply(1.0);
+  const trace::Trace t = make_trace(trace::SyntheticStyle::uniform, 0.4, 4096, "bench");
+  std::size_t i = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step(t.words[i++ & 4095]));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_BusSimulatorStep);
+BENCHMARK(BM_BusSimulatorStepReference);
+
+void BM_BusSimulatorStepBitParallel(benchmark::State& state) {
+  bus::BusSimulator sim = paper_system().make_simulator(tech::typical_corner());
+  sim.set_supply(1.0);
+  const trace::Trace t = make_trace(trace::SyntheticStyle::uniform, 0.4, 4096, "bench");
+  std::size_t i = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step(t.words[i++ & 4095]));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BusSimulatorStepBitParallel);
 
 void BM_BusSimulatorStepIdle(benchmark::State& state) {
-  const auto& system = bench::paper_system();
-  bus::BusSimulator sim = system.make_simulator(tech::typical_corner());
+  bus::BusSimulator sim = paper_system().make_simulator(tech::typical_corner());
   sim.set_supply(1.0);
   for (auto _ : state) benchmark::DoNotOptimize(sim.step(0u));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -39,7 +136,7 @@ void BM_BusSimulatorStepIdle(benchmark::State& state) {
 BENCHMARK(BM_BusSimulatorStepIdle);
 
 void BM_TableSliceInterpolation(benchmark::State& state) {
-  const auto& table = bench::paper_system().table();
+  const auto& table = paper_system().table();
   double v = 0.90;
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.slice(tech::ProcessCorner::typical, 100.0, v));
@@ -58,7 +155,7 @@ void BM_MachineStep(benchmark::State& state) {
 BENCHMARK(BM_MachineStep);
 
 void BM_TransientClusterRun(benchmark::State& state) {
-  const auto& design = bench::paper_system().design();
+  const auto& design = paper_system().design();
   const tech::DriverModel driver(design.node);
   const interconnect::ClusterCharacterizer chr(design, driver);
   interconnect::ClusterSpec spec;
@@ -74,8 +171,7 @@ void BM_TransientClusterRun(benchmark::State& state) {
 BENCHMARK(BM_TransientClusterRun);
 
 void BM_OracleCriticalIndex(benchmark::State& state) {
-  const auto& system = bench::paper_system();
-  const dvs::OracleSelector oracle(system.design(), system.table(),
+  const dvs::OracleSelector oracle(paper_system().design(), paper_system().table(),
                                    tech::typical_corner());
   Rng rng(5);
   std::uint32_t prev = 0;
@@ -89,5 +185,47 @@ void BM_OracleCriticalIndex(benchmark::State& state) {
 BENCHMARK(BM_OracleCriticalIndex);
 
 }  // namespace
+#endif  // RAZORBUS_HAVE_GBENCH
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Scenario scenario;
+  scenario.name = "engine";
+  scenario.description = "perf_microbench: engine throughput (cycles/sec per mode)";
+  scenario.paper_ref = "methodology Section 3 (simulation speed enables 10M-cycle runs)";
+  scenario.default_cycles = 1 << 18;
+  scenario.run = engine_showdown;
+
+  // The scenario runner owns --cycles/--json; strip our extra flags first.
+  bool want_gbench = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gbench")
+      want_gbench = true;
+    else
+      args.push_back(argv[i]);
+  }
+  int args_count = static_cast<int>(args.size());
+
+  // Always emit the JSON report: BENCH_engine.json is the tracked artifact.
+  std::string default_json = "--json";
+  bool has_json = false;
+  for (int i = 1; i < args_count; ++i)
+    if (std::string(args[static_cast<std::size_t>(i)]).rfind("--json", 0) == 0)
+      has_json = true;
+  if (!has_json) args.push_back(&default_json[0]);
+
+  const int rc = run_scenario(static_cast<int>(args.size()), args.data(), scenario);
+  if (rc != 0) return rc;
+
+  if (want_gbench) {
+#if defined(RAZORBUS_HAVE_GBENCH)
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+#else
+    std::fprintf(stderr, "google-benchmark support not compiled in\n");
+    return 1;
+#endif
+  }
+  return 0;
+}

@@ -11,7 +11,8 @@ using namespace razorbus::bench;
 
 namespace {
 
-void table_for(const tech::PvtCorner& corner, const std::vector<trace::Trace>& traces) {
+void table_for(ScenarioContext& ctx, const tech::PvtCorner& corner,
+               const std::vector<trace::Trace>& traces) {
   const double fixed_supply = paper_system().fixed_vs_supply(corner.process);
   std::printf("\nPVT corner: %s\n", corner.name().c_str());
   std::printf("Fixed VS supply: %.0f mV, DVS floor: %.0f mV\n", to_mV(fixed_supply),
@@ -43,35 +44,40 @@ void table_for(const tech::PvtCorner& corner, const std::vector<trace::Trace>& t
     total_errors += dvs.totals.errors;
     total_cycles += dvs.totals.cycles;
   }
+  const double fixed_gain = 1.0 - fixed_total / fixed_total_base;
+  const double dvs_gain = 1.0 - dvs_total / dvs_total_base;
   table.row()
       .add("Total")
-      .add(100.0 * (1.0 - fixed_total / fixed_total_base), 1)
-      .add(100.0 * (1.0 - dvs_total / dvs_total_base), 1)
+      .add(100.0 * fixed_gain, 1)
+      .add(100.0 * dvs_gain, 1)
       .add(100.0 * static_cast<double>(total_errors) / static_cast<double>(total_cycles), 2)
       .add("-");
-  table.print(std::cout);
+  ctx.table(corner.name(), table);
+  ctx.metric(corner.name() + "_fixed_vs_gain", fixed_gain);
+  ctx.metric(corner.name() + "_dvs_gain", dvs_gain);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliFlags flags(argc, argv);
-  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 1000000));
-  flags.reject_unused();
+  Scenario scenario;
+  scenario.name = "table1_dvs_gains";
+  scenario.description = "fixed VS vs proposed DVS per benchmark";
+  scenario.paper_ref = "Table 1";
+  scenario.default_cycles = 1000000;
+  scenario.run = [](ScenarioContext& ctx) {
+    std::printf("Cycles per benchmark: %zu (paper: 10M; raise with --cycles=N).\n"
+                "DVS starts at the nominal 1.2 V, so short runs under-report its\n"
+                "steady-state gain (the descent transient is amortised in longer runs).\n",
+                ctx.cycles);
+    const auto traces = suite_traces(ctx.cycles);
+    table_for(ctx, tech::worst_case_corner(), traces);
+    table_for(ctx, tech::typical_corner(), traces);
 
-  print_header("table1_dvs_gains: fixed VS vs proposed DVS per benchmark", "Table 1");
-  std::printf("Cycles per benchmark: %zu (paper: 10M; raise with --cycles=N).\n"
-              "DVS starts at the nominal 1.2 V, so short runs under-report its\n"
-              "steady-state gain (the descent transient is amortised in longer runs).\n",
-              cycles);
-  const auto traces = suite_traces(cycles);
-
-  table_for(tech::worst_case_corner(), traces);
-  table_for(tech::typical_corner(), traces);
-
-  std::printf(
-      "\nExpected shape (paper): worst corner - fixed VS gains exactly 0,\n"
-      "DVS gains ~1-17%% depending on program activity; typical corner -\n"
-      "fixed VS ~17%% uniformly, DVS 35-45%%; average error rates ~2%%.\n");
-  return 0;
+    std::printf(
+        "\nExpected shape (paper): worst corner - fixed VS gains exactly 0,\n"
+        "DVS gains ~1-17%% depending on program activity; typical corner -\n"
+        "fixed VS ~17%% uniformly, DVS 35-45%%; average error rates ~2%%.\n");
+  };
+  return run_scenario(argc, argv, scenario);
 }

@@ -12,12 +12,19 @@ WireClassifier::WireClassifier(const interconnect::BusDesign& design)
     : n_bits_(design.n_bits) {
   if (n_bits_ <= 0 || n_bits_ > 32)
     throw std::invalid_argument("WireClassifier: 1..32 bits supported");
+  bits_mask_ = n_bits_ == 32 ? ~0u : (1u << n_bits_) - 1u;
   for (int i = 0; i < n_bits_; ++i) {
     left_shield_[static_cast<std::size_t>(i)] =
         design.left_neighbor(i) == interconnect::NeighborKind::shield;
     right_shield_[static_cast<std::size_t>(i)] =
         design.right_neighbor(i) == interconnect::NeighborKind::shield;
+    if (left_shield_[static_cast<std::size_t>(i)]) left_shield_mask_ |= 1u << i;
+    if (right_shield_[static_cast<std::size_t>(i)]) right_shield_mask_ |= 1u << i;
   }
+  // masks() leans on the edge wires being shield-adjacent: without this the
+  // shifted neighbor masks would need per-edge special cases.
+  if (!left_shield_[0] || !right_shield_[static_cast<std::size_t>(n_bits_ - 1)])
+    throw std::invalid_argument("WireClassifier: edge wires must border shields");
 }
 
 int WireClassifier::classify(std::uint32_t prev, std::uint32_t cur, int bit) const {

@@ -1,9 +1,19 @@
-// Per-cycle, per-wire pattern classification.
+// Per-cycle pattern classification.
 //
 // Given the previous and current words on the bus, each signal wire is
 // assigned the pattern class (victim transition, left activity, right
 // activity) used to index the delay/energy tables. Shield positions come
 // from the bus layout (a shield after every `shield_group` signals).
+//
+// Two forms are provided:
+//   * classify()/classify_all(): one wire at a time — the per-wire golden
+//     reference path;
+//   * masks(): twelve 32-bit masks (victim/left/right activity per axis
+//     value) computed with a handful of bitwise ops, from which the wire
+//     set of every pattern class present this cycle is an AND of three
+//     masks. This is the kernel of the bit-parallel simulation engine: a
+//     class's multiplicity is a popcount, so per-cycle energy becomes a
+//     dot product of class counts against the table slice.
 #pragma once
 
 #include <array>
@@ -14,12 +24,24 @@
 
 namespace razorbus::bus {
 
+// Activity masks of one prev -> cur transition. Indexed by the enum values
+// of lut::VictimActivity / lut::NeighborActivity; bit i of victim[v] is set
+// iff wire i's victim activity is `v` (similarly for the neighbor axes).
+// The wire mask of pattern class (v, l, r) is victim[v] & left[l] & right[r].
+struct ClassMaskSet {
+  std::uint32_t victim[4];
+  std::uint32_t left[4];
+  std::uint32_t right[4];
+};
+
 // Precomputed per-bit shield adjacency for fast classification.
 class WireClassifier {
  public:
   explicit WireClassifier(const interconnect::BusDesign& design);
 
   int n_bits() const { return n_bits_; }
+  // Mask with one bit set per signal wire (bits 0..n_bits-1).
+  std::uint32_t bits_mask() const { return bits_mask_; }
 
   // Pattern class of wire `bit` for the prev -> cur word transition.
   int classify(std::uint32_t prev, std::uint32_t cur, int bit) const;
@@ -27,10 +49,65 @@ class WireClassifier {
   // Classify all wires at once into `out` (must hold n_bits entries).
   void classify_all(std::uint32_t prev, std::uint32_t cur, int* out) const;
 
+  // Bit-parallel classification of all wires at once.
+  ClassMaskSet masks(std::uint32_t prev, std::uint32_t cur) const {
+    const std::uint32_t m = bits_mask_;
+    const std::uint32_t toggle = (prev ^ cur) & m;
+    const std::uint32_t rise = toggle & cur;
+    const std::uint32_t fall = toggle & ~cur;
+
+    ClassMaskSet s;
+    s.victim[static_cast<int>(lut::VictimActivity::rise)] = rise;
+    s.victim[static_cast<int>(lut::VictimActivity::fall)] = fall;
+    s.victim[static_cast<int>(lut::VictimActivity::hold_low)] = ~toggle & ~cur & m;
+    s.victim[static_cast<int>(lut::VictimActivity::hold_high)] = ~toggle & cur & m;
+
+    // Bit i's left neighbor is wire i-1, so its activity mask is the
+    // victim mask shifted up; shield positions override. Wires outside
+    // 0..n_bits-1 never reach the signal masks (everything is ANDed with
+    // bits_mask_, and the edge wires are shield-adjacent by construction).
+    const std::uint32_t ls = left_shield_mask_;
+    const std::uint32_t rs = right_shield_mask_;
+    const std::uint32_t lsig = ~ls & m;
+    const std::uint32_t rsig = ~rs & m;
+    s.left[static_cast<int>(lut::NeighborActivity::rise)] = (rise << 1) & lsig;
+    s.left[static_cast<int>(lut::NeighborActivity::fall)] = (fall << 1) & lsig;
+    s.left[static_cast<int>(lut::NeighborActivity::hold)] = ~(toggle << 1) & lsig;
+    s.left[static_cast<int>(lut::NeighborActivity::shield)] = ls;
+    s.right[static_cast<int>(lut::NeighborActivity::rise)] = (rise >> 1) & rsig;
+    s.right[static_cast<int>(lut::NeighborActivity::fall)] = (fall >> 1) & rsig;
+    s.right[static_cast<int>(lut::NeighborActivity::hold)] = ~(toggle >> 1) & rsig;
+    s.right[static_cast<int>(lut::NeighborActivity::shield)] = rs;
+    return s;
+  }
+
  private:
   int n_bits_;
+  std::uint32_t bits_mask_ = 0;
+  std::uint32_t left_shield_mask_ = 0;
+  std::uint32_t right_shield_mask_ = 0;
   std::array<bool, 32> left_shield_{};
   std::array<bool, 32> right_shield_{};
 };
+
+// Visit every pattern class present in `s` in ascending class order:
+// fn(class, wire_mask) with wire_mask != 0. The iteration order (and the
+// set of visited classes) is part of the engine parity contract — energy
+// accumulation order must match between the engines (see DESIGN.md §5).
+template <typename Fn>
+inline void for_each_present_class(const ClassMaskSet& s, Fn&& fn) {
+  for (int v = 0; v < 4; ++v) {
+    const std::uint32_t vm = s.victim[v];
+    if (!vm) continue;
+    for (int l = 0; l < 4; ++l) {
+      const std::uint32_t vl = vm & s.left[l];
+      if (!vl) continue;
+      for (int r = 0; r < 4; ++r) {
+        const std::uint32_t mask = vl & s.right[r];
+        if (mask) fn((v << 4) | (l << 2) | r, mask);
+      }
+    }
+  }
+}
 
 }  // namespace razorbus::bus

@@ -1,7 +1,10 @@
 #include "bus/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/bits.hpp"
 
 namespace razorbus::bus {
 
@@ -13,8 +16,11 @@ razor::FlopTiming make_timing(const interconnect::BusDesign& design) {
   t.shadow_capture_limit = design.shadow_capture_limit();
   // Short paths must not race past the delayed shadow clock. Common-mode
   // jitter moves data and clock together, so leave a small allowance
-  // rather than comparing against the raw shadow delay.
-  t.min_path_limit = design.shadow_delay_fraction * design.clock_period() - 15e-12;
+  // rather than comparing against the raw shadow delay. Clamped at zero
+  // (= check disabled) so a small shadow_delay_fraction cannot produce a
+  // negative limit that would spuriously flag every fast arrival.
+  t.min_path_limit =
+      std::max(0.0, design.shadow_delay_fraction * design.clock_period() - 15e-12);
   return t;
 }
 
@@ -30,19 +36,89 @@ BusSimulator::BusSimulator(const interconnect::BusDesign& design,
       leakage_(design.node),
       classifier_(design),
       bank_(design.n_bits, make_timing(design)),
+      timing_(make_timing(design)),
       arrivals_(static_cast<std::size_t>(design.n_bits), -1.0),
       classes_(static_cast<std::size_t>(design.n_bits), 0) {
   design_.validate();
   if (design_.repeater_size <= 0.0)
     throw std::invalid_argument("BusSimulator: repeaters not sized");
+  cycle_overhead_ = recovery_.cycle_overhead(design_.n_bits);
+  error_overhead_ = recovery_.error_overhead(design_.n_bits);
+  build_group_structure();
   set_supply(design_.node.vdd_nominal);
+}
+
+void BusSimulator::build_group_structure() {
+  // A group is a maximal run of signal wires with no internal shield; its
+  // edges border shields (the layout guarantees shields at both bus
+  // edges), so nothing outside a group influences its wires. Same-width
+  // groups are structurally identical and share one combo-table block.
+  groups_.clear();
+  const int n = design_.n_bits;
+  std::size_t offsets[33];
+  std::fill(std::begin(offsets), std::end(offsets), static_cast<std::size_t>(-1));
+  std::size_t total = 0;
+  bool tabulatable = true;
+
+  int i = 0;
+  while (i < n) {
+    int j = i + 1;
+    while (j < n && design_.left_neighbor(j) != interconnect::NeighborKind::shield) ++j;
+    WireGroup g;
+    g.start = i;
+    g.width = j - i;
+    g.low_mask = g.width == 32 ? ~0u : (1u << g.width) - 1u;
+    if (g.width > kMaxTableWidth) {
+      tabulatable = false;
+    } else if (offsets[g.width] == static_cast<std::size_t>(-1)) {
+      offsets[g.width] = total;
+      total += static_cast<std::size_t>(1) << (2 * g.width);
+    }
+    g.table_offset = g.width <= kMaxTableWidth ? offsets[g.width] : 0;
+    groups_.push_back(g);
+    i = j;
+  }
+
+  group_tables_enabled_ = tabulatable;
+  if (group_tables_enabled_) {
+    combo_energy_.assign(total, 0.0);
+    combo_worst_.assign(total, 0.0);
+    combo_error_.assign(total, 0);
+    combo_shadow_.assign(total, 0);
+  }
 }
 
 void BusSimulator::set_supply(double volts) {
   if (volts <= 0.0) throw std::invalid_argument("BusSimulator: non-positive supply");
-  if (volts == supply_) return;
+  // Tolerant compare: the regulator accumulates 20 mV steps in floating
+  // point, so "the same voltage" can arrive a few ULPs away from the value
+  // we cached. A sub-nanovolt difference never changes the interpolated
+  // tables, while an exact != would force a needless operating-point
+  // refresh on every closed-loop segment.
+  if (supply_ > 0.0 && std::fabs(volts - supply_) <= 1e-9) return;
   supply_ = volts;
   refresh_operating_point();
+}
+
+void BusSimulator::set_engine_mode(EngineMode mode) {
+  if (mode == mode_) return;
+  mode_ = mode;
+  // The engines share receiver state through line_word_: the reference
+  // engine re-seeds its flop bank from it, the bit-parallel engine reads
+  // it directly. Counters and totals carry over untouched.
+  if (mode_ == EngineMode::reference)
+    bank_ = razor::FlopBank(design_.n_bits, timing_, line_word_);
+}
+
+BusSimulator::Verdict BusSimulator::classify_arrival(double arrival) const {
+  // Branch order mirrors DoubleSamplingFlop::clock exactly; keeping the
+  // comparison chain identical is what makes the engines bit-compatible.
+  if (arrival <= 0.0) return Verdict::held;
+  if (timing_.min_path_limit > 0.0 && arrival < timing_.min_path_limit)
+    return Verdict::shadow_failed;
+  if (arrival <= timing_.main_capture_limit) return Verdict::clean;
+  if (arrival <= timing_.shadow_capture_limit) return Verdict::corrected;
+  return Verdict::shadow_failed;
 }
 
 void BusSimulator::refresh_operating_point() {
@@ -57,10 +133,83 @@ void BusSimulator::refresh_operating_point() {
   const double leak_current = leakage_.current(design_.repeater_size, environment_.process,
                                                environment_.temp_c, v_eff);
   leakage_energy_per_cycle_ = n_drivers * leak_current * supply_ * design_.clock_period();
+
+  // Per-class precomputation: all wires of a class share one delay, so the
+  // capture verdict (at zero jitter) and the rail-scaled energy are
+  // functions of the operating point alone.
+  for (int cls = 0; cls < lut::PatternClass::kCount; ++cls) {
+    scaled_energy_[cls] = slice_.energy[cls] * energy_scale_;
+    class_delay_[cls] = slice_.delay[cls];
+    class_verdict_[cls] = std::isnan(class_delay_[cls])
+                              ? Verdict::held
+                              : classify_arrival(class_delay_[cls]);
+  }
+  if (group_tables_enabled_) rebuild_group_tables();
 }
 
-double BusSimulator::wire_energy(int cls) const {
-  return slice_.energy[cls] * energy_scale_;
+void BusSimulator::rebuild_group_tables() {
+  using lut::NeighborActivity;
+  using lut::PatternClass;
+
+  combo_zero_jitter_ok_ = true;
+  bool built[33] = {};
+  for (const auto& g : groups_) {
+    if (built[g.width]) continue;
+    built[g.width] = true;
+    const int w = g.width;
+    const std::uint32_t combos = 1u << w;
+    for (std::uint32_t pm = 0; pm < combos; ++pm) {
+      for (std::uint32_t cm = 0; cm < combos; ++cm) {
+        // Per-bit chain in ascending bit order: the exact operation
+        // sequence every engine uses for this group's energy sub-sum.
+        double sub = 0.0;
+        double worst = 0.0;
+        std::uint8_t error_mask = 0;
+        std::uint8_t shadow_mask = 0;
+        for (int b = 0; b < w; ++b) {
+          const auto victim =
+              lut::classify_victim((pm >> b) & 1u, (cm >> b) & 1u);
+          const NeighborActivity left =
+              b == 0 ? NeighborActivity::shield
+                     : lut::classify_neighbor((pm >> (b - 1)) & 1u, (cm >> (b - 1)) & 1u);
+          const NeighborActivity right =
+              b == w - 1
+                  ? NeighborActivity::shield
+                  : lut::classify_neighbor((pm >> (b + 1)) & 1u, (cm >> (b + 1)) & 1u);
+          const int cls = PatternClass::encode(victim, left, right);
+          sub += scaled_energy_[cls];
+          const double d = class_delay_[cls];
+          if (std::isnan(d)) continue;
+          if (d > worst) worst = d;
+          // A switching victim toggles by definition, so at zero jitter
+          // (line == prev) the wire is active and the class verdict is the
+          // wire verdict.
+          switch (class_verdict_[cls]) {
+            case Verdict::held:
+              // Arrival <= 0 at zero jitter: the wire would silently keep
+              // its old value, which the toggle-update table path cannot
+              // express — route such operating points through the
+              // per-class kernel instead.
+              combo_zero_jitter_ok_ = false;
+              break;
+            case Verdict::clean:
+              break;
+            case Verdict::corrected:
+              error_mask |= static_cast<std::uint8_t>(1u << b);
+              break;
+            case Verdict::shadow_failed:
+              shadow_mask |= static_cast<std::uint8_t>(1u << b);
+              break;
+          }
+        }
+        const std::size_t idx = g.table_offset + ((pm << w) | cm);
+        combo_energy_[idx] = sub;
+        combo_worst_[idx] = worst;
+        combo_error_[idx] = error_mask;
+        combo_shadow_[idx] = shadow_mask;
+      }
+    }
+  }
 }
 
 void BusSimulator::set_timing_jitter(double sigma_seconds, std::uint64_t seed) {
@@ -69,17 +218,28 @@ void BusSimulator::set_timing_jitter(double sigma_seconds, std::uint64_t seed) {
   jitter_rng_ = Rng(seed);
 }
 
+void BusSimulator::account_idle(CycleResult& out) {
+  // Idle bus: nothing switches, no flop can err, no dynamic energy.
+  out.bus_energy = leakage_energy_per_cycle_;
+  out.overhead_energy = cycle_overhead_;
+  ++totals_.cycles;
+  totals_.bus_energy += out.bus_energy;
+  totals_.overhead_energy += out.overhead_energy;
+}
+
 CycleResult BusSimulator::step(std::uint32_t word) {
+  return mode_ == EngineMode::bit_parallel ? step_bit_parallel(word)
+                                           : step_reference(word);
+}
+
+// --------------------------------------------------------------- reference
+
+CycleResult BusSimulator::step_reference(std::uint32_t word) {
   CycleResult out;
 
   if (word == prev_word_) {
-    // Idle bus: nothing switches, no flop can err, no dynamic energy.
     bank_.tick_hold();
-    out.bus_energy = leakage_energy_per_cycle_;
-    out.overhead_energy = recovery_.cycle_overhead(design_.n_bits);
-    ++totals_.cycles;
-    totals_.bus_energy += out.bus_energy;
-    totals_.overhead_energy += out.overhead_energy;
+    account_idle(out);
     return out;
   }
 
@@ -87,12 +247,9 @@ CycleResult BusSimulator::step(std::uint32_t word) {
   const double jitter =
       jitter_sigma_ > 0.0 ? jitter_rng_.normal(0.0, jitter_sigma_) : 0.0;
 
-  double dynamic_energy = 0.0;
   double worst = 0.0;
   for (int bit = 0; bit < classifier_.n_bits(); ++bit) {
-    const int cls = classes_[static_cast<std::size_t>(bit)];
-    dynamic_energy += wire_energy(cls);
-    const double d = slice_.delay[cls];
+    const double d = slice_.delay[classes_[static_cast<std::size_t>(bit)]];
     if (std::isnan(d)) {
       arrivals_[static_cast<std::size_t>(bit)] = -1.0;
     } else {
@@ -101,14 +258,26 @@ CycleResult BusSimulator::step(std::uint32_t word) {
       if (arrival > worst) worst = arrival;
     }
   }
+  // Group-wise energy accounting (one sub-accumulator per shield group,
+  // groups summed in order): the exact operation sequence of the
+  // bit-parallel engine's precomputed group tables, so the engines'
+  // energy totals match bit for bit.
+  double dynamic_energy = 0.0;
+  for (const auto& g : groups_) {
+    double sub = 0.0;
+    for (int bit = g.start; bit < g.start + g.width; ++bit)
+      sub += scaled_energy_[classes_[static_cast<std::size_t>(bit)]];
+    dynamic_energy += sub;
+  }
 
   const razor::BankCycleResult bank = bank_.clock(word, arrivals_);
+  line_word_ = bank.captured;
   out.error = bank.error;
   out.shadow_failure = bank.shadow_failure;
   out.worst_delay = worst;
   out.bus_energy = dynamic_energy + leakage_energy_per_cycle_;
-  out.overhead_energy = recovery_.cycle_overhead(design_.n_bits);
-  if (bank.error) out.overhead_energy += recovery_.error_overhead(design_.n_bits);
+  out.overhead_energy = cycle_overhead_;
+  if (bank.error) out.overhead_energy += error_overhead_;
 
   prev_word_ = word;
   ++totals_.cycles;
@@ -119,16 +288,251 @@ CycleResult BusSimulator::step(std::uint32_t word) {
   return out;
 }
 
+// ------------------------------------------------------------ bit-parallel
+
+BusSimulator::CycleOutcome BusSimulator::table_kernel(std::uint32_t prev,
+                                                      std::uint32_t word) const {
+  // Jitter-free, receiver in sync: the whole cycle is one lookup per
+  // shield group. Every toggling wire captures (cleanly or not), so the
+  // line update is simply the toggle mask.
+  CycleOutcome out;
+  for (const auto& g : groups_) {
+    const std::uint32_t pm = (prev >> g.start) & g.low_mask;
+    const std::uint32_t cm = (word >> g.start) & g.low_mask;
+    const std::size_t idx =
+        g.table_offset + ((static_cast<std::size_t>(pm) << g.width) | cm);
+    out.dynamic_energy += combo_energy_[idx];
+    if (combo_worst_[idx] > out.worst_delay) out.worst_delay = combo_worst_[idx];
+    out.error_mask |= static_cast<std::uint32_t>(combo_error_[idx]) << g.start;
+    out.shadow_mask |= static_cast<std::uint32_t>(combo_shadow_[idx]) << g.start;
+  }
+  out.line_update = (prev ^ word) & classifier_.bits_mask();
+  return out;
+}
+
+BusSimulator::CycleOutcome BusSimulator::jitter_kernel(std::uint32_t prev,
+                                                       std::uint32_t word,
+                                                       std::uint32_t line,
+                                                       double jitter) const {
+  CycleOutcome out;
+  // Energy and the per-group sub-sum order are jitter-independent: reuse
+  // the combo tables.
+  for (const auto& g : groups_) {
+    const std::uint32_t pm = (prev >> g.start) & g.low_mask;
+    const std::uint32_t cm = (word >> g.start) & g.low_mask;
+    out.dynamic_energy +=
+        combo_energy_[g.table_offset + ((static_cast<std::size_t>(pm) << g.width) | cm)];
+  }
+
+  // Verdicts shift with the common-mode jitter: re-derive them per present
+  // switching class (all wires of a class share one arrival), comparing
+  // arrival = delay + jitter with exactly the flop's comparison chain.
+  const ClassMaskSet s = classifier_.masks(prev, word);
+  const std::uint32_t flop_toggle = word ^ line;
+  for (int v = 0; v < 2; ++v) {  // rise, fall: the switching victims
+    const std::uint32_t vm = s.victim[v];
+    if (!vm) continue;
+    for (int l = 0; l < 4; ++l) {
+      const std::uint32_t vl = vm & s.left[l];
+      if (!vl) continue;
+      for (int r = 0; r < 4; ++r) {
+        const std::uint32_t mask = vl & s.right[r];
+        if (!mask) continue;
+        const int cls = (v << 4) | (l << 2) | r;
+        const double arrival = class_delay_[cls] + jitter;
+        if (arrival > out.worst_delay) out.worst_delay = arrival;
+        const std::uint32_t active = mask & flop_toggle;
+        if (!active) continue;
+        switch (classify_arrival(arrival)) {
+          case Verdict::held:
+            break;
+          case Verdict::clean:
+            out.line_update |= active;
+            break;
+          case Verdict::corrected:
+            out.error_mask |= active;
+            out.line_update |= active;
+            break;
+          case Verdict::shadow_failed:
+            out.shadow_mask |= active;
+            out.line_update |= active;
+            break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BusSimulator::CycleOutcome BusSimulator::general_kernel(std::uint32_t prev,
+                                                        std::uint32_t word,
+                                                        std::uint32_t line,
+                                                        double jitter) {
+  // Per-wire fallback for untabulatable layouts (a shield group wider than
+  // kMaxTableWidth): classify every wire, keep the group-wise energy
+  // accounting, and apply the class verdict per wire.
+  CycleOutcome out;
+  classifier_.classify_all(prev, word, classes_.data());
+  const std::uint32_t flop_toggle = word ^ line;
+  for (const auto& g : groups_) {
+    double sub = 0.0;
+    for (int bit = g.start; bit < g.start + g.width; ++bit) {
+      const int cls = classes_[static_cast<std::size_t>(bit)];
+      sub += scaled_energy_[cls];
+      const double d = class_delay_[cls];
+      if (std::isnan(d)) continue;
+      const double arrival = d + jitter;
+      if (arrival > out.worst_delay) out.worst_delay = arrival;
+      if (!((flop_toggle >> bit) & 1u)) continue;
+      const std::uint32_t wire = 1u << bit;
+      switch (classify_arrival(arrival)) {
+        case Verdict::held:
+          break;
+        case Verdict::clean:
+          out.line_update |= wire;
+          break;
+        case Verdict::corrected:
+          out.error_mask |= wire;
+          out.line_update |= wire;
+          break;
+        case Verdict::shadow_failed:
+          out.shadow_mask |= wire;
+          out.line_update |= wire;
+          break;
+      }
+    }
+    out.dynamic_energy += sub;
+  }
+  return out;
+}
+
+CycleResult BusSimulator::step_bit_parallel(std::uint32_t word) {
+  CycleResult out;
+
+  if (word == prev_word_) {
+    account_idle(out);
+    return out;
+  }
+
+  const double jitter =
+      jitter_sigma_ > 0.0 ? jitter_rng_.normal(0.0, jitter_sigma_) : 0.0;
+  const bool in_sync = ((line_word_ ^ prev_word_) & classifier_.bits_mask()) == 0;
+  CycleOutcome k;
+  if (!group_tables_enabled_)
+    k = general_kernel(prev_word_, word, line_word_, jitter);
+  else if (jitter == 0.0 && in_sync && combo_zero_jitter_ok_)
+    k = table_kernel(prev_word_, word);
+  else
+    k = jitter_kernel(prev_word_, word, line_word_, jitter);
+
+  line_word_ = (line_word_ & ~k.line_update) | (word & k.line_update);
+  out.error = k.error_mask != 0;
+  out.shadow_failure = k.shadow_mask != 0;
+  out.worst_delay = k.worst_delay;
+  out.bus_energy = k.dynamic_energy + leakage_energy_per_cycle_;
+  out.overhead_energy = cycle_overhead_;
+  if (out.error) out.overhead_energy += error_overhead_;
+
+  prev_word_ = word;
+  ++totals_.cycles;
+  if (out.error) ++totals_.errors;
+  if (out.shadow_failure) ++totals_.shadow_failures;
+  totals_.bus_energy += out.bus_energy;
+  totals_.overhead_energy += out.overhead_energy;
+  return out;
+}
+
+void BusSimulator::run_bit_parallel(const std::uint32_t* words, std::size_t n) {
+  // Totals accumulate in registers across the whole span; the per-cycle
+  // operation sequence (one `+= dynamic + leakage` per cycle, etc.) is
+  // kept identical to step(), so batching never changes a single bit.
+  std::uint64_t cycles = totals_.cycles;
+  std::uint64_t errors = totals_.errors;
+  std::uint64_t shadow_failures = totals_.shadow_failures;
+  double bus_energy = totals_.bus_energy;
+  double overhead_energy = totals_.overhead_energy;
+  std::uint32_t prev = prev_word_;
+  std::uint32_t line = line_word_;
+
+  const double leak = leakage_energy_per_cycle_;
+  const double cycle_ovh = cycle_overhead_;
+  const double error_ovh = error_overhead_;
+  const bool jitter_on = jitter_sigma_ > 0.0;
+  const std::uint32_t bits_mask = classifier_.bits_mask();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t word = words[i];
+    if (word == prev) {
+      ++cycles;
+      bus_energy += leak;
+      overhead_energy += cycle_ovh;
+      continue;
+    }
+    const double jitter = jitter_on ? jitter_rng_.normal(0.0, jitter_sigma_) : 0.0;
+    CycleOutcome k;
+    if (!group_tables_enabled_)
+      k = general_kernel(prev, word, line, jitter);
+    else if (jitter == 0.0 && ((line ^ prev) & bits_mask) == 0 && combo_zero_jitter_ok_)
+      k = table_kernel(prev, word);
+    else
+      k = jitter_kernel(prev, word, line, jitter);
+
+    line = (line & ~k.line_update) | (word & k.line_update);
+    prev = word;
+    ++cycles;
+    const bool error = k.error_mask != 0;
+    if (error) ++errors;
+    if (k.shadow_mask != 0) ++shadow_failures;
+    bus_energy += k.dynamic_energy + leak;
+    double ovh = cycle_ovh;
+    if (error) ovh += error_ovh;
+    overhead_energy += ovh;
+  }
+
+  totals_.cycles = cycles;
+  totals_.errors = errors;
+  totals_.shadow_failures = shadow_failures;
+  totals_.bus_energy = bus_energy;
+  totals_.overhead_energy = overhead_energy;
+  prev_word_ = prev;
+  line_word_ = line;
+}
+
+// ------------------------------------------------------------------ shared
+
+RunningTotals BusSimulator::run(const std::uint32_t* words, std::size_t n) {
+  const RunningTotals before = totals_;
+  if (mode_ == EngineMode::bit_parallel) {
+    run_bit_parallel(words, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) step_reference(words[i]);
+  }
+  RunningTotals delta;
+  delta.cycles = totals_.cycles - before.cycles;
+  delta.errors = totals_.errors - before.errors;
+  delta.shadow_failures = totals_.shadow_failures - before.shadow_failures;
+  delta.bus_energy = totals_.bus_energy - before.bus_energy;
+  delta.overhead_energy = totals_.overhead_energy - before.overhead_energy;
+  return delta;
+}
+
 void BusSimulator::reset(std::uint32_t initial_word) {
   prev_word_ = initial_word;
+  line_word_ = initial_word & classifier_.bits_mask();
   totals_ = RunningTotals{};
-  bank_ = razor::FlopBank(design_.n_bits, make_timing(design_));
+  bank_ = razor::FlopBank(design_.n_bits, timing_, initial_word);
 }
 
 double BusSimulator::peek_cycle_energy(std::uint32_t word) const {
+  // Per-group sub-sums, same accounting as the engines.
   double energy = leakage_energy_per_cycle_;
-  for (int bit = 0; bit < classifier_.n_bits(); ++bit)
-    energy += slice_.energy[classifier_.classify(prev_word_, word, bit)] * energy_scale_;
+  if (word == prev_word_) return energy;
+  for (const auto& g : groups_) {
+    double sub = 0.0;
+    for (int bit = g.start; bit < g.start + g.width; ++bit)
+      sub += slice_.energy[classifier_.classify(prev_word_, word, bit)] * energy_scale_;
+    energy += sub;
+  }
   return energy;
 }
 
@@ -138,7 +542,7 @@ RunningTotals BusSimulator::run_reference(const interconnect::BusDesign& design,
                                           const std::vector<std::uint32_t>& words) {
   BusSimulator sim(design, table, environment);
   sim.set_supply(design.node.vdd_nominal);
-  for (const auto w : words) sim.step(w);
+  sim.run(words.data(), words.size());
   return sim.totals();
 }
 

@@ -1,11 +1,35 @@
 // Cycle-level simulator of the DVS bus with double-sampling receivers.
 //
-// Each cycle a 32-bit word is driven onto the bus. Per wire, the simulator
-// classifies the switching pattern, looks up the in-to-out delay and the
-// supply energy from the characterised tables, clocks the Razor flop bank,
-// and accrues leakage and flop/recovery overheads. This is the engine
-// behind every experiment: static voltage sweeps (Fig. 4/5), the oracle
+// Each cycle a 32-bit word is driven onto the bus. The simulator classifies
+// the switching pattern of every wire, looks up in-to-out delays and supply
+// energies in the characterised tables, decides which receivers erred, and
+// accrues leakage and flop/recovery overheads. This is the engine behind
+// every experiment: static voltage sweeps (Fig. 4/5), the oracle
 // distribution study (Fig. 6), and closed-loop DVS runs (Table 1, Fig. 8).
+//
+// Two engines implement the same cycle semantics (see DESIGN.md §5):
+//
+//   * EngineMode::reference — the per-wire golden model: every wire is
+//     classified on its own, every DoubleSamplingFlop of the receiver bank
+//     is clocked with its arrival time. Slow, but structurally mirrors the
+//     hardware; kept as the oracle the fast engine is tested against.
+//
+//   * EngineMode::bit_parallel (default) — the production engine. The
+//     shield wires partition the bus into independent groups (4 signals
+//     per group on the paper bus), so each group's dynamic energy, error /
+//     shadow-failure wire masks and worst arrival are a pure function of
+//     its (prev, cur) bit pair — precomputed per operating point into
+//     per-group combo tables. The per-cycle hot path is then one table
+//     lookup per group plus a handful of OR/max/add reductions. Cycles
+//     with timing jitter fall back to bit-parallel per-class verdicts
+//     (all wires of a pattern class share one delay, so the verdict loop
+//     touches present classes, not wires), still reading energy from the
+//     combo tables. Totals are bit-identical to the reference engine,
+//     cycle for cycle.
+//
+// The batched run() entry point drives whole words[] spans (e.g. one
+// regulator window) through the hot loop with totals accumulated in
+// registers — this is what the experiment drivers use.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +44,9 @@
 #include "util/rng.hpp"
 
 namespace razorbus::bus {
+
+// Which cycle engine drives the simulation (see file comment).
+enum class EngineMode { bit_parallel, reference };
 
 struct CycleResult {
   bool error = false;           // bank error signal (>=1 flop corrected)
@@ -52,10 +79,15 @@ class BusSimulator {
                razor::RecoveryCostModel recovery = {});
 
   // Change the regulator output voltage. Cheap when unchanged; on change,
-  // re-interpolates the per-class slice (the per-cycle hot path is pure
-  // table reads).
+  // re-interpolates the per-class slice and re-derives the per-class
+  // capture verdicts (the per-cycle hot path is pure table reads).
   void set_supply(double volts);
   double supply() const { return supply_; }
+
+  // Select the cycle engine. Switching is legal mid-run: the receiver
+  // state carries over (the engines share it by construction).
+  void set_engine_mode(EngineMode mode);
+  EngineMode engine_mode() const { return mode_; }
 
   // Optional cycle-to-cycle arrival-time jitter (clock + supply noise),
   // applied common-mode to all wires each cycle. Zero disables (default;
@@ -69,7 +101,16 @@ class BusSimulator {
   // Drive the next word; returns this cycle's outcome.
   CycleResult step(std::uint32_t word);
 
-  // Reset bus/flop state and totals (keeps the operating point).
+  // Drive `n` words through the active engine back to back and return the
+  // totals accrued by this call (overall totals() advance as well). This
+  // is the hot entry point: the bit-parallel engine keeps its accumulators
+  // in registers for the whole span.
+  RunningTotals run(const std::uint32_t* words, std::size_t n);
+  RunningTotals run(const std::vector<std::uint32_t>& words) {
+    return run(words.data(), words.size());
+  }
+
+  // Reset bus/flop state and totals (keeps the operating point and mode).
   void reset(std::uint32_t initial_word = 0);
 
   const RunningTotals& totals() const { return totals_; }
@@ -86,8 +127,44 @@ class BusSimulator {
                                      const std::vector<std::uint32_t>& words);
 
  private:
+  // Capture verdict of a whole pattern class for one cycle (all wires of a
+  // class share one arrival time). Mirrors DoubleSamplingFlop::clock.
+  enum class Verdict : std::uint8_t {
+    held,          // arrival <= 0: latches keep their value, no line update
+    clean,         // captured by the main flop
+    corrected,     // main missed, shadow caught it: Error_L asserted
+    shadow_failed  // silent corruption (late arrival or short-path race)
+  };
+
+  struct CycleOutcome {
+    double dynamic_energy = 0.0;
+    double worst_delay = 0.0;
+    std::uint32_t error_mask = 0;
+    std::uint32_t shadow_mask = 0;
+    std::uint32_t line_update = 0;
+  };
+
   void refresh_operating_point();
-  double wire_energy(int cls) const;
+  Verdict classify_arrival(double arrival) const;
+
+  void build_group_structure();
+  void rebuild_group_tables();
+
+  CycleResult step_reference(std::uint32_t word);
+  CycleResult step_bit_parallel(std::uint32_t word);
+  // Combo-table cycle kernel for jitter-free cycles (the common case).
+  CycleOutcome table_kernel(std::uint32_t prev, std::uint32_t word) const;
+  // Bit-parallel per-class kernel for jittered cycles: energy still comes
+  // from the combo tables; verdicts are re-derived per present class.
+  CycleOutcome jitter_kernel(std::uint32_t prev, std::uint32_t word, std::uint32_t line,
+                             double jitter) const;
+  // Per-wire fallback for the cases the table kernels cannot serve: groups
+  // too wide to tabulate, or receiver state diverged from the bus
+  // (line != prev after a pathological arrival <= 0 hold).
+  CycleOutcome general_kernel(std::uint32_t prev, std::uint32_t word, std::uint32_t line,
+                              double jitter);
+  void run_bit_parallel(const std::uint32_t* words, std::size_t n);
+  void account_idle(CycleResult& out);
 
   const interconnect::BusDesign& design_;
   const lut::DelayEnergyTable& table_;
@@ -96,15 +173,60 @@ class BusSimulator {
   tech::LeakageModel leakage_;
   WireClassifier classifier_;
   razor::FlopBank bank_;
+  razor::FlopTiming timing_;
+  EngineMode mode_ = EngineMode::bit_parallel;
 
   double supply_ = 0.0;
   lut::TableSlice slice_{};
   double leakage_energy_per_cycle_ = 0.0;
   double energy_scale_ = 1.0;  // rail-vs-effective voltage correction (IR drop)
+  double cycle_overhead_ = 0.0;
+  double error_overhead_ = 0.0;
   double jitter_sigma_ = 0.0;
   Rng jitter_rng_{0x7a5e11u};
 
+  // Per-class operating-point precomputation (refreshed on supply change):
+  // energy already scaled to the rail voltage, the class arrival time at
+  // zero jitter, and the zero-jitter capture verdict. With jitter enabled
+  // the verdict is re-derived per cycle from arrival = delay + jitter with
+  // exactly the comparison chain of DoubleSamplingFlop::clock, so the
+  // engines stay bit-identical (the verdict flips where delay + jitter
+  // crosses a capture limit).
+  double scaled_energy_[lut::PatternClass::kCount] = {};
+  double class_delay_[lut::PatternClass::kCount] = {};
+  Verdict class_verdict_[lut::PatternClass::kCount] = {};
+
+  // Shield-delimited wire groups. A group's wires interact with nothing
+  // outside it (its edges border shields), so for tabulatable widths the
+  // whole group's cycle contribution is precomputed over all
+  // (prev, cur) bit combinations. Same-width groups are structurally
+  // identical and share one table block. Energy accounting is group-wise
+  // in EVERY engine/kernel (one sub-accumulator per group, groups summed
+  // in order) so all paths agree bit for bit.
+  struct WireGroup {
+    int start = 0;
+    int width = 0;
+    std::uint32_t low_mask = 0;        // width low bits
+    std::size_t table_offset = 0;      // into the combo_* arrays
+  };
+  static constexpr int kMaxTableWidth = 6;  // 4^6 combos per table block
+  std::vector<WireGroup> groups_;
+  bool group_tables_enabled_ = false;
+  // False when some tabulated verdict is "held" (arrival <= 0), which the
+  // toggle-update table path cannot express; zero-jitter cycles then go
+  // through the per-class kernel instead.
+  bool combo_zero_jitter_ok_ = true;
+  std::vector<double> combo_energy_;
+  std::vector<double> combo_worst_;
+  std::vector<std::uint8_t> combo_error_;
+  std::vector<std::uint8_t> combo_shadow_;
+
   std::uint32_t prev_word_ = 0;
+  // Value stably latched on each wire as the receiver sees it. Equals
+  // prev_word_ except in the pathological arrival<=0 case (the flop keeps
+  // its old value while the bus has moved on) — tracked separately so both
+  // engines agree even there.
+  std::uint32_t line_word_ = 0;
   RunningTotals totals_;
   std::vector<double> arrivals_;
   std::vector<int> classes_;

@@ -8,6 +8,25 @@
 
 namespace razorbus::core {
 
+namespace {
+
+// Length of the next batched span for a closed-loop driver positioned at
+// `cycle`: up to the end of the trace, the controller window, or the cycle
+// at which a pending regulator change lands — whichever comes first. The
+// regulator output is constant across such a span, so the whole span can
+// go through BusSimulator::run in one call.
+std::uint64_t next_segment(std::uint64_t remaining_in_trace,
+                           std::uint64_t remaining_in_window,
+                           std::uint64_t next_change_cycle, std::uint64_t cycle) {
+  std::uint64_t seg = std::min(remaining_in_trace, remaining_in_window);
+  if (next_change_cycle != dvs::VoltageRegulator::kNoPendingChange &&
+      next_change_cycle > cycle)
+    seg = std::min(seg, next_change_cycle - cycle);
+  return seg;
+}
+
+}  // namespace
+
 StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
                                        const tech::PvtCorner& environment,
                                        const std::vector<trace::Trace>& traces,
@@ -26,8 +45,7 @@ StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
     bus::BusSimulator sim = system.make_simulator(environment);
     if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
     sim.set_supply(v);
-    for (const auto& t : traces)
-      for (const auto word : t.words) sim.step(word);
+    for (const auto& t : traces) sim.run(t.words);
 
     SweepPoint p;
     p.supply = v;
@@ -105,29 +123,42 @@ ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
 
   ConsecutiveRunReport report;
   std::uint64_t cycle = 0;
-  std::uint64_t prev_windows = 0;
 
   for (const auto& trace : traces) {
     const bus::RunningTotals before = sim.totals();
     double supply_sum = 0.0;
 
-    for (const auto word : trace.words) {
+    // Window-batched closed loop: each span runs at one regulator voltage
+    // and stays within one controller window, so the whole span goes
+    // through the batched engine and only the span's error COUNT feeds the
+    // controller — cycle-for-cycle equivalent to stepping one word at a
+    // time through observe_cycle()/advance().
+    std::size_t i = 0;
+    const std::size_t n = trace.words.size();
+    while (i < n) {
       sim.set_supply(regulator.advance(cycle));
-      const bus::CycleResult r = sim.step(word);
-      supply_sum += sim.supply();
+      const std::uint64_t seg =
+          next_segment(static_cast<std::uint64_t>(n - i),
+                       controller.cycles_remaining_in_window(),
+                       regulator.next_change_cycle(), cycle);
+      const bus::RunningTotals d = sim.run(trace.words.data() + i, seg);
+      supply_sum += sim.supply() * static_cast<double>(seg);
+      i += static_cast<std::size_t>(seg);
+      cycle += seg;
 
-      const dvs::VoltageDecision decision = controller.observe_cycle(r.error);
+      const dvs::VoltageDecision decision = controller.observe_segment(seg, d.errors);
+      // The decision belongs to the last cycle of the span (cycle - 1),
+      // exactly when the per-cycle loop would have issued it.
       if (decision == dvs::VoltageDecision::step_down)
-        regulator.request_change(-config.controller.voltage_step, cycle);
+        regulator.request_change(-config.controller.voltage_step, cycle - 1);
       else if (decision == dvs::VoltageDecision::step_up)
-        regulator.request_change(+config.controller.voltage_step, cycle);
+        regulator.request_change(+config.controller.voltage_step, cycle - 1);
 
-      if (config.record_series && controller.windows_completed() != prev_windows) {
-        prev_windows = controller.windows_completed();
+      if (config.record_series && controller.cycles_remaining_in_window() ==
+                                      config.controller.window_cycles &&
+          controller.windows_completed() > 0)
         report.series.push_back(
-            {cycle + 1, sim.supply(), controller.last_window_error_rate()});
-      }
-      ++cycle;
+            {cycle, sim.supply(), controller.last_window_error_rate()});
     }
 
     DvsRunReport r;
@@ -172,13 +203,20 @@ DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
 
   double supply_sum = 0.0;
   std::uint64_t cycle = 0;
-  for (const auto word : trace.words) {
+  std::size_t i = 0;
+  const std::size_t n = trace.words.size();
+  while (i < n) {
     sim.set_supply(regulator.advance(cycle));
-    const bus::CycleResult r = sim.step(word);
-    supply_sum += sim.supply();
-    const double delta = controller.observe_cycle(r.error);
-    if (delta != 0.0) regulator.request_change(delta, cycle);
-    ++cycle;
+    const std::uint64_t seg = next_segment(static_cast<std::uint64_t>(n - i),
+                                           controller.cycles_remaining_in_window(),
+                                           regulator.next_change_cycle(), cycle);
+    const bus::RunningTotals d = sim.run(trace.words.data() + i, seg);
+    supply_sum += sim.supply() * static_cast<double>(seg);
+    i += static_cast<std::size_t>(seg);
+    cycle += seg;
+
+    const double delta = controller.observe_segment(seg, d.errors);
+    if (delta != 0.0) regulator.request_change(delta, cycle - 1);
   }
 
   DvsRunReport report;
@@ -204,7 +242,7 @@ DvsRunReport run_fixed_vs(const DvsBusSystem& system, const tech::PvtCorner& env
 
   bus::BusSimulator sim(system.design(), system.table(), environment, no_overhead);
   sim.set_supply(supply);
-  for (const auto word : trace.words) sim.step(word);
+  sim.run(trace.words);
 
   DvsRunReport report;
   report.totals = sim.totals();

@@ -1,16 +1,16 @@
 #include "cpu/kernels.hpp"
 
-#include <bit>
 #include <cmath>
 #include <stdexcept>
 
+#include "util/bits.hpp"
 #include "util/rng.hpp"
 
 namespace razorbus::cpu {
 
 namespace {
 
-std::uint32_t fbits(float f) { return std::bit_cast<std::uint32_t>(f); }
+std::uint32_t fbits(float f) { return razorbus::bit_cast<std::uint32_t>(f); }
 
 // --- Memory layout bases (word addresses) -------------------------------
 constexpr std::uint32_t kTableBase = 0x00000;   // crafty bitboards

@@ -1,6 +1,6 @@
 #include "cpu/machine.hpp"
 
-#include <bit>
+#include "util/bits.hpp"
 #include <cmath>
 #include <stdexcept>
 
@@ -8,8 +8,8 @@ namespace razorbus::cpu {
 
 namespace {
 
-float as_float(std::uint32_t bits) { return std::bit_cast<float>(bits); }
-std::uint32_t as_bits(float value) { return std::bit_cast<std::uint32_t>(value); }
+float as_float(std::uint32_t bits) { return razorbus::bit_cast<float>(bits); }
+std::uint32_t as_bits(float value) { return razorbus::bit_cast<std::uint32_t>(value); }
 
 }  // namespace
 
@@ -59,7 +59,7 @@ bool Machine::step(std::uint32_t& load_data) {
     case Opcode::xori: d = a ^ imm32; break;
     case Opcode::shli: d = a << (imm32 & 31u); break;
     case Opcode::shri: d = a >> (imm32 & 31u); break;
-    case Opcode::popcnt: d = static_cast<std::uint32_t>(std::popcount(a)); break;
+    case Opcode::popcnt: d = static_cast<std::uint32_t>(razorbus::popcount32(a)); break;
     case Opcode::load: {
       const std::uint32_t addr = (a + imm32) & addr_mask_;
       d = memory_[addr];

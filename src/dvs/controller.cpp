@@ -13,9 +13,16 @@ ThresholdController::ThresholdController(ControllerConfig config) : config_(conf
     throw std::invalid_argument("ThresholdController: non-positive step");
 }
 
-VoltageDecision ThresholdController::observe_cycle(bool error) {
-  if (error) ++errors_in_window_;
-  if (++cycle_in_window_ < config_.window_cycles) return VoltageDecision::hold;
+VoltageDecision ThresholdController::observe_segment(std::uint64_t cycles,
+                                                     std::uint64_t errors) {
+  if (cycles == 0) return VoltageDecision::hold;
+  if (cycles > cycles_remaining_in_window())
+    throw std::invalid_argument("ThresholdController: segment crosses window boundary");
+  if (errors > cycles)
+    throw std::invalid_argument("ThresholdController: more errors than cycles");
+  errors_in_window_ += errors;
+  cycle_in_window_ += cycles;
+  if (cycle_in_window_ < config_.window_cycles) return VoltageDecision::hold;
 
   last_rate_ = static_cast<double>(errors_in_window_) /
                static_cast<double>(config_.window_cycles);

@@ -30,7 +30,18 @@ class ThresholdController {
 
   // Feed one cycle's error flag. Returns a decision exactly at window
   // boundaries (hold otherwise mid-window).
-  VoltageDecision observe_cycle(bool error);
+  VoltageDecision observe_cycle(bool error) { return observe_segment(1, error ? 1 : 0); }
+
+  // Batched feed for the window-granular simulation drivers: `cycles`
+  // cycles containing `errors` error cycles. The segment must not cross a
+  // window boundary (cycles <= cycles_remaining_in_window()); decisions are
+  // then identical to feeding the cycles one at a time.
+  VoltageDecision observe_segment(std::uint64_t cycles, std::uint64_t errors);
+
+  // Cycles until the current window closes (never zero).
+  std::uint64_t cycles_remaining_in_window() const {
+    return config_.window_cycles - cycle_in_window_;
+  }
 
   // Error rate of the last full window.
   double last_window_error_rate() const { return last_rate_; }

@@ -36,11 +36,15 @@ OracleSelector::OracleSelector(const interconnect::BusDesign& design,
 }
 
 std::size_t OracleSelector::critical_grid_index(std::uint32_t prev, std::uint32_t cur) const {
+  // Bit-parallel: the max over wires is the max over the classes present
+  // in the transition's mask set (hold-victim classes carry a critical
+  // index of 0, so visiting them never changes the max).
   std::size_t critical = 0;
-  for (int bit = 0; bit < classifier_.n_bits(); ++bit) {
-    const int cls = classifier_.classify(prev, cur, bit);
-    critical = std::max(critical, class_critical_index_[static_cast<std::size_t>(cls)]);
-  }
+  bus::for_each_present_class(
+      classifier_.masks(prev, cur), [&](int cls, std::uint32_t) {
+        critical =
+            std::max(critical, class_critical_index_[static_cast<std::size_t>(cls)]);
+      });
   return critical;
 }
 

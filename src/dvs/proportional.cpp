@@ -14,9 +14,16 @@ ProportionalController::ProportionalController(ProportionalConfig config) : conf
     throw std::invalid_argument("proportional: non-positive gain/step");
 }
 
-double ProportionalController::observe_cycle(bool error) {
-  if (error) ++errors_in_window_;
-  if (++cycle_in_window_ < config_.window_cycles) return 0.0;
+double ProportionalController::observe_segment(std::uint64_t cycles,
+                                               std::uint64_t errors) {
+  if (cycles == 0) return 0.0;
+  if (cycles > cycles_remaining_in_window())
+    throw std::invalid_argument("ProportionalController: segment crosses window boundary");
+  if (errors > cycles)
+    throw std::invalid_argument("ProportionalController: more errors than cycles");
+  errors_in_window_ += errors;
+  cycle_in_window_ += cycles;
+  if (cycle_in_window_ < config_.window_cycles) return 0.0;
 
   last_rate_ = static_cast<double>(errors_in_window_) /
                static_cast<double>(config_.window_cycles);

@@ -37,7 +37,16 @@ class ProportionalController {
   // Feed one cycle's error flag. Returns the requested voltage delta at
   // window boundaries (0 mid-window or when the window is on target).
   // Positive = raise the supply.
-  double observe_cycle(bool error);
+  double observe_cycle(bool error) { return observe_segment(1, error ? 1 : 0); }
+
+  // Batched feed (see ThresholdController::observe_segment): a segment of
+  // `cycles` cycles with `errors` errors, not crossing a window boundary.
+  double observe_segment(std::uint64_t cycles, std::uint64_t errors);
+
+  // Cycles until the current window closes (never zero).
+  std::uint64_t cycles_remaining_in_window() const {
+    return config_.window_cycles - cycle_in_window_;
+  }
 
   double last_window_error_rate() const { return last_rate_; }
   std::uint64_t windows_completed() const { return windows_; }

@@ -25,6 +25,14 @@ class VoltageRegulator {
   double vmax() const { return vmax_; }
   bool change_pending() const { return pending_.has_value(); }
 
+  // Cycle at which the pending change takes effect; kNoPendingChange when
+  // none is in flight. Lets batched drivers run the span up to the next
+  // voltage event in one go.
+  static constexpr std::uint64_t kNoPendingChange = ~0ull;
+  std::uint64_t next_change_cycle() const {
+    return pending_ ? pending_->apply_at : kNoPendingChange;
+  }
+
   // Request a voltage change of `delta` volts at cycle `now`. Ignored when
   // a change is already in flight (the paper's controller polls every
   // 10,000 cycles with a 3,000-cycle ramp, so this cannot happen there).

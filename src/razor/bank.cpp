@@ -4,9 +4,12 @@
 
 namespace razorbus::razor {
 
-FlopBank::FlopBank(int n_bits, FlopTiming timing) : timing_(timing) {
+FlopBank::FlopBank(int n_bits, FlopTiming timing, std::uint32_t initial_word)
+    : timing_(timing) {
   if (n_bits <= 0 || n_bits > 32) throw std::invalid_argument("FlopBank: 1..32 bits");
-  flops_.resize(static_cast<std::size_t>(n_bits));
+  flops_.reserve(static_cast<std::size_t>(n_bits));
+  for (int i = 0; i < n_bits; ++i)
+    flops_.emplace_back(((initial_word >> i) & 1u) != 0);
 }
 
 BankCycleResult FlopBank::clock(std::uint32_t word, const std::vector<double>& arrivals) {

@@ -24,7 +24,9 @@ struct BankCycleResult {
 
 class FlopBank {
  public:
-  FlopBank(int n_bits, FlopTiming timing);
+  // `initial_word` seeds every latch (main, shadow, line) so a bank can be
+  // constructed consistent with a bus that resets to a non-zero word.
+  FlopBank(int n_bits, FlopTiming timing, std::uint32_t initial_word = 0);
 
   // Clock the bank: bit i of `word` arrives with delay `arrivals[i]`
   // (seconds; <= 0 for held wires). `arrivals` must have n_bits entries.

@@ -34,7 +34,11 @@ struct PvtCorner {
   // Supply actually seen by drivers after IR drop.
   double effective_supply(double vdd) const { return vdd * (1.0 - ir_drop_fraction); }
 
-  friend bool operator==(const PvtCorner&, const PvtCorner&) = default;
+  friend bool operator==(const PvtCorner& a, const PvtCorner& b) {
+    return a.process == b.process && a.temp_c == b.temp_c &&
+           a.ir_drop_fraction == b.ir_drop_fraction;
+  }
+  friend bool operator!=(const PvtCorner& a, const PvtCorner& b) { return !(a == b); }
 };
 
 // Worst-case corner the bus is sized for: slow process, 100C, 10% IR drop.

@@ -1,0 +1,33 @@
+// C++17-portable bit utilities (std::bit_cast / std::popcount arrive only
+// with C++20, which this codebase does not require).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace razorbus {
+
+template <typename To, typename From>
+To bit_cast(const From& from) {
+  static_assert(sizeof(To) == sizeof(From), "bit_cast: size mismatch");
+  static_assert(std::is_trivially_copyable<To>::value &&
+                    std::is_trivially_copyable<From>::value,
+                "bit_cast: trivially copyable types required");
+  To to;
+  std::memcpy(&to, &from, sizeof(To));
+  return to;
+}
+
+inline int popcount32(std::uint32_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcount(x);
+#else
+  x = x - ((x >> 1) & 0x55555555u);
+  x = (x & 0x33333333u) + ((x >> 2) & 0x33333333u);
+  x = (x + (x >> 4)) & 0x0F0F0F0Fu;
+  return static_cast<int>((x * 0x01010101u) >> 24);
+#endif
+}
+
+}  // namespace razorbus

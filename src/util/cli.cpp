@@ -37,14 +37,30 @@ std::int64_t CliFlags::get_int(const std::string& name, std::int64_t fallback) c
   queried_[name] = true;
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stoll(it->second);
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
 }
 
 double CliFlags::get_double(const std::string& name, double fallback) const {
   queried_[name] = true;
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stod(it->second);
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
 }
 
 bool CliFlags::get_bool(const std::string& name, bool fallback) const {

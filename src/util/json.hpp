@@ -1,0 +1,63 @@
+// Minimal JSON document builder for machine-readable bench/experiment
+// output (BENCH_*.json and the --json flag of the scenario runner).
+//
+// Build-only (no parsing): insertion-ordered objects, shortest round-trip
+// number formatting, UTF-8 passthrough with control/quote escaping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace razorbus {
+
+class Json {
+ public:
+  Json() = default;  // null
+  Json(bool value) : type_(Type::boolean), bool_(value) {}
+  Json(int value) : type_(Type::integer), int_(value) {}
+  Json(long long value) : type_(Type::integer), int_(value) {}
+  Json(unsigned long value) : type_(Type::integer), int_(static_cast<long long>(value)) {}
+  Json(unsigned long long value)
+      : type_(Type::integer), int_(static_cast<long long>(value)) {}
+  Json(double value) : type_(Type::number), num_(value) {}
+  Json(const char* value) : type_(Type::string), str_(value) {}
+  Json(std::string value) : type_(Type::string), str_(std::move(value)) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::object;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::array;
+    return j;
+  }
+
+  bool is_null() const { return type_ == Type::null; }
+
+  // Object member access: inserts (preserving order) or overwrites.
+  // Throws on non-objects.
+  Json& set(const std::string& key, Json value);
+  // Array append. Throws on non-arrays.
+  Json& push(Json value);
+
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Type { null, boolean, integer, number, string, array, object };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::null;
+  bool bool_ = false;
+  long long int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace razorbus

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include <bit>
+#include "util/bits.hpp"
 #include <cmath>
 #include <set>
 
@@ -184,28 +184,28 @@ TEST(Machine, SignedVsUnsignedCompare) {
 
 TEST(Machine, FloatingPointOps) {
   ProgramBuilder b("fp");
-  b.loadi(1, std::bit_cast<std::uint32_t>(3.0f));
-  b.loadi(2, std::bit_cast<std::uint32_t>(2.0f));
+  b.loadi(1, razorbus::bit_cast<std::uint32_t>(3.0f));
+  b.loadi(2, razorbus::bit_cast<std::uint32_t>(2.0f));
   b.fadd(3, 1, 2).fsub(4, 1, 2).fmul(5, 1, 2).fdiv(6, 1, 2);
   b.halt();
   Machine m = run_program(b);
-  EXPECT_FLOAT_EQ(std::bit_cast<float>(m.reg(3)), 5.0f);
-  EXPECT_FLOAT_EQ(std::bit_cast<float>(m.reg(4)), 1.0f);
-  EXPECT_FLOAT_EQ(std::bit_cast<float>(m.reg(5)), 6.0f);
-  EXPECT_FLOAT_EQ(std::bit_cast<float>(m.reg(6)), 1.5f);
+  EXPECT_FLOAT_EQ(razorbus::bit_cast<float>(m.reg(3)), 5.0f);
+  EXPECT_FLOAT_EQ(razorbus::bit_cast<float>(m.reg(4)), 1.0f);
+  EXPECT_FLOAT_EQ(razorbus::bit_cast<float>(m.reg(5)), 6.0f);
+  EXPECT_FLOAT_EQ(razorbus::bit_cast<float>(m.reg(6)), 1.5f);
 }
 
 TEST(Machine, FloatDivByZeroYieldsZero) {
   ProgramBuilder b("fdiv0");
-  b.loadi(1, std::bit_cast<std::uint32_t>(3.0f)).loadi(2, 0).fdiv(3, 1, 2).halt();
-  EXPECT_FLOAT_EQ(std::bit_cast<float>(run_program(b).reg(3)), 0.0f);
+  b.loadi(1, razorbus::bit_cast<std::uint32_t>(3.0f)).loadi(2, 0).fdiv(3, 1, 2).halt();
+  EXPECT_FLOAT_EQ(razorbus::bit_cast<float>(run_program(b).reg(3)), 0.0f);
 }
 
 TEST(Machine, IntFloatConversions) {
   ProgramBuilder b("cvt");
   b.loadi(1, static_cast<std::uint32_t>(-7)).itof(2, 1).ftoi(3, 2).halt();
   Machine m = run_program(b);
-  EXPECT_FLOAT_EQ(std::bit_cast<float>(m.reg(2)), -7.0f);
+  EXPECT_FLOAT_EQ(razorbus::bit_cast<float>(m.reg(2)), -7.0f);
   EXPECT_EQ(static_cast<std::int32_t>(m.reg(3)), -7);
 }
 
@@ -474,7 +474,7 @@ TEST(Kernels, FpBenchmarksCarryFloatBitPatterns) {
     if (w == prev) continue;
     prev = w;
     ++fresh;
-    const float f = std::bit_cast<float>(w);
+    const float f = razorbus::bit_cast<float>(w);
     if (std::isfinite(f) && std::abs(f) > 1e-3f && std::abs(f) < 1e3f) ++fp_like;
   }
   ASSERT_GT(fresh, 100);

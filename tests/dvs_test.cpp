@@ -3,6 +3,7 @@
 #include "dvs/controller.hpp"
 #include "dvs/fixed_vs.hpp"
 #include "dvs/oracle.hpp"
+#include "util/rng.hpp"
 #include "dvs/proportional.hpp"
 #include "dvs/regulator.hpp"
 #include "test_support.hpp"
@@ -160,6 +161,58 @@ TEST(FixedVs, LessConservativeEnvironmentAllowsLowerSupply) {
   const double without_ir = fixed_vs_voltage(small_system().design(), small_system().table(),
                                              tech::ProcessCorner::typical, mild);
   EXPECT_LT(without_ir, with_ir);
+}
+
+
+TEST(ThresholdControllerSegments, BatchMatchesPerCycleDecisions) {
+  ControllerConfig cfg;
+  cfg.window_cycles = 100;
+  ThresholdController per_cycle(cfg);
+  ThresholdController batched(cfg);
+  Rng rng(17);
+
+  std::uint64_t pending_cycles = 0, pending_errors = 0;
+  for (int i = 0; i < 2500; ++i) {
+    const bool error = rng.bernoulli(0.015);
+    const VoltageDecision a = per_cycle.observe_cycle(error);
+    ++pending_cycles;
+    if (error) ++pending_errors;
+    // Flush at irregular points; window boundaries always force a flush,
+    // so a batch never crosses one. A boundary flush must reproduce the
+    // per-cycle decision; a mid-window flush must hold, like a does.
+    if (pending_cycles == batched.cycles_remaining_in_window() ||
+        rng.bernoulli(0.1)) {
+      const VoltageDecision b = batched.observe_segment(pending_cycles, pending_errors);
+      EXPECT_EQ(b, a) << "cycle " << i;
+      EXPECT_EQ(batched.windows_completed(), per_cycle.windows_completed());
+      pending_cycles = 0;
+      pending_errors = 0;
+    }
+  }
+  EXPECT_EQ(batched.last_window_error_rate(), per_cycle.last_window_error_rate());
+}
+
+TEST(ThresholdControllerSegments, CrossingWindowBoundaryRejected) {
+  ControllerConfig cfg;
+  cfg.window_cycles = 100;
+  ThresholdController ctl(cfg);
+  ctl.observe_segment(40, 0);
+  EXPECT_EQ(ctl.cycles_remaining_in_window(), 60u);
+  EXPECT_THROW(ctl.observe_segment(61, 0), std::invalid_argument);
+  EXPECT_THROW(ctl.observe_segment(10, 11), std::invalid_argument);
+  EXPECT_EQ(ctl.observe_segment(60, 0), VoltageDecision::step_down);
+}
+
+TEST(RegulatorPending, NextChangeCycleTracksPending) {
+  VoltageRegulator reg(1.2, 1.0, 1.2, 500);
+  EXPECT_EQ(reg.next_change_cycle(), VoltageRegulator::kNoPendingChange);
+  EXPECT_TRUE(reg.request_change(-0.02, 100));
+  EXPECT_EQ(reg.next_change_cycle(), 600u);
+  reg.advance(599);
+  EXPECT_DOUBLE_EQ(reg.voltage(), 1.2);
+  reg.advance(600);
+  EXPECT_DOUBLE_EQ(reg.voltage(), 1.18);
+  EXPECT_EQ(reg.next_change_cycle(), VoltageRegulator::kNoPendingChange);
 }
 
 // ---------------------------------------------------------------- oracle

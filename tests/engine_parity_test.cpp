@@ -1,0 +1,371 @@
+// Engine parity: the bit-parallel batched engine must reproduce the
+// per-wire reference engine cycle for cycle — errors, shadow failures and
+// energies bit-identical — at every operating point (see DESIGN.md §5).
+//
+// The suite sweeps all three process corners, both characterised
+// temperatures and a supply ladder from error-free down to shadow-failure
+// territory, over traces exercising every structural case: idle runs,
+// all-toggle checkerboards, shield-adjacent patterns and random traffic,
+// with and without common-mode timing jitter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bus/simulator.hpp"
+#include "core/experiments.hpp"
+#include "core/system.hpp"
+#include "dvs/regulator.hpp"
+#include "interconnect/bus_design.hpp"
+#include "lut/pattern.hpp"
+#include "test_support.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace razorbus::bus {
+namespace {
+
+// Full corner/temperature axes with a supply grid reaching low enough that
+// the slow corner produces corrected AND shadow-failed captures. Narrower
+// than the paper grid to keep first-run characterization cheap (cached on
+// disk afterwards, like every other suite).
+const core::DvsBusSystem& parity_system() {
+  static const core::DvsBusSystem system = [] {
+    core::SystemOptions options;
+    options.lut_config.vmin = 0.78;
+    options.lut_config.vmax = 1.20;
+    options.lut_config.vstep = 0.020;
+    options.lut_config.temps = {25.0, 100.0};
+    options.lut_config.corners = {tech::ProcessCorner::slow, tech::ProcessCorner::typical,
+                                  tech::ProcessCorner::fast};
+    return core::DvsBusSystem(test_support::sized_paper_bus(), options);
+  }();
+  return system;
+}
+
+std::vector<std::uint32_t> pattern_trace(const std::string& kind, std::size_t cycles,
+                                         std::uint64_t seed) {
+  std::vector<std::uint32_t> words;
+  words.reserve(cycles);
+  Rng rng(seed);
+  if (kind == "random") {
+    for (std::size_t i = 0; i < cycles; ++i)
+      words.push_back(rng.bernoulli(0.45) ? static_cast<std::uint32_t>(rng.next_u64()) : 0u);
+  } else if (kind == "idle_runs") {
+    std::uint32_t word = 0;
+    for (std::size_t i = 0; i < cycles; ++i) {
+      if (i % 17 == 0) word = static_cast<std::uint32_t>(rng.next_u64());
+      words.push_back(word);  // long holds between bursts
+    }
+  } else if (kind == "all_toggle") {
+    for (std::size_t i = 0; i < cycles; ++i)
+      words.push_back(i % 2 ? 0x55555555u : 0xAAAAAAAAu);
+  } else if (kind == "shielded") {
+    // Only shield-adjacent wires move (bits 0, 3, 4, 7, ... of each group):
+    // exercises the shield-mask edges of the bit-parallel classifier.
+    for (std::size_t i = 0; i < cycles; ++i)
+      words.push_back((i % 3) ? (i % 2 ? 0x99999999u : 0x11111111u) : 0u);
+  } else {
+    ADD_FAILURE() << "unknown trace kind " << kind;
+  }
+  return words;
+}
+
+void expect_totals_identical(const RunningTotals& a, const RunningTotals& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.errors, b.errors) << what;
+  EXPECT_EQ(a.shadow_failures, b.shadow_failures) << what;
+  // Exact double equality is intentional: bit-identical is the contract.
+  EXPECT_EQ(a.bus_energy, b.bus_energy) << what;
+  EXPECT_EQ(a.overhead_energy, b.overhead_energy) << what;
+}
+
+struct ParityCounts {
+  std::uint64_t errors = 0;
+  std::uint64_t shadow_failures = 0;
+};
+
+// Step both engines cycle-for-cycle and compare every per-cycle output,
+// plus drive a third simulator through the batched entry point in
+// irregular chunks. `seen` (optional) accumulates what the run produced so
+// sweeps can assert they actually exercised error/shadow territory.
+void check_parity(const tech::PvtCorner& env, double supply, double jitter_sigma,
+                  const std::vector<std::uint32_t>& words, const std::string& what,
+                  ParityCounts* seen = nullptr) {
+  BusSimulator fast = parity_system().make_simulator(env);
+  BusSimulator ref = parity_system().make_simulator(env);
+  BusSimulator batched = parity_system().make_simulator(env);
+  ref.set_engine_mode(EngineMode::reference);
+  EXPECT_EQ(fast.engine_mode(), EngineMode::bit_parallel);
+  for (BusSimulator* sim : {&fast, &ref, &batched}) {
+    sim->set_supply(supply);
+    if (jitter_sigma > 0.0) sim->set_timing_jitter(jitter_sigma, 0xfeedu);
+  }
+
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const CycleResult f = fast.step(words[i]);
+    const CycleResult r = ref.step(words[i]);
+    ASSERT_EQ(f.error, r.error) << what << " cycle " << i;
+    ASSERT_EQ(f.shadow_failure, r.shadow_failure) << what << " cycle " << i;
+    ASSERT_EQ(f.bus_energy, r.bus_energy) << what << " cycle " << i;
+    ASSERT_EQ(f.overhead_energy, r.overhead_energy) << what << " cycle " << i;
+    ASSERT_EQ(f.worst_delay, r.worst_delay) << what << " cycle " << i;
+  }
+  expect_totals_identical(fast.totals(), ref.totals(), what + " [step totals]");
+
+  // Batched spans of irregular length must not change a single bit either.
+  Rng chunk_rng(7);
+  std::size_t i = 0;
+  while (i < words.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(words.size() - i, 1 + chunk_rng.next_below(97));
+    batched.run(words.data() + i, n);
+    i += n;
+  }
+  expect_totals_identical(batched.totals(), ref.totals(), what + " [batched totals]");
+
+  if (seen) {
+    seen->errors += ref.totals().errors;
+    seen->shadow_failures += ref.totals().shadow_failures;
+  }
+}
+
+TEST(EngineParity, AcrossCornersTemperaturesAndSupplies) {
+  const std::vector<std::uint32_t> random_words = pattern_trace("random", 1200, 11);
+  ParityCounts seen;
+  for (const auto process : {tech::ProcessCorner::slow, tech::ProcessCorner::typical,
+                             tech::ProcessCorner::fast}) {
+    for (const double temp : {25.0, 100.0}) {
+      const tech::PvtCorner env{process, temp, 0.0};
+      for (const double supply : {0.79, 0.92, 1.00, 1.08, 1.20})
+        check_parity(env, supply, 0.0, random_words,
+                     env.name() + " @" + std::to_string(supply) + "V", &seen);
+    }
+  }
+  // The sweep must reach both corrected and silently-corrupted captures,
+  // otherwise it is not exercising the verdict machinery.
+  EXPECT_GT(seen.errors, 0u);
+  EXPECT_GT(seen.shadow_failures, 0u);
+}
+
+TEST(EngineParity, TracePatternsAtMarginalSupply) {
+  const tech::PvtCorner env{tech::ProcessCorner::slow, 100.0, 0.0};
+  for (const char* kind : {"random", "idle_runs", "all_toggle", "shielded"}) {
+    const auto words = pattern_trace(kind, 1500, 23);
+    for (const double supply : {0.94, 1.04, 1.14})
+      check_parity(env, supply, 0.0, words,
+                   std::string(kind) + " @" + std::to_string(supply) + "V");
+  }
+}
+
+TEST(EngineParity, WithCommonModeJitter) {
+  // Jitter draws one normal per non-idle cycle from the same seeded RNG in
+  // both engines; verdicts must still match bit for bit because both
+  // compare arrival = delay + jitter against the same limits.
+  const std::vector<std::uint32_t> words = pattern_trace("random", 2000, 31);
+  for (const auto process : {tech::ProcessCorner::slow, tech::ProcessCorner::typical}) {
+    const tech::PvtCorner env{process, 100.0, 0.0};
+    for (const double supply : {0.98, 1.06})
+      for (const double sigma : {2e-12, 8e-12})
+        check_parity(env, supply, sigma, words,
+                     env.name() + " jitter " + std::to_string(sigma));
+  }
+}
+
+TEST(EngineParity, IrDroppedEnvironment) {
+  const tech::PvtCorner env{tech::ProcessCorner::typical, 100.0, 0.10};
+  check_parity(env, 1.10, 0.0, pattern_trace("random", 1000, 5), "typical + IR drop");
+  check_parity(env, 1.10, 4e-12, pattern_trace("all_toggle", 1000, 5),
+               "typical + IR drop + jitter");
+}
+
+TEST(EngineParity, ModeSwitchMidRunKeepsReceiverState) {
+  const tech::PvtCorner env{tech::ProcessCorner::slow, 100.0, 0.0};
+  const auto words = pattern_trace("random", 600, 77);
+
+  BusSimulator mixed = parity_system().make_simulator(env);
+  BusSimulator ref = parity_system().make_simulator(env);
+  ref.set_engine_mode(EngineMode::reference);
+  mixed.set_supply(1.00);
+  ref.set_supply(1.00);
+
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i % 150 == 0)
+      mixed.set_engine_mode(i % 300 == 0 ? EngineMode::bit_parallel
+                                         : EngineMode::reference);
+    const CycleResult m = mixed.step(words[i]);
+    const CycleResult r = ref.step(words[i]);
+    ASSERT_EQ(m.error, r.error) << "cycle " << i;
+    ASSERT_EQ(m.shadow_failure, r.shadow_failure) << "cycle " << i;
+    ASSERT_EQ(m.bus_energy, r.bus_energy) << "cycle " << i;
+  }
+  expect_totals_identical(mixed.totals(), ref.totals(), "mode switching");
+}
+
+TEST(EngineParity, BatchedRunReturnsSegmentDelta) {
+  const tech::PvtCorner env{tech::ProcessCorner::typical, 100.0, 0.0};
+  const auto words = pattern_trace("random", 500, 3);
+  BusSimulator sim = parity_system().make_simulator(env);
+  sim.set_supply(1.02);
+
+  const RunningTotals first = sim.run(words.data(), 200);
+  EXPECT_EQ(first.cycles, 200u);
+  const RunningTotals rest = sim.run(words.data() + 200, 300);
+  EXPECT_EQ(rest.cycles, 300u);
+  EXPECT_EQ(sim.totals().cycles, 500u);
+  EXPECT_EQ(sim.totals().errors, first.errors + rest.errors);
+  EXPECT_DOUBLE_EQ(sim.totals().bus_energy, first.bus_energy + rest.bus_energy);
+}
+
+TEST(EngineParity, ResetSeedsReceiversWithInitialWord) {
+  // reset(w) must leave both engines agreeing that the bus already holds w
+  // (historically the flop bank was re-seeded with zeros instead).
+  const tech::PvtCorner env{tech::ProcessCorner::typical, 100.0, 0.0};
+  for (const auto mode : {EngineMode::bit_parallel, EngineMode::reference}) {
+    BusSimulator sim = parity_system().make_simulator(env);
+    sim.set_engine_mode(mode);
+    sim.set_supply(1.20);
+    sim.reset(0xFFFFFFFFu);
+    const CycleResult idle = sim.step(0xFFFFFFFFu);
+    EXPECT_FALSE(idle.error);
+    EXPECT_DOUBLE_EQ(idle.worst_delay, 0.0);
+  }
+}
+
+// The window-batched closed-loop driver must make exactly the decisions the
+// historical per-cycle driver made: replicate that driver here (step + one
+// observe_cycle/advance per cycle) against the reference engine and compare
+// with core::run_closed_loop.
+TEST(EngineParity, ClosedLoopMatchesPerCycleDriver) {
+  const auto& system = parity_system();
+  const tech::PvtCorner env = tech::typical_corner();
+  trace::SyntheticConfig cfg;
+  cfg.cycles = 60000;
+  cfg.load_rate = 0.5;
+  cfg.seed = 9;
+  const trace::Trace trace = trace::generate_synthetic(cfg, "closed_loop");
+
+  core::DvsRunConfig run_cfg;
+  run_cfg.controller.window_cycles = 4000;
+  run_cfg.regulator_delay_cycles = 1500;  // lands mid-window on purpose
+  run_cfg.record_series = true;
+  const core::DvsRunReport batched = core::run_closed_loop(system, env, trace, run_cfg);
+
+  bus::BusSimulator sim = system.make_simulator(env);
+  sim.set_engine_mode(EngineMode::reference);
+  dvs::VoltageRegulator regulator(system.design().node.vdd_nominal,
+                                  system.dvs_floor(env.process),
+                                  system.design().node.vdd_nominal,
+                                  run_cfg.regulator_delay_cycles);
+  dvs::ThresholdController controller(run_cfg.controller);
+  sim.set_supply(regulator.voltage());
+
+  std::vector<core::WindowSample> series;
+  std::uint64_t prev_windows = 0;
+  double supply_sum = 0.0;
+  std::uint64_t cycle = 0;
+  for (const auto word : trace.words) {
+    sim.set_supply(regulator.advance(cycle));
+    const CycleResult r = sim.step(word);
+    supply_sum += sim.supply();
+    const dvs::VoltageDecision decision = controller.observe_cycle(r.error);
+    if (decision == dvs::VoltageDecision::step_down)
+      regulator.request_change(-run_cfg.controller.voltage_step, cycle);
+    else if (decision == dvs::VoltageDecision::step_up)
+      regulator.request_change(+run_cfg.controller.voltage_step, cycle);
+    if (controller.windows_completed() != prev_windows) {
+      prev_windows = controller.windows_completed();
+      series.push_back({cycle + 1, sim.supply(), controller.last_window_error_rate()});
+    }
+    ++cycle;
+  }
+
+  expect_totals_identical(batched.totals, sim.totals(), "closed loop vs per-cycle");
+  // average_supply is accumulated as supply*span_length in the batched
+  // driver vs one add per cycle here: same value up to summation order.
+  EXPECT_NEAR(batched.average_supply,
+              supply_sum / static_cast<double>(trace.words.size()), 1e-9);
+  ASSERT_EQ(batched.series.size(), series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(batched.series[i].end_cycle, series[i].end_cycle) << "window " << i;
+    EXPECT_EQ(batched.series[i].supply, series[i].supply) << "window " << i;
+    EXPECT_EQ(batched.series[i].error_rate, series[i].error_rate) << "window " << i;
+  }
+}
+
+// A bus with no internal shields has one 12-wire group — too wide for the
+// combo tables — so the bit-parallel engine must take its per-wire
+// fallback kernel. Parity must hold there too, with and without jitter.
+TEST(EngineParity, WideShieldGroupFallback) {
+  static const core::DvsBusSystem wide_system = [] {
+    interconnect::BusDesign design = test_support::sized_paper_bus();
+    design.n_bits = 12;
+    design.shield_group = 12;
+    core::SystemOptions options;
+    options.lut_config.vmin = 1.00;
+    options.lut_config.vmax = 1.20;
+    options.lut_config.temps = {100.0};
+    options.lut_config.corners = {tech::ProcessCorner::slow};
+    return core::DvsBusSystem(design, options);
+  }();
+
+  const tech::PvtCorner env{tech::ProcessCorner::slow, 100.0, 0.0};
+  const auto words = pattern_trace("random", 1500, 61);
+  for (const double supply : {1.02, 1.12})
+    for (const double sigma : {0.0, 5e-12}) {
+      BusSimulator fast = wide_system.make_simulator(env);
+      BusSimulator ref = wide_system.make_simulator(env);
+      ref.set_engine_mode(EngineMode::reference);
+      for (BusSimulator* sim : {&fast, &ref}) {
+        sim->set_supply(supply);
+        if (sigma > 0.0) sim->set_timing_jitter(sigma, 0x51deu);
+      }
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        const CycleResult f = fast.step(words[i]);
+        const CycleResult r = ref.step(words[i]);
+        ASSERT_EQ(f.error, r.error) << "cycle " << i;
+        ASSERT_EQ(f.shadow_failure, r.shadow_failure) << "cycle " << i;
+        ASSERT_EQ(f.bus_energy, r.bus_energy) << "cycle " << i;
+        ASSERT_EQ(f.worst_delay, r.worst_delay) << "cycle " << i;
+      }
+      expect_totals_identical(fast.totals(), ref.totals(), "wide group fallback");
+    }
+}
+
+// The bit-parallel mask classifier must agree with the per-bit classifier
+// for every wire on random transitions (including narrow buses, where the
+// unused upper bits must never leak into the masks).
+TEST(EngineParity, MaskClassifierMatchesPerBit) {
+  for (const int n_bits : {32, 16, 9}) {
+    interconnect::BusDesign design = test_support::sized_paper_bus();
+    design.n_bits = n_bits;
+    const WireClassifier classifier(design);
+    Rng rng(41);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto prev = static_cast<std::uint32_t>(rng.next_u64());
+      const auto cur = static_cast<std::uint32_t>(rng.next_u64());
+      int counts[lut::PatternClass::kCount] = {};
+      for (int bit = 0; bit < n_bits; ++bit) ++counts[classifier.classify(prev, cur, bit)];
+
+      const ClassMaskSet s = classifier.masks(prev, cur);
+      int mask_total = 0;
+      for_each_present_class(s, [&](int cls, std::uint32_t mask) {
+        int count = 0;
+        for (int bit = 0; bit < 32; ++bit)
+          if ((mask >> bit) & 1u) {
+            ASSERT_LT(bit, n_bits) << "mask leaks past the bus width";
+            ASSERT_EQ(classifier.classify(prev, cur, bit), cls)
+                << "bit " << bit << " prev=" << prev << " cur=" << cur;
+            ++count;
+          }
+        ASSERT_EQ(count, counts[cls]) << "class " << cls;
+        mask_total += count;
+      });
+      ASSERT_EQ(mask_total, n_bits);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace razorbus::bus

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include <cmath>
 #include <set>
 #include <sstream>
 
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -336,6 +339,49 @@ TEST(CliFlags, GetDoubleParses) {
   auto args = argv_of({"--jitter=4e-12"});
   CliFlags flags(static_cast<int>(args.size()), args.data());
   EXPECT_DOUBLE_EQ(flags.get_double("jitter", 0.0), 4e-12);
+}
+
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, ScalarsAndShortestRoundTrip) {
+  Json j = Json::object();
+  j.set("int", 42)
+      .set("neg", -7)
+      .set("flag", true)
+      .set("ratio", 0.1)
+      .set("name", "razor\"bus\"");
+  const std::string out = j.dump(0);
+  EXPECT_EQ(out,
+            "{\"int\":42,\"neg\":-7,\"flag\":true,\"ratio\":0.1,"
+            "\"name\":\"razor\\\"bus\\\"\"}");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  Json j = Json::object();
+  Json rows = Json::array();
+  rows.push(Json::array().push(1).push(2.5));
+  j.set("rows", std::move(rows));
+  EXPECT_EQ(j.dump(0), "{\"rows\":[[1,2.5]]}");
+}
+
+TEST(Json, OverwriteKeepsInsertionOrder) {
+  Json j = Json::object();
+  j.set("a", 1).set("b", 2).set("a", 3);
+  EXPECT_EQ(j.dump(0), "{\"a\":3,\"b\":2}");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  Json j = Json::object();
+  j.set("inf", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(j.dump(0), "{\"inf\":null}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("x", 1), std::logic_error);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push(1), std::logic_error);
 }
 
 }  // namespace
