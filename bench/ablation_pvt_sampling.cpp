@@ -6,11 +6,12 @@
 // conditions (discrete process corner, continuous temperature and IR drop)
 // and report the distribution of closed-loop DVS gains — the expected
 // energy saving for a part drawn at random, rather than at hand-picked
-// corners.
+// corners. The sampling itself lives in core::pvt_sample_gains, sharded
+// one sample per shard with a per-sample Rng stream (DESIGN.md §9), so the
+// population is identical at any --threads=N.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 using namespace razorbus;
@@ -24,58 +25,41 @@ int main(int argc, char** argv) {
   scenario.default_cycles = 300000;
   scenario.extra_flags = {"samples", "seed"};
   scenario.run = [](ScenarioContext& ctx) {
-    const auto samples = static_cast<int>(ctx.flags().get_int("samples", 24));
-    const auto seed = static_cast<std::uint64_t>(ctx.flags().get_int("seed", 2025));
+    core::PvtSampleConfig config;
+    config.samples = static_cast<int>(ctx.flags().get_int("samples", 24));
+    config.seed = static_cast<std::uint64_t>(ctx.flags().get_int("seed", 2025));
 
     const trace::Trace trace = cpu::benchmark_by_name("vortex").capture(ctx.cycles);
     std::printf("Workload: vortex, %zu cycles, %d sampled operating points\n", ctx.cycles,
-                samples);
+                config.samples);
 
-    Rng rng(seed);
-    RunningStats gain_stats;
-    RunningStats err_stats;
+    const core::PvtSampleResult result = core::pvt_sample_gains(paper_system(), trace, config);
+
     Histogram gain_hist(0.0, 0.6, 12);
-
     Table table({"#", "Process", "Temp (C)", "IR drop (%)", "Gain (%)", "Err (%)"});
-    for (int s = 0; s < samples; ++s) {
-      tech::PvtCorner corner;
-      // Process corners are discrete (die-to-die); skew toward typical.
-      const double p = rng.next_double();
-      corner.process = p < 0.2   ? tech::ProcessCorner::slow
-                       : p < 0.8 ? tech::ProcessCorner::typical
-                                 : tech::ProcessCorner::fast;
-      corner.temp_c = rng.uniform(25.0, 100.0);
-      corner.ir_drop_fraction = rng.uniform(0.0, 0.10);
-
-      // Temperatures are characterised at 25/100C; evaluate at the nearer one
-      // (the table axis is coarse by design, like the paper's).
-      corner.temp_c = corner.temp_c < 62.5 ? 25.0 : 100.0;
-
-      const core::DvsRunReport r =
-          core::run_closed_loop(paper_system(), corner, trace, core::DvsRunConfig{});
-      gain_stats.add(r.energy_gain());
-      err_stats.add(r.error_rate());
-      gain_hist.add(r.energy_gain());
-
+    for (std::size_t s = 0; s < result.samples.size(); ++s) {
+      const core::PvtSample& sample = result.samples[s];
+      gain_hist.add(sample.report.energy_gain());
       table.row()
           .add(static_cast<long long>(s + 1))
-          .add(tech::to_string(corner.process))
-          .add(corner.temp_c, 0)
-          .add(100.0 * corner.ir_drop_fraction, 1)
-          .add(100.0 * r.energy_gain(), 1)
-          .add(100.0 * r.error_rate(), 2);
+          .add(tech::to_string(sample.corner.process))
+          .add(sample.corner.temp_c, 0)
+          .add(100.0 * sample.corner.ir_drop_fraction, 1)
+          .add(100.0 * sample.report.energy_gain(), 1)
+          .add(100.0 * sample.report.error_rate(), 2);
     }
     ctx.table("samples", table);
-    ctx.metric("gain_mean", gain_stats.mean());
-    ctx.metric("gain_stddev", gain_stats.stddev());
-    ctx.metric("gain_min", gain_stats.min());
-    ctx.metric("gain_max", gain_stats.max());
-    ctx.metric("err_mean", err_stats.mean());
+    ctx.metric("gain_mean", result.gain_stats.mean());
+    ctx.metric("gain_stddev", result.gain_stats.stddev());
+    ctx.metric("gain_min", result.gain_stats.min());
+    ctx.metric("gain_max", result.gain_stats.max());
+    ctx.metric("err_mean", result.err_stats.mean());
 
     std::printf("\nGain distribution: mean %.1f%%, stddev %.1f%%, min %.1f%%, max %.1f%%\n",
-                100.0 * gain_stats.mean(), 100.0 * gain_stats.stddev(),
-                100.0 * gain_stats.min(), 100.0 * gain_stats.max());
-    std::printf("Average error rate across samples: %.2f%%\n", 100.0 * err_stats.mean());
+                100.0 * result.gain_stats.mean(), 100.0 * result.gain_stats.stddev(),
+                100.0 * result.gain_stats.min(), 100.0 * result.gain_stats.max());
+    std::printf("Average error rate across samples: %.2f%%\n",
+                100.0 * result.err_stats.mean());
     std::printf("\nHistogram (gain bucket -> share of samples):\n");
     for (std::size_t b = 0; b < gain_hist.bins(); ++b) {
       if (gain_hist.count(b) == 0.0) continue;

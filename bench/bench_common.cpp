@@ -1,10 +1,13 @@
 // Scenario-runner implementation (see bench_common.hpp).
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <fstream>
 #include <iostream>
+
+#include "util/parallel.hpp"
 
 namespace razorbus::bench {
 
@@ -67,6 +70,13 @@ int run_scenario(int argc, char** argv, const Scenario& scenario) {
       ctx.cycles = static_cast<std::size_t>(
           flags.get_int("cycles", static_cast<std::int64_t>(scenario.default_cycles)));
 
+    // Shared executor width: --threads=N shards the characterization and
+    // the parallel experiment drivers over N threads (0 = hardware
+    // concurrency, the default). Results are bit-identical at any width
+    // (DESIGN.md §9), so this is purely a wall-clock knob.
+    util::set_global_threads(
+        static_cast<unsigned>(std::max<std::int64_t>(0, flags.get_int("threads", 0))));
+
     // --json writes BENCH_<name>.json; --json=path overrides the location.
     std::string json_path;
     if (flags.has("json")) {
@@ -82,6 +92,8 @@ int run_scenario(int argc, char** argv, const Scenario& scenario) {
 
     print_header((scenario.name + ": " + scenario.description).c_str(),
                  scenario.paper_ref.c_str());
+    std::fprintf(stderr, "[executor: %u thread%s]\n", util::global_threads(),
+                 util::global_threads() == 1 ? "" : "s");
 
     const auto start = std::chrono::steady_clock::now();
     scenario.run(ctx);
@@ -95,6 +107,7 @@ int run_scenario(int argc, char** argv, const Scenario& scenario) {
       report.set("scenario", scenario.name);
       report.set("paper_ref", scenario.paper_ref);
       if (scenario.default_cycles > 0) report.set("cycles", ctx.cycles);
+      report.set("threads", static_cast<long long>(util::global_threads()));
       report.set("wall_seconds", wall_seconds);
       report.set("metrics", std::move(ctx.metrics_));
       report.set("notes", std::move(ctx.notes_));

@@ -4,9 +4,13 @@
 // DESIGN.md §4 for the index). They all share the same shape: characterise
 // the paper bus (cached on disk after the first run), capture traces, run
 // one experiment, print tables. The scenario runner factors that shape out
-// of the 13 mains: flag parsing (--cycles, --json), the banner, wall-clock
-// timing, and a machine-readable JSON report so the result and perf
-// trajectory of every scenario can be tracked across commits.
+// of the 13 mains: flag parsing (--cycles, --json, --threads), the banner,
+// wall-clock timing, and a machine-readable JSON report so the result and
+// perf trajectory of every scenario can be tracked across commits.
+// --threads=N sizes the shared execution pool (util::set_global_threads);
+// every experiment result is bit-identical at any N (DESIGN.md §9) — only
+// wall-clock/timing metrics (wall_seconds, threads, perf_microbench's
+// throughput numbers) vary.
 #pragma once
 
 #include <cstdio>

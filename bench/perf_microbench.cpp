@@ -3,20 +3,25 @@
 //
 // The headline numbers are the bus-cycle rates of the two engines
 // (EngineMode::reference per-wire golden path vs the bit-parallel batched
-// production path) on active, mixed and idle traffic. They are printed as
-// a table and always written to BENCH_engine.json (override the path with
-// --json=...) so the speedup trajectory can be tracked across commits.
+// production path) on active, mixed and idle traffic, plus the single- vs
+// multi-thread throughput of the sharded characterization build and static
+// voltage sweep (--threads=N, DESIGN.md §9). They are printed as tables
+// and always written to BENCH_engine.json (override the path with
+// --json=...) so both speedup trajectories can be tracked across commits.
 //
 // With --gbench the finer-grained google-benchmark suite (table slice
 // interpolation, mini-CPU stepping, transient cluster runs, oracle
 // classification) runs as well, when the library is available.
+#include <algorithm>
 #include <chrono>
 
 #include "bench_common.hpp"
 #include "bus/simulator.hpp"
 #include "cpu/kernels.hpp"
+#include "lut/table.hpp"
 #include "spice/transient.hpp"
 #include "trace/synthetic.hpp"
+#include "util/parallel.hpp"
 
 #if defined(RAZORBUS_HAVE_GBENCH)
 #include <benchmark/benchmark.h>
@@ -99,6 +104,89 @@ void engine_showdown(ScenarioContext& ctx) {
   if (active_speedup < 5.0)
     std::printf("WARNING: active-traffic speedup %.2fx below the 5x budget\n",
                 active_speedup);
+}
+
+// Wall-clock of fn(), repeated until the window is long enough to trust;
+// returns seconds per call.
+template <typename Fn>
+double measure_seconds(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  int calls = 0;
+  double elapsed = 0.0;
+  const auto t0 = clock::now();
+  do {
+    fn();
+    ++calls;
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (elapsed < 0.3);
+  return elapsed / calls;
+}
+
+// Single- vs multi-thread throughput of the two sharded workloads
+// (DESIGN.md §9): a characterization grid build and a static voltage
+// sweep. Both are bit-identical at any width, so this is purely the
+// executor's scaling trajectory, tracked in BENCH_engine.json.
+void parallel_showdown(ScenarioContext& ctx) {
+  const unsigned threads = util::global_threads();
+  ctx.metric("threads", static_cast<double>(threads));
+
+  // Characterization microcosm: one corner, one temperature, a short
+  // supply grid — the same per-grid-point transient sims as the full
+  // build, small enough to time in seconds.
+  lut::LutConfig cfg;
+  cfg.vmin = 1.08;
+  cfg.vmax = 1.20;
+  cfg.vstep = 0.02;
+  cfg.temps = {100.0};
+  cfg.corners = {tech::ProcessCorner::typical};
+  const auto& system = paper_system();
+
+  util::set_global_threads(1);
+  const double char_1t = measure_seconds(
+      [&] { lut::DelayEnergyTable::build(system.design(), system.driver(), cfg); });
+  util::set_global_threads(threads);
+  const double char_mt = measure_seconds(
+      [&] { lut::DelayEnergyTable::build(system.design(), system.driver(), cfg); });
+
+  // Sweep microcosm: the Fig. 4 driver on one synthetic trace.
+  const trace::Trace trace =
+      make_trace(trace::SyntheticStyle::uniform, 0.4, ctx.cycles, "sweep");
+  const std::vector<trace::Trace> traces{trace};
+  const tech::PvtCorner corner = tech::typical_corner();
+
+  util::set_global_threads(1);
+  const double sweep_1t =
+      measure_seconds([&] { core::static_voltage_sweep(system, corner, traces); });
+  util::set_global_threads(threads);
+  const double sweep_mt =
+      measure_seconds([&] { core::static_voltage_sweep(system, corner, traces); });
+
+  const double char_speedup = char_1t / char_mt;
+  const double sweep_speedup = sweep_1t / sweep_mt;
+
+  Table table({"Sharded workload", "1 thread (s)", "N threads (s)", "Speedup"});
+  table.row().add("characterization build").add(char_1t, 3).add(char_mt, 3).add(
+      char_speedup, 2);
+  table.row().add("static voltage sweep").add(sweep_1t, 3).add(sweep_mt, 3).add(
+      sweep_speedup, 2);
+  ctx.table("parallel_throughput", table);
+  ctx.metric("characterization_seconds_1t", char_1t);
+  ctx.metric("characterization_seconds_mt", char_mt);
+  ctx.metric("characterization_parallel_speedup", char_speedup);
+  ctx.metric("sweep_seconds_1t", sweep_1t);
+  ctx.metric("sweep_seconds_mt", sweep_mt);
+  ctx.metric("sweep_parallel_speedup", sweep_speedup);
+
+  std::printf("\nExecutor width: %u thread%s (override with --threads=N)\n", threads,
+              threads == 1 ? "" : "s");
+  if (threads >= 4 && std::min(char_speedup, sweep_speedup) < 3.0)
+    std::printf("WARNING: parallel speedup %.2fx below the 3x budget at %u threads\n",
+                std::min(char_speedup, sweep_speedup), threads);
+}
+
+void run_all(ScenarioContext& ctx) {
+  engine_showdown(ctx);
+  parallel_showdown(ctx);
 }
 
 }  // namespace
@@ -193,7 +281,7 @@ int main(int argc, char** argv) {
   scenario.description = "perf_microbench: engine throughput (cycles/sec per mode)";
   scenario.paper_ref = "methodology Section 3 (simulation speed enables 10M-cycle runs)";
   scenario.default_cycles = 1 << 18;
-  scenario.run = engine_showdown;
+  scenario.run = run_all;
 
   // The scenario runner owns --cycles/--json; strip our extra flags first.
   bool want_gbench = false;

@@ -24,14 +24,21 @@ void table_for(ScenarioContext& ctx, const tech::PvtCorner& corner,
   double dvs_total_base = 0.0, dvs_total = 0.0;
   std::uint64_t total_errors = 0, total_cycles = 0;
 
-  for (const auto& trace : traces) {
-    std::fprintf(stderr, "[%s @ %s]\n", trace.name.c_str(), corner.name().c_str());
-    const core::DvsRunReport fixed = core::run_fixed_vs(paper_system(), corner, trace);
-    const core::DvsRunReport dvs =
-        core::run_closed_loop(paper_system(), corner, trace, core::DvsRunConfig{});
+  // One independent closed-loop run per benchmark: sharded across the
+  // executor (one simulator per trace), reports back in Table 1 order.
+  std::fprintf(stderr, "[running %zu benchmarks @ %s]\n", traces.size(),
+               corner.name().c_str());
+  const std::vector<core::DvsRunReport> fixed_reports =
+      core::run_fixed_vs_suite(paper_system(), corner, traces);
+  const std::vector<core::DvsRunReport> dvs_reports =
+      core::run_closed_loop_suite(paper_system(), corner, traces, core::DvsRunConfig{});
+
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const core::DvsRunReport& fixed = fixed_reports[t];
+    const core::DvsRunReport& dvs = dvs_reports[t];
 
     table.row()
-        .add(trace.name)
+        .add(traces[t].name)
         .add(100.0 * fixed.energy_gain(), 1)
         .add(100.0 * dvs.energy_gain(), 1)
         .add(100.0 * dvs.error_rate(), 2)

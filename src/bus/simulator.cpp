@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/bits.hpp"
+#include "util/units.hpp"
 
 namespace razorbus::bus {
 
@@ -90,12 +91,13 @@ void BusSimulator::build_group_structure() {
 
 void BusSimulator::set_supply(double volts) {
   if (volts <= 0.0) throw std::invalid_argument("BusSimulator: non-positive supply");
-  // Tolerant compare: the regulator accumulates 20 mV steps in floating
-  // point, so "the same voltage" can arrive a few ULPs away from the value
-  // we cached. A sub-nanovolt difference never changes the interpolated
-  // tables, while an exact != would force a needless operating-point
-  // refresh on every closed-loop segment.
-  if (supply_ > 0.0 && std::fabs(volts - supply_) <= 1e-9) return;
+  // Tolerant compare (kSupplyToleranceVolts, shared with the regulator):
+  // the regulator accumulates 20 mV steps in floating point, so "the same
+  // voltage" can arrive a few ULPs away from the value we cached. A
+  // sub-nanovolt difference never changes the interpolated tables, while
+  // an exact != would force a needless operating-point refresh on every
+  // closed-loop segment.
+  if (supply_ > 0.0 && std::fabs(volts - supply_) <= kSupplyToleranceVolts) return;
   supply_ = volts;
   refresh_operating_point();
 }

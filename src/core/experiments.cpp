@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "dvs/regulator.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace razorbus::core {
 
@@ -41,19 +43,24 @@ StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
   for (double v = vnom; v > result.floor_supply - 1e-9; v -= step) supplies.push_back(v);
   std::sort(supplies.begin(), supplies.end());
 
-  for (const double v : supplies) {
-    bus::BusSimulator sim = system.make_simulator(environment);
-    if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
-    sim.set_supply(v);
-    for (const auto& t : traces) sim.run(t.words);
+  // One shard per supply point; each shard owns a fresh simulator (the
+  // jitter Rng is re-seeded per shard exactly as the sequential loop
+  // re-seeded it per supply), results land in ascending-supply order.
+  result.points = util::parallel_map(
+      util::global_pool(), supplies.size(), [&](std::size_t s) {
+        const double v = supplies[s];
+        bus::BusSimulator sim = system.make_simulator(environment);
+        if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
+        sim.set_supply(v);
+        for (const auto& t : traces) sim.run(t.words);
 
-    SweepPoint p;
-    p.supply = v;
-    p.error_rate = sim.totals().error_rate();
-    p.bus_energy = sim.totals().bus_energy;
-    p.total_energy = sim.totals().total_energy();
-    result.points.push_back(p);
-  }
+        SweepPoint p;
+        p.supply = v;
+        p.error_rate = sim.totals().error_rate();
+        p.bus_energy = sim.totals().bus_energy;
+        p.total_energy = sim.totals().total_energy();
+        return p;
+      });
 
   result.baseline_bus_energy = result.points.back().bus_energy;  // nominal supply
   for (auto& p : result.points) {
@@ -66,8 +73,10 @@ StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
 std::vector<TargetGainPoint> gains_for_targets(const StaticSweepResult& sweep,
                                                const std::vector<double>& targets) {
   if (sweep.points.empty()) throw std::invalid_argument("gains_for_targets: empty sweep");
-  std::vector<TargetGainPoint> out;
-  for (const double target : targets) {
+  // One shard per target; cheap compared to the sweep itself, but keeps
+  // every stage of the Fig. 5 pipeline on the executor.
+  return util::parallel_map(util::global_pool(), targets.size(), [&](std::size_t t) {
+    const double target = targets[t];
     TargetGainPoint g;
     g.target_error_rate = target;
     // Lowest supply whose error rate stays within the target (0 -> exact 0).
@@ -82,9 +91,8 @@ std::vector<TargetGainPoint> gains_for_targets(const StaticSweepResult& sweep,
     g.chosen_supply = chosen->supply;
     g.achieved_error_rate = chosen->error_rate;
     g.energy_gain = 1.0 - chosen->total_energy / sweep.baseline_bus_energy;
-    out.push_back(g);
-  }
-  return out;
+    return g;
+  });
 }
 
 VoltageDistribution oracle_voltage_distribution(const DvsBusSystem& system,
@@ -253,6 +261,60 @@ DvsRunReport run_fixed_vs(const DvsBusSystem& system, const tech::PvtCorner& env
                                        trace.words)
           .bus_energy;
   return report;
+}
+
+std::vector<DvsRunReport> run_closed_loop_suite(const DvsBusSystem& system,
+                                                const tech::PvtCorner& environment,
+                                                const std::vector<trace::Trace>& traces,
+                                                const DvsRunConfig& config) {
+  return util::parallel_map(util::global_pool(), traces.size(), [&](std::size_t t) {
+    return run_closed_loop(system, environment, traces[t], config);
+  });
+}
+
+std::vector<DvsRunReport> run_fixed_vs_suite(const DvsBusSystem& system,
+                                             const tech::PvtCorner& environment,
+                                             const std::vector<trace::Trace>& traces) {
+  return util::parallel_map(util::global_pool(), traces.size(), [&](std::size_t t) {
+    return run_fixed_vs(system, environment, traces[t]);
+  });
+}
+
+PvtSampleResult pvt_sample_gains(const DvsBusSystem& system, const trace::Trace& trace,
+                                 const PvtSampleConfig& config) {
+  const auto n = static_cast<std::size_t>(std::max(config.samples, 0));
+  PvtSampleResult out;
+  out.samples = util::parallel_map(util::global_pool(), n, [&](std::size_t s) {
+    // Private Rng stream per sample: the drawn population depends only on
+    // (seed, sample index), never on the shard-to-thread assignment.
+    Rng rng(util::shard_seed(config.seed, s));
+    PvtSample sample;
+    // Process corners are discrete (die-to-die); skew toward typical.
+    const double p = rng.next_double();
+    sample.corner.process = p < 0.2   ? tech::ProcessCorner::slow
+                            : p < 0.8 ? tech::ProcessCorner::typical
+                                      : tech::ProcessCorner::fast;
+    sample.corner.temp_c = rng.uniform(25.0, 100.0);
+    sample.corner.ir_drop_fraction = rng.uniform(0.0, 0.10);
+
+    // Temperatures are characterised at 25/100C; evaluate at the nearer one
+    // (the table axis is coarse by design, like the paper's).
+    sample.corner.temp_c = sample.corner.temp_c < 62.5 ? 25.0 : 100.0;
+
+    sample.report = run_closed_loop(system, sample.corner, trace, config.run);
+    return sample;
+  });
+
+  // Per-shard singleton stats merged in shard order: the aggregate is the
+  // same double sequence no matter how many threads ran the samples.
+  for (const auto& sample : out.samples) {
+    RunningStats gain, err;
+    gain.add(sample.report.energy_gain());
+    err.add(sample.report.error_rate());
+    out.gain_stats.merge(gain);
+    out.err_stats.merge(err);
+  }
+  return out;
 }
 
 }  // namespace razorbus::core

@@ -34,7 +34,9 @@ struct StaticSweepResult {
 };
 
 // Run the combined traces at every 20 mV grid supply from the corner's
-// shadow floor up to nominal.
+// shadow floor up to nominal. Sharded one supply point per shard (each
+// point runs on its own BusSimulator), results in ascending-supply order —
+// bit-identical at any thread count (DESIGN.md §9).
 StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
                                        const tech::PvtCorner& environment,
                                        const std::vector<trace::Trace>& traces,
@@ -133,5 +135,45 @@ ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
                                      const tech::PvtCorner& environment,
                                      const std::vector<trace::Trace>& traces,
                                      const DvsRunConfig& config = {});
+
+// Independent closed-loop / fixed-VS runs over a trace suite (Table 1 runs
+// every benchmark separately). Unlike run_consecutive, controller and
+// regulator state reset per trace, so the traces are embarrassingly
+// parallel: sharded one trace per shard, one BusSimulator per shard,
+// reports returned in trace order (DESIGN.md §9).
+std::vector<DvsRunReport> run_closed_loop_suite(const DvsBusSystem& system,
+                                                const tech::PvtCorner& environment,
+                                                const std::vector<trace::Trace>& traces,
+                                                const DvsRunConfig& config = {});
+std::vector<DvsRunReport> run_fixed_vs_suite(const DvsBusSystem& system,
+                                             const tech::PvtCorner& environment,
+                                             const std::vector<trace::Trace>& traces);
+
+// ------------------------------------------------- PVT sampling extension
+// Monte-Carlo over operating conditions (the paper hand-picks corners; the
+// ablation samples a part population instead). Sharded one sample per
+// shard: sample s draws its PVT point from a private Rng seeded with
+// SplitMix of (seed, s) and runs on its own BusSimulator, so the
+// population — and every derived statistic — is bit-identical at any
+// thread count (DESIGN.md §9).
+struct PvtSampleConfig {
+  int samples = 24;
+  std::uint64_t seed = 2025;
+  DvsRunConfig run{};
+};
+
+struct PvtSample {
+  tech::PvtCorner corner;
+  DvsRunReport report;
+};
+
+struct PvtSampleResult {
+  std::vector<PvtSample> samples;  // in sample (shard) order
+  RunningStats gain_stats;         // merged in shard order
+  RunningStats err_stats;
+};
+
+PvtSampleResult pvt_sample_gains(const DvsBusSystem& system, const trace::Trace& trace,
+                                 const PvtSampleConfig& config = {});
 
 }  // namespace razorbus::core

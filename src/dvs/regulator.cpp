@@ -1,7 +1,10 @@
 #include "dvs/regulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "util/units.hpp"
 
 namespace razorbus::dvs {
 
@@ -15,7 +18,10 @@ VoltageRegulator::VoltageRegulator(double initial, double vmin, double vmax,
 bool VoltageRegulator::request_change(double delta, std::uint64_t now) {
   if (pending_) return false;
   const double target = std::clamp(voltage_ + delta, vmin_, vmax_);
-  if (target == voltage_) return false;
+  // Tolerant compare, matching BusSimulator::set_supply: a sub-epsilon
+  // residual delta (e.g. a clamp at vmin that is itself a float sum) must
+  // not enqueue a no-op ramp that blocks real requests for delay_cycles.
+  if (std::fabs(target - voltage_) <= kSupplyToleranceVolts) return false;
   pending_ = Pending{now + delay_cycles_, target};
   return true;
 }

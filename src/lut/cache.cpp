@@ -1,9 +1,12 @@
 #include "lut/cache.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <sstream>
+#include <system_error>
 
 namespace razorbus::lut {
 
@@ -30,8 +33,33 @@ DelayEnergyTable build_or_load(const interconnect::BusDesign& design,
   }
 
   DelayEnergyTable table = DelayEnergyTable::build(design, driver, config, progress);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (out) table.save(out, hash);
+
+  // Publish atomically: write a private temp file in the same directory,
+  // then rename over the final path. A crash mid-write or a concurrent
+  // second writer (parallel test binaries share this cache) can then never
+  // leave a torn lut_*.bin — readers see the old file, the new file, or no
+  // file, all of which load() handles. The temp name carries a random
+  // per-process token (cross-process uniqueness; simulation results never
+  // depend on it) and a process-local counter (two threads of one process
+  // building the same entry must not share a temp file).
+  static const std::uint64_t tmp_token =
+      (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^ std::random_device{}();
+  static std::atomic<unsigned> tmp_serial{0};
+  std::error_code ec;
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << std::hex << tmp_token << "." << tmp_serial++;
+  const std::string tmp_path = tmp_name.str();
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return table;
+    table.save(out, hash);
+    if (!out) {
+      std::filesystem::remove(tmp_path, ec);
+      return table;
+    }
+  }
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) std::filesystem::remove(tmp_path, ec);  // cache is best-effort
   return table;
 }
 

@@ -1,11 +1,15 @@
 #include "lut/table.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <istream>
 #include <limits>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
+
+#include "util/parallel.hpp"
 
 namespace razorbus::lut {
 
@@ -73,11 +77,22 @@ DelayEnergyTable DelayEnergyTable::build(const interconnect::BusDesign& design,
   const int total = static_cast<int>(table.corners_.size() * table.temps_.size() *
                                      table.grid_.size()) *
                     sims_per_point;
-  int done = 0;
+  std::atomic<int> done{0};
+  std::mutex progress_mutex;
+  int reported = 0;  // monotonic max of done counts already reported
 
-  for (std::size_t ci = 0; ci < table.corners_.size(); ++ci) {
-    for (std::size_t ti = 0; ti < table.temps_.size(); ++ti) {
-      for (std::size_t vi = 0; vi < table.grid_.size(); ++vi) {
+  // The dominant cold-start cost: thousands of independent transient runs.
+  // Sharded one (corner, temperature, voltage) grid point per shard — each
+  // point owns the contiguous per-class range [flat_index(ci,ti,vi,0),
+  // flat_index(ci,ti,vi,kCount)) of delays_/energies_, so shards write
+  // disjoint memory and the table contents are bit-identical at any thread
+  // count (DESIGN.md §9).
+  const std::size_t points_per_corner = table.temps_.size() * table.grid_.size();
+  util::global_pool().parallel_for(
+      table.corners_.size() * points_per_corner, [&](std::size_t point) {
+        const std::size_t ci = point / points_per_corner;
+        const std::size_t ti = (point % points_per_corner) / table.grid_.size();
+        const std::size_t vi = point % table.grid_.size();
         const double vdd = table.grid_.voltage(vi);
         const bool conducts =
             driver.conducts(table.corners_[ci], table.temps_[ti], vdd);
@@ -111,8 +126,18 @@ DelayEnergyTable DelayEnergyTable::build(const interconnect::BusDesign& design,
             table.delays_[idx] =
                 r.delay >= 0.0 ? r.delay : std::numeric_limits<double>::infinity();
           table.energies_[idx] = r.victim_energy;
-          ++done;
-          if (progress) progress(done, total);
+          const int now_done = ++done;
+          if (progress) {
+            // Report only monotonically increasing counts: two shards can
+            // increment in one order and acquire this mutex in the other,
+            // and progress printers assume done never goes backwards. The
+            // shard that increments to `total` always reports it.
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            if (now_done > reported) {
+              reported = now_done;
+              progress(now_done, total);
+            }
+          }
         }
         // Mirror non-canonical classes.
         for (int cls = 0; cls < PatternClass::kCount; ++cls) {
@@ -122,9 +147,7 @@ DelayEnergyTable DelayEnergyTable::build(const interconnect::BusDesign& design,
           table.delays_[dst] = table.delays_[src];
           table.energies_[dst] = table.energies_[src];
         }
-      }
-    }
-  }
+      });
   return table;
 }
 

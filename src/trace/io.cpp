@@ -37,6 +37,18 @@ std::optional<Trace> load_binary(std::istream& is) {
   std::uint64_t n = 0;
   if (!is.read(reinterpret_cast<char*>(&n), sizeof(n)) || n > (1ull << 33))
     return std::nullopt;
+  // A corrupt/truncated header can claim up to 2^33 words; bound the claim
+  // by the bytes actually left in the stream before resize() commits
+  // gigabytes for a read that is guaranteed to fail.
+  const std::istream::pos_type data_pos = is.tellg();
+  if (data_pos != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end_pos = is.tellg();
+    is.seekg(data_pos);
+    if (!is || end_pos < data_pos) return std::nullopt;
+    const auto remaining = static_cast<std::uint64_t>(end_pos - data_pos);
+    if (n > remaining / sizeof(std::uint32_t)) return std::nullopt;
+  }
   trace.words.resize(n);
   if (!is.read(reinterpret_cast<char*>(trace.words.data()),
                static_cast<std::streamsize>(n * sizeof(std::uint32_t))))

@@ -1,0 +1,138 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace razorbus::util {
+
+namespace {
+
+// True while the current thread is executing a shard; nested parallel_for
+// calls then run inline instead of deadlocking on the pool.
+thread_local bool t_in_shard = false;
+
+unsigned resolve_threads(unsigned threads) {
+  if (threads != 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(resolve_threads(threads)) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned lane = 1; lane < threads_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_lane(unsigned lane, const std::function<void(std::size_t)>& fn,
+                          std::size_t n_shards, std::vector<std::exception_ptr>& errors) {
+  t_in_shard = true;
+  for (std::size_t s = lane; s < n_shards; s += threads_) {
+    try {
+      fn(s);
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+  }
+  t_in_shard = false;
+}
+
+void ThreadPool::worker_loop(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n_shards = 0;
+    std::vector<std::exception_ptr>* errors = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      n_shards = job_shards_;
+      errors = job_errors_;
+    }
+    run_lane(lane, *fn, n_shards, *errors);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--lanes_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n_shards,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n_shards == 0) return;
+  if (threads_ == 1 || n_shards == 1 || t_in_shard) {
+    // Inline path: shards run in order on the caller, so the first throw is
+    // already the lowest-shard exception.
+    for (std::size_t s = 0; s < n_shards; ++s) fn(s);
+    return;
+  }
+
+  // One job at a time: the slots below (job_fn_, job_errors_,
+  // lanes_remaining_) are single-buffered, so a second top-level caller —
+  // e.g. two application threads driving experiments on global_pool() —
+  // must wait for the current job to drain. Nested calls never get here
+  // (t_in_shard diverted them to the inline path above), so this cannot
+  // self-deadlock.
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+
+  std::vector<std::exception_ptr> errors(n_shards);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_shards_ = n_shards;
+    job_errors_ = &errors;
+    lanes_remaining_ = threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  run_lane(0, fn, n_shards, errors);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return lanes_remaining_ == 0; });
+    job_fn_ = nullptr;
+    job_errors_ = nullptr;
+  }
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+namespace {
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>();
+  return *g_pool;
+}
+
+void set_global_threads(unsigned threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const unsigned resolved = resolve_threads(threads);
+  if (g_pool && g_pool->threads() == resolved) return;
+  g_pool.reset();  // join the old workers before spawning replacements
+  g_pool = std::make_unique<ThreadPool>(resolved);
+}
+
+unsigned global_threads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>();
+  return g_pool->threads();
+}
+
+}  // namespace razorbus::util

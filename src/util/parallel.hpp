@@ -1,0 +1,104 @@
+// Deterministic work-sharding substrate (DESIGN.md §9).
+//
+// The characterization grid and the experiment sweeps are embarrassingly
+// parallel, but every result in this codebase is contractually bit-identical
+// run to run. The executor therefore separates the WORK DECOMPOSITION from
+// the THREAD COUNT: callers split work into a fixed number of shards that
+// depends only on the problem (one per grid point, supply, sample, trace),
+// shard `s` always runs on lane `s % threads` (static assignment, no work
+// stealing), and per-shard results land in a slot indexed by `s` so callers
+// merge them in shard order. Any thread count — including 1 — then produces
+// byte-identical tables, totals and reports.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace razorbus::util {
+
+// Fixed-size pool of persistent worker threads. The calling thread
+// participates as lane 0, so a pool of `threads() == N` uses N-1 background
+// workers and `ThreadPool(1)` runs everything inline on the caller.
+class ThreadPool {
+ public:
+  // `threads` = 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threads() const { return threads_; }
+
+  // Run fn(shard) for every shard in [0, n_shards) and block until all are
+  // done. Shard s executes on lane s % threads() — the assignment is static,
+  // so which thread runs a shard never depends on timing. With more than
+  // one thread every shard runs even if another shard throws; the exception
+  // with the LOWEST shard index is rethrown (single-threaded execution
+  // stops at the first throw, which is the same exception). Calls from
+  // inside a shard run inline on the calling lane (no deadlock, no extra
+  // parallelism); concurrent top-level calls from different threads
+  // serialise, one job at a time.
+  void parallel_for(std::size_t n_shards, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(unsigned lane);
+  // Process this lane's shards of the current job, trapping exceptions into
+  // the job's per-shard slots.
+  void run_lane(unsigned lane, const std::function<void(std::size_t)>& fn,
+                std::size_t n_shards, std::vector<std::exception_ptr>& errors);
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  // Serialises top-level parallel_for calls: the job slots below are
+  // single-buffered, so concurrent callers queue up rather than trampling
+  // a job in flight.
+  std::mutex submit_mutex_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;   // bumped per job; workers wake on change
+  unsigned lanes_remaining_ = 0;
+  bool stop_ = false;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_shards_ = 0;
+  std::vector<std::exception_ptr>* job_errors_ = nullptr;
+};
+
+// Map [0, n_shards) through fn on the pool; results are returned in shard
+// order regardless of which thread computed them. The result type must be
+// default-constructible.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n_shards, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  std::vector<decltype(fn(std::size_t{}))> out(n_shards);
+  pool.parallel_for(n_shards, [&](std::size_t s) { out[s] = fn(s); });
+  return out;
+}
+
+// Process-wide pool used by the parallel experiment drivers and the LUT
+// builder. Defaults to the hardware concurrency; the bench scenario
+// runner's shared --threads=N flag overrides it. Resizing tears down and
+// rebuilds the pool — never call it while experiments are running.
+ThreadPool& global_pool();
+void set_global_threads(unsigned threads);  // 0 = hardware concurrency
+unsigned global_threads();
+
+// Statistically independent seed for a shard's private Rng stream:
+// SplitMix64 finalizer over (seed, shard). Depends only on the logical
+// shard index, never on the executing thread, so sharded Monte-Carlo draws
+// are reproducible at any thread count.
+constexpr std::uint64_t shard_seed(std::uint64_t seed, std::uint64_t shard) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace razorbus::util

@@ -53,6 +53,7 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 std::size_t Histogram::bin_index(double x) const {
+  if (std::isnan(x)) return counts_.size();  // before any cast: NaN->size_t is UB
   if (x <= lo_) return 0;
   if (x >= hi_) return counts_.size() - 1;
   auto i = static_cast<std::size_t>((x - lo_) / width_);
@@ -60,7 +61,12 @@ std::size_t Histogram::bin_index(double x) const {
 }
 
 void Histogram::add(double x, double weight) {
-  counts_[bin_index(x)] += weight;
+  const std::size_t i = bin_index(x);
+  if (i >= counts_.size()) {
+    dropped_ += weight;
+    return;
+  }
+  counts_[i] += weight;
   total_ += weight;
 }
 
@@ -72,6 +78,10 @@ double Histogram::fraction(std::size_t i) const {
 }
 
 void DiscreteHistogram::add(double key, double weight) {
+  if (std::isnan(key)) {  // NaN breaks the map's ordering (x < NaN is always false)
+    dropped_ += weight;
+    return;
+  }
   counts_[key] += weight;
   total_ += weight;
 }

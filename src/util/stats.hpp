@@ -34,12 +34,17 @@ class RunningStats {
 };
 
 // Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
-// bins so totals always match the number of samples added.
+// bins so totals always match the number of samples added. NaN samples are
+// unbinnable: they are counted in dropped() (with their weight) and never
+// touch the bins or the total.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x, double weight = 1.0);
+  // Bin for `x`; bins() (one past the last bin) when x is NaN. Casting NaN
+  // to an integer is undefined behavior, so the NaN check must come before
+  // any arithmetic on x.
   std::size_t bin_index(double x) const;
 
   double lo() const { return lo_; }
@@ -49,6 +54,8 @@ class Histogram {
   double bin_hi(std::size_t i) const;
   double count(std::size_t i) const { return counts_[i]; }
   double total() const { return total_; }
+  // Total weight of NaN samples rejected by add().
+  double dropped() const { return dropped_; }
   // Fraction of total mass in bin i (0 if empty histogram).
   double fraction(std::size_t i) const;
 
@@ -58,20 +65,25 @@ class Histogram {
   double width_;
   std::vector<double> counts_;
   double total_ = 0.0;
+  double dropped_ = 0.0;
 };
 
 // Discrete histogram keyed by exact values (e.g. supply-voltage grid points).
 // Used for Fig. 6 style "% of time spent at each supply voltage" plots.
+// NaN keys would break the map's strict weak ordering; they are counted in
+// dropped() instead.
 class DiscreteHistogram {
  public:
   void add(double key, double weight = 1.0);
   double total() const { return total_; }
+  double dropped() const { return dropped_; }
   // Sorted (key, fraction-of-total) pairs.
   std::vector<std::pair<double, double>> fractions() const;
 
  private:
   std::map<double, double> counts_;
   double total_ = 0.0;
+  double dropped_ = 0.0;
 };
 
 // Percentile of a sample vector (linear interpolation, p in [0,100]).

@@ -49,6 +49,15 @@ constexpr double to_pJ(double joules) { return joules * 1e12; }
 constexpr double to_um(double meters) { return meters * 1e6; }
 constexpr double to_mm(double meters) { return meters * 1e3; }
 
+// Two supply voltages closer than this are the same operating point.
+// Closed-loop arithmetic (regulator steps, IR-drop scaling) reconstructs
+// voltages in floating point, so "the same supply" can arrive a few ULPs
+// away from a cached value; a sub-nanovolt difference never changes the
+// interpolated tables. Shared by BusSimulator::set_supply and
+// VoltageRegulator::request_change so the two layers agree on what counts
+// as a real voltage change.
+constexpr double kSupplyToleranceVolts = 1e-9;
+
 // Boltzmann constant times charge ratio: thermal voltage kT/q at `temp_c`.
 constexpr double thermal_voltage(double temp_c) {
   return 8.617333262e-5 * (temp_c + 273.15);  // k/q in V/K times T in K

@@ -55,6 +55,18 @@ TEST(Regulator, ZeroDelayAppliesOnNextAdvance) {
   EXPECT_DOUBLE_EQ(reg.advance(5), 1.02);
 }
 
+TEST(Regulator, SubEpsilonResidualDeltaDoesNotBlockRealRequests) {
+  // Regression: request_change compared target == voltage_ exactly, so a
+  // sub-epsilon residual (e.g. the float dust left after stepping down to a
+  // clamp) enqueued a no-op ramp that blocked real requests for the whole
+  // ramp delay. The compare is now tolerant, like BusSimulator::set_supply.
+  VoltageRegulator reg(0.90 + 2e-10, 0.9, 1.2, 3000);
+  EXPECT_FALSE(reg.request_change(-0.020, 0));  // clamps to vmin: no-op delta
+  EXPECT_FALSE(reg.change_pending());           // nothing in flight...
+  EXPECT_TRUE(reg.request_change(+0.020, 10));  // ...so a real request lands now
+  EXPECT_DOUBLE_EQ(reg.advance(3010), 0.90 + 2e-10 + 0.020);
+}
+
 // ---------------------------------------------------------------- controller
 
 TEST(Controller, DecisionsFollowThePaperBand) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 
@@ -207,6 +208,32 @@ TEST(TraceIo, RejectsGarbageAndTruncation) {
   data.resize(data.size() - 6);
   std::stringstream truncated(data);
   EXPECT_FALSE(load_binary(truncated).has_value());
+}
+
+TEST(TraceIo, CorruptWordCountRejectedWithoutGiantAllocation) {
+  // Regression: a corrupt header could claim up to 2^33 words and trigger a
+  // 32 GiB resize before the read failed. The claim is now bounded by the
+  // bytes actually remaining in the stream, so this returns nullopt fast
+  // instead of dying in the allocator.
+  const Trace t{"victim", {1, 2, 3, 4, 5, 6, 7, 8}};
+  std::stringstream buffer;
+  save_binary(t, buffer);
+  std::string data = buffer.str();
+
+  // The word count is the 8 bytes right before the payload.
+  const std::size_t count_offset = data.size() - t.words.size() * sizeof(std::uint32_t) - 8;
+  const std::uint64_t huge = (1ull << 33) - 1;
+  std::memcpy(&data[count_offset], &huge, sizeof(huge));
+
+  std::stringstream corrupt(data);
+  EXPECT_FALSE(load_binary(corrupt).has_value());
+
+  // A merely-too-large claim (payload shorter than the count says) is
+  // rejected the same way.
+  const std::uint64_t plausible = t.words.size() + 1;
+  std::memcpy(&data[count_offset], &plausible, sizeof(plausible));
+  std::stringstream short_payload(data);
+  EXPECT_FALSE(load_binary(short_payload).has_value());
 }
 
 TEST(TraceIo, FileRoundTrip) {

@@ -200,6 +200,33 @@ TEST(Histogram, BinningAndTotals) {
   EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
 }
 
+TEST(Histogram, NanSamplesAreDroppedNotBinned) {
+  // Regression: bin_index used to cast NaN to std::size_t (undefined
+  // behavior — both range guards compare false for NaN).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.bin_index(nan), h.bins());  // defined one-past-the-end flag
+  h.add(nan);
+  h.add(nan, 2.5);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.dropped(), 3.5);
+  for (std::size_t i = 0; i < h.bins(); ++i) EXPECT_DOUBLE_EQ(h.count(i), 0.0);
+
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);  // real samples still bin normally
+  EXPECT_DOUBLE_EQ(h.fraction(2), 1.0);
+}
+
+TEST(DiscreteHistogram, NanKeysAreDropped) {
+  DiscreteHistogram h;
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
+  EXPECT_DOUBLE_EQ(h.dropped(), 1.0);
+  ASSERT_EQ(h.fractions().size(), 1u);
+  EXPECT_DOUBLE_EQ(h.fractions()[0].second, 1.0);
+}
+
 TEST(Histogram, OutOfRangeClampsToEdges) {
   Histogram h(0.0, 1.0, 4);
   h.add(-5.0);
