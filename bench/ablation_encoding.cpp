@@ -34,6 +34,7 @@ const core::DvsBusSystem& invert_line_system() {
 trace::Trace line_trace(const std::vector<bool>& invert_line) {
   trace::Trace t;
   t.name = "invert_line";
+  t.n_bits = 1;
   t.words.reserve(invert_line.size());
   for (const bool b : invert_line) t.words.push_back(b ? 1u : 0u);
   return t;

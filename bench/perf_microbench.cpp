@@ -33,19 +33,21 @@ using namespace razorbus::bench;
 namespace {
 
 trace::Trace make_trace(trace::SyntheticStyle style, double load_rate, std::size_t cycles,
-                        const char* name) {
+                        const char* name, int n_bits = 32) {
   trace::SyntheticConfig cfg;
   cfg.style = style;
   cfg.cycles = cycles;
   cfg.load_rate = load_rate;
   cfg.seed = 0xbeef;
+  cfg.n_bits = n_bits;
   return trace::generate_synthetic(cfg, name);
 }
 
-// Cycles/second of `mode` over `words`, re-running the trace until the
-// measurement window is long enough to trust.
-double measure_cps(bus::EngineMode mode, const std::vector<std::uint32_t>& words) {
-  bus::BusSimulator sim = paper_system().make_simulator(tech::typical_corner());
+// Cycles/second of `mode` on `design` over `words`, re-running the trace
+// until the measurement window is long enough to trust.
+double measure_cps(const interconnect::BusDesign& design, bus::EngineMode mode,
+                  const std::vector<BusWord>& words) {
+  bus::BusSimulator sim(design, paper_system().table(), tech::typical_corner());
   sim.set_engine_mode(mode);
   sim.set_supply(1.00);
   sim.run(words);  // warm up (and fault in the tables)
@@ -60,6 +62,10 @@ double measure_cps(bus::EngineMode mode, const std::vector<std::uint32_t>& words
     elapsed = std::chrono::duration<double>(clock::now() - t0).count();
   } while (elapsed < 0.25);
   return static_cast<double>(cycles_done) / elapsed;
+}
+
+double measure_cps(bus::EngineMode mode, const std::vector<BusWord>& words) {
+  return measure_cps(paper_system().design(), mode, words);
 }
 
 void engine_showdown(ScenarioContext& ctx) {
@@ -104,6 +110,33 @@ void engine_showdown(ScenarioContext& ctx) {
   if (active_speedup < 5.0)
     std::printf("WARNING: active-traffic speedup %.2fx below the 5x budget\n",
                 active_speedup);
+}
+
+// Throughput vs bus width (DESIGN.md §10): the same electrical design at
+// 16, 32, 64 and 128 wires, driven with uniform traffic of that width. The
+// characterised table is width-independent, so every width reuses the
+// paper system's tables; what changes is the number of shield groups per
+// cycle (lookups) and the lane count of the mask algebra. Tracked in
+// BENCH_engine.json as width<N>_*_cps.
+void width_showdown(ScenarioContext& ctx) {
+  Table table({"Width (wires)", "Reference (Mcyc/s)", "Bit-parallel (Mcyc/s)", "Speedup"});
+  for (const int width : {16, 32, 64, 128}) {
+    interconnect::BusDesign design = paper_system().design();  // sized repeaters
+    design.n_bits = width;
+    const trace::Trace t = make_trace(trace::SyntheticStyle::uniform, 0.4, ctx.cycles,
+                                      "width", width);
+    const double ref_cps = measure_cps(design, bus::EngineMode::reference, t.words);
+    const double fast_cps = measure_cps(design, bus::EngineMode::bit_parallel, t.words);
+    table.row()
+        .add(static_cast<long long>(width))
+        .add(ref_cps / 1e6, 1)
+        .add(fast_cps / 1e6, 1)
+        .add(fast_cps / ref_cps, 2);
+    const std::string key = "width" + std::to_string(width);
+    ctx.metric(key + "_reference_cps", ref_cps);
+    ctx.metric(key + "_bit_parallel_cps", fast_cps);
+  }
+  ctx.table("width_throughput", table);
 }
 
 // Wall-clock of fn(), repeated until the window is long enough to trust;
@@ -186,6 +219,7 @@ void parallel_showdown(ScenarioContext& ctx) {
 
 void run_all(ScenarioContext& ctx) {
   engine_showdown(ctx);
+  width_showdown(ctx);
   parallel_showdown(ctx);
 }
 

@@ -13,10 +13,17 @@
 #include "core/system.hpp"
 #include "cpu/machine.hpp"
 #include "cpu/program.hpp"
+#include "util/cli.hpp"
 #include "util/units.hpp"
 
-int main() {
+namespace {
+
+int run(const razorbus::CliFlags& flags) {
   using namespace razorbus;
+
+  // Takes no flags: anything on the command line is a typo and fails
+  // loudly rather than silently running the default configuration.
+  flags.reject_unused();
 
   core::DvsBusSystem system(interconnect::BusDesign::paper_bus());
   const auto corner = tech::typical_corner();
@@ -59,3 +66,7 @@ int main() {
               to_mV(system.shadow_floor(corner)));
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return razorbus::cli_main(argc, argv, run); }

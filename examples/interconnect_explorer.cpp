@@ -19,10 +19,11 @@
 #include "util/table.hpp"
 #include "util/units.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(const razorbus::CliFlags& flags) {
   using namespace razorbus;
 
-  const CliFlags flags(argc, argv);
   const std::string ratio_list = flags.get("ratios", "1.0,1.5,1.95,2.5");
   const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 150000));
   flags.reject_unused();
@@ -75,3 +76,7 @@ int main(int argc, char** argv) {
       "the bus can run at for the same error budget.\n");
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return razorbus::cli_main(argc, argv, run); }

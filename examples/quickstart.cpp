@@ -10,10 +10,17 @@
 #include "core/experiments.hpp"
 #include "core/system.hpp"
 #include "cpu/kernels.hpp"
+#include "util/cli.hpp"
 #include "util/units.hpp"
 
-int main() {
+namespace {
+
+int run(const razorbus::CliFlags& flags) {
   using namespace razorbus;
+
+  // Takes no flags: anything on the command line is a typo and fails
+  // loudly rather than silently running the default configuration.
+  flags.reject_unused();
 
   // 1. The paper's bus: 32 bits, 6 mm, 0.8 um pitch, shields every 4 wires,
   //    repeaters every 1.5 mm, 1.5 GHz. The constructor sizes the repeaters
@@ -47,3 +54,7 @@ int main() {
               static_cast<unsigned long long>(dvs.totals.shadow_failures));
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return razorbus::cli_main(argc, argv, run); }

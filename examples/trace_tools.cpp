@@ -18,10 +18,11 @@
 #include "util/cli.hpp"
 #include "util/units.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(const razorbus::CliFlags& flags) {
   using namespace razorbus;
 
-  const CliFlags flags(argc, argv);
   const std::string name = flags.get("benchmark", "mgrid");
   const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 800000));
   flags.reject_unused();
@@ -67,3 +68,7 @@ int main(int argc, char** argv) {
   std::filesystem::remove(path);
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return razorbus::cli_main(argc, argv, run); }

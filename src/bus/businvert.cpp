@@ -5,19 +5,22 @@ namespace razorbus::bus {
 BusInvertResult bus_invert_encode(const trace::Trace& raw) {
   BusInvertResult result;
   result.encoded.name = raw.name + "+businvert";
+  result.encoded.n_bits = raw.n_bits;
   result.encoded.words.reserve(raw.words.size());
   result.invert_line.reserve(raw.words.size());
 
-  std::uint32_t bus = 0;   // current physical bus state
-  bool invert = false;     // current invert-line state
-  for (const std::uint32_t word : raw.words) {
-    const std::uint32_t direct = invert ? ~word : word;  // keep line unchanged
-    const int toggles_direct = __builtin_popcount(bus ^ direct);
+  const BusWord mask = BusWord::mask_low(raw.n_bits);
+  BusWord bus;          // current physical bus state
+  bool invert = false;  // current invert-line state
+  for (const BusWord& word : raw.words) {
+    const BusWord direct = (invert ? ~word : word) & mask;  // keep line unchanged
+    const BusWord flipped = ~direct & mask;
+    const int toggles_direct = (bus ^ direct).popcount();
     // Flipping the invert line transmits the complement (+1 for the line).
-    const int toggles_flipped = __builtin_popcount(bus ^ ~direct) + 1;
+    const int toggles_flipped = (bus ^ flipped).popcount() + 1;
     if (toggles_flipped < toggles_direct) {
       invert = !invert;
-      bus = ~direct;
+      bus = flipped;
       ++result.inversions;
     } else {
       bus = direct;
@@ -32,19 +35,21 @@ trace::Trace bus_invert_decode(const trace::Trace& encoded,
                                const std::vector<bool>& invert_line) {
   trace::Trace out;
   out.name = encoded.name + "+decoded";
+  out.n_bits = encoded.n_bits;
   out.words.reserve(encoded.words.size());
+  const BusWord mask = BusWord::mask_low(encoded.n_bits);
   for (std::size_t i = 0; i < encoded.words.size(); ++i) {
     const bool invert = i < invert_line.size() && invert_line[i];
-    out.words.push_back(invert ? ~encoded.words[i] : encoded.words[i]);
+    out.words.push_back(invert ? ~encoded.words[i] & mask : encoded.words[i]);
   }
   return out;
 }
 
 std::uint64_t total_toggles(const trace::Trace& trace) {
   std::uint64_t toggles = 0;
-  std::uint32_t prev = 0;
-  for (const std::uint32_t w : trace.words) {
-    toggles += static_cast<std::uint64_t>(__builtin_popcount(prev ^ w));
+  BusWord prev;
+  for (const BusWord& w : trace.words) {
+    toggles += static_cast<std::uint64_t>((prev ^ w).popcount());
     prev = w;
   }
   return toggles;

@@ -8,6 +8,10 @@
 // and the decode inverters. Implementing it lets the repository quantify
 // the paper's orthogonality claim: coding reduces activity (energy at any
 // fixed voltage), DVS reduces voltage, and the two compose.
+//
+// Width-generic: the payload width is the trace's n_bits (16-wire
+// peripheral buses through 128-wire flits); the invert decision compares
+// against n/2 + 1 at that width and the complement is masked to it.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +22,7 @@
 namespace razorbus::bus {
 
 struct BusInvertResult {
-  // The words physically driven on the 32 payload wires.
+  // The words physically driven on the payload wires.
   trace::Trace encoded;
   // Per-cycle state of the invert line (decode: payload ^ (invert ? ~0 : 0)).
   std::vector<bool> invert_line;

@@ -10,45 +10,34 @@ using lut::VictimActivity;
 
 WireClassifier::WireClassifier(const interconnect::BusDesign& design)
     : n_bits_(design.n_bits) {
-  if (n_bits_ <= 0 || n_bits_ > 32)
-    throw std::invalid_argument("WireClassifier: 1..32 bits supported");
-  bits_mask_ = n_bits_ == 32 ? ~0u : (1u << n_bits_) - 1u;
+  if (n_bits_ <= 0 || n_bits_ > BusWord::kMaxBits)
+    throw std::invalid_argument("WireClassifier: 1..128 bits supported");
+  bits_mask_ = BusWord::mask_low(n_bits_);
   for (int i = 0; i < n_bits_; ++i) {
-    left_shield_[static_cast<std::size_t>(i)] =
-        design.left_neighbor(i) == interconnect::NeighborKind::shield;
-    right_shield_[static_cast<std::size_t>(i)] =
-        design.right_neighbor(i) == interconnect::NeighborKind::shield;
-    if (left_shield_[static_cast<std::size_t>(i)]) left_shield_mask_ |= 1u << i;
-    if (right_shield_[static_cast<std::size_t>(i)]) right_shield_mask_ |= 1u << i;
+    if (design.left_neighbor(i) == interconnect::NeighborKind::shield)
+      left_shield_mask_.set(i);
+    if (design.right_neighbor(i) == interconnect::NeighborKind::shield)
+      right_shield_mask_.set(i);
   }
   // masks() leans on the edge wires being shield-adjacent: without this the
   // shifted neighbor masks would need per-edge special cases.
-  if (!left_shield_[0] || !right_shield_[static_cast<std::size_t>(n_bits_ - 1)])
+  if (!left_shield_mask_.test(0) || !right_shield_mask_.test(n_bits_ - 1))
     throw std::invalid_argument("WireClassifier: edge wires must border shields");
 }
 
-int WireClassifier::classify(std::uint32_t prev, std::uint32_t cur, int bit) const {
-  const auto i = static_cast<std::size_t>(bit);
-  const bool vp = (prev >> bit) & 1u;
-  const bool vc = (cur >> bit) & 1u;
-  const VictimActivity victim = lut::classify_victim(vp, vc);
+int WireClassifier::classify(const BusWord& prev, const BusWord& cur, int bit) const {
+  const VictimActivity victim = lut::classify_victim(prev.test(bit), cur.test(bit));
 
   NeighborActivity left = NeighborActivity::shield;
-  if (!left_shield_[i]) {
-    const bool lp = (prev >> (bit - 1)) & 1u;
-    const bool lc = (cur >> (bit - 1)) & 1u;
-    left = lut::classify_neighbor(lp, lc);
-  }
+  if (!left_shield_mask_.test(bit))
+    left = lut::classify_neighbor(prev.test(bit - 1), cur.test(bit - 1));
   NeighborActivity right = NeighborActivity::shield;
-  if (!right_shield_[i]) {
-    const bool rp = (prev >> (bit + 1)) & 1u;
-    const bool rc = (cur >> (bit + 1)) & 1u;
-    right = lut::classify_neighbor(rp, rc);
-  }
+  if (!right_shield_mask_.test(bit))
+    right = lut::classify_neighbor(prev.test(bit + 1), cur.test(bit + 1));
   return PatternClass::encode(victim, left, right);
 }
 
-void WireClassifier::classify_all(std::uint32_t prev, std::uint32_t cur, int* out) const {
+void WireClassifier::classify_all(const BusWord& prev, const BusWord& cur, int* out) const {
   for (int bit = 0; bit < n_bits_; ++bit) out[bit] = classify(prev, cur, bit);
 }
 

@@ -8,19 +8,21 @@
 // Two forms are provided:
 //   * classify()/classify_all(): one wire at a time — the per-wire golden
 //     reference path;
-//   * masks(): twelve 32-bit masks (victim/left/right activity per axis
-//     value) computed with a handful of bitwise ops, from which the wire
-//     set of every pattern class present this cycle is an AND of three
-//     masks. This is the kernel of the bit-parallel simulation engine: a
-//     class's multiplicity is a popcount, so per-cycle energy becomes a
-//     dot product of class counts against the table slice.
+//   * masks(): twelve BusWord masks (victim/left/right activity per axis
+//     value) computed with a handful of lane-parallel bitwise ops, from
+//     which the wire set of every pattern class present this cycle is an
+//     AND of three masks. This is the kernel of the bit-parallel
+//     simulation engine: a class's multiplicity is a popcount, so
+//     per-cycle energy becomes a dot product of class counts against the
+//     table slice. Everything is width-generic up to BusWord::kMaxBits
+//     (128) wires.
 #pragma once
 
-#include <array>
 #include <cstdint>
 
 #include "interconnect/bus_design.hpp"
 #include "lut/pattern.hpp"
+#include "util/busword.hpp"
 
 namespace razorbus::bus {
 
@@ -29,9 +31,9 @@ namespace razorbus::bus {
 // iff wire i's victim activity is `v` (similarly for the neighbor axes).
 // The wire mask of pattern class (v, l, r) is victim[v] & left[l] & right[r].
 struct ClassMaskSet {
-  std::uint32_t victim[4];
-  std::uint32_t left[4];
-  std::uint32_t right[4];
+  BusWord victim[4];
+  BusWord left[4];
+  BusWord right[4];
 };
 
 // Precomputed per-bit shield adjacency for fast classification.
@@ -41,20 +43,20 @@ class WireClassifier {
 
   int n_bits() const { return n_bits_; }
   // Mask with one bit set per signal wire (bits 0..n_bits-1).
-  std::uint32_t bits_mask() const { return bits_mask_; }
+  const BusWord& bits_mask() const { return bits_mask_; }
 
   // Pattern class of wire `bit` for the prev -> cur word transition.
-  int classify(std::uint32_t prev, std::uint32_t cur, int bit) const;
+  int classify(const BusWord& prev, const BusWord& cur, int bit) const;
 
   // Classify all wires at once into `out` (must hold n_bits entries).
-  void classify_all(std::uint32_t prev, std::uint32_t cur, int* out) const;
+  void classify_all(const BusWord& prev, const BusWord& cur, int* out) const;
 
   // Bit-parallel classification of all wires at once.
-  ClassMaskSet masks(std::uint32_t prev, std::uint32_t cur) const {
-    const std::uint32_t m = bits_mask_;
-    const std::uint32_t toggle = (prev ^ cur) & m;
-    const std::uint32_t rise = toggle & cur;
-    const std::uint32_t fall = toggle & ~cur;
+  ClassMaskSet masks(const BusWord& prev, const BusWord& cur) const {
+    const BusWord& m = bits_mask_;
+    const BusWord toggle = (prev ^ cur) & m;
+    const BusWord rise = toggle & cur;
+    const BusWord fall = toggle & ~cur;
 
     ClassMaskSet s;
     s.victim[static_cast<int>(lut::VictimActivity::rise)] = rise;
@@ -66,10 +68,10 @@ class WireClassifier {
     // victim mask shifted up; shield positions override. Wires outside
     // 0..n_bits-1 never reach the signal masks (everything is ANDed with
     // bits_mask_, and the edge wires are shield-adjacent by construction).
-    const std::uint32_t ls = left_shield_mask_;
-    const std::uint32_t rs = right_shield_mask_;
-    const std::uint32_t lsig = ~ls & m;
-    const std::uint32_t rsig = ~rs & m;
+    const BusWord& ls = left_shield_mask_;
+    const BusWord& rs = right_shield_mask_;
+    const BusWord lsig = ~ls & m;
+    const BusWord rsig = ~rs & m;
     s.left[static_cast<int>(lut::NeighborActivity::rise)] = (rise << 1) & lsig;
     s.left[static_cast<int>(lut::NeighborActivity::fall)] = (fall << 1) & lsig;
     s.left[static_cast<int>(lut::NeighborActivity::hold)] = ~(toggle << 1) & lsig;
@@ -83,11 +85,9 @@ class WireClassifier {
 
  private:
   int n_bits_;
-  std::uint32_t bits_mask_ = 0;
-  std::uint32_t left_shield_mask_ = 0;
-  std::uint32_t right_shield_mask_ = 0;
-  std::array<bool, 32> left_shield_{};
-  std::array<bool, 32> right_shield_{};
+  BusWord bits_mask_;
+  BusWord left_shield_mask_;
+  BusWord right_shield_mask_;
 };
 
 // Visit every pattern class present in `s` in ascending class order:
@@ -97,14 +97,14 @@ class WireClassifier {
 template <typename Fn>
 inline void for_each_present_class(const ClassMaskSet& s, Fn&& fn) {
   for (int v = 0; v < 4; ++v) {
-    const std::uint32_t vm = s.victim[v];
-    if (!vm) continue;
+    const BusWord vm = s.victim[v];
+    if (!vm.any()) continue;
     for (int l = 0; l < 4; ++l) {
-      const std::uint32_t vl = vm & s.left[l];
-      if (!vl) continue;
+      const BusWord vl = vm & s.left[l];
+      if (!vl.any()) continue;
       for (int r = 0; r < 4; ++r) {
-        const std::uint32_t mask = vl & s.right[r];
-        if (mask) fn((v << 4) | (l << 2) | r, mask);
+        const BusWord mask = vl & s.right[r];
+        if (mask.any()) fn((v << 4) | (l << 2) | r, mask);
       }
     }
   }

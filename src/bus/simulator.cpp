@@ -56,7 +56,7 @@ void BusSimulator::build_group_structure() {
   // groups are structurally identical and share one combo-table block.
   groups_.clear();
   const int n = design_.n_bits;
-  std::size_t offsets[33];
+  std::size_t offsets[kMaxTableWidth + 1];
   std::fill(std::begin(offsets), std::end(offsets), static_cast<std::size_t>(-1));
   std::size_t total = 0;
   bool tabulatable = true;
@@ -68,14 +68,15 @@ void BusSimulator::build_group_structure() {
     WireGroup g;
     g.start = i;
     g.width = j - i;
-    g.low_mask = g.width == 32 ? ~0u : (1u << g.width) - 1u;
     if (g.width > kMaxTableWidth) {
       tabulatable = false;
-    } else if (offsets[g.width] == static_cast<std::size_t>(-1)) {
-      offsets[g.width] = total;
-      total += static_cast<std::size_t>(1) << (2 * g.width);
+    } else {
+      if (offsets[g.width] == static_cast<std::size_t>(-1)) {
+        offsets[g.width] = total;
+        total += static_cast<std::size_t>(1) << (2 * g.width);
+      }
+      g.table_offset = offsets[g.width];
     }
-    g.table_offset = g.width <= kMaxTableWidth ? offsets[g.width] : 0;
     groups_.push_back(g);
     i = j;
   }
@@ -154,7 +155,7 @@ void BusSimulator::rebuild_group_tables() {
   using lut::PatternClass;
 
   combo_zero_jitter_ok_ = true;
-  bool built[33] = {};
+  bool built[kMaxTableWidth + 1] = {};
   for (const auto& g : groups_) {
     if (built[g.width]) continue;
     built[g.width] = true;
@@ -229,14 +230,14 @@ void BusSimulator::account_idle(CycleResult& out) {
   totals_.overhead_energy += out.overhead_energy;
 }
 
-CycleResult BusSimulator::step(std::uint32_t word) {
+CycleResult BusSimulator::step(const BusWord& word) {
   return mode_ == EngineMode::bit_parallel ? step_bit_parallel(word)
                                            : step_reference(word);
 }
 
 // --------------------------------------------------------------- reference
 
-CycleResult BusSimulator::step_reference(std::uint32_t word) {
+CycleResult BusSimulator::step_reference(const BusWord& word) {
   CycleResult out;
 
   if (word == prev_word_) {
@@ -292,59 +293,59 @@ CycleResult BusSimulator::step_reference(std::uint32_t word) {
 
 // ------------------------------------------------------------ bit-parallel
 
-BusSimulator::CycleOutcome BusSimulator::table_kernel(std::uint32_t prev,
-                                                      std::uint32_t word) const {
+BusSimulator::CycleOutcome BusSimulator::table_kernel(const BusWord& prev,
+                                                      const BusWord& word) const {
   // Jitter-free, receiver in sync: the whole cycle is one lookup per
   // shield group. Every toggling wire captures (cleanly or not), so the
   // line update is simply the toggle mask.
   CycleOutcome out;
   for (const auto& g : groups_) {
-    const std::uint32_t pm = (prev >> g.start) & g.low_mask;
-    const std::uint32_t cm = (word >> g.start) & g.low_mask;
+    const std::uint64_t pm = prev.extract(g.start, g.width);
+    const std::uint64_t cm = word.extract(g.start, g.width);
     const std::size_t idx =
-        g.table_offset + ((static_cast<std::size_t>(pm) << g.width) | cm);
+        g.table_offset + static_cast<std::size_t>((pm << g.width) | cm);
     out.dynamic_energy += combo_energy_[idx];
     if (combo_worst_[idx] > out.worst_delay) out.worst_delay = combo_worst_[idx];
-    out.error_mask |= static_cast<std::uint32_t>(combo_error_[idx]) << g.start;
-    out.shadow_mask |= static_cast<std::uint32_t>(combo_shadow_[idx]) << g.start;
+    out.error_mask |= BusWord(combo_error_[idx]) << g.start;
+    out.shadow_mask |= BusWord(combo_shadow_[idx]) << g.start;
   }
   out.line_update = (prev ^ word) & classifier_.bits_mask();
   return out;
 }
 
-BusSimulator::CycleOutcome BusSimulator::jitter_kernel(std::uint32_t prev,
-                                                       std::uint32_t word,
-                                                       std::uint32_t line,
+BusSimulator::CycleOutcome BusSimulator::jitter_kernel(const BusWord& prev,
+                                                       const BusWord& word,
+                                                       const BusWord& line,
                                                        double jitter) const {
   CycleOutcome out;
   // Energy and the per-group sub-sum order are jitter-independent: reuse
   // the combo tables.
   for (const auto& g : groups_) {
-    const std::uint32_t pm = (prev >> g.start) & g.low_mask;
-    const std::uint32_t cm = (word >> g.start) & g.low_mask;
+    const std::uint64_t pm = prev.extract(g.start, g.width);
+    const std::uint64_t cm = word.extract(g.start, g.width);
     out.dynamic_energy +=
-        combo_energy_[g.table_offset + ((static_cast<std::size_t>(pm) << g.width) | cm)];
+        combo_energy_[g.table_offset + static_cast<std::size_t>((pm << g.width) | cm)];
   }
 
   // Verdicts shift with the common-mode jitter: re-derive them per present
   // switching class (all wires of a class share one arrival), comparing
   // arrival = delay + jitter with exactly the flop's comparison chain.
   const ClassMaskSet s = classifier_.masks(prev, word);
-  const std::uint32_t flop_toggle = word ^ line;
+  const BusWord flop_toggle = word ^ line;
   for (int v = 0; v < 2; ++v) {  // rise, fall: the switching victims
-    const std::uint32_t vm = s.victim[v];
-    if (!vm) continue;
+    const BusWord vm = s.victim[v];
+    if (!vm.any()) continue;
     for (int l = 0; l < 4; ++l) {
-      const std::uint32_t vl = vm & s.left[l];
-      if (!vl) continue;
+      const BusWord vl = vm & s.left[l];
+      if (!vl.any()) continue;
       for (int r = 0; r < 4; ++r) {
-        const std::uint32_t mask = vl & s.right[r];
-        if (!mask) continue;
+        const BusWord mask = vl & s.right[r];
+        if (!mask.any()) continue;
         const int cls = (v << 4) | (l << 2) | r;
         const double arrival = class_delay_[cls] + jitter;
         if (arrival > out.worst_delay) out.worst_delay = arrival;
-        const std::uint32_t active = mask & flop_toggle;
-        if (!active) continue;
+        const BusWord active = mask & flop_toggle;
+        if (!active.any()) continue;
         switch (classify_arrival(arrival)) {
           case Verdict::held:
             break;
@@ -366,16 +367,16 @@ BusSimulator::CycleOutcome BusSimulator::jitter_kernel(std::uint32_t prev,
   return out;
 }
 
-BusSimulator::CycleOutcome BusSimulator::general_kernel(std::uint32_t prev,
-                                                        std::uint32_t word,
-                                                        std::uint32_t line,
+BusSimulator::CycleOutcome BusSimulator::general_kernel(const BusWord& prev,
+                                                        const BusWord& word,
+                                                        const BusWord& line,
                                                         double jitter) {
   // Per-wire fallback for untabulatable layouts (a shield group wider than
   // kMaxTableWidth): classify every wire, keep the group-wise energy
   // accounting, and apply the class verdict per wire.
   CycleOutcome out;
   classifier_.classify_all(prev, word, classes_.data());
-  const std::uint32_t flop_toggle = word ^ line;
+  const BusWord flop_toggle = word ^ line;
   for (const auto& g : groups_) {
     double sub = 0.0;
     for (int bit = g.start; bit < g.start + g.width; ++bit) {
@@ -385,8 +386,8 @@ BusSimulator::CycleOutcome BusSimulator::general_kernel(std::uint32_t prev,
       if (std::isnan(d)) continue;
       const double arrival = d + jitter;
       if (arrival > out.worst_delay) out.worst_delay = arrival;
-      if (!((flop_toggle >> bit) & 1u)) continue;
-      const std::uint32_t wire = 1u << bit;
+      if (!flop_toggle.test(bit)) continue;
+      const BusWord wire = BusWord(1) << bit;
       switch (classify_arrival(arrival)) {
         case Verdict::held:
           break;
@@ -408,7 +409,7 @@ BusSimulator::CycleOutcome BusSimulator::general_kernel(std::uint32_t prev,
   return out;
 }
 
-CycleResult BusSimulator::step_bit_parallel(std::uint32_t word) {
+CycleResult BusSimulator::step_bit_parallel(const BusWord& word) {
   CycleResult out;
 
   if (word == prev_word_) {
@@ -418,7 +419,7 @@ CycleResult BusSimulator::step_bit_parallel(std::uint32_t word) {
 
   const double jitter =
       jitter_sigma_ > 0.0 ? jitter_rng_.normal(0.0, jitter_sigma_) : 0.0;
-  const bool in_sync = ((line_word_ ^ prev_word_) & classifier_.bits_mask()) == 0;
+  const bool in_sync = ((line_word_ ^ prev_word_) & classifier_.bits_mask()).none();
   CycleOutcome k;
   if (!group_tables_enabled_)
     k = general_kernel(prev_word_, word, line_word_, jitter);
@@ -428,8 +429,8 @@ CycleResult BusSimulator::step_bit_parallel(std::uint32_t word) {
     k = jitter_kernel(prev_word_, word, line_word_, jitter);
 
   line_word_ = (line_word_ & ~k.line_update) | (word & k.line_update);
-  out.error = k.error_mask != 0;
-  out.shadow_failure = k.shadow_mask != 0;
+  out.error = k.error_mask.any();
+  out.shadow_failure = k.shadow_mask.any();
   out.worst_delay = k.worst_delay;
   out.bus_energy = k.dynamic_energy + leakage_energy_per_cycle_;
   out.overhead_energy = cycle_overhead_;
@@ -444,7 +445,7 @@ CycleResult BusSimulator::step_bit_parallel(std::uint32_t word) {
   return out;
 }
 
-void BusSimulator::run_bit_parallel(const std::uint32_t* words, std::size_t n) {
+void BusSimulator::run_bit_parallel(const BusWord* words, std::size_t n) {
   // Totals accumulate in registers across the whole span; the per-cycle
   // operation sequence (one `+= dynamic + leakage` per cycle, etc.) is
   // kept identical to step(), so batching never changes a single bit.
@@ -453,17 +454,17 @@ void BusSimulator::run_bit_parallel(const std::uint32_t* words, std::size_t n) {
   std::uint64_t shadow_failures = totals_.shadow_failures;
   double bus_energy = totals_.bus_energy;
   double overhead_energy = totals_.overhead_energy;
-  std::uint32_t prev = prev_word_;
-  std::uint32_t line = line_word_;
+  BusWord prev = prev_word_;
+  BusWord line = line_word_;
 
   const double leak = leakage_energy_per_cycle_;
   const double cycle_ovh = cycle_overhead_;
   const double error_ovh = error_overhead_;
   const bool jitter_on = jitter_sigma_ > 0.0;
-  const std::uint32_t bits_mask = classifier_.bits_mask();
+  const BusWord bits_mask = classifier_.bits_mask();
 
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t word = words[i];
+    const BusWord word = words[i];
     if (word == prev) {
       ++cycles;
       bus_energy += leak;
@@ -474,7 +475,7 @@ void BusSimulator::run_bit_parallel(const std::uint32_t* words, std::size_t n) {
     CycleOutcome k;
     if (!group_tables_enabled_)
       k = general_kernel(prev, word, line, jitter);
-    else if (jitter == 0.0 && ((line ^ prev) & bits_mask) == 0 && combo_zero_jitter_ok_)
+    else if (jitter == 0.0 && ((line ^ prev) & bits_mask).none() && combo_zero_jitter_ok_)
       k = table_kernel(prev, word);
     else
       k = jitter_kernel(prev, word, line, jitter);
@@ -482,9 +483,9 @@ void BusSimulator::run_bit_parallel(const std::uint32_t* words, std::size_t n) {
     line = (line & ~k.line_update) | (word & k.line_update);
     prev = word;
     ++cycles;
-    const bool error = k.error_mask != 0;
+    const bool error = k.error_mask.any();
     if (error) ++errors;
-    if (k.shadow_mask != 0) ++shadow_failures;
+    if (k.shadow_mask.any()) ++shadow_failures;
     bus_energy += k.dynamic_energy + leak;
     double ovh = cycle_ovh;
     if (error) ovh += error_ovh;
@@ -502,7 +503,7 @@ void BusSimulator::run_bit_parallel(const std::uint32_t* words, std::size_t n) {
 
 // ------------------------------------------------------------------ shared
 
-RunningTotals BusSimulator::run(const std::uint32_t* words, std::size_t n) {
+RunningTotals BusSimulator::run(const BusWord* words, std::size_t n) {
   const RunningTotals before = totals_;
   if (mode_ == EngineMode::bit_parallel) {
     run_bit_parallel(words, n);
@@ -518,14 +519,19 @@ RunningTotals BusSimulator::run(const std::uint32_t* words, std::size_t n) {
   return delta;
 }
 
-void BusSimulator::reset(std::uint32_t initial_word) {
+RunningTotals BusSimulator::run(const std::uint32_t* words, std::size_t n) {
+  const std::vector<BusWord> wide(words, words + n);
+  return run(wide.data(), wide.size());
+}
+
+void BusSimulator::reset(const BusWord& initial_word) {
   prev_word_ = initial_word;
   line_word_ = initial_word & classifier_.bits_mask();
   totals_ = RunningTotals{};
   bank_ = razor::FlopBank(design_.n_bits, timing_, initial_word);
 }
 
-double BusSimulator::peek_cycle_energy(std::uint32_t word) const {
+double BusSimulator::peek_cycle_energy(const BusWord& word) const {
   // Per-group sub-sums, same accounting as the engines.
   double energy = leakage_energy_per_cycle_;
   if (word == prev_word_) return energy;
@@ -541,11 +547,19 @@ double BusSimulator::peek_cycle_energy(std::uint32_t word) const {
 RunningTotals BusSimulator::run_reference(const interconnect::BusDesign& design,
                                           const lut::DelayEnergyTable& table,
                                           tech::PvtCorner environment,
-                                          const std::vector<std::uint32_t>& words) {
+                                          const std::vector<BusWord>& words) {
   BusSimulator sim(design, table, environment);
   sim.set_supply(design.node.vdd_nominal);
   sim.run(words.data(), words.size());
   return sim.totals();
+}
+
+RunningTotals BusSimulator::run_reference(const interconnect::BusDesign& design,
+                                          const lut::DelayEnergyTable& table,
+                                          tech::PvtCorner environment,
+                                          const std::vector<std::uint32_t>& words) {
+  return run_reference(design, table, environment,
+                       std::vector<BusWord>(words.begin(), words.end()));
 }
 
 }  // namespace razorbus::bus

@@ -1,11 +1,14 @@
 // Cycle-level simulator of the DVS bus with double-sampling receivers.
 //
-// Each cycle a 32-bit word is driven onto the bus. The simulator classifies
-// the switching pattern of every wire, looks up in-to-out delays and supply
-// energies in the characterised tables, decides which receivers erred, and
-// accrues leakage and flop/recovery overheads. This is the engine behind
-// every experiment: static voltage sweeps (Fig. 4/5), the oracle
-// distribution study (Fig. 6), and closed-loop DVS runs (Table 1, Fig. 8).
+// Each cycle a bus word (up to BusWord::kMaxBits = 128 wires) is driven
+// onto the bus. The simulator classifies the switching pattern of every
+// wire, looks up in-to-out delays and supply energies in the characterised
+// tables, decides which receivers erred, and accrues leakage and
+// flop/recovery overheads. This is the engine behind every experiment:
+// static voltage sweeps (Fig. 4/5), the oracle distribution study (Fig. 6),
+// and closed-loop DVS runs (Table 1, Fig. 8) — at any
+// `interconnect::BusDesign` width (the paper's 32-wire bus, 16-wire
+// peripheral buses, 64-wire memory buses, 128-wire cacheline flits).
 //
 // Two engines implement the same cycle semantics (see DESIGN.md §5):
 //
@@ -19,13 +22,13 @@
 //     per group on the paper bus), so each group's dynamic energy, error /
 //     shadow-failure wire masks and worst arrival are a pure function of
 //     its (prev, cur) bit pair — precomputed per operating point into
-//     per-group combo tables. The per-cycle hot path is then one table
-//     lookup per group plus a handful of OR/max/add reductions. Cycles
-//     with timing jitter fall back to bit-parallel per-class verdicts
-//     (all wires of a pattern class share one delay, so the verdict loop
-//     touches present classes, not wires), still reading energy from the
-//     combo tables. Totals are bit-identical to the reference engine,
-//     cycle for cycle.
+//     per-group combo tables, lane-indexed into the BusWord. The per-cycle
+//     hot path is then one table lookup per group plus a handful of
+//     OR/max/add reductions. Cycles with timing jitter fall back to
+//     bit-parallel per-class verdicts (all wires of a pattern class share
+//     one delay, so the verdict loop touches present classes, not wires),
+//     still reading energy from the combo tables. Totals are bit-identical
+//     to the reference engine, cycle for cycle.
 //
 // The batched run() entry point drives whole words[] spans (e.g. one
 // regulator window) through the hot loop with totals accumulated in
@@ -41,6 +44,7 @@
 #include "razor/bank.hpp"
 #include "tech/corner.hpp"
 #include "tech/leakage.hpp"
+#include "util/busword.hpp"
 #include "util/rng.hpp"
 
 namespace razorbus::bus {
@@ -99,28 +103,38 @@ class BusSimulator {
   const tech::PvtCorner& environment() const { return environment_; }
 
   // Drive the next word; returns this cycle's outcome.
-  CycleResult step(std::uint32_t word);
+  CycleResult step(const BusWord& word);
 
   // Drive `n` words through the active engine back to back and return the
   // totals accrued by this call (overall totals() advance as well). This
   // is the hot entry point: the bit-parallel engine keeps its accumulators
   // in registers for the whole span.
+  RunningTotals run(const BusWord* words, std::size_t n);
+  RunningTotals run(const std::vector<BusWord>& words) {
+    return run(words.data(), words.size());
+  }
+  // Legacy 32-bit spans (tests and hand-rolled drivers): converted up
+  // front, then identical to the BusWord path cycle for cycle.
   RunningTotals run(const std::uint32_t* words, std::size_t n);
   RunningTotals run(const std::vector<std::uint32_t>& words) {
     return run(words.data(), words.size());
   }
 
   // Reset bus/flop state and totals (keeps the operating point and mode).
-  void reset(std::uint32_t initial_word = 0);
+  void reset(const BusWord& initial_word = BusWord());
 
   const RunningTotals& totals() const { return totals_; }
 
   // Energy one cycle would consume at the CURRENT operating point if the
   // given word were driven — without mutating state. Used by tests.
-  double peek_cycle_energy(std::uint32_t word) const;
+  double peek_cycle_energy(const BusWord& word) const;
 
   // Reference energy per cycle of the conventional bus: same environment,
   // supply fixed at nominal. Used to normalise gains.
+  static RunningTotals run_reference(const interconnect::BusDesign& design,
+                                     const lut::DelayEnergyTable& table,
+                                     tech::PvtCorner environment,
+                                     const std::vector<BusWord>& words);
   static RunningTotals run_reference(const interconnect::BusDesign& design,
                                      const lut::DelayEnergyTable& table,
                                      tech::PvtCorner environment,
@@ -139,9 +153,9 @@ class BusSimulator {
   struct CycleOutcome {
     double dynamic_energy = 0.0;
     double worst_delay = 0.0;
-    std::uint32_t error_mask = 0;
-    std::uint32_t shadow_mask = 0;
-    std::uint32_t line_update = 0;
+    BusWord error_mask;
+    BusWord shadow_mask;
+    BusWord line_update;
   };
 
   void refresh_operating_point();
@@ -150,20 +164,20 @@ class BusSimulator {
   void build_group_structure();
   void rebuild_group_tables();
 
-  CycleResult step_reference(std::uint32_t word);
-  CycleResult step_bit_parallel(std::uint32_t word);
+  CycleResult step_reference(const BusWord& word);
+  CycleResult step_bit_parallel(const BusWord& word);
   // Combo-table cycle kernel for jitter-free cycles (the common case).
-  CycleOutcome table_kernel(std::uint32_t prev, std::uint32_t word) const;
+  CycleOutcome table_kernel(const BusWord& prev, const BusWord& word) const;
   // Bit-parallel per-class kernel for jittered cycles: energy still comes
   // from the combo tables; verdicts are re-derived per present class.
-  CycleOutcome jitter_kernel(std::uint32_t prev, std::uint32_t word, std::uint32_t line,
+  CycleOutcome jitter_kernel(const BusWord& prev, const BusWord& word, const BusWord& line,
                              double jitter) const;
   // Per-wire fallback for the cases the table kernels cannot serve: groups
   // too wide to tabulate, or receiver state diverged from the bus
   // (line != prev after a pathological arrival <= 0 hold).
-  CycleOutcome general_kernel(std::uint32_t prev, std::uint32_t word, std::uint32_t line,
+  CycleOutcome general_kernel(const BusWord& prev, const BusWord& word, const BusWord& line,
                               double jitter);
-  void run_bit_parallel(const std::uint32_t* words, std::size_t n);
+  void run_bit_parallel(const BusWord* words, std::size_t n);
   void account_idle(CycleResult& out);
 
   const interconnect::BusDesign& design_;
@@ -200,13 +214,14 @@ class BusSimulator {
   // outside it (its edges border shields), so for tabulatable widths the
   // whole group's cycle contribution is precomputed over all
   // (prev, cur) bit combinations. Same-width groups are structurally
-  // identical and share one table block. Energy accounting is group-wise
+  // identical and share one table block. A group lives at `start` within
+  // the (possibly multi-lane) bus word; extraction/deposit straddle the
+  // 64-bit lane boundary transparently. Energy accounting is group-wise
   // in EVERY engine/kernel (one sub-accumulator per group, groups summed
   // in order) so all paths agree bit for bit.
   struct WireGroup {
     int start = 0;
     int width = 0;
-    std::uint32_t low_mask = 0;        // width low bits
     std::size_t table_offset = 0;      // into the combo_* arrays
   };
   static constexpr int kMaxTableWidth = 6;  // 4^6 combos per table block
@@ -221,12 +236,12 @@ class BusSimulator {
   std::vector<std::uint8_t> combo_error_;
   std::vector<std::uint8_t> combo_shadow_;
 
-  std::uint32_t prev_word_ = 0;
+  BusWord prev_word_;
   // Value stably latched on each wire as the receiver sees it. Equals
   // prev_word_ except in the pathological arrival<=0 case (the flop keeps
   // its old value while the bus has moved on) — tracked separately so both
   // engines agree even there.
-  std::uint32_t line_word_ = 0;
+  BusWord line_word_;
   RunningTotals totals_;
   std::vector<double> arrivals_;
   std::vector<int> classes_;

@@ -27,12 +27,22 @@ std::uint64_t next_segment(std::uint64_t remaining_in_trace,
   return seg;
 }
 
+// A trace wider than the bus would silently drop its high lanes; narrower
+// traces are fine (the surplus wires hold).
+void check_trace_width(const DvsBusSystem& system, const trace::Trace& trace) {
+  if (trace.n_bits > system.design().n_bits)
+    throw std::invalid_argument("experiment: trace '" + trace.name + "' is " +
+                                std::to_string(trace.n_bits) + " bits wide but the bus has " +
+                                std::to_string(system.design().n_bits) + " wires");
+}
+
 }  // namespace
 
 StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
                                        const tech::PvtCorner& environment,
                                        const std::vector<trace::Trace>& traces,
                                        double timing_jitter_sigma) {
+  for (const auto& t : traces) check_trace_width(system, t);
   StaticSweepResult result;
   result.floor_supply = system.shadow_floor(environment);
   const double vnom = system.design().node.vdd_nominal;
@@ -119,6 +129,7 @@ ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
                                      const tech::PvtCorner& environment,
                                      const std::vector<trace::Trace>& traces,
                                      const DvsRunConfig& config) {
+  for (const auto& t : traces) check_trace_width(system, t);
   const double vnom = system.design().node.vdd_nominal;
   const double floor = system.dvs_floor(environment.process);
   const double start = config.start_supply > 0.0 ? config.start_supply : vnom;
@@ -200,6 +211,7 @@ DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
                                           const tech::PvtCorner& environment,
                                           const trace::Trace& trace,
                                           const ProportionalRunConfig& config) {
+  check_trace_width(system, trace);
   const double vnom = system.design().node.vdd_nominal;
   const double floor = system.dvs_floor(environment.process);
   const double start = config.start_supply > 0.0 ? config.start_supply : vnom;
@@ -241,6 +253,7 @@ DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
 
 DvsRunReport run_fixed_vs(const DvsBusSystem& system, const tech::PvtCorner& environment,
                           const trace::Trace& trace) {
+  check_trace_width(system, trace);
   const double supply = system.fixed_vs_supply(environment.process);
 
   // Conventional receiver: no double-sampling overhead at all.

@@ -25,13 +25,15 @@ double squared_distance(const std::vector<double>& a, const std::vector<double>&
 std::vector<double> window_features(const trace::Trace& trace, std::size_t begin,
                                     std::size_t cycles) {
   trace::Trace window;
+  window.n_bits = trace.n_bits;
   window.words.assign(trace.words.begin() + static_cast<std::ptrdiff_t>(begin),
                       trace.words.begin() + static_cast<std::ptrdiff_t>(begin + cycles));
   const trace::TraceStats stats = trace::compute_stats(window);
 
   std::vector<double> features;
-  features.reserve(34);
-  for (const double t : stats.per_bit_toggle) features.push_back(t);
+  features.reserve(static_cast<std::size_t>(trace.n_bits) + 2);
+  for (int b = 0; b < trace.n_bits; ++b)
+    features.push_back(stats.per_bit_toggle[static_cast<std::size_t>(b)]);
   features.push_back(stats.active_cycle_rate);
   features.push_back(stats.worst_pattern_rate);
   return features;
@@ -152,6 +154,7 @@ trace::Trace materialize_simpoints(const trace::Trace& trace, const SimPointResu
     throw std::invalid_argument("materialize_simpoints: empty selection");
   trace::Trace out;
   out.name = trace.name + "+simpoints";
+  out.n_bits = trace.n_bits;
 
   // Replicate each window round(weight * target_windows) times, at least once.
   for (const auto& point : result.points) {

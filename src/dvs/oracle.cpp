@@ -35,13 +35,14 @@ OracleSelector::OracleSelector(const interconnect::BusDesign& design,
   }
 }
 
-std::size_t OracleSelector::critical_grid_index(std::uint32_t prev, std::uint32_t cur) const {
+std::size_t OracleSelector::critical_grid_index(const BusWord& prev,
+                                                const BusWord& cur) const {
   // Bit-parallel: the max over wires is the max over the classes present
   // in the transition's mask set (hold-victim classes carry a critical
   // index of 0, so visiting them never changes the max).
   std::size_t critical = 0;
   bus::for_each_present_class(
-      classifier_.masks(prev, cur), [&](int cls, std::uint32_t) {
+      classifier_.masks(prev, cur), [&](int cls, const BusWord&) {
         critical =
             std::max(critical, class_critical_index_[static_cast<std::size_t>(cls)]);
       });
@@ -51,6 +52,10 @@ std::size_t OracleSelector::critical_grid_index(std::uint32_t prev, std::uint32_
 OracleResult OracleSelector::select(const trace::Trace& trace,
                                     const OracleConfig& config) const {
   if (config.window_cycles == 0) throw std::invalid_argument("oracle: zero window");
+  // Same guard as the core experiment drivers: a trace wider than the bus
+  // would silently drop its high lanes in the classifier masks.
+  if (trace.n_bits > design_.n_bits)
+    throw std::invalid_argument("oracle: trace '" + trace.name + "' is wider than the bus");
   const auto& grid = table_.grid();
   const std::size_t floor_index = config.vmin > 0.0 ? grid.index_of(config.vmin) : 0;
 
@@ -59,7 +64,7 @@ OracleResult OracleSelector::select(const trace::Trace& trace,
   std::uint64_t total_cycles = 0;
 
   std::vector<std::size_t> histogram(grid.size() + 1, 0);
-  std::uint32_t prev = 0;
+  BusWord prev;
   std::size_t in_window = 0;
   std::fill(histogram.begin(), histogram.end(), 0);
 
@@ -93,7 +98,7 @@ OracleResult OracleSelector::select(const trace::Trace& trace,
   };
 
   for (std::size_t i = 0; i < trace.words.size(); ++i) {
-    const std::uint32_t cur = trace.words[i];
+    const BusWord& cur = trace.words[i];
     ++histogram[critical_grid_index(prev, cur)];
     prev = cur;
     if (++in_window == config.window_cycles) {

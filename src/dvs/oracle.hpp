@@ -46,7 +46,7 @@ class OracleSelector {
   // Per-cycle critical grid index: the smallest grid voltage index at which
   // this prev->cur transition produces no timing error. Index grid.size()
   // means "errors even at the top grid voltage".
-  std::size_t critical_grid_index(std::uint32_t prev, std::uint32_t cur) const;
+  std::size_t critical_grid_index(const BusWord& prev, const BusWord& cur) const;
 
   OracleResult select(const trace::Trace& trace, const OracleConfig& config) const;
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/busword.hpp"
 #include "util/units.hpp"
 
 namespace razorbus::interconnect {
@@ -32,6 +33,13 @@ BusDesign BusDesign::paper_bus() {
   return d;
 }
 
+BusDesign BusDesign::wide_bus(int n_bits) {
+  BusDesign d = paper_bus();
+  d.n_bits = n_bits;
+  d.validate();
+  return d;
+}
+
 BusDesign BusDesign::modified_bus(double ratio) {
   BusDesign d = paper_bus();
   d.parasitics = scale_coupling_ratio(d.parasitics, ratio);
@@ -48,6 +56,8 @@ BusDesign BusDesign::scaled_bus(const tech::TechnologyNode& node) {
 void BusDesign::validate() const {
   if (n_bits <= 0 || shield_group <= 0 || n_segments <= 0)
     throw std::invalid_argument("BusDesign: counts must be positive");
+  if (n_bits > BusWord::kMaxBits)
+    throw std::invalid_argument("BusDesign: n_bits exceeds BusWord capacity (128)");
   if (length <= 0 || clock_freq <= 0)
     throw std::invalid_argument("BusDesign: length/clock must be positive");
   if (setup_slack_fraction < 0 || setup_slack_fraction >= 1)

@@ -49,6 +49,12 @@ struct BusDesign {
 
   // The paper's bus on the 0.13 um node (repeaters not yet sized).
   static BusDesign paper_bus();
+  // Paper-equivalent bus at a different word width, 1..128 wires (16-wire
+  // peripheral buses, 64-wire memory buses, 128-wire cacheline flits). The
+  // shield cadence and the per-wire electrical design are unchanged, so
+  // the characterised delay/energy tables are shared with every other
+  // width (see DESIGN.md §3/§10).
+  static BusDesign wide_bus(int n_bits);
   // Same bus with the Section 6 modified interconnect architecture:
   // Cc/Cg multiplied by `ratio` (1.95 in the paper) at constant R and
   // constant worst-case load.

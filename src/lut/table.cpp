@@ -44,8 +44,10 @@ std::uint64_t table_key_hash(const interconnect::BusDesign& design, const LutCon
                    design.setup_slack_fraction, design.shadow_delay_fraction,
                    design.repeater_size, design.receiver_size})
     hash_double(h, v);
-  hash_int(h, design.n_bits);
-  hash_int(h, design.shield_group);
+  // n_bits and shield_group are deliberately NOT hashed: the 3-wire
+  // cluster characterization depends only on the per-wire electrical
+  // design, so every bus width (16..128 wires) of the same wire/repeater
+  // design shares one cached table (DESIGN.md §10).
   hash_int(h, design.n_segments);
   for (double v : {config.vmin, config.vmax, config.vstep}) hash_double(h, v);
   for (double t : config.temps) hash_double(h, t);

@@ -4,21 +4,21 @@
 
 namespace razorbus::razor {
 
-FlopBank::FlopBank(int n_bits, FlopTiming timing, std::uint32_t initial_word)
+FlopBank::FlopBank(int n_bits, FlopTiming timing, const BusWord& initial_word)
     : timing_(timing) {
-  if (n_bits <= 0 || n_bits > 32) throw std::invalid_argument("FlopBank: 1..32 bits");
+  if (n_bits <= 0 || n_bits > BusWord::kMaxBits)
+    throw std::invalid_argument("FlopBank: 1..128 bits");
   flops_.reserve(static_cast<std::size_t>(n_bits));
-  for (int i = 0; i < n_bits; ++i)
-    flops_.emplace_back(((initial_word >> i) & 1u) != 0);
+  for (int i = 0; i < n_bits; ++i) flops_.emplace_back(initial_word.test(i));
 }
 
-BankCycleResult FlopBank::clock(std::uint32_t word, const std::vector<double>& arrivals) {
+BankCycleResult FlopBank::clock(const BusWord& word, const std::vector<double>& arrivals) {
   if (arrivals.size() != flops_.size())
     throw std::invalid_argument("FlopBank::clock: arrival count mismatch");
 
   BankCycleResult result;
   for (std::size_t i = 0; i < flops_.size(); ++i) {
-    const bool bit = (word >> i) & 1u;
+    const bool bit = word.test(static_cast<int>(i));
     const CaptureOutcome outcome = flops_[i].clock(bit, arrivals[i], timing_);
     if (outcome == CaptureOutcome::corrected) {
       result.error = true;
@@ -34,10 +34,10 @@ BankCycleResult FlopBank::clock(std::uint32_t word, const std::vector<double>& a
   return result;
 }
 
-std::uint32_t FlopBank::word() const {
-  std::uint32_t w = 0;
+BusWord FlopBank::word() const {
+  BusWord w;
   for (std::size_t i = 0; i < flops_.size(); ++i)
-    if (flops_[i].q()) w |= (1u << i);
+    if (flops_[i].q()) w.set(static_cast<int>(i));
   return w;
 }
 

@@ -12,13 +12,14 @@
 #include <vector>
 
 #include "razor/flop.hpp"
+#include "util/busword.hpp"
 
 namespace razorbus::razor {
 
 struct BankCycleResult {
   bool error = false;            // OR of all Error_L signals
   bool shadow_failure = false;   // any bit missed even the shadow latch
-  std::uint32_t captured = 0;    // word in the main latches after recovery
+  BusWord captured;              // word in the main latches after recovery
   int corrected_bits = 0;        // number of flops that asserted Error_L
 };
 
@@ -26,11 +27,11 @@ class FlopBank {
  public:
   // `initial_word` seeds every latch (main, shadow, line) so a bank can be
   // constructed consistent with a bus that resets to a non-zero word.
-  FlopBank(int n_bits, FlopTiming timing, std::uint32_t initial_word = 0);
+  FlopBank(int n_bits, FlopTiming timing, const BusWord& initial_word = BusWord());
 
   // Clock the bank: bit i of `word` arrives with delay `arrivals[i]`
   // (seconds; <= 0 for held wires). `arrivals` must have n_bits entries.
-  BankCycleResult clock(std::uint32_t word, const std::vector<double>& arrivals);
+  BankCycleResult clock(const BusWord& word, const std::vector<double>& arrivals);
 
   // Clock the bank on a cycle where every wire held its value: no flop can
   // err, only the cycle counter advances. (Fast path for idle bus cycles.)
@@ -38,7 +39,7 @@ class FlopBank {
 
   int n_bits() const { return static_cast<int>(flops_.size()); }
   const FlopTiming& timing() const { return timing_; }
-  std::uint32_t word() const;
+  BusWord word() const;
 
   // Cumulative counters since construction.
   std::uint64_t cycles() const { return cycles_; }

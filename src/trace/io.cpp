@@ -1,5 +1,6 @@
 #include "trace/io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -9,24 +10,53 @@
 namespace razorbus::trace {
 
 namespace {
-constexpr char kMagic[8] = {'R', 'B', 'T', 'R', 'A', 'C', 'E', '1'};
+// Version 1: the legacy fixed-32-wire format (magic + name + uint32
+// words). Still written for 32-wire traces so archives produced before the
+// width-generic datapath stay byte-identical, and always readable.
+constexpr char kMagicV1[8] = {'R', 'B', 'T', 'R', 'A', 'C', 'E', '1'};
+// Version 2: width-tagged. Layout after the magic: uint32 n_bits, uint64
+// name length, name bytes, uint64 word count, then per word
+// ceil(n_bits / 64) little-endian uint64 lanes (low lane first).
+constexpr char kMagicV2[8] = {'R', 'B', 'T', 'R', 'A', 'C', 'E', '2'};
+
+int lanes_per_word(int n_bits) { return (n_bits + 63) / 64; }
+
+// Stage per-word payload elements through a chunk buffer so that
+// multi-million-cycle traces cost a handful of stream writes, not one per
+// word. `emit(word, chunk)` appends word's elements to the chunk.
+template <typename Elem, typename Emit>
+void write_chunked(std::ostream& os, const std::vector<BusWord>& words, Emit emit) {
+  constexpr std::size_t kChunkElems = 1 << 17;
+  std::vector<Elem> chunk;
+  chunk.reserve(std::min<std::size_t>(words.size() * 2, kChunkElems));
+  const auto flush = [&os, &chunk] {
+    os.write(reinterpret_cast<const char*>(chunk.data()),
+             static_cast<std::streamsize>(chunk.size() * sizeof(Elem)));
+    chunk.clear();
+  };
+  for (const BusWord& word : words) {
+    emit(word, chunk);
+    if (chunk.size() >= kChunkElems) flush();
+  }
+  if (!chunk.empty()) flush();
 }
 
-void save_binary(const Trace& trace, std::ostream& os) {
-  os.write(kMagic, sizeof(kMagic));
-  const std::uint64_t name_len = trace.name.size();
-  os.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-  os.write(trace.name.data(), static_cast<std::streamsize>(name_len));
-  const std::uint64_t n = trace.words.size();
-  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  os.write(reinterpret_cast<const char*>(trace.words.data()),
-           static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+// Bound a claimed element count by the bytes actually left in the stream,
+// so a corrupt header cannot commit a giant resize for a read that is
+// guaranteed to fail. Returns false when the stream is unseekable-clean
+// but the claim exceeds the remaining payload.
+bool claim_fits_stream(std::istream& is, std::uint64_t count, std::size_t elem_size) {
+  const std::istream::pos_type data_pos = is.tellg();
+  if (data_pos == std::istream::pos_type(-1)) return true;  // unseekable: let read fail
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end_pos = is.tellg();
+  is.seekg(data_pos);
+  if (!is || end_pos < data_pos) return false;
+  const auto remaining = static_cast<std::uint64_t>(end_pos - data_pos);
+  return count <= remaining / elem_size;
 }
 
-std::optional<Trace> load_binary(std::istream& is) {
-  char magic[sizeof(kMagic)];
-  if (!is.read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    return std::nullopt;
+std::optional<Trace> load_v1_body(std::istream& is) {
   std::uint64_t name_len = 0;
   if (!is.read(reinterpret_cast<char*>(&name_len), sizeof(name_len)) || name_len > 4096)
     return std::nullopt;
@@ -37,23 +67,89 @@ std::optional<Trace> load_binary(std::istream& is) {
   std::uint64_t n = 0;
   if (!is.read(reinterpret_cast<char*>(&n), sizeof(n)) || n > (1ull << 33))
     return std::nullopt;
-  // A corrupt/truncated header can claim up to 2^33 words; bound the claim
-  // by the bytes actually left in the stream before resize() commits
-  // gigabytes for a read that is guaranteed to fail.
-  const std::istream::pos_type data_pos = is.tellg();
-  if (data_pos != std::istream::pos_type(-1)) {
-    is.seekg(0, std::ios::end);
-    const std::istream::pos_type end_pos = is.tellg();
-    is.seekg(data_pos);
-    if (!is || end_pos < data_pos) return std::nullopt;
-    const auto remaining = static_cast<std::uint64_t>(end_pos - data_pos);
-    if (n > remaining / sizeof(std::uint32_t)) return std::nullopt;
-  }
-  trace.words.resize(n);
-  if (!is.read(reinterpret_cast<char*>(trace.words.data()),
+  if (!claim_fits_stream(is, n, sizeof(std::uint32_t))) return std::nullopt;
+  std::vector<std::uint32_t> raw(n);
+  if (!is.read(reinterpret_cast<char*>(raw.data()),
                static_cast<std::streamsize>(n * sizeof(std::uint32_t))))
     return std::nullopt;
+  trace.n_bits = 32;
+  trace.words.assign(raw.begin(), raw.end());
   return trace;
+}
+
+std::optional<Trace> load_v2_body(std::istream& is) {
+  std::uint32_t n_bits = 0;
+  if (!is.read(reinterpret_cast<char*>(&n_bits), sizeof(n_bits)) || n_bits == 0 ||
+      n_bits > static_cast<std::uint32_t>(BusWord::kMaxBits))
+    return std::nullopt;
+  std::uint64_t name_len = 0;
+  if (!is.read(reinterpret_cast<char*>(&name_len), sizeof(name_len)) || name_len > 4096)
+    return std::nullopt;
+  Trace trace;
+  trace.n_bits = static_cast<int>(n_bits);
+  trace.name.resize(name_len);
+  if (!is.read(trace.name.data(), static_cast<std::streamsize>(name_len)))
+    return std::nullopt;
+  std::uint64_t n = 0;
+  if (!is.read(reinterpret_cast<char*>(&n), sizeof(n)) || n > (1ull << 33))
+    return std::nullopt;
+  const auto lanes = static_cast<std::size_t>(lanes_per_word(trace.n_bits));
+  if (!claim_fits_stream(is, n, lanes * sizeof(std::uint64_t))) return std::nullopt;
+  trace.words.reserve(n);
+  // Bulk-read the lane stream in chunks, then assemble words.
+  constexpr std::size_t kChunkWords = 1 << 16;
+  std::vector<std::uint64_t> chunk;
+  std::uint64_t remaining = n;
+  while (remaining > 0) {
+    const std::size_t batch =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kChunkWords));
+    chunk.resize(batch * lanes);
+    if (!is.read(reinterpret_cast<char*>(chunk.data()),
+                 static_cast<std::streamsize>(chunk.size() * sizeof(std::uint64_t))))
+      return std::nullopt;
+    for (std::size_t w = 0; w < batch; ++w)
+      trace.words.push_back(BusWord::from_lanes(chunk[w * lanes],
+                                                lanes > 1 ? chunk[w * lanes + 1] : 0));
+    remaining -= batch;
+  }
+  return trace;
+}
+
+}  // namespace
+
+void save_binary(const Trace& trace, std::ostream& os) {
+  const std::uint64_t name_len = trace.name.size();
+  const std::uint64_t n = trace.words.size();
+  if (trace.n_bits == 32) {
+    os.write(kMagicV1, sizeof(kMagicV1));
+    os.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    os.write(trace.name.data(), static_cast<std::streamsize>(name_len));
+    os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    write_chunked<std::uint32_t>(os, trace.words,
+                                 [](const BusWord& word, std::vector<std::uint32_t>& chunk) {
+                                   chunk.push_back(word.low32());
+                                 });
+    return;
+  }
+  os.write(kMagicV2, sizeof(kMagicV2));
+  const auto n_bits = static_cast<std::uint32_t>(trace.n_bits);
+  os.write(reinterpret_cast<const char*>(&n_bits), sizeof(n_bits));
+  os.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  os.write(trace.name.data(), static_cast<std::streamsize>(name_len));
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  const int lanes = lanes_per_word(trace.n_bits);
+  write_chunked<std::uint64_t>(os, trace.words,
+                               [lanes](const BusWord& word, std::vector<std::uint64_t>& chunk) {
+                                 for (int l = 0; l < lanes; ++l) chunk.push_back(word.lane(l));
+                               });
+}
+
+std::optional<Trace> load_binary(std::istream& is) {
+  char magic[sizeof(kMagicV1)];
+  if (!is.read(magic, sizeof(magic))) return std::nullopt;
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) return load_v1_body(is);
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) return load_v2_body(is);
+  return std::nullopt;
 }
 
 void save_trace_file(const Trace& trace, const std::string& path) {
@@ -73,9 +169,18 @@ Trace load_trace_file(const std::string& path) {
 
 void export_csv(const Trace& trace, std::ostream& os) {
   os << "cycle,word_hex\n";
-  char buffer[24];
+  const int digits = (trace.n_bits + 3) / 4;
+  char buffer[64];
   for (std::size_t i = 0; i < trace.words.size(); ++i) {
-    std::snprintf(buffer, sizeof(buffer), "%zu,%08x\n", i, trace.words[i]);
+    const BusWord& w = trace.words[i];
+    if (digits <= 16) {
+      std::snprintf(buffer, sizeof(buffer), "%zu,%0*llx\n", i, digits,
+                    static_cast<unsigned long long>(w.low64()));
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%zu,%0*llx%016llx\n", i, digits - 16,
+                    static_cast<unsigned long long>(w.lane(1)),
+                    static_cast<unsigned long long>(w.lane(0)));
+    }
     os << buffer;
   }
 }

@@ -7,43 +7,80 @@ namespace razorbus::trace {
 
 namespace {
 
-std::uint32_t next_word(SyntheticStyle style, std::uint32_t prev, double activity, Rng& rng) {
+// The checkerboard pair, truncated to the bus width.
+BusWord checker_word(int n_bits, bool odd) {
+  const BusWord pattern =
+      BusWord::from_lanes(0x5555555555555555ull, 0x5555555555555555ull);
+  return (odd ? pattern << 1 : pattern) & BusWord::mask_low(n_bits);
+}
+
+// One uniform word of `n_bits` bits. For n_bits <= 64 this is a single
+// next_u64 draw (so the 32-bit stream keeps its historical draw order);
+// wider words draw the low lane first.
+BusWord uniform_word(int n_bits, Rng& rng) {
+  const std::uint64_t lo = rng.next_u64();
+  const std::uint64_t hi = n_bits > 64 ? rng.next_u64() : 0;
+  return BusWord::from_lanes(lo, hi) & BusWord::mask_low(n_bits);
+}
+
+BusWord next_word(SyntheticStyle style, const BusWord& prev, int n_bits, double activity,
+                  Rng& rng) {
   switch (style) {
     case SyntheticStyle::uniform:
-      return static_cast<std::uint32_t>(rng.next_u64());
+      return uniform_word(n_bits, rng);
     case SyntheticStyle::random_walk: {
       // Flip a binomial number of random bit positions.
-      std::uint32_t word = prev;
-      const int max_flips = std::max(1, static_cast<int>(32.0 * activity));
+      BusWord word = prev;
+      const int max_flips = std::max(1, static_cast<int>(n_bits * activity));
       const auto flips = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_flips)) + 1);
-      for (int i = 0; i < flips; ++i) word ^= 1u << rng.next_below(32);
+      for (int i = 0; i < flips; ++i)
+        word ^= BusWord(1) << static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n_bits)));
       return word;
     }
     case SyntheticStyle::fp_like: {
-      // IEEE-754 single: keep sign+exponent in a narrow band, randomize the
-      // mantissa (high `activity` = more mantissa entropy).
-      const std::uint32_t exponent = 0x3f000000u + (static_cast<std::uint32_t>(rng.next_below(8)) << 23);
+      // IEEE-754 single per 32-bit sub-word: keep sign+exponent in a narrow
+      // band, randomize the mantissa (high `activity` = more mantissa
+      // entropy). Wider buses tile independent fp words, each drawing its
+      // exponent then its mantissa — chunk 0 is the historical 32-bit
+      // stream.
       const auto mantissa_bits = static_cast<std::uint32_t>(23.0 * activity);
       const std::uint32_t mantissa_mask = mantissa_bits >= 23 ? 0x7fffffu
                                           : ((1u << mantissa_bits) - 1u);
-      return exponent | (static_cast<std::uint32_t>(rng.next_u64()) & mantissa_mask);
+      BusWord word;
+      for (int base = 0; base < n_bits; base += 32) {
+        const std::uint32_t exponent =
+            0x3f000000u + (static_cast<std::uint32_t>(rng.next_below(8)) << 23);
+        const std::uint32_t sub =
+            exponent | (static_cast<std::uint32_t>(rng.next_u64()) & mantissa_mask);
+        word |= BusWord(sub) << base;
+      }
+      return word & BusWord::mask_low(n_bits);
     }
     case SyntheticStyle::pointer_like: {
       // 1 MiB heap at a fixed base; word-aligned addresses with locality.
+      // On buses wider than 32 the pointer stays in the low 32 bits and a
+      // constant "upper address" bit marks the high half (constant bits
+      // never toggle, so the switching statistics are width-honest).
       const std::uint32_t base = 0x40000000u;
       const auto span = static_cast<std::uint32_t>(256.0 + activity * (1u << 18));
       const std::uint32_t offset = static_cast<std::uint32_t>(rng.next_below(span)) << 2;
-      return base + offset;
+      BusWord word(base + offset);
+      if (n_bits > 32) word.set(n_bits - 2);
+      // Narrow buses keep only the in-width address bits (the heap-base
+      // bit sits above wire 15 on a 16-wire bus).
+      return word & BusWord::mask_low(n_bits);
     }
     case SyntheticStyle::sparse: {
-      std::uint32_t word = 0;
+      BusWord word;
       const auto set_bits = static_cast<int>(1 + rng.next_below(
                                 static_cast<std::uint64_t>(std::max(1.0, activity * 6.0))));
-      for (int i = 0; i < set_bits; ++i) word |= 1u << rng.next_below(32);
+      for (int i = 0; i < set_bits; ++i)
+        word |= BusWord(1) << static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n_bits)));
       return word;
     }
     case SyntheticStyle::worst_case:
-      return prev == 0x55555555u ? 0xaaaaaaaau : 0x55555555u;
+      return prev == checker_word(n_bits, false) ? checker_word(n_bits, true)
+                                                 : checker_word(n_bits, false);
   }
   throw std::invalid_argument("generate_synthetic: unknown style");
 }
@@ -53,14 +90,17 @@ std::uint32_t next_word(SyntheticStyle style, std::uint32_t prev, double activit
 Trace generate_synthetic(const SyntheticConfig& config, const std::string& name) {
   if (config.load_rate < 0.0 || config.load_rate > 1.0)
     throw std::invalid_argument("generate_synthetic: load_rate must be in [0,1]");
+  if (config.n_bits <= 0 || config.n_bits > BusWord::kMaxBits)
+    throw std::invalid_argument("generate_synthetic: n_bits must be in 1..128");
   Trace out;
   out.name = name;
+  out.n_bits = config.n_bits;
   out.words.reserve(config.cycles);
   Rng rng(config.seed);
-  std::uint32_t word = 0;
+  BusWord word;
   for (std::size_t i = 0; i < config.cycles; ++i) {
     if (rng.bernoulli(config.load_rate))
-      word = next_word(config.style, word, config.activity, rng);
+      word = next_word(config.style, word, config.n_bits, config.activity, rng);
     out.words.push_back(word);
   }
   return out;

@@ -30,6 +30,11 @@ struct SyntheticConfig {
   // Style knobs (interpreted per style, see the generator).
   double activity = 0.5;  // 0..1, relative aggressiveness of bit flips
   std::uint64_t seed = 1;
+  // Bus width of the generated words (1..BusWord::kMaxBits). The 32-bit
+  // streams are pinned: for n_bits == 32 every style draws from the Rng in
+  // exactly the historical order, so existing experiment inputs never
+  // shift (enforced by the seed-stability suite in tests/trace_test.cpp).
+  int n_bits = 32;
 };
 
 Trace generate_synthetic(const SyntheticConfig& config, const std::string& name);

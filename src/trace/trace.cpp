@@ -1,48 +1,51 @@
 #include "trace/trace.hpp"
 
+#include <stdexcept>
+
 namespace razorbus::trace {
 
 TraceStats compute_stats(const Trace& trace) {
   TraceStats stats;
   stats.cycles = trace.cycles();
   if (trace.words.size() < 2) return stats;
+  const int n = trace.n_bits;
 
-  std::array<std::uint64_t, 32> bit_toggles{};
+  std::array<std::uint64_t, BusWord::kMaxBits> bit_toggles{};
   std::uint64_t toggles = 0;
   std::uint64_t active_cycles = 0;
   std::uint64_t worst_pattern_cycles = 0;
 
   for (std::size_t i = 1; i < trace.words.size(); ++i) {
-    const std::uint32_t prev = trace.words[i - 1];
-    const std::uint32_t cur = trace.words[i];
-    const std::uint32_t diff = prev ^ cur;
-    if (diff) ++active_cycles;
-    toggles += static_cast<std::uint64_t>(__builtin_popcount(diff));
-    for (int b = 0; b < 32; ++b)
-      if ((diff >> b) & 1u) ++bit_toggles[static_cast<std::size_t>(b)];
+    const BusWord& prev = trace.words[i - 1];
+    const BusWord& cur = trace.words[i];
+    const BusWord diff = prev ^ cur;
+    if (diff.any()) ++active_cycles;
+    toggles += static_cast<std::uint64_t>(diff.popcount());
+    for (int b = 0; b < n; ++b)
+      if (diff.test(b)) ++bit_toggles[static_cast<std::size_t>(b)];
 
     // Worst-case pattern: an interior victim rising while both neighbors
     // fall, or vice versa.
-    const std::uint32_t rise = ~prev & cur;
-    const std::uint32_t fall = prev & ~cur;
+    const BusWord rise = ~prev & cur;
+    const BusWord fall = prev & ~cur;
     bool worst = false;
-    for (int b = 1; b < 31 && !worst; ++b) {
-      const bool vr = (rise >> b) & 1u;
-      const bool vf = (fall >> b) & 1u;
-      const bool lf = (fall >> (b - 1)) & 1u;
-      const bool rf = (fall >> (b + 1)) & 1u;
-      const bool lr = (rise >> (b - 1)) & 1u;
-      const bool rr = (rise >> (b + 1)) & 1u;
+    for (int b = 1; b + 1 < n && !worst; ++b) {
+      const bool vr = rise.test(b);
+      const bool vf = fall.test(b);
+      const bool lf = fall.test(b - 1);
+      const bool rf = fall.test(b + 1);
+      const bool lr = rise.test(b - 1);
+      const bool rr = rise.test(b + 1);
       worst = (vr && lf && rf) || (vf && lr && rr);
     }
     if (worst) ++worst_pattern_cycles;
   }
 
   const auto transitions = static_cast<double>(trace.words.size() - 1);
-  stats.toggle_rate = static_cast<double>(toggles) / (transitions * 32.0);
+  stats.toggle_rate = static_cast<double>(toggles) / (transitions * static_cast<double>(n));
   stats.active_cycle_rate = static_cast<double>(active_cycles) / transitions;
   stats.worst_pattern_rate = static_cast<double>(worst_pattern_cycles) / transitions;
-  for (int b = 0; b < 32; ++b)
+  for (int b = 0; b < n; ++b)
     stats.per_bit_toggle[static_cast<std::size_t>(b)] =
         static_cast<double>(bit_toggles[static_cast<std::size_t>(b)]) / transitions;
   return stats;
@@ -51,10 +54,34 @@ TraceStats compute_stats(const Trace& trace) {
 Trace concatenate(const std::vector<Trace>& traces, const std::string& name) {
   Trace out;
   out.name = name;
+  if (!traces.empty()) out.n_bits = traces.front().n_bits;
+  for (const auto& t : traces)
+    if (t.n_bits != out.n_bits)
+      throw std::invalid_argument("concatenate: mixed trace widths (" + name + ")");
   std::size_t total = 0;
   for (const auto& t : traces) total += t.words.size();
   out.words.reserve(total);
   for (const auto& t : traces) out.words.insert(out.words.end(), t.words.begin(), t.words.end());
+  return out;
+}
+
+Trace widen(const Trace& trace, int factor) {
+  if (factor <= 0) throw std::invalid_argument("widen: factor must be positive");
+  if (trace.n_bits * factor > BusWord::kMaxBits)
+    throw std::invalid_argument("widen: result exceeds BusWord capacity");
+  Trace out;
+  out.name = trace.name;
+  out.n_bits = trace.n_bits * factor;
+  out.words.reserve((trace.words.size() + static_cast<std::size_t>(factor) - 1) /
+                    static_cast<std::size_t>(factor));
+  const BusWord in_mask = BusWord::mask_low(trace.n_bits);
+  for (std::size_t i = 0; i < trace.words.size(); i += static_cast<std::size_t>(factor)) {
+    BusWord wide;
+    for (int k = 0; k < factor && i + static_cast<std::size_t>(k) < trace.words.size(); ++k)
+      wide |= (trace.words[i + static_cast<std::size_t>(k)] & in_mask)
+              << (k * trace.n_bits);
+    out.words.push_back(wide);
+  }
   return out;
 }
 

@@ -1,8 +1,10 @@
 // Bus data traces and their statistics.
 //
-// A trace is the per-cycle sequence of 32-bit words observed on the memory
-// read bus (one word per cycle, IPC = 1 as in the paper; cycles without a
-// new load repeat the previous word — the bus holds).
+// A trace is the per-cycle sequence of bus words observed on a bus (one
+// word per cycle, IPC = 1 as in the paper; cycles without a new load
+// repeat the previous word — the bus holds). Words are width-generic
+// BusWords; `n_bits` records how many wires the trace drives (the paper's
+// memory read bus is 32, memory buses 64, cacheline flits 128).
 #pragma once
 
 #include <array>
@@ -10,11 +12,14 @@
 #include <string>
 #include <vector>
 
+#include "util/busword.hpp"
+
 namespace razorbus::trace {
 
 struct Trace {
   std::string name;
-  std::vector<std::uint32_t> words;
+  std::vector<BusWord> words;
+  int n_bits = 32;
 
   std::size_t cycles() const { return words.size(); }
 };
@@ -30,14 +35,20 @@ struct TraceStats {
   // Per-cycle probability that some interior wire switches against BOTH its
   // neighbors (the worst-case Miller pattern, paper Fig. 9 pattern I).
   double worst_pattern_rate = 0.0;
-  // Per-bit toggle probability.
-  std::array<double, 32> per_bit_toggle{};
+  // Per-bit toggle probability (entries past n_bits stay zero).
+  std::array<double, BusWord::kMaxBits> per_bit_toggle{};
 };
 
 TraceStats compute_stats(const Trace& trace);
 
 // Concatenate traces back to back (Fig. 8 runs the 10 benchmarks
-// consecutively).
+// consecutively). The width of the first trace is used.
 Trace concatenate(const std::vector<Trace>& traces, const std::string& name);
+
+// Pack `factor` consecutive words into one wide word (earliest word in the
+// lowest bits): a 32-bit CPU load stream becomes the flit sequence of a
+// 64- or 128-wire memory bus. The tail is zero-padded when the cycle count
+// is not a multiple of `factor`. Requires n_bits * factor <= 128.
+Trace widen(const Trace& trace, int factor);
 
 }  // namespace razorbus::trace

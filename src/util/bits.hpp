@@ -30,4 +30,15 @@ inline int popcount32(std::uint32_t x) {
 #endif
 }
 
+inline int popcount64(std::uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  x = x - ((x >> 1) & 0x5555555555555555ull);
+  x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+  x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0Full;
+  return static_cast<int>((x * 0x0101010101010101ull) >> 56);
+#endif
+}
+
 }  // namespace razorbus

@@ -1,0 +1,193 @@
+// BusWord: the value type of the width-generic bus datapath.
+//
+// A fixed-capacity little-endian bit vector over std::uint64_t lanes
+// (2 lanes = up to 128 wires), wide enough for every scenario the roadmap
+// names — 16-wire peripheral buses, the paper's 32-wire memory read bus,
+// 64-wire memory buses and 128-wire cacheline flits. It is a plain value
+// type (trivially copyable, no allocation) so the per-cycle hot paths can
+// keep words in registers exactly like the historical std::uint32_t did.
+//
+// Interop contract (see DESIGN.md §10): BusWord converts implicitly FROM
+// any unsigned 64-bit-or-narrower integer (the low lane) and implicitly TO
+// integral types by truncation to the low lane (bool converts via any()).
+// The truncating direction exists so that the large pre-width-generic API
+// surface — tests, benches, examples driving 32-bit words — keeps working
+// unchanged; new code should prefer the explicit low32()/low64()/lane()
+// accessors. Mixed-operand overloads of ==/!=/&/|/^ are provided so that
+// expressions like `word == 0xA5u` or `mask & 1u` resolve unambiguously.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <type_traits>
+
+#include "util/bits.hpp"
+
+namespace razorbus {
+
+class BusWord {
+ public:
+  static constexpr int kLanes = 2;
+  static constexpr int kMaxBits = 64 * kLanes;
+
+  constexpr BusWord() : lanes_{0, 0} {}
+  // Implicit by design: a plain integer is a bus word in the low lane.
+  constexpr BusWord(std::uint64_t low) : lanes_{low, 0} {}  // NOLINT
+  static constexpr BusWord from_lanes(std::uint64_t lo, std::uint64_t hi) {
+    BusWord w;
+    w.lanes_[0] = lo;
+    w.lanes_[1] = hi;
+    return w;
+  }
+
+  // Low `n` bits set (n in [0, kMaxBits]).
+  static constexpr BusWord mask_low(int n) {
+    BusWord w;
+    for (int l = 0; l < kLanes; ++l) {
+      const int bits = n - 64 * l;
+      w.lanes_[l] = bits >= 64 ? ~0ull : bits <= 0 ? 0ull : (1ull << bits) - 1ull;
+    }
+    return w;
+  }
+
+  constexpr std::uint64_t lane(int i) const { return lanes_[i]; }
+  constexpr std::uint64_t low64() const { return lanes_[0]; }
+  constexpr std::uint32_t low32() const { return static_cast<std::uint32_t>(lanes_[0]); }
+
+  constexpr bool test(int bit) const {
+    return ((lanes_[bit >> 6] >> (bit & 63)) & 1ull) != 0;
+  }
+  void set(int bit) { lanes_[bit >> 6] |= 1ull << (bit & 63); }
+
+  constexpr bool any() const { return (lanes_[0] | lanes_[1]) != 0; }
+  constexpr bool none() const { return !any(); }
+  int popcount() const { return popcount64(lanes_[0]) + popcount64(lanes_[1]); }
+
+  // Field extraction for the shield-group combo tables: `width` (<= 64)
+  // bits starting at `start`, straddling the lane boundary if needed.
+  constexpr std::uint64_t extract(int start, int width) const {
+    const std::uint64_t raw = (*this >> start).lanes_[0];
+    return width >= 64 ? raw : raw & ((1ull << width) - 1ull);
+  }
+
+  constexpr BusWord operator~() const { return from_lanes(~lanes_[0], ~lanes_[1]); }
+
+  constexpr BusWord operator<<(int n) const {
+    if (n <= 0) return *this;
+    if (n >= kMaxBits) return BusWord();
+    if (n >= 64) return from_lanes(0, lanes_[0] << (n - 64));
+    return from_lanes(lanes_[0] << n, (lanes_[1] << n) | (lanes_[0] >> (64 - n)));
+  }
+  constexpr BusWord operator>>(int n) const {
+    if (n <= 0) return *this;
+    if (n >= kMaxBits) return BusWord();
+    if (n >= 64) return BusWord(lanes_[1] >> (n - 64));
+    return from_lanes((lanes_[0] >> n) | (lanes_[1] << (64 - n)), lanes_[1] >> n);
+  }
+
+  BusWord& operator&=(const BusWord& o) {
+    lanes_[0] &= o.lanes_[0];
+    lanes_[1] &= o.lanes_[1];
+    return *this;
+  }
+  BusWord& operator|=(const BusWord& o) {
+    lanes_[0] |= o.lanes_[0];
+    lanes_[1] |= o.lanes_[1];
+    return *this;
+  }
+  BusWord& operator^=(const BusWord& o) {
+    lanes_[0] ^= o.lanes_[0];
+    lanes_[1] ^= o.lanes_[1];
+    return *this;
+  }
+
+  friend constexpr BusWord operator&(const BusWord& a, const BusWord& b) {
+    return from_lanes(a.lanes_[0] & b.lanes_[0], a.lanes_[1] & b.lanes_[1]);
+  }
+  friend constexpr BusWord operator|(const BusWord& a, const BusWord& b) {
+    return from_lanes(a.lanes_[0] | b.lanes_[0], a.lanes_[1] | b.lanes_[1]);
+  }
+  friend constexpr BusWord operator^(const BusWord& a, const BusWord& b) {
+    return from_lanes(a.lanes_[0] ^ b.lanes_[0], a.lanes_[1] ^ b.lanes_[1]);
+  }
+  // Mixed-operand forms: without them `word & 1u` would be ambiguous
+  // between the BusWord overload (user conversion on the right) and the
+  // built-in integer operator (user conversion on the left).
+  friend constexpr BusWord operator&(const BusWord& a, std::uint64_t b) {
+    return a & BusWord(b);
+  }
+  friend constexpr BusWord operator&(std::uint64_t a, const BusWord& b) {
+    return BusWord(a) & b;
+  }
+  friend constexpr BusWord operator|(const BusWord& a, std::uint64_t b) {
+    return a | BusWord(b);
+  }
+  friend constexpr BusWord operator|(std::uint64_t a, const BusWord& b) {
+    return BusWord(a) | b;
+  }
+  friend constexpr BusWord operator^(const BusWord& a, std::uint64_t b) {
+    return a ^ BusWord(b);
+  }
+  friend constexpr BusWord operator^(std::uint64_t a, const BusWord& b) {
+    return BusWord(a) ^ b;
+  }
+
+  friend constexpr bool operator==(const BusWord& a, const BusWord& b) {
+    return a.lanes_[0] == b.lanes_[0] && a.lanes_[1] == b.lanes_[1];
+  }
+  friend constexpr bool operator!=(const BusWord& a, const BusWord& b) { return !(a == b); }
+  friend constexpr bool operator==(const BusWord& a, std::uint64_t b) {
+    return a == BusWord(b);
+  }
+  friend constexpr bool operator==(std::uint64_t a, const BusWord& b) {
+    return BusWord(a) == b;
+  }
+  friend constexpr bool operator!=(const BusWord& a, std::uint64_t b) {
+    return !(a == BusWord(b));
+  }
+  friend constexpr bool operator!=(std::uint64_t a, const BusWord& b) {
+    return !(BusWord(a) == b);
+  }
+  // Lexicographic (high lane first) — for ordered containers.
+  friend constexpr bool operator<(const BusWord& a, const BusWord& b) {
+    return a.lanes_[1] != b.lanes_[1] ? a.lanes_[1] < b.lanes_[1]
+                                      : a.lanes_[0] < b.lanes_[0];
+  }
+
+  // Truncating conversion to integral types (bool = any bit set). Kept
+  // implicit so pre-width-generic call sites compile unchanged; prefer
+  // low32()/low64() in new code.
+  template <typename T, std::enable_if_t<std::is_integral<T>::value, int> = 0>
+  constexpr operator T() const {
+    if constexpr (std::is_same_v<T, bool>) {
+      return any();
+    } else {
+      return static_cast<T>(lanes_[0]);
+    }
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const BusWord& w);
+
+ private:
+  std::uint64_t lanes_[kLanes];
+};
+
+static_assert(std::is_trivially_copyable<BusWord>::value, "BusWord must stay POD-like");
+
+inline std::ostream& operator<<(std::ostream& os, const BusWord& w) {
+  char buf[2 + 32 + 1];
+  int n = 0;
+  buf[n++] = '0';
+  buf[n++] = 'x';
+  bool started = false;
+  for (int nibble = 2 * BusWord::kLanes * 8 - 1; nibble >= 0; --nibble) {
+    const int v = static_cast<int>((w.lanes_[nibble >> 4] >> ((nibble & 15) * 4)) & 0xf);
+    if (!started && v == 0 && nibble != 0) continue;
+    started = true;
+    buf[n++] = "0123456789abcdef"[v];
+  }
+  buf[n] = '\0';
+  return os << buf;
+}
+
+}  // namespace razorbus

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace razorbus {
@@ -85,6 +86,18 @@ void CliFlags::reject_unused() const {
     std::string msg = "unknown flag(s):";
     for (const auto& name : stray) msg += " --" + name;
     throw std::invalid_argument(msg);
+  }
+}
+
+int cli_main(int argc, const char* const* argv,
+             const std::function<int(const CliFlags&)>& body) {
+  const char* program = argc > 0 ? argv[0] : "program";
+  try {
+    const CliFlags flags(argc, argv);
+    return body(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", program, e.what());
+    return 2;
   }
 }
 

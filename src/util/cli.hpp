@@ -1,10 +1,15 @@
 // Minimal command-line flag parsing for examples and bench harnesses.
 //
 // Supports `--name=value` and `--flag` forms. Unknown flags are an error so
-// typos in experiment sweeps fail loudly instead of silently using defaults.
+// typos in experiment sweeps fail loudly instead of silently using defaults
+// (`--thread=8` must not run single-threaded). Binaries should enter
+// through cli_main(), which turns parse errors and reject_unused() failures
+// into a clear stderr message and exit code 2 instead of an uncaught
+// exception abort.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,5 +39,14 @@ class CliFlags {
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positional_;
 };
+
+// Guarded main() body for example/tool binaries: parses argv into CliFlags,
+// runs `body`, and maps any std::exception — malformed flags, a
+// reject_unused() failure, or a domain error from the body itself — to a
+// one-line stderr message and exit code 2. The body is expected to query
+// its flags up front and call flags.reject_unused() before doing real work,
+// so typo'd invocations fail before, not after, an expensive run.
+int cli_main(int argc, const char* const* argv,
+             const std::function<int(const CliFlags&)>& body);
 
 }  // namespace razorbus

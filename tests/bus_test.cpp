@@ -337,7 +337,7 @@ TEST(BusInvert, ReducesTotalTogglesOnRandomData) {
 }
 
 TEST(BusInvert, QuietTraceNeedsNoInversions) {
-  trace::Trace quiet{"quiet", std::vector<std::uint32_t>(1000, 0x1u)};
+  trace::Trace quiet{"quiet", std::vector<BusWord>(1000, BusWord(0x1u))};
   const BusInvertResult enc = bus_invert_encode(quiet);
   EXPECT_EQ(enc.inversions, 0u);
   EXPECT_EQ(enc.encoded.words, quiet.words);
@@ -357,6 +357,75 @@ TEST(BusInvert, EmptyTrace) {
   const BusInvertResult enc = bus_invert_encode(trace::Trace{"e", {}});
   EXPECT_TRUE(enc.encoded.words.empty());
   EXPECT_EQ(enc.inversions, 0u);
+}
+
+// ------------------------------------------- bus-invert at non-32 widths
+
+trace::Trace random_wide_trace(int n_bits, std::size_t cycles, std::uint64_t seed) {
+  trace::SyntheticConfig cfg;
+  cfg.style = trace::SyntheticStyle::uniform;
+  cfg.cycles = cycles;
+  cfg.load_rate = 1.0;
+  cfg.seed = seed;
+  cfg.n_bits = n_bits;
+  return trace::generate_synthetic(cfg, "random" + std::to_string(n_bits));
+}
+
+TEST(BusInvertWidth, RoundTripDecodesAt16And64And128) {
+  for (const int width : {16, 64, 128}) {
+    const trace::Trace raw = random_wide_trace(width, 4000, 11 + width);
+    const BusInvertResult enc = bus_invert_encode(raw);
+    EXPECT_EQ(enc.encoded.n_bits, width);
+    const trace::Trace decoded = bus_invert_decode(enc.encoded, enc.invert_line);
+    EXPECT_EQ(decoded.n_bits, width);
+    EXPECT_EQ(decoded.words, raw.words) << "width " << width;
+    // Encoded words never exceed the payload width.
+    const BusWord mask = BusWord::mask_low(width);
+    for (const BusWord& w : enc.encoded.words)
+      ASSERT_EQ(w & ~mask, BusWord()) << "width " << width;
+  }
+}
+
+TEST(BusInvertWidth, InvertDecisionUsesTraceWidth) {
+  // A 16-wire bus flipping all 16 wires must invert (16 toggles vs 0+1);
+  // the decision threshold is n/2 + 1 at the TRACE width, not at 32.
+  trace::Trace hostile{"hostile16", {}, 16};
+  for (int i = 0; i < 500; ++i)
+    hostile.words.push_back(i % 2 ? 0xFFFFu : 0x0000u);
+  const BusInvertResult enc = bus_invert_encode(hostile);
+  EXPECT_EQ(total_toggles(enc.encoded), 0u);
+  EXPECT_GT(enc.inversions, 450u);
+
+  // Same for 64 wires: toggle bound is n/2 + 1 = 33.
+  const trace::Trace raw = random_wide_trace(64, 4000, 21);
+  const BusInvertResult enc64 = bus_invert_encode(raw);
+  BusWord prev;
+  bool prev_line = false;
+  for (std::size_t i = 0; i < enc64.encoded.words.size(); ++i) {
+    const int toggles = (prev ^ enc64.encoded.words[i]).popcount() +
+                        (prev_line != static_cast<bool>(enc64.invert_line[i]) ? 1 : 0);
+    ASSERT_LE(toggles, 33) << "cycle " << i;
+    prev = enc64.encoded.words[i];
+    prev_line = enc64.invert_line[i];
+  }
+  // And it still pays on random 64-bit data.
+  EXPECT_LT(total_toggles(enc64.encoded) + invert_line_toggles(enc64.invert_line),
+            total_toggles(raw));
+}
+
+TEST(BusInvertWidth, WideEncodedTrafficRunsOnWideBus) {
+  // The encoded 64-wire stream must drive a 64-wire simulator end to end
+  // (composition of coding + DVS is the ablation_encoding scenario).
+  const trace::Trace raw = random_wide_trace(64, 2000, 31);
+  const BusInvertResult enc = bus_invert_encode(raw);
+  interconnect::BusDesign design = interconnect::BusDesign::wide_bus(64);
+  design.repeater_size = small_system().design().repeater_size;
+  BusSimulator sim(design, small_system().table(),
+                   tech::PvtCorner{tech::ProcessCorner::slow, 100.0, 0.0});
+  sim.set_supply(1.2);
+  const RunningTotals t = sim.run(enc.encoded.words);
+  EXPECT_EQ(t.cycles, enc.encoded.words.size());
+  EXPECT_EQ(t.shadow_failures, 0u);
 }
 
 }  // namespace

@@ -163,7 +163,7 @@ TEST(OracleDistribution, FractionsSumToOneAndRespectTarget) {
 TEST(ClosedLoop, ConvergesToFloorOnIdleTraffic) {
   // Descending from nominal takes one 20 mV step per 10k-cycle window:
   // ~18 windows to the typical-corner floor, so run well past that.
-  trace::Trace idle{"idle", std::vector<std::uint32_t>(300000, 0u)};
+  trace::Trace idle{"idle", std::vector<BusWord>(300000, BusWord())};
   DvsRunConfig cfg;
   cfg.record_series = true;
   const DvsRunReport r = run_closed_loop(paper_system(), tech::typical_corner(), idle, cfg);

@@ -444,7 +444,7 @@ TEST(SimPoint, DeterministicForSeed) {
 }
 
 TEST(SimPoint, Validation) {
-  const trace::Trace t{"t", std::vector<std::uint32_t>(100, 1u)};
+  const trace::Trace t{"t", std::vector<razorbus::BusWord>(100, razorbus::BusWord(1u))};
   SimPointConfig cfg;
   cfg.window_cycles = 0;
   EXPECT_THROW(select_simpoints(t, cfg), std::invalid_argument);
@@ -457,7 +457,7 @@ TEST(SimPoint, Validation) {
 }
 
 TEST(SimPoint, MoreClustersThanWindowsClamps) {
-  const trace::Trace t{"t", std::vector<std::uint32_t>(30000, 5u)};
+  const trace::Trace t{"t", std::vector<razorbus::BusWord>(30000, razorbus::BusWord(5u))};
   SimPointConfig cfg;
   cfg.window_cycles = 10000;
   cfg.clusters = 16;
@@ -470,7 +470,8 @@ TEST(Kernels, FpBenchmarksCarryFloatBitPatterns) {
   int fp_like = 0;
   int fresh = 0;
   std::uint32_t prev = ~0u;
-  for (const auto w : t.words) {
+  for (const auto& word : t.words) {
+    const std::uint32_t w = word.low32();
     if (w == prev) continue;
     prev = w;
     ++fresh;

@@ -171,8 +171,9 @@ TEST(Bank, ArrivalCountMismatchThrows) {
 
 TEST(Bank, WidthValidation) {
   EXPECT_THROW(FlopBank(0, paper_timing()), std::invalid_argument);
-  EXPECT_THROW(FlopBank(33, paper_timing()), std::invalid_argument);
+  EXPECT_THROW(FlopBank(BusWord::kMaxBits + 1, paper_timing()), std::invalid_argument);
   EXPECT_NO_THROW(FlopBank(32, paper_timing()));
+  EXPECT_NO_THROW(FlopBank(BusWord::kMaxBits, paper_timing()));
 }
 
 // ---------------------------------------------------------------- recovery
