@@ -1,75 +1,10 @@
-// Ablation / extension: Monte-Carlo PVT sampling.
-//
-// The paper treats process, temperature and IR drop as independent worst
-// cases and notes that "incorporating such dependencies would involve
-// complex models". As an extension we sample a population of operating
-// conditions (discrete process corner, continuous temperature and IR drop)
-// and report the distribution of closed-loop DVS gains — the expected
-// energy saving for a part drawn at random, rather than at hand-picked
-// corners. The sampling itself lives in core::pvt_sample_gains, sharded
-// one sample per shard with a per-sample Rng stream (DESIGN.md §9), so the
-// population is identical at any --threads=N.
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "util/stats.hpp"
-
-using namespace razorbus;
-using namespace razorbus::bench;
+// Thin launcher for the ablation_pvt_sampling scenario. The body lives in
+// bench/scenarios/ablation_pvt_sampling.cpp, shared with the campaign runner
+// through scenario_registry.hpp — which is what keeps the standalone
+// binary's JSON report byte-identical to a campaign job's.
+#include "scenario_registry.hpp"
 
 int main(int argc, char** argv) {
-  Scenario scenario;
-  scenario.name = "ablation_pvt_sampling";
-  scenario.description = "DVS gain distribution over random PVT";
-  scenario.paper_ref = "extension of Section 4 (the paper sweeps corners only)";
-  scenario.default_cycles = 300000;
-  scenario.extra_flags = {"samples", "seed"};
-  scenario.run = [](ScenarioContext& ctx) {
-    core::PvtSampleConfig config;
-    config.samples = static_cast<int>(ctx.flags().get_int("samples", 24));
-    config.seed = static_cast<std::uint64_t>(ctx.flags().get_int("seed", 2025));
-
-    const trace::Trace trace = cpu::benchmark_by_name("vortex").capture(ctx.cycles);
-    std::printf("Workload: vortex, %zu cycles, %d sampled operating points\n", ctx.cycles,
-                config.samples);
-
-    const core::PvtSampleResult result = core::pvt_sample_gains(paper_system(), trace, config);
-
-    Histogram gain_hist(0.0, 0.6, 12);
-    Table table({"#", "Process", "Temp (C)", "IR drop (%)", "Gain (%)", "Err (%)"});
-    for (std::size_t s = 0; s < result.samples.size(); ++s) {
-      const core::PvtSample& sample = result.samples[s];
-      gain_hist.add(sample.report.energy_gain());
-      table.row()
-          .add(static_cast<long long>(s + 1))
-          .add(tech::to_string(sample.corner.process))
-          .add(sample.corner.temp_c, 0)
-          .add(100.0 * sample.corner.ir_drop_fraction, 1)
-          .add(100.0 * sample.report.energy_gain(), 1)
-          .add(100.0 * sample.report.error_rate(), 2);
-    }
-    ctx.table("samples", table);
-    ctx.metric("gain_mean", result.gain_stats.mean());
-    ctx.metric("gain_stddev", result.gain_stats.stddev());
-    ctx.metric("gain_min", result.gain_stats.min());
-    ctx.metric("gain_max", result.gain_stats.max());
-    ctx.metric("err_mean", result.err_stats.mean());
-
-    std::printf("\nGain distribution: mean %.1f%%, stddev %.1f%%, min %.1f%%, max %.1f%%\n",
-                100.0 * result.gain_stats.mean(), 100.0 * result.gain_stats.stddev(),
-                100.0 * result.gain_stats.min(), 100.0 * result.gain_stats.max());
-    std::printf("Average error rate across samples: %.2f%%\n",
-                100.0 * result.err_stats.mean());
-    std::printf("\nHistogram (gain bucket -> share of samples):\n");
-    for (std::size_t b = 0; b < gain_hist.bins(); ++b) {
-      if (gain_hist.count(b) == 0.0) continue;
-      std::printf("  %4.0f-%4.0f%% : %5.1f%%\n", 100.0 * gain_hist.bin_lo(b),
-                  100.0 * gain_hist.bin_hi(b), 100.0 * gain_hist.fraction(b));
-    }
-    std::printf(
-        "\nReading the output: every sampled part saves energy (the controller\n"
-        "adapts), with most of the population well above the worst-corner\n"
-        "result — the expected-case argument for error-tolerant DVS.\n");
-  };
-  return run_scenario(argc, argv, scenario);
+  using namespace razorbus::bench;
+  return run_scenario(argc, argv, scenario_by_name("ablation_pvt_sampling"));
 }

@@ -74,8 +74,9 @@ int run_scenario(int argc, char** argv, const Scenario& scenario) {
     // the parallel experiment drivers over N threads (0 = hardware
     // concurrency, the default). Results are bit-identical at any width
     // (DESIGN.md §9), so this is purely a wall-clock knob.
-    util::set_global_threads(
-        static_cast<unsigned>(std::max<std::int64_t>(0, flags.get_int("threads", 0))));
+    const std::int64_t requested_threads =
+        std::max<std::int64_t>(0, flags.get_int("threads", 0));
+    util::set_global_threads(static_cast<unsigned>(requested_threads));
 
     // --json writes BENCH_<name>.json; --json=path overrides the location.
     std::string json_path;
@@ -107,7 +108,16 @@ int run_scenario(int argc, char** argv, const Scenario& scenario) {
       report.set("scenario", scenario.name);
       report.set("paper_ref", scenario.paper_ref);
       if (scenario.default_cycles > 0) report.set("cycles", ctx.cycles);
-      report.set("threads", static_cast<long long>(util::global_threads()));
+      // --threads=0 (auto) resolves to the hardware concurrency, which
+      // differs across runners. Record "auto" in the diffable field and
+      // the resolved count separately, so the CI regression gate can
+      // compare reports from machines with different core counts.
+      if (requested_threads > 0) {
+        report.set("threads", static_cast<long long>(util::global_threads()));
+      } else {
+        report.set("threads", "auto");
+        report.set("threads_resolved", static_cast<long long>(util::global_threads()));
+      }
       report.set("wall_seconds", wall_seconds);
       report.set("metrics", std::move(ctx.metrics_));
       report.set("notes", std::move(ctx.notes_));

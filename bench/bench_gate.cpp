@@ -1,0 +1,77 @@
+// CI bench-regression gate CLI (DESIGN.md §11).
+//
+//   bench_gate <baseline.json> <current.json> [--threshold=0.20]
+//              [--allow-missing-baseline]
+//
+// Compares the "_cps" throughput metrics of two bench reports (single
+// scenario reports or aggregated BENCH_campaign.json files) and exits
+// non-zero when any metric regressed by more than the threshold. A missing
+// baseline file is exit 0 with --allow-missing-baseline (first run on a
+// branch, expired artifact) and exit 2 otherwise; malformed input is
+// always exit 2. Improvements and added/removed metrics never fail.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/bench_gate.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace razorbus;
+
+int main(int argc, char** argv) {
+  return cli_main(argc, argv, [](const CliFlags& flags) {
+    const double threshold = flags.get_double("threshold", 0.20);
+    const bool allow_missing = flags.get_bool("allow-missing-baseline", false);
+    if (flags.positional().size() != 2)
+      throw std::invalid_argument(
+          "usage: bench_gate <baseline.json> <current.json> [--threshold=F] "
+          "[--allow-missing-baseline]");
+    flags.reject_unused();
+    const std::string& baseline_path = flags.positional()[0];
+    const std::string& current_path = flags.positional()[1];
+
+    if (allow_missing && !std::ifstream(baseline_path)) {
+      std::printf("bench_gate: no baseline at %s — nothing to compare, passing\n",
+                  baseline_path.c_str());
+      return 0;
+    }
+
+    const core::BenchGateResult result = core::compare_bench_reports(
+        Json::parse_file(baseline_path), Json::parse_file(current_path), threshold);
+
+    if (result.compared.empty()) {
+      std::printf("bench_gate: no _cps throughput metrics in %s — passing\n",
+                  baseline_path.c_str());
+      return 0;
+    }
+
+    Table table({"Metric", "Baseline (cyc/s)", "Current (cyc/s)", "Ratio", "Verdict"});
+    for (const auto& finding : result.compared) {
+      table.row()
+          .add(finding.path)
+          .add(finding.baseline, 0)
+          .add(finding.current, 0)
+          .add(finding.ratio, 3)
+          .add(finding.regression ? "REGRESSED" : "ok");
+    }
+    table.print(std::cout);
+    for (const auto& path : result.missing)
+      std::printf("note: %s present in baseline only (scenario removed?)\n",
+                  path.c_str());
+    for (const auto& path : result.added)
+      std::printf("note: %s is new in this run\n", path.c_str());
+
+    if (!result.ok()) {
+      std::printf(
+          "\nbench_gate: %zu metric(s) regressed by more than %.0f%% vs %s.\n"
+          "If the slowdown is expected, include [bench-skip] in the commit message.\n",
+          result.regressions(), 100.0 * threshold, baseline_path.c_str());
+      return 1;
+    }
+    std::printf("\nbench_gate: %zu metric(s) within the %.0f%% threshold\n",
+                result.compared.size(), 100.0 * threshold);
+    return 0;
+  });
+}

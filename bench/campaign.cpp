@@ -1,0 +1,474 @@
+// Declarative scenario-campaign runner (DESIGN.md §11).
+//
+//   campaign run <campaign.json> [--out=DIR] [--jobs=N] [--force]
+//                [--dry_run] [--json=PATH]
+//   campaign list [<campaign.json>]
+//   campaign run-one <job.spec.json> --json=PATH   (internal)
+//
+// `run` expands the campaign file into the scenario cross product
+// (scenarios x widths x controllers), executes the jobs as shards on the
+// ThreadPool (--jobs children at a time; each child is a `campaign
+// run-one` subprocess whose stdout/stderr land in <out>/<job>.log), and
+// aggregates the per-job reports into one consolidated BENCH_campaign.json.
+//
+// Runs are RESUMABLE: a job whose <out>/BENCH_<job>.json already exists
+// and parses is skipped, so an interrupted campaign continues where it
+// stopped (--force reruns everything; a half-written report fails the
+// parse and reruns). Jobs referencing a registered bench scenario run the
+// exact legacy harness code path, so their reports are byte-identical to
+// the standalone binaries' (modulo wall-clock fields) — enforced by
+// tests/campaign_test.cpp.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bus/businvert.hpp"
+#include "core/scenario_spec.hpp"
+#include "scenario_registry.hpp"
+#include "trace/io.hpp"
+#include "trace/synthetic.hpp"
+#include "util/parallel.hpp"
+
+using namespace razorbus;
+using namespace razorbus::bench;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// POSIX-shell single-quoting: inhibits every expansion, survives spaces,
+// '$', backticks and double quotes in operator-supplied paths.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
+// ------------------------------------------------- declarative experiments
+
+// The bus system a declarative job runs on: the paper bus at the job's
+// width. The characterised tables are width-independent, so every width
+// shares the paper system's cached characterization (DESIGN.md §10).
+const core::DvsBusSystem& system_for_width(int width) {
+  if (width == 32) return paper_system();
+  static core::DvsBusSystem* cached = nullptr;
+  static int cached_width = 0;
+  if (cached == nullptr || cached_width != width) {
+    interconnect::BusDesign design = interconnect::BusDesign::wide_bus(width);
+    design.repeater_size = paper_system().design().repeater_size;
+    delete cached;
+    cached = new core::DvsBusSystem(design, options_with_progress("campaign bus"));
+    cached_width = width;
+  }
+  return *cached;
+}
+
+// Materialise the job's traces at the job's width.
+std::vector<trace::Trace> traces_for(const core::ScenarioSpec& spec,
+                                     std::size_t cycles) {
+  const int width = spec.widths.at(0);
+  std::vector<trace::Trace> traces;
+  switch (spec.trace.source) {
+    case core::TraceSpec::Source::synthetic: {
+      trace::SyntheticConfig cfg;
+      cfg.style = spec.trace.style;
+      cfg.cycles = cycles;
+      cfg.load_rate = spec.trace.load_rate;
+      cfg.activity = spec.trace.activity;
+      cfg.seed = spec.trace.seed;
+      cfg.n_bits = width;
+      traces.push_back(
+          trace::generate_synthetic(cfg, trace::to_string(spec.trace.style)));
+      break;
+    }
+    case core::TraceSpec::Source::benchmark:
+    case core::TraceSpec::Source::suite: {
+      // Mini-CPU kernels capture 32-bit load streams; wider buses pack
+      // consecutive words into flits (README "memory bus" recipe).
+      if (width % 32 != 0)
+        throw std::invalid_argument("benchmark traces require a width that is a "
+                                    "multiple of 32, got " +
+                                    std::to_string(width));
+      const int factor = width / 32;
+      const auto capture = [&](const cpu::Benchmark& bench) {
+        const trace::Trace t = bench.capture(cycles * static_cast<std::size_t>(factor));
+        return factor == 1 ? t : trace::widen(t, factor);
+      };
+      if (spec.trace.source == core::TraceSpec::Source::benchmark) {
+        traces.push_back(capture(cpu::benchmark_by_name(spec.trace.benchmark)));
+      } else {
+        for (const auto& bench : cpu::spec2000_suite()) {
+          std::fprintf(stderr, "[tracing %s]\n", bench.name.c_str());
+          traces.push_back(capture(bench));
+        }
+      }
+      break;
+    }
+    case core::TraceSpec::Source::file: {
+      trace::Trace t = trace::load_trace_file(spec.trace.path);
+      if (t.n_bits != width)
+        throw std::invalid_argument("trace file " + spec.trace.path + " is " +
+                                    std::to_string(t.n_bits) + " wires, job wants " +
+                                    std::to_string(width));
+      traces.push_back(std::move(t));
+      break;
+    }
+  }
+  if (spec.bus_invert)
+    for (auto& t : traces) t = bus::bus_invert_encode(t).encoded;
+  return traces;
+}
+
+std::string corner_key(const tech::PvtCorner& corner) {
+  std::string key = tech::to_string(corner.process) + "_" +
+                    std::to_string(static_cast<int>(corner.temp_c)) + "C";
+  if (corner.ir_drop_fraction > 0.0)
+    key += "_" + std::to_string(static_cast<int>(corner.ir_drop_fraction * 100.0 + 0.5)) +
+           "ir";
+  return key;
+}
+
+void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
+  const auto& system = system_for_width(spec.widths.at(0));
+  const auto traces = traces_for(spec, ctx.cycles);
+  const core::ControllerSpec& controller = spec.controllers.at(0);
+
+  Table table({"Corner", "Trace", "Gain (%)", "Err (%)", "Avg V (mV)", "Floor (mV)"});
+  for (const auto& corner : spec.corners) {
+    std::fprintf(stderr, "[%s @ %s]\n", controller.label().c_str(),
+                 corner.name().c_str());
+    std::vector<core::DvsRunReport> reports;
+    switch (controller.kind) {
+      case dvs::ControllerKind::threshold: {
+        core::DvsRunConfig cfg;
+        cfg.controller = controller.threshold;
+        cfg.engine = spec.engine;
+        cfg.timing_jitter_sigma = spec.timing_jitter_sigma;
+        reports = core::run_closed_loop_suite(system, corner, traces, cfg);
+        break;
+      }
+      case dvs::ControllerKind::proportional: {
+        core::ProportionalRunConfig cfg;
+        cfg.controller = controller.proportional;
+        cfg.engine = spec.engine;
+        cfg.timing_jitter_sigma = spec.timing_jitter_sigma;
+        for (const auto& t : traces)
+          reports.push_back(core::run_closed_loop_proportional(system, corner, t, cfg));
+        break;
+      }
+      case dvs::ControllerKind::fixed_vs:
+        reports = core::run_fixed_vs_suite(system, corner, traces, spec.engine,
+                                           spec.timing_jitter_sigma);
+        break;
+    }
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const core::DvsRunReport& r = reports[t];
+      table.row()
+          .add(corner.name())
+          .add(traces[t].name)
+          .add(100.0 * r.energy_gain(), 1)
+          .add(100.0 * r.error_rate(), 2)
+          .add(to_mV(r.average_supply), 0)
+          .add(to_mV(r.floor_supply), 0);
+      const std::string key = corner_key(corner) + "_" + traces[t].name;
+      ctx.metric(key + "_gain", r.energy_gain());
+      ctx.metric(key + "_error_rate", r.error_rate());
+      ctx.metric(key + "_avg_supply", r.average_supply);
+    }
+  }
+  ctx.table("closed_loop", table);
+  ctx.note("controller", controller.label());
+  ctx.note("engine", bus::to_string(spec.engine));
+  ctx.note("width", std::to_string(spec.widths.at(0)));
+}
+
+void run_static_sweep_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
+  const auto& system = system_for_width(spec.widths.at(0));
+  const auto traces = traces_for(spec, ctx.cycles);
+
+  for (const auto& corner : spec.corners) {
+    std::fprintf(stderr, "[sweeping %s]\n", corner.name().c_str());
+    const core::StaticSweepResult sweep = core::static_voltage_sweep(
+        system, corner, traces, spec.timing_jitter_sigma, spec.engine);
+    Table table({"Supply (mV)", "Error Rate (%)", "Bus Energy (norm)",
+                 "Bus+Recovery (norm)"});
+    for (auto it = sweep.points.rbegin(); it != sweep.points.rend(); ++it) {
+      table.row()
+          .add(to_mV(it->supply), 0)
+          .add(100.0 * it->error_rate, 2)
+          .add(it->norm_bus_energy, 3)
+          .add(it->norm_total_energy, 3);
+    }
+    ctx.table(corner_key(corner), table);
+    ctx.metric(corner_key(corner) + "_floor_mV", to_mV(sweep.floor_supply));
+    ctx.metric(corner_key(corner) + "_norm_energy_at_floor",
+               sweep.points.front().norm_total_energy);
+  }
+  ctx.note("engine", bus::to_string(spec.engine));
+  ctx.note("width", std::to_string(spec.widths.at(0)));
+}
+
+// ----------------------------------------------------------------- run-one
+
+// Executes one expanded job in-process through the shared run_scenario
+// path (identical reports to the legacy binaries by construction).
+int run_one(const std::string& spec_path, const std::string& json_flag) {
+  const core::ScenarioSpec spec =
+      core::ScenarioSpec::from_json(Json::parse_file(spec_path));
+
+  Scenario scenario;
+  if (spec.kind == core::ScenarioSpec::Kind::bench) {
+    scenario = scenario_by_name(spec.bench);
+  } else {
+    if (spec.cycles == 0)
+      throw std::invalid_argument("job '" + spec.name +
+                                  "': declarative scenarios need a cycle budget "
+                                  "(scenario 'cycles' or campaign defaults)");
+    scenario.name = spec.name;
+    scenario.description =
+        spec.kind == core::ScenarioSpec::Kind::closed_loop
+            ? "declarative closed-loop DVS (" + spec.controllers.at(0).label() + ", " +
+                  std::to_string(spec.widths.at(0)) + " wires)"
+            : "declarative static voltage sweep (" +
+                  std::to_string(spec.widths.at(0)) + " wires)";
+    scenario.paper_ref = "campaign spec " + spec_path;
+    scenario.default_cycles = spec.cycles;
+    scenario.run = [spec](ScenarioContext& ctx) {
+      if (spec.kind == core::ScenarioSpec::Kind::closed_loop)
+        run_closed_loop_job(spec, ctx);
+      else
+        run_static_sweep_job(spec, ctx);
+    };
+  }
+
+  // Synthesize the exact argv the standalone binary would have been given.
+  std::vector<std::string> args;
+  args.push_back("campaign run-one");
+  if (scenario.default_cycles > 0 && spec.cycles > 0)
+    args.push_back("--cycles=" + std::to_string(spec.cycles));
+  args.push_back("--threads=" + std::to_string(spec.threads));
+  args.push_back(json_flag);
+  for (const auto& [key, value] : spec.flags) args.push_back("--" + key + "=" + value);
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& arg : args) argv.push_back(arg.data());
+  return run_scenario(static_cast<int>(argv.size()), argv.data(), scenario);
+}
+
+// --------------------------------------------------------------------- run
+
+struct JobState {
+  core::ScenarioJob job;
+  fs::path spec_path;
+  fs::path report_path;
+  fs::path log_path;
+  bool cached = false;
+  bool ok = false;
+};
+
+bool report_is_complete(const fs::path& path) {
+  try {
+    Json::parse_file(path.string());
+    return true;
+  } catch (const std::exception&) {
+    return false;  // missing, or half-written by an interrupted run: redo
+  }
+}
+
+int run_campaign(const std::string& self, const std::string& campaign_path,
+                 CliFlags& flags) {
+  const core::CampaignSpec campaign = core::CampaignSpec::from_file(campaign_path);
+  std::vector<core::ScenarioJob> jobs = core::expand_campaign(campaign);
+  // Fail-fast contract (DESIGN.md §11): a typo'd bench name must surface
+  // now, not after the jobs ahead of it have burned their budgets.
+  for (const auto& job : jobs)
+    if (job.spec.kind == core::ScenarioSpec::Kind::bench)
+      scenario_by_name(job.spec.bench);  // throws, listing the known names
+
+  const fs::path out_dir = flags.get("out", "campaign_out/" + campaign.name);
+  const auto jobs_width = static_cast<unsigned>(
+      std::max<std::int64_t>(1, flags.get_int("jobs", 1)));
+  const bool force = flags.get_bool("force", false);
+  const bool dry_run = flags.get_bool("dry_run", false);
+  const std::string consolidated = flags.get("json", "BENCH_campaign.json");
+  flags.reject_unused();
+
+  std::printf("campaign '%s': %zu scenario(s) -> %zu job(s)\n", campaign.name.c_str(),
+              campaign.scenarios.size(), jobs.size());
+  if (dry_run) {
+    for (const auto& job : jobs) std::printf("  %s\n", job.name.c_str());
+    return 0;
+  }
+
+  fs::create_directories(out_dir);
+  spit((out_dir / "campaign.json").string(), campaign.to_json().dump(2) + "\n");
+
+  std::vector<JobState> states;
+  for (auto& job : jobs) {
+    JobState state;
+    state.spec_path = out_dir / (job.name + ".spec.json");
+    state.report_path = out_dir / ("BENCH_" + job.name + ".json");
+    state.log_path = out_dir / (job.name + ".log");
+    state.job = std::move(job);
+    const std::string spec_text = state.job.spec.to_json().dump(2) + "\n";
+    // A job resumes from its result file only when its resolved spec is
+    // exactly what the previous run executed — editing the campaign file
+    // invalidates the jobs it changes even though their names persist.
+    bool spec_unchanged = false;
+    try {
+      spec_unchanged = slurp(state.spec_path.string()) == spec_text;
+    } catch (const std::runtime_error&) {
+      // No previous spec: first run of this job.
+    }
+    state.cached =
+        !force && spec_unchanged && report_is_complete(state.report_path);
+    state.ok = state.cached;
+    // Stale report first, marker second: a crash in between leaves either
+    // a marker mismatch or no report — both rerun the job. The reverse
+    // order would let the next run pair a fresh marker with old results.
+    if (!state.cached) fs::remove(state.report_path);
+    spit(state.spec_path.string(), spec_text);
+    states.push_back(std::move(state));
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].cached)
+      std::printf("  [cached] %s\n", states[i].job.name.c_str());
+    else
+      pending.push_back(i);
+  }
+
+  // One shard per pending job on the PR-2 ThreadPool; each shard waits on
+  // a `campaign run-one` child whose output is captured in <job>.log. The
+  // static shard->lane assignment keeps at most --jobs children alive.
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> done{0};
+  util::ThreadPool pool(std::min<unsigned>(jobs_width,
+                                           static_cast<unsigned>(std::max<std::size_t>(
+                                               pending.size(), 1))));
+  pool.parallel_for(pending.size(), [&](std::size_t p) {
+    JobState& state = states[pending[p]];
+    const std::string cmd = shell_quote(self) + " run-one " +
+                            shell_quote(state.spec_path.string()) + " " +
+                            shell_quote("--json=" + state.report_path.string()) + " > " +
+                            shell_quote(state.log_path.string()) + " 2>&1";
+    const int status = std::system(cmd.c_str());
+    state.ok = status == 0;
+    std::printf("  [%zu/%zu] %s %s\n", done.fetch_add(1) + 1, pending.size(),
+                state.ok ? "done" : "FAILED", state.job.name.c_str());
+    std::fflush(stdout);
+  });
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  // Aggregate every job report into the consolidated trajectory file.
+  Json aggregate = Json::object();
+  aggregate.set("campaign", campaign.name);
+  if (!campaign.description.empty()) aggregate.set("description", campaign.description);
+  aggregate.set("out_dir", out_dir.string());
+  aggregate.set("jobs", static_cast<long long>(states.size()));
+  aggregate.set("cached", static_cast<long long>(states.size() - pending.size()));
+  aggregate.set("wall_seconds", wall_seconds);
+  Json scenarios = Json::object();
+  std::size_t failures = 0;
+  for (const auto& state : states) {
+    if (state.ok) {
+      scenarios.set(state.job.name, Json::parse_file(state.report_path.string()));
+    } else {
+      ++failures;
+      std::printf("\n%s failed; last lines of %s:\n", state.job.name.c_str(),
+                  state.log_path.string().c_str());
+      std::ifstream log(state.log_path);
+      std::vector<std::string> lines;
+      for (std::string line; std::getline(log, line);) lines.push_back(line);
+      for (std::size_t i = lines.size() > 10 ? lines.size() - 10 : 0; i < lines.size();
+           ++i)
+        std::printf("    %s\n", lines[i].c_str());
+    }
+  }
+  aggregate.set("scenarios", std::move(scenarios));
+  spit(consolidated, aggregate.dump(2) + "\n");
+  std::printf("\n[%s: %zu job(s), %zu cached, %zu failed, %.2f s] wrote %s\n",
+              campaign.name.c_str(), states.size(), states.size() - pending.size(),
+              failures, wall_seconds, consolidated.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+int list_scenarios(const CliFlags& flags) {
+  if (!flags.positional().empty() && flags.positional().size() >= 2) {
+    const core::CampaignSpec campaign =
+        core::CampaignSpec::from_file(flags.positional()[1]);
+    std::printf("campaign '%s': %zu scenario(s)\n", campaign.name.c_str(),
+                campaign.scenarios.size());
+    for (const auto& job : core::expand_campaign(campaign))
+      std::printf("  %s\n", job.name.c_str());
+    return 0;
+  }
+  std::printf("registered bench scenarios (usable as \"bench\" spec entries):\n");
+  for (const auto& scenario : all_scenarios())
+    std::printf("  %-26s %s\n", scenario.name.c_str(), scenario.description.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliFlags flags(argc, argv);
+    const auto& positional = flags.positional();
+    const std::string command = positional.empty() ? "" : positional[0];
+
+    if (command == "list") {
+      const int rc = list_scenarios(flags);
+      flags.reject_unused();
+      return rc;
+    }
+    if (command == "run") {
+      if (positional.size() != 2)
+        throw std::invalid_argument("usage: campaign run <campaign.json> [--out=DIR] "
+                                    "[--jobs=N] [--force] [--dry_run] [--json=PATH]");
+      return run_campaign(argv[0], positional[1], flags);
+    }
+    if (command == "run-one") {
+      if (positional.size() != 2)
+        throw std::invalid_argument("usage: campaign run-one <job.spec.json> "
+                                    "[--json=PATH]");
+      const std::string json_flag = "--json=" + flags.get("json", "true");
+      flags.reject_unused();
+      return run_one(positional[1], json_flag);
+    }
+    throw std::invalid_argument(
+        "usage: campaign run <campaign.json> | campaign list [<campaign.json>] | "
+        "campaign run-one <job.spec.json>");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign: %s\n", e.what());
+    return 2;
+  }
+}

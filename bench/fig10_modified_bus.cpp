@@ -1,82 +1,10 @@
-// Fig. 10 / Section 6: the modified interconnect architecture (Cc/Cg ratio
-// x1.95 at constant wire R and constant worst-case load). The worst-case
-// delay — and hence the 0%-error curve — is unchanged; the 2% and 5% curves
-// gain, and the closed-loop DVS average gain at the worst corner improves
-// (paper: 6.3% -> 8.2%).
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace razorbus;
-using namespace razorbus::bench;
+// Thin launcher for the fig10_modified_bus scenario. The body lives in
+// bench/scenarios/fig10_modified_bus.cpp, shared with the campaign runner
+// through scenario_registry.hpp — which is what keeps the standalone
+// binary's JSON report byte-identical to a campaign job's.
+#include "scenario_registry.hpp"
 
 int main(int argc, char** argv) {
-  Scenario scenario;
-  scenario.name = "fig10_modified_bus";
-  scenario.description = "interconnect architecture study";
-  scenario.paper_ref = "Fig. 10 + Sec. 6";
-  scenario.default_cycles = 100000;
-  scenario.extra_flags = {"dvs_cycles", "ratio"};
-  scenario.run = [](ScenarioContext& ctx) {
-    const auto dvs_cycles =
-        static_cast<std::size_t>(ctx.flags().get_int("dvs_cycles", 500000));
-    const double ratio = ctx.flags().get_double("ratio", 1.95);
-
-    static const core::DvsBusSystem modified(interconnect::BusDesign::modified_bus(ratio),
-                                             options_with_progress("modified bus"));
-    std::printf("Original bus Cc/Cg: %.2f; modified: %.2f (x%.2f), worst-case load held\n",
-                paper_system().design().parasitics.cc_to_cg_ratio(),
-                modified.design().parasitics.cc_to_cg_ratio(), ratio);
-
-    const auto traces = suite_traces(ctx.cycles);
-
-    Table table({"PVT corner", "Delay@1.2V orig/mod (ps)", "Gain 0%: orig/mod (%)",
-                 "Gain 2%: orig/mod (%)", "Gain 5%: orig/mod (%)"});
-    for (const auto& corner : tech::fig5_corners()) {
-      std::fprintf(stderr, "[sweeping %s]\n", corner.name().c_str());
-      const auto orig = core::gains_for_targets(
-          core::static_voltage_sweep(paper_system(), corner, traces), {0.0, 0.02, 0.05});
-      const auto mod = core::gains_for_targets(
-          core::static_voltage_sweep(modified, corner, traces), {0.0, 0.02, 0.05});
-      auto pair = [](double a, double b) {
-        return format_fixed(100.0 * a, 1) + " / " + format_fixed(100.0 * b, 1);
-      };
-      table.row()
-          .add(corner.name())
-          .add(format_fixed(to_ps(paper_system().nominal_worst_delay(corner)), 0) + " / " +
-               format_fixed(to_ps(modified.nominal_worst_delay(corner)), 0))
-          .add(pair(orig[0].energy_gain, mod[0].energy_gain))
-          .add(pair(orig[1].energy_gain, mod[1].energy_gain))
-          .add(pair(orig[2].energy_gain, mod[2].energy_gain));
-    }
-    ctx.table("static_gains", table);
-
-    // Section 6 closed-loop claim at the worst corner.
-    std::printf("\nClosed-loop DVS at the worst corner (%zu cycles/benchmark):\n",
-                dvs_cycles);
-    const auto corner = tech::worst_case_corner();
-    const auto dvs_traces = suite_traces(dvs_cycles);
-    double orig_base = 0.0, orig_tot = 0.0, mod_base = 0.0, mod_tot = 0.0;
-    for (const auto& t : dvs_traces) {
-      std::fprintf(stderr, "[closed loop: %s]\n", t.name.c_str());
-      const auto o = core::run_closed_loop(paper_system(), corner, t, core::DvsRunConfig{});
-      const auto m = core::run_closed_loop(modified, corner, t, core::DvsRunConfig{});
-      orig_base += o.baseline_bus_energy;
-      orig_tot += o.totals.total_energy();
-      mod_base += m.baseline_bus_energy;
-      mod_tot += m.totals.total_energy();
-    }
-    const double orig_gain = 1.0 - orig_tot / orig_base;
-    const double mod_gain = 1.0 - mod_tot / mod_base;
-    ctx.metric("worst_corner_dvs_gain_original", orig_gain);
-    ctx.metric("worst_corner_dvs_gain_modified", mod_gain);
-    std::printf("Average DVS gain: original %.1f%%, modified %.1f%%\n", 100.0 * orig_gain,
-                100.0 * mod_gain);
-
-    std::printf(
-        "\nExpected shape (paper): the 0%% column is unchanged (worst-case delay\n"
-        "held constant); 2%%/5%% columns slightly higher for the modified bus;\n"
-        "worst-corner closed-loop average gain improves (paper: 6.3%% -> 8.2%%).\n");
-  };
-  return run_scenario(argc, argv, scenario);
+  using namespace razorbus::bench;
+  return run_scenario(argc, argv, scenario_by_name("fig10_modified_bus"));
 }

@@ -1,58 +1,10 @@
-// Fig. 4: normalized energy and error rate vs statically scaled supply,
-// for (a) slow process / 100C / 10% IR drop and (b) typical process / 100C /
-// no IR drop, with all 10 benchmarks combined.
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace razorbus;
-using namespace razorbus::bench;
-
-namespace {
-
-void sweep_for(ScenarioContext& ctx, const tech::PvtCorner& corner,
-               const std::vector<trace::Trace>& traces) {
-  const core::StaticSweepResult sweep =
-      core::static_voltage_sweep(paper_system(), corner, traces);
-
-  std::printf("\nPVT corner: %s  (shadow-safe floor %.0f mV)\n", corner.name().c_str(),
-              to_mV(sweep.floor_supply));
-  Table table({"Supply (mV)", "Error Rate (%)", "Bus Energy (norm)",
-               "Bus+Recovery (norm)"});
-  for (auto it = sweep.points.rbegin(); it != sweep.points.rend(); ++it) {
-    table.row()
-        .add(to_mV(it->supply), 0)
-        .add(100.0 * it->error_rate, 2)
-        .add(it->norm_bus_energy, 3)
-        .add(it->norm_total_energy, 3);
-  }
-  ctx.table(corner.name(), table);
-  ctx.metric(corner.name() + "_floor_mV", to_mV(sweep.floor_supply));
-  ctx.metric(corner.name() + "_norm_energy_at_floor",
-             sweep.points.front().norm_total_energy);
-}
-
-}  // namespace
+// Thin launcher for the fig4_voltage_sweep scenario. The body lives in
+// bench/scenarios/fig4_voltage_sweep.cpp, shared with the campaign runner
+// through scenario_registry.hpp — which is what keeps the standalone
+// binary's JSON report byte-identical to a campaign job's.
+#include "scenario_registry.hpp"
 
 int main(int argc, char** argv) {
-  Scenario scenario;
-  scenario.name = "fig4_voltage_sweep";
-  scenario.description = "energy & error rate vs scaled supply";
-  scenario.paper_ref = "Fig. 4(a) and 4(b)";
-  scenario.default_cycles = 200000;
-  scenario.run = [](ScenarioContext& ctx) {
-    std::printf("Combined trace: 10 benchmarks x %zu cycles "
-                "(paper: 10M each; raise with --cycles=N)\n", ctx.cycles);
-
-    const auto traces = suite_traces(ctx.cycles);
-    sweep_for(ctx, tech::worst_case_corner(), traces);  // Fig. 4(a)
-    sweep_for(ctx, tech::typical_corner(), traces);     // Fig. 4(b)
-
-    std::printf(
-        "\nExpected shape (paper): at the worst corner errors appear immediately\n"
-        "below 1200 mV; at the typical corner the bus is error-free down to\n"
-        "~980 mV; energy falls roughly quadratically; the recovery overhead\n"
-        "curve sits just above the bus energy curve.\n");
-  };
-  return run_scenario(argc, argv, scenario);
+  using namespace razorbus::bench;
+  return run_scenario(argc, argv, scenario_by_name("fig4_voltage_sweep"));
 }

@@ -1,45 +1,10 @@
-// Fig. 5: energy gains achievable with static scaling at target error rates
-// of 0%, 2% and 5%, across the five PVT corners, plotted against the
-// non-DVS bus delay at 1.2 V.
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace razorbus;
-using namespace razorbus::bench;
+// Thin launcher for the fig5_pvt_gains scenario. The body lives in
+// bench/scenarios/fig5_pvt_gains.cpp, shared with the campaign runner
+// through scenario_registry.hpp — which is what keeps the standalone
+// binary's JSON report byte-identical to a campaign job's.
+#include "scenario_registry.hpp"
 
 int main(int argc, char** argv) {
-  Scenario scenario;
-  scenario.name = "fig5_pvt_gains";
-  scenario.description = "static energy gains vs PVT corner delay spread";
-  scenario.paper_ref = "Fig. 5";
-  scenario.default_cycles = 100000;
-  scenario.run = [](ScenarioContext& ctx) {
-    const auto traces = suite_traces(ctx.cycles);
-
-    Table table({"PVT corner", "Delay @1.2V (ps)", "Gain 0% (%)", "Gain 2% (%)",
-                 "Gain 5% (%)", "V @2% (mV)"});
-    for (const auto& corner : tech::fig5_corners()) {
-      std::fprintf(stderr, "[sweeping %s]\n", corner.name().c_str());
-      const core::StaticSweepResult sweep =
-          core::static_voltage_sweep(paper_system(), corner, traces);
-      const auto gains = core::gains_for_targets(sweep, {0.0, 0.02, 0.05});
-      table.row()
-          .add(corner.name())
-          .add(to_ps(paper_system().nominal_worst_delay(corner)), 0)
-          .add(100.0 * gains[0].energy_gain, 1)
-          .add(100.0 * gains[1].energy_gain, 1)
-          .add(100.0 * gains[2].energy_gain, 1)
-          .add(to_mV(gains[1].chosen_supply), 0);
-      ctx.metric(corner.name() + "_gain_2pct", gains[1].energy_gain);
-    }
-    ctx.table("fig5", table);
-
-    std::printf(
-        "\nExpected shape (paper): gains grow monotonically as the corner gets\n"
-        "faster (x axis: 600 ps down to ~420 ps); the 0%% and 2%% curves are\n"
-        "indistinguishable (error rates jump from 0 straight past 2%% on the\n"
-        "20 mV grid); 5%% sits somewhat higher; typical corner ~35%% at 0%%.\n");
-  };
-  return run_scenario(argc, argv, scenario);
+  using namespace razorbus::bench;
+  return run_scenario(argc, argv, scenario_by_name("fig5_pvt_gains"));
 }

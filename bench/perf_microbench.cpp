@@ -1,238 +1,47 @@
-// Engine microbenchmarks: throughput of the simulation layers the
-// reproduction harnesses are built on.
-//
-// The headline numbers are the bus-cycle rates of the two engines
-// (EngineMode::reference per-wire golden path vs the bit-parallel batched
-// production path) on active, mixed and idle traffic, plus the single- vs
-// multi-thread throughput of the sharded characterization build and static
-// voltage sweep (--threads=N, DESIGN.md §9). They are printed as tables
-// and always written to BENCH_engine.json (override the path with
-// --json=...) so both speedup trajectories can be tracked across commits.
+// Launcher for the "engine" scenario (bench/scenarios/engine.cpp): engine /
+// width / executor throughput, always written to BENCH_engine.json — the
+// report the CI bench-regression gate diffs against the previous main run.
 //
 // With --gbench the finer-grained google-benchmark suite (table slice
 // interpolation, mini-CPU stepping, transient cluster runs, oracle
 // classification) runs as well, when the library is available.
-#include <algorithm>
-#include <chrono>
+#include <string>
+#include <vector>
 
-#include "bench_common.hpp"
-#include "bus/simulator.hpp"
-#include "cpu/kernels.hpp"
-#include "lut/table.hpp"
-#include "spice/transient.hpp"
-#include "trace/synthetic.hpp"
-#include "util/parallel.hpp"
+#include "scenario_registry.hpp"
 
 #if defined(RAZORBUS_HAVE_GBENCH)
 #include <benchmark/benchmark.h>
+
+#include "bus/simulator.hpp"
+#include "cpu/kernels.hpp"
+#include "dvs/oracle.hpp"
+#include "lut/table.hpp"
+#include "spice/transient.hpp"
+#include "trace/synthetic.hpp"
 #endif
 
 using namespace razorbus;
 using namespace razorbus::bench;
 
+#if defined(RAZORBUS_HAVE_GBENCH)
 namespace {
 
-trace::Trace make_trace(trace::SyntheticStyle style, double load_rate, std::size_t cycles,
-                        const char* name, int n_bits = 32) {
+trace::Trace gbench_trace(trace::SyntheticStyle style, double load_rate,
+                          std::size_t cycles, const char* name) {
   trace::SyntheticConfig cfg;
   cfg.style = style;
   cfg.cycles = cycles;
   cfg.load_rate = load_rate;
   cfg.seed = 0xbeef;
-  cfg.n_bits = n_bits;
   return trace::generate_synthetic(cfg, name);
 }
-
-// Cycles/second of `mode` on `design` over `words`, re-running the trace
-// until the measurement window is long enough to trust.
-double measure_cps(const interconnect::BusDesign& design, bus::EngineMode mode,
-                  const std::vector<BusWord>& words) {
-  bus::BusSimulator sim(design, paper_system().table(), tech::typical_corner());
-  sim.set_engine_mode(mode);
-  sim.set_supply(1.00);
-  sim.run(words);  // warm up (and fault in the tables)
-
-  using clock = std::chrono::steady_clock;
-  std::uint64_t cycles_done = 0;
-  double elapsed = 0.0;
-  const auto t0 = clock::now();
-  do {
-    sim.run(words);
-    cycles_done += words.size();
-    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
-  } while (elapsed < 0.25);
-  return static_cast<double>(cycles_done) / elapsed;
-}
-
-double measure_cps(bus::EngineMode mode, const std::vector<BusWord>& words) {
-  return measure_cps(paper_system().design(), mode, words);
-}
-
-void engine_showdown(ScenarioContext& ctx) {
-  struct Workload {
-    const char* name;
-    trace::Trace trace;
-  };
-  const Workload workloads[] = {
-      {"active (load 1.0)",
-       make_trace(trace::SyntheticStyle::uniform, 1.0, ctx.cycles, "active")},
-      {"mixed (load 0.4)",
-       make_trace(trace::SyntheticStyle::uniform, 0.4, ctx.cycles, "mixed")},
-      {"worst-case toggle",
-       make_trace(trace::SyntheticStyle::worst_case, 1.0, ctx.cycles, "toggle")},
-      {"idle (load 0.02)",
-       make_trace(trace::SyntheticStyle::sparse, 0.02, ctx.cycles, "idle")},
-  };
-
-  Table table({"Workload", "Reference (Mcyc/s)", "Bit-parallel (Mcyc/s)", "Speedup"});
-  double active_speedup = 0.0;
-  for (const auto& w : workloads) {
-    const double ref_cps = measure_cps(bus::EngineMode::reference, w.trace.words);
-    const double fast_cps = measure_cps(bus::EngineMode::bit_parallel, w.trace.words);
-    const double speedup = fast_cps / ref_cps;
-    table.row()
-        .add(w.name)
-        .add(ref_cps / 1e6, 1)
-        .add(fast_cps / 1e6, 1)
-        .add(speedup, 2);
-
-    std::string key = w.name;
-    key = key.substr(0, key.find(' '));
-    ctx.metric(key + "_reference_cps", ref_cps);
-    ctx.metric(key + "_bit_parallel_cps", fast_cps);
-    ctx.metric(key + "_speedup", speedup);
-    if (key == "active") active_speedup = speedup;
-  }
-  ctx.table("engine_throughput", table);
-  std::printf(
-      "\nThe bit-parallel batched engine is the default; the per-wire\n"
-      "reference path remains as the golden model (DESIGN.md §5).\n");
-  if (active_speedup < 5.0)
-    std::printf("WARNING: active-traffic speedup %.2fx below the 5x budget\n",
-                active_speedup);
-}
-
-// Throughput vs bus width (DESIGN.md §10): the same electrical design at
-// 16, 32, 64 and 128 wires, driven with uniform traffic of that width. The
-// characterised table is width-independent, so every width reuses the
-// paper system's tables; what changes is the number of shield groups per
-// cycle (lookups) and the lane count of the mask algebra. Tracked in
-// BENCH_engine.json as width<N>_*_cps.
-void width_showdown(ScenarioContext& ctx) {
-  Table table({"Width (wires)", "Reference (Mcyc/s)", "Bit-parallel (Mcyc/s)", "Speedup"});
-  for (const int width : {16, 32, 64, 128}) {
-    interconnect::BusDesign design = paper_system().design();  // sized repeaters
-    design.n_bits = width;
-    const trace::Trace t = make_trace(trace::SyntheticStyle::uniform, 0.4, ctx.cycles,
-                                      "width", width);
-    const double ref_cps = measure_cps(design, bus::EngineMode::reference, t.words);
-    const double fast_cps = measure_cps(design, bus::EngineMode::bit_parallel, t.words);
-    table.row()
-        .add(static_cast<long long>(width))
-        .add(ref_cps / 1e6, 1)
-        .add(fast_cps / 1e6, 1)
-        .add(fast_cps / ref_cps, 2);
-    const std::string key = "width" + std::to_string(width);
-    ctx.metric(key + "_reference_cps", ref_cps);
-    ctx.metric(key + "_bit_parallel_cps", fast_cps);
-  }
-  ctx.table("width_throughput", table);
-}
-
-// Wall-clock of fn(), repeated until the window is long enough to trust;
-// returns seconds per call.
-template <typename Fn>
-double measure_seconds(Fn&& fn) {
-  using clock = std::chrono::steady_clock;
-  int calls = 0;
-  double elapsed = 0.0;
-  const auto t0 = clock::now();
-  do {
-    fn();
-    ++calls;
-    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
-  } while (elapsed < 0.3);
-  return elapsed / calls;
-}
-
-// Single- vs multi-thread throughput of the two sharded workloads
-// (DESIGN.md §9): a characterization grid build and a static voltage
-// sweep. Both are bit-identical at any width, so this is purely the
-// executor's scaling trajectory, tracked in BENCH_engine.json.
-void parallel_showdown(ScenarioContext& ctx) {
-  const unsigned threads = util::global_threads();
-  ctx.metric("threads", static_cast<double>(threads));
-
-  // Characterization microcosm: one corner, one temperature, a short
-  // supply grid — the same per-grid-point transient sims as the full
-  // build, small enough to time in seconds.
-  lut::LutConfig cfg;
-  cfg.vmin = 1.08;
-  cfg.vmax = 1.20;
-  cfg.vstep = 0.02;
-  cfg.temps = {100.0};
-  cfg.corners = {tech::ProcessCorner::typical};
-  const auto& system = paper_system();
-
-  util::set_global_threads(1);
-  const double char_1t = measure_seconds(
-      [&] { lut::DelayEnergyTable::build(system.design(), system.driver(), cfg); });
-  util::set_global_threads(threads);
-  const double char_mt = measure_seconds(
-      [&] { lut::DelayEnergyTable::build(system.design(), system.driver(), cfg); });
-
-  // Sweep microcosm: the Fig. 4 driver on one synthetic trace.
-  const trace::Trace trace =
-      make_trace(trace::SyntheticStyle::uniform, 0.4, ctx.cycles, "sweep");
-  const std::vector<trace::Trace> traces{trace};
-  const tech::PvtCorner corner = tech::typical_corner();
-
-  util::set_global_threads(1);
-  const double sweep_1t =
-      measure_seconds([&] { core::static_voltage_sweep(system, corner, traces); });
-  util::set_global_threads(threads);
-  const double sweep_mt =
-      measure_seconds([&] { core::static_voltage_sweep(system, corner, traces); });
-
-  const double char_speedup = char_1t / char_mt;
-  const double sweep_speedup = sweep_1t / sweep_mt;
-
-  Table table({"Sharded workload", "1 thread (s)", "N threads (s)", "Speedup"});
-  table.row().add("characterization build").add(char_1t, 3).add(char_mt, 3).add(
-      char_speedup, 2);
-  table.row().add("static voltage sweep").add(sweep_1t, 3).add(sweep_mt, 3).add(
-      sweep_speedup, 2);
-  ctx.table("parallel_throughput", table);
-  ctx.metric("characterization_seconds_1t", char_1t);
-  ctx.metric("characterization_seconds_mt", char_mt);
-  ctx.metric("characterization_parallel_speedup", char_speedup);
-  ctx.metric("sweep_seconds_1t", sweep_1t);
-  ctx.metric("sweep_seconds_mt", sweep_mt);
-  ctx.metric("sweep_parallel_speedup", sweep_speedup);
-
-  std::printf("\nExecutor width: %u thread%s (override with --threads=N)\n", threads,
-              threads == 1 ? "" : "s");
-  if (threads >= 4 && std::min(char_speedup, sweep_speedup) < 3.0)
-    std::printf("WARNING: parallel speedup %.2fx below the 3x budget at %u threads\n",
-                std::min(char_speedup, sweep_speedup), threads);
-}
-
-void run_all(ScenarioContext& ctx) {
-  engine_showdown(ctx);
-  width_showdown(ctx);
-  parallel_showdown(ctx);
-}
-
-}  // namespace
-
-#if defined(RAZORBUS_HAVE_GBENCH)
-namespace {
 
 void BM_BusSimulatorStepReference(benchmark::State& state) {
   bus::BusSimulator sim = paper_system().make_simulator(tech::typical_corner());
   sim.set_engine_mode(bus::EngineMode::reference);
   sim.set_supply(1.0);
-  const trace::Trace t = make_trace(trace::SyntheticStyle::uniform, 0.4, 4096, "bench");
+  const trace::Trace t = gbench_trace(trace::SyntheticStyle::uniform, 0.4, 4096, "bench");
   std::size_t i = 0;
   for (auto _ : state) benchmark::DoNotOptimize(sim.step(t.words[i++ & 4095]));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -242,7 +51,7 @@ BENCHMARK(BM_BusSimulatorStepReference);
 void BM_BusSimulatorStepBitParallel(benchmark::State& state) {
   bus::BusSimulator sim = paper_system().make_simulator(tech::typical_corner());
   sim.set_supply(1.0);
-  const trace::Trace t = make_trace(trace::SyntheticStyle::uniform, 0.4, 4096, "bench");
+  const trace::Trace t = gbench_trace(trace::SyntheticStyle::uniform, 0.4, 4096, "bench");
   std::size_t i = 0;
   for (auto _ : state) benchmark::DoNotOptimize(sim.step(t.words[i++ & 4095]));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -310,13 +119,6 @@ BENCHMARK(BM_OracleCriticalIndex);
 #endif  // RAZORBUS_HAVE_GBENCH
 
 int main(int argc, char** argv) {
-  Scenario scenario;
-  scenario.name = "engine";
-  scenario.description = "perf_microbench: engine throughput (cycles/sec per mode)";
-  scenario.paper_ref = "methodology Section 3 (simulation speed enables 10M-cycle runs)";
-  scenario.default_cycles = 1 << 18;
-  scenario.run = run_all;
-
   // The scenario runner owns --cycles/--json; strip our extra flags first.
   bool want_gbench = false;
   std::vector<char*> args;
@@ -336,7 +138,8 @@ int main(int argc, char** argv) {
       has_json = true;
   if (!has_json) args.push_back(&default_json[0]);
 
-  const int rc = run_scenario(static_cast<int>(args.size()), args.data(), scenario);
+  const int rc = run_scenario(static_cast<int>(args.size()), args.data(),
+                              scenario_by_name("engine"));
   if (rc != 0) return rc;
 
   if (want_gbench) {

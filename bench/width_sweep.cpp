@@ -1,76 +1,10 @@
-// Scenario sweep over bus width: the paper's DVS scheme on 16-, 32-, 64-
-// and 128-wire buses (DESIGN.md §10).
-//
-// The electrical design (wire geometry, repeater sizing, shield cadence)
-// is the paper's; only the word width changes, so the characterised tables
-// are shared across every width. Per width the scenario runs a closed-loop
-// DVS pass and the fixed-VS baseline on uniform traffic of that width and
-// reports energy gain, error rate and average supply — quantifying how the
-// error-rate-feedback opportunity scales from peripheral buses to
-// cacheline flits (a wider bank errs on more cycles at the same per-wire
-// margin, so the controller rides at a higher supply).
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "trace/synthetic.hpp"
-
-using namespace razorbus;
-using namespace razorbus::bench;
+// Thin launcher for the width_sweep scenario. The body lives in
+// bench/scenarios/width_sweep.cpp, shared with the campaign runner
+// through scenario_registry.hpp — which is what keeps the standalone
+// binary's JSON report byte-identical to a campaign job's.
+#include "scenario_registry.hpp"
 
 int main(int argc, char** argv) {
-  Scenario scenario;
-  scenario.name = "width_sweep";
-  scenario.description = "closed-loop DVS vs bus width (16..128 wires)";
-  scenario.paper_ref = "Section 3 bus model, generalised over word width";
-  scenario.default_cycles = 400000;
-  scenario.run = [](ScenarioContext& ctx) {
-    const auto corner = tech::typical_corner();
-
-    Table table({"Width (wires)", "DVS gain (%)", "Fixed-VS gain (%)", "Err (%)",
-                 "Avg V (mV)", "Floor (mV)"});
-    for (const int width : {16, 32, 64, 128}) {
-      std::fprintf(stderr, "[width %d]\n", width);
-      // Same sized repeaters and characterised tables as the paper bus:
-      // width is purely a config change.
-      interconnect::BusDesign design = interconnect::BusDesign::wide_bus(width);
-      design.repeater_size = paper_system().design().repeater_size;
-      const core::DvsBusSystem system(design, options_with_progress("width bus"));
-
-      trace::SyntheticConfig cfg;
-      cfg.style = trace::SyntheticStyle::uniform;
-      cfg.cycles = ctx.cycles;
-      cfg.load_rate = 0.4;
-      cfg.seed = 0x5eed;
-      cfg.n_bits = width;
-      const trace::Trace trace =
-          trace::generate_synthetic(cfg, "uniform" + std::to_string(width));
-
-      const core::DvsRunReport dvs =
-          core::run_closed_loop(system, corner, trace, core::DvsRunConfig{});
-      const core::DvsRunReport fixed = core::run_fixed_vs(system, corner, trace);
-
-      table.row()
-          .add(static_cast<long long>(width))
-          .add(100.0 * dvs.energy_gain(), 1)
-          .add(100.0 * fixed.energy_gain(), 1)
-          .add(100.0 * dvs.error_rate(), 2)
-          .add(to_mV(dvs.average_supply), 0)
-          .add(to_mV(dvs.floor_supply), 0);
-
-      const std::string key = "width" + std::to_string(width);
-      ctx.metric(key + "_dvs_gain", dvs.energy_gain());
-      ctx.metric(key + "_fixed_vs_gain", fixed.energy_gain());
-      ctx.metric(key + "_error_rate", dvs.error_rate());
-      ctx.metric(key + "_avg_supply", dvs.average_supply);
-    }
-    ctx.table("width_sweep", table);
-
-    std::printf(
-        "\nReading the table: the per-wire physics are width-invariant, so the\n"
-        "relative gains barely move — but the bank error signal is an OR across\n"
-        "all wires, so at the same supply a wider bus pays recovery on more\n"
-        "cycles (the Err column grows with width). Fixed-VS never errs and\n"
-        "stays flat by construction.\n");
-  };
-  return run_scenario(argc, argv, scenario);
+  using namespace razorbus::bench;
+  return run_scenario(argc, argv, scenario_by_name("width_sweep"));
 }

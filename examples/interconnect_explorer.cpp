@@ -54,7 +54,8 @@ int run(const razorbus::CliFlags& flags) {
 
     const double worst = system.nominal_worst_delay(corner);
     const int best_cls = lut::PatternClass::encode(
-        lut::VictimActivity::rise, lut::NeighborActivity::rise, lut::NeighborActivity::rise);
+        lut::VictimActivity::rise, lut::NeighborActivity::rise,
+        lut::NeighborActivity::rise);
     const double best = system.table().delay(best_cls, corner.process, corner.temp_c,
                                              design.node.vdd_nominal);
     const auto gains = core::gains_for_targets(

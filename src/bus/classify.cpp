@@ -37,7 +37,8 @@ int WireClassifier::classify(const BusWord& prev, const BusWord& cur, int bit) c
   return PatternClass::encode(victim, left, right);
 }
 
-void WireClassifier::classify_all(const BusWord& prev, const BusWord& cur, int* out) const {
+void WireClassifier::classify_all(const BusWord& prev, const BusWord& cur,
+                                  int* out) const {
   for (int bit = 0; bit < n_bits_; ++bit) out[bit] = classify(prev, cur, bit);
 }
 

@@ -28,7 +28,8 @@ razor::FlopTiming make_timing(const interconnect::BusDesign& design) {
 }  // namespace
 
 BusSimulator::BusSimulator(const interconnect::BusDesign& design,
-                           const lut::DelayEnergyTable& table, tech::PvtCorner environment,
+                           const lut::DelayEnergyTable& table,
+                           tech::PvtCorner environment,
                            razor::RecoveryCostModel recovery)
     : design_(design),
       table_(table),
@@ -103,6 +104,17 @@ void BusSimulator::set_supply(double volts) {
   refresh_operating_point();
 }
 
+std::string to_string(EngineMode mode) {
+  return mode == EngineMode::bit_parallel ? "bit_parallel" : "reference";
+}
+
+EngineMode engine_mode_from_string(const std::string& name) {
+  if (name == "bit_parallel") return EngineMode::bit_parallel;
+  if (name == "reference") return EngineMode::reference;
+  throw std::invalid_argument("unknown engine mode '" + name +
+                              "' (expected bit_parallel or reference)");
+}
+
 void BusSimulator::set_engine_mode(EngineMode mode) {
   if (mode == mode_) return;
   mode_ = mode;
@@ -133,8 +145,8 @@ void BusSimulator::refresh_operating_point() {
 
   const double n_drivers =
       static_cast<double>(design_.n_bits) * static_cast<double>(design_.n_segments);
-  const double leak_current = leakage_.current(design_.repeater_size, environment_.process,
-                                               environment_.temp_c, v_eff);
+  const double leak_current = leakage_.current(
+      design_.repeater_size, environment_.process, environment_.temp_c, v_eff);
   leakage_energy_per_cycle_ = n_drivers * leak_current * supply_ * design_.clock_period();
 
   // Per-class precomputation: all wires of a class share one delay, so the

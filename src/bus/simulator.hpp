@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bus/classify.hpp"
@@ -51,6 +52,11 @@ namespace razorbus::bus {
 
 // Which cycle engine drives the simulation (see file comment).
 enum class EngineMode { bit_parallel, reference };
+
+// Engine names as used by the scenario specs ("bit_parallel", "reference");
+// from_string throws std::invalid_argument on unknown names.
+std::string to_string(EngineMode mode);
+EngineMode engine_mode_from_string(const std::string& name);
 
 struct CycleResult {
   bool error = false;           // bank error signal (>=1 flop corrected)
@@ -170,13 +176,13 @@ class BusSimulator {
   CycleOutcome table_kernel(const BusWord& prev, const BusWord& word) const;
   // Bit-parallel per-class kernel for jittered cycles: energy still comes
   // from the combo tables; verdicts are re-derived per present class.
-  CycleOutcome jitter_kernel(const BusWord& prev, const BusWord& word, const BusWord& line,
-                             double jitter) const;
+  CycleOutcome jitter_kernel(const BusWord& prev, const BusWord& word,
+                             const BusWord& line, double jitter) const;
   // Per-wire fallback for the cases the table kernels cannot serve: groups
   // too wide to tabulate, or receiver state diverged from the bus
   // (line != prev after a pathological arrival <= 0 hold).
-  CycleOutcome general_kernel(const BusWord& prev, const BusWord& word, const BusWord& line,
-                              double jitter);
+  CycleOutcome general_kernel(const BusWord& prev, const BusWord& word,
+                              const BusWord& line, double jitter);
   void run_bit_parallel(const BusWord* words, std::size_t n);
   void account_idle(CycleResult& out);
 

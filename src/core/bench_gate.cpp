@@ -1,0 +1,61 @@
+#include "core/bench_gate.hpp"
+
+#include <map>
+
+namespace razorbus::core {
+
+namespace {
+
+bool is_throughput_key(const std::string& key) {
+  static const std::string suffix = "_cps";
+  return key.size() > suffix.size() &&
+         key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Flattens every numeric "_cps" leaf of a report into path -> value.
+// std::map keeps the comparison output in a stable, runner-independent
+// order.
+void collect_throughput(const Json& json, const std::string& prefix,
+                        std::map<std::string, double>& out) {
+  if (!json.is_object()) return;
+  for (const auto& [key, value] : json.members()) {
+    const std::string path = prefix.empty() ? key : prefix + "/" + key;
+    if (value.is_object())
+      collect_throughput(value, path, out);
+    else if (value.is_number() && is_throughput_key(key))
+      out[path] = value.as_double();
+  }
+}
+
+}  // namespace
+
+BenchGateResult compare_bench_reports(const Json& baseline, const Json& current,
+                                      double threshold) {
+  std::map<std::string, double> base_metrics, cur_metrics;
+  collect_throughput(baseline, "", base_metrics);
+  collect_throughput(current, "", cur_metrics);
+
+  BenchGateResult result;
+  result.threshold = threshold;
+  for (const auto& [path, base_value] : base_metrics) {
+    const auto cur = cur_metrics.find(path);
+    if (cur == cur_metrics.end()) {
+      result.missing.push_back(path);
+      continue;
+    }
+    BenchGateFinding finding;
+    finding.path = path;
+    finding.baseline = base_value;
+    finding.current = cur->second;
+    finding.ratio = base_value > 0.0 ? cur->second / base_value : 1.0;
+    finding.regression = base_value > 0.0 && cur->second < base_value * (1.0 - threshold);
+    result.compared.push_back(std::move(finding));
+  }
+  for (const auto& [path, value] : cur_metrics) {
+    (void)value;
+    if (base_metrics.find(path) == base_metrics.end()) result.added.push_back(path);
+  }
+  return result;
+}
+
+}  // namespace razorbus::core

@@ -1,0 +1,53 @@
+// Bench-regression gate (DESIGN.md §11).
+//
+// CI uploads BENCH_*.json reports on every main build. The gate compares
+// the throughput metrics of the current run against the previous main
+// artifact and fails the job when any of them dropped by more than the
+// threshold. Throughput metrics are, by convention, the numeric metrics
+// whose key ends in "_cps" (cycles per second) — wall-clock fields,
+// thread counts and experiment results are never compared. Reports are
+// matched structurally, so both a single scenario report and the
+// aggregated BENCH_campaign.json (reports nested one per scenario) work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace razorbus::core {
+
+struct BenchGateFinding {
+  std::string path;  // slash-joined key path, e.g. "metrics/active_bit_parallel_cps"
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;        // current / baseline
+  bool regression = false;   // ratio < 1 - threshold
+};
+
+struct BenchGateResult {
+  double threshold = 0.0;
+  std::vector<BenchGateFinding> compared;  // metrics present in both reports
+  std::vector<std::string> missing;        // in the baseline only (scenario removed?)
+  std::vector<std::string> added;          // in the current run only (new scenario)
+
+  bool ok() const {
+    for (const auto& finding : compared)
+      if (finding.regression) return false;
+    return true;
+  }
+  std::size_t regressions() const {
+    std::size_t n = 0;
+    for (const auto& finding : compared) n += finding.regression ? 1 : 0;
+    return n;
+  }
+};
+
+// Compares every "_cps" metric of `current` against `baseline`; a metric
+// counts as regressed when current < baseline * (1 - threshold). Metrics
+// only present on one side are reported but never fail the gate (scenarios
+// come and go); improvements never fail.
+BenchGateResult compare_bench_reports(const Json& baseline, const Json& current,
+                                      double threshold = 0.20);
+
+}  // namespace razorbus::core

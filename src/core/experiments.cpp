@@ -31,9 +31,10 @@ std::uint64_t next_segment(std::uint64_t remaining_in_trace,
 // traces are fine (the surplus wires hold).
 void check_trace_width(const DvsBusSystem& system, const trace::Trace& trace) {
   if (trace.n_bits > system.design().n_bits)
-    throw std::invalid_argument("experiment: trace '" + trace.name + "' is " +
-                                std::to_string(trace.n_bits) + " bits wide but the bus has " +
-                                std::to_string(system.design().n_bits) + " wires");
+    throw std::invalid_argument(
+        "experiment: trace '" + trace.name + "' is " + std::to_string(trace.n_bits) +
+        " bits wide but the bus has " + std::to_string(system.design().n_bits) +
+        " wires");
 }
 
 }  // namespace
@@ -41,7 +42,8 @@ void check_trace_width(const DvsBusSystem& system, const trace::Trace& trace) {
 StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
                                        const tech::PvtCorner& environment,
                                        const std::vector<trace::Trace>& traces,
-                                       double timing_jitter_sigma) {
+                                       double timing_jitter_sigma,
+                                       bus::EngineMode engine) {
   for (const auto& t : traces) check_trace_width(system, t);
   StaticSweepResult result;
   result.floor_supply = system.shadow_floor(environment);
@@ -60,6 +62,7 @@ StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
       util::global_pool(), supplies.size(), [&](std::size_t s) {
         const double v = supplies[s];
         bus::BusSimulator sim = system.make_simulator(environment);
+        sim.set_engine_mode(engine);
         if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
         sim.set_supply(v);
         for (const auto& t : traces) sim.run(t.words);
@@ -135,6 +138,7 @@ ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
   const double start = config.start_supply > 0.0 ? config.start_supply : vnom;
 
   bus::BusSimulator sim = system.make_simulator(environment);
+  sim.set_engine_mode(config.engine);
   if (config.timing_jitter_sigma > 0.0) sim.set_timing_jitter(config.timing_jitter_sigma);
   dvs::VoltageRegulator regulator(start, floor, vnom, config.regulator_delay_cycles);
   dvs::ThresholdController controller(config.controller);
@@ -199,7 +203,8 @@ ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
   return report;
 }
 
-DvsRunReport run_closed_loop(const DvsBusSystem& system, const tech::PvtCorner& environment,
+DvsRunReport run_closed_loop(const DvsBusSystem& system,
+                             const tech::PvtCorner& environment,
                              const trace::Trace& trace, const DvsRunConfig& config) {
   ConsecutiveRunReport r = run_consecutive(system, environment, {trace}, config);
   DvsRunReport out = std::move(r.per_trace.front());
@@ -217,6 +222,8 @@ DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
   const double start = config.start_supply > 0.0 ? config.start_supply : vnom;
 
   bus::BusSimulator sim = system.make_simulator(environment);
+  sim.set_engine_mode(config.engine);
+  if (config.timing_jitter_sigma > 0.0) sim.set_timing_jitter(config.timing_jitter_sigma);
   dvs::VoltageRegulator regulator(start, floor, vnom, config.regulator_delay_cycles);
   dvs::ProportionalController controller(config.controller);
   sim.set_supply(regulator.voltage());
@@ -252,7 +259,8 @@ DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
 }
 
 DvsRunReport run_fixed_vs(const DvsBusSystem& system, const tech::PvtCorner& environment,
-                          const trace::Trace& trace) {
+                          const trace::Trace& trace, bus::EngineMode engine,
+                          double timing_jitter_sigma) {
   check_trace_width(system, trace);
   const double supply = system.fixed_vs_supply(environment.process);
 
@@ -262,6 +270,8 @@ DvsRunReport run_fixed_vs(const DvsBusSystem& system, const tech::PvtCorner& env
   no_overhead.detection_energy_per_cycle = 0.0;
 
   bus::BusSimulator sim(system.design(), system.table(), environment, no_overhead);
+  sim.set_engine_mode(engine);
+  if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
   sim.set_supply(supply);
   sim.run(trace.words);
 
@@ -287,9 +297,11 @@ std::vector<DvsRunReport> run_closed_loop_suite(const DvsBusSystem& system,
 
 std::vector<DvsRunReport> run_fixed_vs_suite(const DvsBusSystem& system,
                                              const tech::PvtCorner& environment,
-                                             const std::vector<trace::Trace>& traces) {
+                                             const std::vector<trace::Trace>& traces,
+                                             bus::EngineMode engine,
+                                             double timing_jitter_sigma) {
   return util::parallel_map(util::global_pool(), traces.size(), [&](std::size_t t) {
-    return run_fixed_vs(system, environment, traces[t]);
+    return run_fixed_vs(system, environment, traces[t], engine, timing_jitter_sigma);
   });
 }
 

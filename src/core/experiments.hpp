@@ -37,10 +37,10 @@ struct StaticSweepResult {
 // shadow floor up to nominal. Sharded one supply point per shard (each
 // point runs on its own BusSimulator), results in ascending-supply order —
 // bit-identical at any thread count (DESIGN.md §9).
-StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
-                                       const tech::PvtCorner& environment,
-                                       const std::vector<trace::Trace>& traces,
-                                       double timing_jitter_sigma = 0.0);
+StaticSweepResult static_voltage_sweep(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<trace::Trace>& traces, double timing_jitter_sigma = 0.0,
+    bus::EngineMode engine = bus::EngineMode::bit_parallel);
 
 // ---------------------------------------------------------------- Fig. 5
 struct TargetGainPoint {
@@ -83,6 +83,9 @@ struct DvsRunConfig {
   double start_supply = 0.0;                    // 0 = nominal
   double timing_jitter_sigma = 0.0;
   bool record_series = false;                   // keep per-window samples (Fig. 8)
+  // Cycle engine for the run. Results are bit-identical either way
+  // (DESIGN.md §5); scenario specs select `reference` to cross-check.
+  bus::EngineMode engine = bus::EngineMode::bit_parallel;
 };
 
 struct DvsRunReport {
@@ -101,13 +104,17 @@ struct DvsRunReport {
 };
 
 // Closed-loop DVS over one trace (controller + ramping regulator).
-DvsRunReport run_closed_loop(const DvsBusSystem& system, const tech::PvtCorner& environment,
+DvsRunReport run_closed_loop(const DvsBusSystem& system,
+                             const tech::PvtCorner& environment,
                              const trace::Trace& trace, const DvsRunConfig& config = {});
 
 // Fixed-VS baseline: run the trace at the fixed-VS supply for the corner's
-// process. Gains are zero errors by construction.
+// process. Gains are zero errors by construction (at zero jitter; a
+// non-zero jitter can push arrivals past the capture limit).
 DvsRunReport run_fixed_vs(const DvsBusSystem& system, const tech::PvtCorner& environment,
-                          const trace::Trace& trace);
+                          const trace::Trace& trace,
+                          bus::EngineMode engine = bus::EngineMode::bit_parallel,
+                          double timing_jitter_sigma = 0.0);
 
 // Closed loop with the PROPORTIONAL controller the paper discusses and
 // rejects (Section 5). Same regulator model; the controller requests
@@ -117,6 +124,8 @@ struct ProportionalRunConfig {
   dvs::ProportionalConfig controller{};
   std::uint64_t regulator_delay_cycles = 3000;
   double start_supply = 0.0;
+  double timing_jitter_sigma = 0.0;
+  bus::EngineMode engine = bus::EngineMode::bit_parallel;
 };
 
 DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
@@ -145,9 +154,11 @@ std::vector<DvsRunReport> run_closed_loop_suite(const DvsBusSystem& system,
                                                 const tech::PvtCorner& environment,
                                                 const std::vector<trace::Trace>& traces,
                                                 const DvsRunConfig& config = {});
-std::vector<DvsRunReport> run_fixed_vs_suite(const DvsBusSystem& system,
-                                             const tech::PvtCorner& environment,
-                                             const std::vector<trace::Trace>& traces);
+std::vector<DvsRunReport> run_fixed_vs_suite(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<trace::Trace>& traces,
+    bus::EngineMode engine = bus::EngineMode::bit_parallel,
+    double timing_jitter_sigma = 0.0);
 
 // ------------------------------------------------- PVT sampling extension
 // Monte-Carlo over operating conditions (the paper hand-picks corners; the

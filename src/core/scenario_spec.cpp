@@ -1,0 +1,530 @@
+#include "core/scenario_spec.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "util/busword.hpp"
+
+namespace razorbus::core {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& where, const std::string& message) {
+  throw std::invalid_argument("scenario spec: " + where + ": " + message);
+}
+
+// Strict reader over one JSON object: typed getters that name the offending
+// field on a type mismatch, plus an unknown-key check once parsing is done.
+class Fields {
+ public:
+  Fields(const Json& json, std::string where) : json_(json), where_(std::move(where)) {
+    if (!json.is_object()) bad_spec(where_, "expected a JSON object");
+  }
+
+  const Json* find(const std::string& key) {
+    seen_.insert(key);
+    return json_.find(key);
+  }
+
+  bool has(const std::string& key) { return find(key) != nullptr; }
+
+  std::string get_string(const std::string& key, const std::string& fallback) {
+    const Json* v = find(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_string()) bad_spec(where_, "'" + key + "' must be a string");
+    return v->as_string();
+  }
+
+  long long get_int(const std::string& key, long long fallback) {
+    const Json* v = find(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_integer()) bad_spec(where_, "'" + key + "' must be an integer");
+    return v->as_int();
+  }
+
+  double get_double(const std::string& key, double fallback) {
+    const Json* v = find(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_number()) bad_spec(where_, "'" + key + "' must be a number");
+    return v->as_double();
+  }
+
+  bool get_bool(const std::string& key, bool fallback) {
+    const Json* v = find(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_bool()) bad_spec(where_, "'" + key + "' must be a boolean");
+    return v->as_bool();
+  }
+
+  // Throws when the object holds keys nothing asked about (typo defence —
+  // a misspelled "cycels" must not silently run with the default).
+  void reject_unknown() const {
+    for (const auto& member : json_.members())
+      if (seen_.count(member.first) == 0)
+        bad_spec(where_, "unknown key '" + member.first + "'");
+  }
+
+  const std::string& where() const { return where_; }
+
+ private:
+  const Json& json_;
+  std::string where_;
+  std::set<std::string> seen_;
+};
+
+tech::PvtCorner corner_from_json(const Json& json, const std::string& where) {
+  if (json.is_string()) return corner_from_spec_name(json.as_string());
+  Fields f(json, where);
+  tech::PvtCorner corner;
+  const std::string process = f.get_string("process", "typical");
+  try {
+    corner.process = tech::process_corner_from_string(process);
+  } catch (const std::invalid_argument& e) {
+    bad_spec(where, e.what());
+  }
+  corner.temp_c = f.get_double("temp_c", 100.0);
+  corner.ir_drop_fraction = f.get_double("ir_drop", 0.0);
+  if (corner.ir_drop_fraction < 0.0 || corner.ir_drop_fraction >= 1.0)
+    bad_spec(where, "'ir_drop' must be in [0, 1)");
+  f.reject_unknown();
+  return corner;
+}
+
+Json corner_to_json(const tech::PvtCorner& corner) {
+  Json j = Json::object();
+  j.set("process", tech::to_string(corner.process));
+  j.set("temp_c", corner.temp_c);
+  j.set("ir_drop", corner.ir_drop_fraction);
+  return j;
+}
+
+// Reads a scalar-or-array axis into a vector (a bare value is a 1-element
+// axis), applying `parse` to each element.
+template <typename Fn>
+auto axis_values(const Json& json, Fn&& parse) -> std::vector<decltype(parse(json))> {
+  std::vector<decltype(parse(json))> out;
+  if (json.is_array()) {
+    for (const Json& item : json.items()) out.push_back(parse(item));
+  } else {
+    out.push_back(parse(json));
+  }
+  return out;
+}
+
+std::string flag_value_to_string(const Json& value, const std::string& where,
+                                 const std::string& key) {
+  if (value.is_string()) return value.as_string();
+  if (value.is_bool()) return value.as_bool() ? "true" : "false";
+  if (value.is_number()) return value.dump(0);
+  bad_spec(where, "flag '" + key + "' must be a string, number or boolean");
+}
+
+}  // namespace
+
+namespace {
+
+// Scenario and campaign names become result file names and subprocess
+// arguments, so they are restricted to a filesystem- and shell-safe set.
+void check_name(const std::string& name, const std::string& where) {
+  if (name.empty()) bad_spec(where, "'name' must not be empty");
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok)
+      bad_spec(where, "name '" + name +
+                          "' may only contain letters, digits, '_', '-' and '.'");
+  }
+}
+
+}  // namespace
+
+tech::PvtCorner corner_from_spec_name(const std::string& name) {
+  if (name == "typical") return tech::typical_corner();
+  if (name == "worst" || name == "worst_case") return tech::worst_case_corner();
+  const auto fig5 = tech::fig5_corners();
+  for (std::size_t i = 0; i < fig5.size(); ++i)
+    if (name == "fig5_" + std::to_string(i + 1)) return fig5[i];
+  throw std::invalid_argument("scenario spec: unknown corner name '" + name +
+                              "' (expected typical, worst or fig5_1..fig5_5)");
+}
+
+// ---------------------------------------------------------------- TraceSpec
+
+TraceSpec TraceSpec::from_json(const Json& json) {
+  Fields f(json, "trace");
+  TraceSpec spec;
+  const std::string source = f.get_string("source", "synthetic");
+  if (source == "synthetic") {
+    spec.source = Source::synthetic;
+    const std::string style = f.get_string("style", "uniform");
+    try {
+      spec.style = trace::synthetic_style_from_string(style);
+    } catch (const std::invalid_argument& e) {
+      bad_spec("trace", e.what());
+    }
+    spec.load_rate = f.get_double("load_rate", 0.4);
+    if (spec.load_rate < 0.0 || spec.load_rate > 1.0)
+      bad_spec("trace", "'load_rate' must be in [0, 1]");
+    spec.activity = f.get_double("activity", 0.5);
+    if (spec.activity < 0.0 || spec.activity > 1.0)
+      bad_spec("trace", "'activity' must be in [0, 1]");
+    const long long seed = f.get_int("seed", 1);
+    spec.seed = static_cast<std::uint64_t>(seed);
+  } else if (source == "benchmark") {
+    spec.source = Source::benchmark;
+    spec.benchmark = f.get_string("name", "");
+    if (spec.benchmark.empty()) bad_spec("trace", "benchmark source requires 'name'");
+  } else if (source == "suite") {
+    spec.source = Source::suite;
+  } else if (source == "file") {
+    spec.source = Source::file;
+    spec.path = f.get_string("path", "");
+    if (spec.path.empty()) bad_spec("trace", "file source requires 'path'");
+  } else {
+    bad_spec("trace", "unknown source '" + source +
+                          "' (expected synthetic, benchmark, suite or file)");
+  }
+  f.reject_unknown();
+  return spec;
+}
+
+Json TraceSpec::to_json() const {
+  Json j = Json::object();
+  switch (source) {
+    case Source::synthetic:
+      j.set("source", "synthetic");
+      j.set("style", trace::to_string(style));
+      j.set("load_rate", load_rate);
+      j.set("activity", activity);
+      j.set("seed", static_cast<long long>(seed));
+      break;
+    case Source::benchmark:
+      j.set("source", "benchmark");
+      j.set("name", benchmark);
+      break;
+    case Source::suite: j.set("source", "suite"); break;
+    case Source::file:
+      j.set("source", "file");
+      j.set("path", path);
+      break;
+  }
+  return j;
+}
+
+// ----------------------------------------------------------- ControllerSpec
+
+ControllerSpec ControllerSpec::from_json(const Json& json) {
+  ControllerSpec spec;
+  if (json.is_string()) {
+    try {
+      spec.kind = dvs::controller_kind_from_string(json.as_string());
+    } catch (const std::invalid_argument& e) {
+      bad_spec("controllers", e.what());
+    }
+    return spec;
+  }
+  Fields f(json, "controllers");
+  const std::string kind = f.get_string("kind", "threshold");
+  try {
+    spec.kind = dvs::controller_kind_from_string(kind);
+  } catch (const std::invalid_argument& e) {
+    bad_spec("controllers", e.what());
+  }
+  spec.custom_label = f.get_string("label", "");
+  if (!spec.custom_label.empty()) check_name(spec.custom_label, "controllers");
+  if (spec.kind == dvs::ControllerKind::threshold) {
+    spec.threshold.low_threshold = f.get_double("low", spec.threshold.low_threshold);
+    spec.threshold.high_threshold = f.get_double("high", spec.threshold.high_threshold);
+    spec.threshold.window_cycles = static_cast<std::uint64_t>(
+        f.get_int("window", static_cast<long long>(spec.threshold.window_cycles)));
+    spec.threshold.voltage_step = f.get_double("step", spec.threshold.voltage_step);
+  } else if (spec.kind == dvs::ControllerKind::proportional) {
+    spec.proportional.target_error_rate =
+        f.get_double("target", spec.proportional.target_error_rate);
+    spec.proportional.gain = f.get_double("gain", spec.proportional.gain);
+    spec.proportional.window_cycles = static_cast<std::uint64_t>(
+        f.get_int("window", static_cast<long long>(spec.proportional.window_cycles)));
+    spec.proportional.max_step = f.get_double("max_step", spec.proportional.max_step);
+  }
+  f.reject_unknown();
+  return spec;
+}
+
+Json ControllerSpec::to_json() const {
+  Json j = Json::object();
+  j.set("kind", dvs::to_string(kind));
+  if (!custom_label.empty()) j.set("label", custom_label);
+  if (kind == dvs::ControllerKind::threshold) {
+    j.set("low", threshold.low_threshold);
+    j.set("high", threshold.high_threshold);
+    j.set("window", static_cast<long long>(threshold.window_cycles));
+    j.set("step", threshold.voltage_step);
+  } else if (kind == dvs::ControllerKind::proportional) {
+    j.set("target", proportional.target_error_rate);
+    j.set("gain", proportional.gain);
+    j.set("window", static_cast<long long>(proportional.window_cycles));
+    j.set("max_step", proportional.max_step);
+  }
+  return j;
+}
+
+// --------------------------------------------------------------- ScenarioSpec
+
+ScenarioSpec ScenarioSpec::from_json(const Json& json) {
+  ScenarioSpec spec;
+  if (json.is_string()) {  // shorthand: "fig4_voltage_sweep"
+    spec.kind = Kind::bench;
+    spec.bench = json.as_string();
+    spec.name = spec.bench;
+    check_name(spec.name, "scenario");
+    return spec;
+  }
+  Fields f(json, "scenario");
+  const bool is_bench = f.has("bench");
+  const bool is_experiment = f.has("experiment");
+  if (is_bench == is_experiment)
+    bad_spec("scenario", "exactly one of 'bench' or 'experiment' is required");
+
+  const long long cycles = f.get_int("cycles", 0);
+  if (cycles < 0) bad_spec("scenario", "'cycles' must be >= 0");
+  spec.cycles = static_cast<std::size_t>(cycles);
+  const long long threads = f.get_int("threads", 0);
+  if (threads < 0) bad_spec("scenario", "'threads' must be >= 0");
+  spec.threads = static_cast<unsigned>(threads);
+
+  if (is_bench) {
+    spec.kind = Kind::bench;
+    spec.bench = f.get_string("bench", "");
+    spec.name = f.get_string("name", spec.bench);
+    check_name(spec.name, "scenario");
+    if (const Json* flags = f.find("flags")) {
+      if (!flags->is_object()) bad_spec("scenario", "'flags' must be an object");
+      for (const auto& member : flags->members()) {
+        // The runner owns these; a shadowing "json" would silently redirect
+        // the job's report out from under the campaign aggregation.
+        if (member.first == "json" || member.first == "cycles" ||
+            member.first == "threads")
+          bad_spec("scenario", "flag '" + member.first +
+                                   "' is reserved (use the spec's own keys)");
+        spec.flags.emplace_back(
+            member.first, flag_value_to_string(member.second, "scenario", member.first));
+      }
+    }
+    f.reject_unknown();
+    return spec;
+  }
+
+  const std::string experiment = f.get_string("experiment", "");
+  if (experiment == "closed_loop")
+    spec.kind = Kind::closed_loop;
+  else if (experiment == "static_sweep")
+    spec.kind = Kind::static_sweep;
+  else
+    bad_spec("scenario", "unknown experiment '" + experiment +
+                             "' (expected closed_loop or static_sweep)");
+
+  spec.name = f.get_string("name", "");
+  if (spec.name.empty()) bad_spec("scenario", "declarative scenarios require 'name'");
+  check_name(spec.name, "scenario");
+
+  if (const Json* trace = f.find("trace")) spec.trace = TraceSpec::from_json(*trace);
+
+  if (const Json* widths = f.find("widths")) {
+    spec.widths = axis_values(*widths, [](const Json& w) {
+      if (!w.is_integer()) bad_spec("scenario", "'widths' entries must be integers");
+      return static_cast<int>(w.as_int());
+    });
+    if (spec.widths.empty()) bad_spec("scenario", "'widths' must not be empty");
+    for (const int width : spec.widths)
+      if (width < 1 || width > BusWord::kMaxBits)
+        bad_spec("scenario", "width " + std::to_string(width) + " out of range 1.." +
+                                 std::to_string(BusWord::kMaxBits));
+  }
+
+  if (const Json* controllers = f.find("controllers")) {
+    if (spec.kind != Kind::closed_loop)
+      bad_spec("scenario", "'controllers' only applies to closed_loop experiments");
+    spec.controllers = axis_values(
+        *controllers, [](const Json& c) { return ControllerSpec::from_json(c); });
+    if (spec.controllers.empty()) bad_spec("scenario", "'controllers' must not be empty");
+  } else if (spec.kind == Kind::closed_loop) {
+    spec.controllers.push_back(ControllerSpec{});
+  }
+
+  if (const Json* corners = f.find("corners")) {
+    spec.corners = axis_values(
+        *corners, [](const Json& c) { return corner_from_json(c, "corners"); });
+    if (spec.corners.empty()) bad_spec("scenario", "'corners' must not be empty");
+  } else {
+    spec.corners.push_back(tech::typical_corner());
+  }
+
+  const std::string encoding = f.get_string("encoding", "none");
+  if (encoding == "bus_invert")
+    spec.bus_invert = true;
+  else if (encoding != "none")
+    bad_spec("scenario",
+             "unknown encoding '" + encoding + "' (expected none or bus_invert)");
+
+  const std::string engine = f.get_string("engine", "bit_parallel");
+  try {
+    spec.engine = bus::engine_mode_from_string(engine);
+  } catch (const std::invalid_argument& e) {
+    bad_spec("scenario", e.what());
+  }
+
+  spec.timing_jitter_sigma = f.get_double("timing_jitter_sigma", 0.0);
+  if (spec.timing_jitter_sigma < 0.0)
+    bad_spec("scenario", "'timing_jitter_sigma' must be >= 0");
+
+  f.reject_unknown();
+  return spec;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  if (kind == Kind::bench) {
+    j.set("bench", bench);
+    if (!flags.empty()) {
+      Json jf = Json::object();
+      for (const auto& [key, value] : flags) jf.set(key, value);
+      j.set("flags", std::move(jf));
+    }
+  } else {
+    j.set("experiment", kind == Kind::closed_loop ? "closed_loop" : "static_sweep");
+    j.set("trace", trace.to_json());
+    Json jw = Json::array();
+    for (const int width : widths) jw.push(width);
+    j.set("widths", std::move(jw));
+    if (kind == Kind::closed_loop) {
+      Json jc = Json::array();
+      for (const auto& controller : controllers) jc.push(controller.to_json());
+      j.set("controllers", std::move(jc));
+    }
+    Json jcorners = Json::array();
+    for (const auto& corner : corners) jcorners.push(corner_to_json(corner));
+    j.set("corners", std::move(jcorners));
+    j.set("encoding", bus_invert ? "bus_invert" : "none");
+    j.set("engine", bus::to_string(engine));
+    if (timing_jitter_sigma > 0.0) j.set("timing_jitter_sigma", timing_jitter_sigma);
+  }
+  if (cycles > 0) j.set("cycles", static_cast<long long>(cycles));
+  if (threads > 0) j.set("threads", static_cast<long long>(threads));
+  return j;
+}
+
+// --------------------------------------------------------------- CampaignSpec
+
+CampaignSpec CampaignSpec::from_json(const Json& json) {
+  Fields f(json, "campaign");
+  CampaignSpec campaign;
+  campaign.name = f.get_string("name", "campaign");
+  check_name(campaign.name, "campaign");
+  campaign.description = f.get_string("description", "");
+  if (const Json* defaults = f.find("defaults")) {
+    Fields d(*defaults, "defaults");
+    const long long cycles = d.get_int("cycles", 0);
+    if (cycles < 0) bad_spec("defaults", "'cycles' must be >= 0");
+    campaign.default_cycles = static_cast<std::size_t>(cycles);
+    const long long threads = d.get_int("threads", 0);
+    if (threads < 0) bad_spec("defaults", "'threads' must be >= 0");
+    campaign.default_threads = static_cast<unsigned>(threads);
+    d.reject_unknown();
+  }
+  const Json* scenarios = f.find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array() || scenarios->size() == 0)
+    bad_spec("campaign", "'scenarios' must be a non-empty array");
+  for (const Json& scenario : scenarios->items())
+    campaign.scenarios.push_back(ScenarioSpec::from_json(scenario));
+  f.reject_unknown();
+  return campaign;
+}
+
+CampaignSpec CampaignSpec::from_file(const std::string& path) {
+  return from_json(Json::parse_file(path));
+}
+
+Json CampaignSpec::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  if (!description.empty()) j.set("description", description);
+  if (default_cycles > 0 || default_threads > 0) {
+    Json defaults = Json::object();
+    if (default_cycles > 0)
+      defaults.set("cycles", static_cast<long long>(default_cycles));
+    if (default_threads > 0)
+      defaults.set("threads", static_cast<long long>(default_threads));
+    j.set("defaults", std::move(defaults));
+  }
+  Json js = Json::array();
+  for (const auto& scenario : scenarios) js.push(scenario.to_json());
+  j.set("scenarios", std::move(js));
+  return j;
+}
+
+// ------------------------------------------------------------------ expansion
+
+std::vector<ScenarioJob> expand_campaign(const CampaignSpec& campaign) {
+  std::vector<ScenarioJob> jobs;
+  std::set<std::string> names;
+  for (const ScenarioSpec& scenario : campaign.scenarios) {
+    ScenarioSpec base = scenario;
+    if (base.cycles == 0) base.cycles = campaign.default_cycles;
+    if (base.threads == 0) base.threads = campaign.default_threads;
+
+    const auto add_job = [&](std::string job_name, ScenarioSpec spec) {
+      if (!names.insert(job_name).second)
+        throw std::invalid_argument("campaign '" + campaign.name +
+                                    "': duplicate job name '" + job_name +
+                                    "' after expansion");
+      jobs.push_back(ScenarioJob{std::move(job_name), std::move(spec)});
+    };
+
+    if (base.kind == ScenarioSpec::Kind::bench) {
+      add_job(base.name, base);
+      continue;
+    }
+
+    // The cross product: one job per (width, controller). Axis suffixes are
+    // only appended when the axis actually varies, so a single-point
+    // scenario keeps its plain name.
+    const bool many_widths = base.widths.size() > 1;
+    std::vector<ControllerSpec> controllers = base.controllers;
+    if (controllers.empty()) controllers.push_back(ControllerSpec{});  // static_sweep
+    const bool many_controllers =
+        base.kind == ScenarioSpec::Kind::closed_loop && base.controllers.size() > 1;
+
+    // Tuning sweeps repeat a controller kind; unlabelled duplicates get an
+    // occurrence suffix so their job names stay distinct.
+    std::vector<std::string> controller_labels(controllers.size());
+    std::map<std::string, int> label_uses;
+    for (std::size_t c = 0; c < controllers.size(); ++c) {
+      const int occurrence = ++label_uses[controllers[c].label()];
+      controller_labels[c] =
+          controllers[c].label() +
+          (occurrence > 1 ? "_" + std::to_string(occurrence) : "");
+    }
+
+    for (const int width : base.widths) {
+      for (std::size_t c = 0; c < controllers.size(); ++c) {
+        ScenarioSpec job = base;
+        job.widths = {width};
+        job.controllers =
+            base.kind == ScenarioSpec::Kind::closed_loop
+                ? std::vector<ControllerSpec>{controllers[c]}
+                : std::vector<ControllerSpec>{};
+        std::string job_name = base.name;
+        if (many_widths) job_name += "_w" + std::to_string(width);
+        if (many_controllers) job_name += "_" + controller_labels[c];
+        job.name = job_name;
+        add_job(std::move(job_name), std::move(job));
+        if (base.kind != ScenarioSpec::Kind::closed_loop) break;  // one controller pass
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace razorbus::core

@@ -1,0 +1,135 @@
+// Declarative scenario campaigns (DESIGN.md §11).
+//
+// A campaign file is a JSON document declaring a list of scenarios. Each
+// scenario is either a reference to a registered bench harness ("bench":
+// "fig4_voltage_sweep") or a fully declarative experiment ("experiment":
+// "closed_loop" / "static_sweep") built from data: trace source (synthetic
+// family + seed, mini-CPU benchmark, the whole suite, or a trace file), bus
+// widths, encoding, DVS controllers, PVT corners, cycle budget, thread
+// count and engine mode. The `widths` and `controllers` axes are
+// cross-product axes: expand_campaign() multiplies them out into concrete
+// single-width single-controller ScenarioJobs the `campaign` binary
+// executes as shards.
+//
+// Parsing is STRICT: unknown keys, wrong value types and out-of-range
+// widths all throw std::invalid_argument naming the offending field, so a
+// typo'd campaign file fails before any characterization work starts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/simulator.hpp"
+#include "dvs/controller.hpp"
+#include "dvs/proportional.hpp"
+#include "tech/corner.hpp"
+#include "trace/synthetic.hpp"
+#include "util/json.hpp"
+
+namespace razorbus::core {
+
+// Where a declarative scenario's bus words come from.
+struct TraceSpec {
+  enum class Source { synthetic, benchmark, suite, file };
+  Source source = Source::synthetic;
+
+  // source == synthetic
+  trace::SyntheticStyle style = trace::SyntheticStyle::uniform;
+  double load_rate = 0.4;
+  double activity = 0.5;
+  std::uint64_t seed = 1;
+
+  // source == benchmark: one mini-CPU kernel by name (suite = all 10).
+  std::string benchmark;
+
+  // source == file: a trace file saved by trace::save_trace_file.
+  std::string path;
+
+  static TraceSpec from_json(const Json& json);
+  Json to_json() const;
+};
+
+// One supply-control scheme of the `controllers` axis.
+struct ControllerSpec {
+  dvs::ControllerKind kind = dvs::ControllerKind::threshold;
+  dvs::ControllerConfig threshold{};        // kind == threshold
+  dvs::ProportionalConfig proportional{};   // kind == proportional
+  // Optional explicit axis label ({"label": "tight_band"}); tuning sweeps
+  // over one controller kind need it to keep their job names distinct
+  // (unlabelled duplicates are auto-suffixed _2, _3, ... on expansion).
+  std::string custom_label;
+
+  // Axis label used in job names and metric keys ("threshold", ...).
+  std::string label() const {
+    return custom_label.empty() ? dvs::to_string(kind) : custom_label;
+  }
+
+  // Accepts a bare string ("threshold") or an object with tuning knobs
+  // ({"kind": "threshold", "low": 0.01, "high": 0.02, "window": 10000}).
+  static ControllerSpec from_json(const Json& json);
+  Json to_json() const;
+};
+
+struct ScenarioSpec {
+  // bench: a registered harness run through the exact legacy code path.
+  // closed_loop / static_sweep: declarative experiments.
+  enum class Kind { bench, closed_loop, static_sweep };
+
+  std::string name;  // job-name stem; defaults to the bench name
+  Kind kind = Kind::bench;
+
+  // kind == bench
+  std::string bench;
+  // Extra --name=value flags forwarded to the harness (insertion order).
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  // Shared knobs.
+  std::size_t cycles = 0;   // 0 = scenario/campaign default
+  unsigned threads = 0;     // executor width; 0 = hardware concurrency
+  bus::EngineMode engine = bus::EngineMode::bit_parallel;
+
+  // Declarative knobs (cross-product axes: widths x controllers).
+  TraceSpec trace;
+  std::vector<int> widths{32};
+  std::vector<ControllerSpec> controllers;  // closed_loop only; default threshold
+  std::vector<tech::PvtCorner> corners;     // default: typical
+  bool bus_invert = false;  // encode the trace with bus-invert coding first
+  double timing_jitter_sigma = 0.0;
+
+  static ScenarioSpec from_json(const Json& json);
+  Json to_json() const;
+};
+
+struct CampaignSpec {
+  std::string name;
+  std::string description;
+  std::size_t default_cycles = 0;  // applied to scenarios with cycles == 0
+  unsigned default_threads = 0;
+  std::vector<ScenarioSpec> scenarios;
+
+  static CampaignSpec from_json(const Json& json);
+  // Reads and parses a campaign file; throws std::runtime_error on I/O
+  // failure and std::invalid_argument / JsonParseError on bad content.
+  static CampaignSpec from_file(const std::string& path);
+  Json to_json() const;
+};
+
+// One runnable unit after cross-product expansion: a single width, a single
+// controller, cycles/threads resolved against the campaign defaults. The
+// job name is the scenario name plus `_w<width>` / `_<controller>` suffixes
+// for every axis with more than one value.
+struct ScenarioJob {
+  std::string name;
+  ScenarioSpec spec;
+};
+
+// Expands scenarios x widths x controllers; throws std::invalid_argument
+// when two jobs would collide on a name.
+std::vector<ScenarioJob> expand_campaign(const CampaignSpec& campaign);
+
+// Named PVT corner for specs: "typical", "worst" / "worst_case", or one of
+// tech::fig5_corners() as "fig5_1" .. "fig5_5".
+tech::PvtCorner corner_from_spec_name(const std::string& name);
+
+}  // namespace razorbus::core

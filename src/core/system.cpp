@@ -32,7 +32,8 @@ double DvsBusSystem::fixed_vs_supply(tech::ProcessCorner process) const {
 
 double DvsBusSystem::shadow_floor(const tech::PvtCorner& environment) const {
   const int worst = lut::PatternClass::encode(
-      lut::VictimActivity::rise, lut::NeighborActivity::fall, lut::NeighborActivity::fall);
+      lut::VictimActivity::rise, lut::NeighborActivity::fall,
+      lut::NeighborActivity::fall);
   const auto& grid = table_.grid();
   const double limit = design_.shadow_capture_limit();
   const double step = 0.020;
@@ -52,7 +53,8 @@ double DvsBusSystem::shadow_floor(const tech::PvtCorner& environment) const {
 
 double DvsBusSystem::nominal_worst_delay(const tech::PvtCorner& environment) const {
   const int worst = lut::PatternClass::encode(
-      lut::VictimActivity::rise, lut::NeighborActivity::fall, lut::NeighborActivity::fall);
+      lut::VictimActivity::rise, lut::NeighborActivity::fall,
+      lut::NeighborActivity::fall);
   return table_.delay(worst, environment.process, environment.temp_c,
                       environment.effective_supply(design_.node.vdd_nominal));
 }

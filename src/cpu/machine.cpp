@@ -92,7 +92,9 @@ bool Machine::step(std::uint32_t& load_data) {
       d = as_bits(fb == 0.0f ? 0.0f : as_float(a) / fb);
       break;
     }
-    case Opcode::itof: d = as_bits(static_cast<float>(static_cast<std::int32_t>(a))); break;
+    case Opcode::itof:
+      d = as_bits(static_cast<float>(static_cast<std::int32_t>(a)));
+      break;
     case Opcode::ftoi: {
       const float f = as_float(a);
       d = std::isfinite(f) ? static_cast<std::uint32_t>(static_cast<std::int32_t>(f)) : 0;

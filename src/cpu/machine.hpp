@@ -27,7 +27,9 @@ class Machine {
     regs_.at(static_cast<std::size_t>(index)) = value;
   }
   std::uint32_t mem(std::uint32_t addr) const { return memory_[addr & addr_mask_]; }
-  void set_mem(std::uint32_t addr, std::uint32_t value) { memory_[addr & addr_mask_] = value; }
+  void set_mem(std::uint32_t addr, std::uint32_t value) {
+    memory_[addr & addr_mask_] = value;
+  }
   std::size_t memory_words() const { return memory_.size(); }
   std::uint64_t pc() const { return pc_; }
   bool halted() const { return halted_; }

@@ -9,7 +9,8 @@ void ProgramBuilder::check_register(int r) {
     throw std::invalid_argument("ProgramBuilder: register out of range");
 }
 
-ProgramBuilder& ProgramBuilder::emit(Opcode op, int rd, int ra, int rb, std::int64_t imm) {
+ProgramBuilder& ProgramBuilder::emit(Opcode op, int rd, int ra, int rb,
+                                     std::int64_t imm) {
   check_register(rd);
   check_register(ra);
   check_register(rb);
@@ -87,7 +88,9 @@ ProgramBuilder& ProgramBuilder::shli(int rd, int ra, int amount) {
 ProgramBuilder& ProgramBuilder::shri(int rd, int ra, int amount) {
   return emit(Opcode::shri, rd, ra, 0, amount);
 }
-ProgramBuilder& ProgramBuilder::popcnt(int rd, int ra) { return emit(Opcode::popcnt, rd, ra); }
+ProgramBuilder& ProgramBuilder::popcnt(int rd, int ra) {
+  return emit(Opcode::popcnt, rd, ra);
+}
 ProgramBuilder& ProgramBuilder::load(int rd, int ra, std::int32_t offset) {
   return emit(Opcode::load, rd, ra, 0, offset);
 }
@@ -124,8 +127,12 @@ ProgramBuilder& ProgramBuilder::fmul(int rd, int ra, int rb) {
 ProgramBuilder& ProgramBuilder::fdiv(int rd, int ra, int rb) {
   return emit(Opcode::fdiv, rd, ra, rb);
 }
-ProgramBuilder& ProgramBuilder::itof(int rd, int ra) { return emit(Opcode::itof, rd, ra); }
-ProgramBuilder& ProgramBuilder::ftoi(int rd, int ra) { return emit(Opcode::ftoi, rd, ra); }
+ProgramBuilder& ProgramBuilder::itof(int rd, int ra) {
+  return emit(Opcode::itof, rd, ra);
+}
+ProgramBuilder& ProgramBuilder::ftoi(int rd, int ra) {
+  return emit(Opcode::ftoi, rd, ra);
+}
 
 Program ProgramBuilder::build() {
   for (const auto& [index, label] : fixups_) {

@@ -68,7 +68,8 @@ class ProgramBuilder {
   Program build();
 
  private:
-  ProgramBuilder& emit(Opcode op, int rd = 0, int ra = 0, int rb = 0, std::int64_t imm = 0);
+  ProgramBuilder& emit(Opcode op, int rd = 0, int ra = 0, int rb = 0,
+                       std::int64_t imm = 0);
   ProgramBuilder& emit_branch(Opcode op, int ra, int rb, const std::string& target);
   static void check_register(int r);
 

@@ -64,7 +64,8 @@ SimPointResult select_simpoints(const trace::Trace& trace, const SimPointConfig&
     double total = 0.0;
     for (std::size_t w = 0; w < n_windows; ++w) {
       double best = std::numeric_limits<double>::max();
-      for (const auto& c : centers) best = std::min(best, squared_distance(features[w], c));
+      for (const auto& c : centers)
+        best = std::min(best, squared_distance(features[w], c));
       nearest[w] = best;
       total += best;
     }
@@ -148,7 +149,8 @@ SimPointResult select_simpoints(const trace::Trace& trace, const SimPointConfig&
   return result;
 }
 
-trace::Trace materialize_simpoints(const trace::Trace& trace, const SimPointResult& result,
+trace::Trace materialize_simpoints(const trace::Trace& trace,
+                                   const SimPointResult& result,
                                    std::size_t target_windows) {
   if (result.points.empty())
     throw std::invalid_argument("materialize_simpoints: empty selection");
@@ -161,9 +163,11 @@ trace::Trace materialize_simpoints(const trace::Trace& trace, const SimPointResu
     const auto copies = std::max<std::size_t>(
         1, static_cast<std::size_t>(
                std::llround(point.weight * static_cast<double>(target_windows))));
-    const auto begin = trace.words.begin() + static_cast<std::ptrdiff_t>(point.begin_cycle);
+    const auto begin =
+        trace.words.begin() + static_cast<std::ptrdiff_t>(point.begin_cycle);
     const auto end = begin + static_cast<std::ptrdiff_t>(result.window_cycles);
-    for (std::size_t r = 0; r < copies; ++r) out.words.insert(out.words.end(), begin, end);
+    for (std::size_t r = 0; r < copies; ++r)
+      out.words.insert(out.words.end(), begin, end);
   }
   return out;
 }

@@ -46,7 +46,8 @@ SimPointResult select_simpoints(const trace::Trace& trace, const SimPointConfig&
 // replicated in proportion to its weight so that the output is roughly
 // `target_windows` windows long. This keeps downstream tooling
 // trace-agnostic while honouring the cluster weights.
-trace::Trace materialize_simpoints(const trace::Trace& trace, const SimPointResult& result,
+trace::Trace materialize_simpoints(const trace::Trace& trace,
+                                   const SimPointResult& result,
                                    std::size_t target_windows = 10);
 
 // Per-window feature vector (exposed for tests): 32 per-bit toggle rates,

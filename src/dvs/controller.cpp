@@ -4,6 +4,23 @@
 
 namespace razorbus::dvs {
 
+std::string to_string(ControllerKind kind) {
+  switch (kind) {
+    case ControllerKind::threshold: return "threshold";
+    case ControllerKind::proportional: return "proportional";
+    case ControllerKind::fixed_vs: return "fixed_vs";
+  }
+  throw std::invalid_argument("to_string: unknown ControllerKind");
+}
+
+ControllerKind controller_kind_from_string(const std::string& name) {
+  if (name == "threshold") return ControllerKind::threshold;
+  if (name == "proportional") return ControllerKind::proportional;
+  if (name == "fixed_vs") return ControllerKind::fixed_vs;
+  throw std::invalid_argument("unknown controller '" + name +
+                              "' (expected threshold, proportional or fixed_vs)");
+}
+
 ThresholdController::ThresholdController(ControllerConfig config) : config_(config) {
   if (config_.window_cycles == 0)
     throw std::invalid_argument("ThresholdController: zero window");

@@ -9,8 +9,19 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace razorbus::dvs {
+
+// The supply-control schemes a scenario spec can ask for (DESIGN.md §11):
+// the paper's threshold controller, the proportional controller it rejects,
+// and the fixed-VS (process-corner-aware static) baseline.
+enum class ControllerKind { threshold, proportional, fixed_vs };
+
+// Spec names: "threshold", "proportional", "fixed_vs". from_string throws
+// std::invalid_argument on unknown names.
+std::string to_string(ControllerKind kind);
+ControllerKind controller_kind_from_string(const std::string& name);
 
 struct ControllerConfig {
   std::uint64_t window_cycles = 10000;

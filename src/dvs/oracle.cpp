@@ -7,7 +7,8 @@
 namespace razorbus::dvs {
 
 OracleSelector::OracleSelector(const interconnect::BusDesign& design,
-                               const lut::DelayEnergyTable& table, tech::PvtCorner environment)
+                               const lut::DelayEnergyTable& table,
+                               tech::PvtCorner environment)
     : design_(design), table_(table), environment_(environment), classifier_(design) {
   const auto& grid = table_.grid();
   const double limit = design_.main_capture_limit();
@@ -55,7 +56,8 @@ OracleResult OracleSelector::select(const trace::Trace& trace,
   // Same guard as the core experiment drivers: a trace wider than the bus
   // would silently drop its high lanes in the classifier masks.
   if (trace.n_bits > design_.n_bits)
-    throw std::invalid_argument("oracle: trace '" + trace.name + "' is wider than the bus");
+    throw std::invalid_argument("oracle: trace '" + trace.name +
+                                "' is wider than the bus");
   const auto& grid = table_.grid();
   const std::size_t floor_index = config.vmin > 0.0 ? grid.index_of(config.vmin) : 0;
 

@@ -40,8 +40,8 @@ struct OracleResult {
 
 class OracleSelector {
  public:
-  OracleSelector(const interconnect::BusDesign& design, const lut::DelayEnergyTable& table,
-                 tech::PvtCorner environment);
+  OracleSelector(const interconnect::BusDesign& design,
+                 const lut::DelayEnergyTable& table, tech::PvtCorner environment);
 
   // Per-cycle critical grid index: the smallest grid voltage index at which
   // this prev->cur transition produces no timing error. Index grid.size()

@@ -6,8 +6,10 @@
 
 namespace razorbus::dvs {
 
-ProportionalController::ProportionalController(ProportionalConfig config) : config_(config) {
-  if (config_.window_cycles == 0) throw std::invalid_argument("proportional: zero window");
+ProportionalController::ProportionalController(ProportionalConfig config)
+    : config_(config) {
+  if (config_.window_cycles == 0)
+    throw std::invalid_argument("proportional: zero window");
   if (config_.target_error_rate < 0.0 || config_.target_error_rate > 1.0)
     throw std::invalid_argument("proportional: bad target");
   if (config_.gain <= 0.0 || config_.step_quantum <= 0.0 || config_.max_step <= 0.0)
@@ -18,7 +20,8 @@ double ProportionalController::observe_segment(std::uint64_t cycles,
                                                std::uint64_t errors) {
   if (cycles == 0) return 0.0;
   if (cycles > cycles_remaining_in_window())
-    throw std::invalid_argument("ProportionalController: segment crosses window boundary");
+    throw std::invalid_argument(
+        "ProportionalController: segment crosses window boundary");
   if (errors > cycles)
     throw std::invalid_argument("ProportionalController: more errors than cycles");
   errors_in_window_ += errors;

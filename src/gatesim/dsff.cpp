@@ -21,7 +21,8 @@ DsffNets build_dsff(Netlist& netlist, double gate_delay) {
                    gate_delay / 2.0);
 
   // Restore mux in the master's data path: Error_L selects the shadow value.
-  netlist.add_gate(GateKind::mux2, mux_out, nets.d, nets.shadow, nets.error_l, gate_delay);
+  netlist.add_gate(GateKind::mux2, mux_out, nets.d, nets.shadow, nets.error_l,
+                   gate_delay);
   // Master latch: transparent while clk low.
   netlist.add_gate(GateKind::latch, nets.master, mux_out, clk_b, kNoNet, gate_delay);
   // Slave latch: transparent while clk high; output is Q.

@@ -70,7 +70,8 @@ void Simulator::schedule(NetId net, double time, bool value) {
   enqueue_external(net, time, value);
 }
 
-void Simulator::schedule_clock(NetId net, double period, double first_rise, double t_stop) {
+void Simulator::schedule_clock(NetId net, double period, double first_rise,
+                               double t_stop) {
   if (period <= 0.0) throw std::invalid_argument("schedule_clock: bad period");
   for (double t = first_rise; t < t_stop; t += period) {
     enqueue_external(net, t, true);

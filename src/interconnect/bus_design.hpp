@@ -34,7 +34,9 @@ struct BusDesign {
   // --- Timing budget ---
   double clock_period() const { return 1.0 / clock_freq; }
   // Max in-to-out delay captured correctly by the main flip-flop.
-  double main_capture_limit() const { return clock_period() * (1.0 - setup_slack_fraction); }
+  double main_capture_limit() const {
+    return clock_period() * (1.0 - setup_slack_fraction);
+  }
   // Max delay captured by the shadow latch (delayed clock).
   double shadow_capture_limit() const {
     return main_capture_limit() + shadow_delay_fraction * clock_period();

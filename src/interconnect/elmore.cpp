@@ -9,7 +9,8 @@ namespace {
 constexpr double kLn2 = 0.6931471805599453;
 }
 
-double switched_capacitance_per_m(const WireParasitics& p, double mf_left, double mf_right) {
+double switched_capacitance_per_m(const WireParasitics& p, double mf_left,
+                                  double mf_right) {
   return p.cg_per_m + (mf_left + mf_right) * p.cc_per_m;
 }
 

@@ -14,7 +14,8 @@ namespace razorbus::interconnect {
 //   0 = neighbor switches in the same direction,
 //   1 = neighbor quiet (or shield),
 //   2 = neighbor switches in the opposite direction.
-double switched_capacitance_per_m(const WireParasitics& p, double mf_left, double mf_right);
+double switched_capacitance_per_m(const WireParasitics& p, double mf_left,
+                                  double mf_right);
 
 // Paper eq. (1): worst-case lumped Elmore delay t = R (Cg + 4 Cc) for a wire
 // of resistance R with both neighbors switching opposite.

@@ -146,7 +146,8 @@ ClusterResult ClusterCharacterizer::run(const ClusterSpec& spec) const {
   const spice::TransientResult result = sim.run();
 
   ClusterResult out;
-  for (const auto di : victim.driver_indices) out.victim_energy += result.driver_rail_energy(di);
+  for (const auto di : victim.driver_indices)
+    out.victim_energy += result.driver_rail_energy(di);
 
   if (switches(spec.victim)) {
     // Direction at the receiver: first stage follows the event direction,

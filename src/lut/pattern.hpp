@@ -26,11 +26,15 @@ struct PatternClass {
   static int encode(VictimActivity v, NeighborActivity l, NeighborActivity r) {
     return static_cast<int>(v) * 16 + static_cast<int>(l) * 4 + static_cast<int>(r);
   }
-  static VictimActivity victim_of(int cls) { return static_cast<VictimActivity>(cls / 16); }
+  static VictimActivity victim_of(int cls) {
+    return static_cast<VictimActivity>(cls / 16);
+  }
   static NeighborActivity left_of(int cls) {
     return static_cast<NeighborActivity>((cls / 4) % 4);
   }
-  static NeighborActivity right_of(int cls) { return static_cast<NeighborActivity>(cls % 4); }
+  static NeighborActivity right_of(int cls) {
+    return static_cast<NeighborActivity>(cls % 4);
+  }
 
   // Victim delay/energy are symmetric under swapping the two neighbors, so
   // only classes with left <= right need characterization; the rest map to

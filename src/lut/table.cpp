@@ -31,7 +31,8 @@ void hash_int(std::uint64_t& h, std::int64_t v) { hash_mix(h, &v, sizeof(v)); }
 
 }  // namespace
 
-std::uint64_t table_key_hash(const interconnect::BusDesign& design, const LutConfig& config) {
+std::uint64_t table_key_hash(const interconnect::BusDesign& design,
+                             const LutConfig& config) {
   std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
   const auto& n = design.node;
   hash_mix(h, n.name.data(), n.name.size());
@@ -75,7 +76,8 @@ DelayEnergyTable DelayEnergyTable::build(const interconnect::BusDesign& design,
   // Count canonical classes that need simulation (for progress reporting).
   int sims_per_point = 0;
   for (int cls = 0; cls < PatternClass::kCount; ++cls)
-    if (PatternClass::is_canonical(cls) && PatternClass::any_switching(cls)) ++sims_per_point;
+    if (PatternClass::is_canonical(cls) && PatternClass::any_switching(cls))
+      ++sims_per_point;
   const int total = static_cast<int>(table.corners_.size() * table.temps_.size() *
                                      table.grid_.size()) *
                     sims_per_point;
@@ -144,7 +146,8 @@ DelayEnergyTable DelayEnergyTable::build(const interconnect::BusDesign& design,
         // Mirror non-canonical classes.
         for (int cls = 0; cls < PatternClass::kCount; ++cls) {
           if (PatternClass::is_canonical(cls)) continue;
-          const std::size_t src = table.flat_index(ci, ti, vi, PatternClass::canonical(cls));
+          const std::size_t src =
+              table.flat_index(ci, ti, vi, PatternClass::canonical(cls));
           const std::size_t dst = table.flat_index(ci, ti, vi, cls);
           table.delays_[dst] = table.delays_[src];
           table.energies_[dst] = table.energies_[src];
@@ -165,8 +168,8 @@ std::size_t DelayEnergyTable::temp_index(double temp_c) const {
   throw std::out_of_range("DelayEnergyTable: temperature not characterised");
 }
 
-std::size_t DelayEnergyTable::flat_index(std::size_t corner, std::size_t temp, std::size_t v,
-                                         int cls) const {
+std::size_t DelayEnergyTable::flat_index(std::size_t corner, std::size_t temp,
+                                         std::size_t v, int cls) const {
   return ((corner * temps_.size() + temp) * grid_.size() + v) *
              static_cast<std::size_t>(PatternClass::kCount) +
          static_cast<std::size_t>(cls);
@@ -200,8 +203,8 @@ double DelayEnergyTable::delay(int cls, tech::ProcessCorner corner, double temp_
   const std::size_t ci = corner_index(corner);
   const std::size_t ti = temp_index(temp_c);
   const InterpPoint p = interp_point(grid_, v);
-  return lerp(delays_[flat_index(ci, ti, p.lo, cls)], delays_[flat_index(ci, ti, p.hi, cls)],
-              p.frac);
+  return lerp(delays_[flat_index(ci, ti, p.lo, cls)],
+              delays_[flat_index(ci, ti, p.hi, cls)], p.frac);
 }
 
 double DelayEnergyTable::energy(int cls, tech::ProcessCorner corner, double temp_c,
@@ -213,7 +216,8 @@ double DelayEnergyTable::energy(int cls, tech::ProcessCorner corner, double temp
               energies_[flat_index(ci, ti, p.hi, cls)], p.frac);
 }
 
-TableSlice DelayEnergyTable::slice(tech::ProcessCorner corner, double temp_c, double v) const {
+TableSlice DelayEnergyTable::slice(tech::ProcessCorner corner, double temp_c,
+                                   double v) const {
   const std::size_t ci = corner_index(corner);
   const std::size_t ti = temp_index(temp_c);
   const InterpPoint p = interp_point(grid_, v);

@@ -63,8 +63,10 @@ class DelayEnergyTable {
 
   // Voltage-interpolated lookups (v is the driver-effective supply).
   // Delay is NaN for victim-hold classes; energy is always defined.
-  double delay(int pattern_class, tech::ProcessCorner corner, double temp_c, double v) const;
-  double energy(int pattern_class, tech::ProcessCorner corner, double temp_c, double v) const;
+  double delay(int pattern_class, tech::ProcessCorner corner, double temp_c,
+               double v) const;
+  double energy(int pattern_class, tech::ProcessCorner corner, double temp_c,
+                double v) const;
 
   // Interpolated slice for a whole operating point: one call per regulator
   // voltage change instead of per cycle.
@@ -79,7 +81,8 @@ class DelayEnergyTable {
   // --- Serialization (versioned binary format with config hash) ---
   void save(std::ostream& os, std::uint64_t key_hash) const;
   // Empty when the stream is not a valid table or the hash mismatches.
-  static std::optional<DelayEnergyTable> load(std::istream& is, std::uint64_t expected_hash);
+  static std::optional<DelayEnergyTable> load(std::istream& is,
+                                              std::uint64_t expected_hash);
 
   // Raw (non-interpolated) accessors used by tests.
   double delay_at(int pattern_class, std::size_t corner_idx, std::size_t temp_idx,
@@ -90,7 +93,8 @@ class DelayEnergyTable {
  private:
   std::size_t corner_index(tech::ProcessCorner corner) const;
   std::size_t temp_index(double temp_c) const;
-  std::size_t flat_index(std::size_t corner, std::size_t temp, std::size_t v, int cls) const;
+  std::size_t flat_index(std::size_t corner, std::size_t temp, std::size_t v,
+                         int cls) const;
 
   tech::SupplyGrid grid_;
   std::vector<double> temps_;
@@ -101,6 +105,7 @@ class DelayEnergyTable {
 
 // Stable FNV-1a hash of everything the table depends on (bus design, node
 // parameters, LUT config). Used as the disk-cache key.
-std::uint64_t table_key_hash(const interconnect::BusDesign& design, const LutConfig& config);
+std::uint64_t table_key_hash(const interconnect::BusDesign& design,
+                             const LutConfig& config);
 
 }  // namespace razorbus::lut

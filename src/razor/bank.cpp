@@ -12,7 +12,8 @@ FlopBank::FlopBank(int n_bits, FlopTiming timing, const BusWord& initial_word)
   for (int i = 0; i < n_bits; ++i) flops_.emplace_back(initial_word.test(i));
 }
 
-BankCycleResult FlopBank::clock(const BusWord& word, const std::vector<double>& arrivals) {
+BankCycleResult FlopBank::clock(const BusWord& word,
+                                const std::vector<double>& arrivals) {
   if (arrivals.size() != flops_.size())
     throw std::invalid_argument("FlopBank::clock: arrival count mismatch");
 

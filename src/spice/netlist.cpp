@@ -15,7 +15,8 @@ NodeId Circuit::add_fixed_node(std::string name, double potential) {
 }
 
 void Circuit::check_node(NodeId n, const char* what) const {
-  if (n >= nodes_.size()) throw std::invalid_argument(std::string(what) + ": bad node id");
+  if (n >= nodes_.size())
+    throw std::invalid_argument(std::string(what) + ": bad node id");
 }
 
 void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {

@@ -36,7 +36,9 @@ const std::vector<double>& TransientResult::waveform(NodeId node) const {
 
 TransientSimulator::TransientSimulator(const Circuit& circuit, TransientConfig config,
                                        double threshold_fraction)
-    : circuit_(circuit), config_(std::move(config)), threshold_fraction_(threshold_fraction) {
+    : circuit_(circuit),
+      config_(std::move(config)),
+      threshold_fraction_(threshold_fraction) {
   circuit_.validate();
   if (config_.dt <= 0.0 || config_.t_stop <= 0.0)
     throw std::invalid_argument("transient: dt and t_stop must be positive");
@@ -52,7 +54,8 @@ TransientSimulator::TransientSimulator(const Circuit& circuit, TransientConfig c
 
   max_rail_ = 0.0;
   for (NodeId n = 0; n < circuit_.node_count(); ++n)
-    if (circuit_.is_fixed(n)) max_rail_ = std::max(max_rail_, circuit_.fixed_potential(n));
+    if (circuit_.is_fixed(n))
+      max_rail_ = std::max(max_rail_, circuit_.fixed_potential(n));
 
   voltages_.assign(circuit_.node_count(), 0.0);
   for (NodeId n = 0; n < circuit_.node_count(); ++n)

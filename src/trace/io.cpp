@@ -125,10 +125,10 @@ void save_binary(const Trace& trace, std::ostream& os) {
     os.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
     os.write(trace.name.data(), static_cast<std::streamsize>(name_len));
     os.write(reinterpret_cast<const char*>(&n), sizeof(n));
-    write_chunked<std::uint32_t>(os, trace.words,
-                                 [](const BusWord& word, std::vector<std::uint32_t>& chunk) {
-                                   chunk.push_back(word.low32());
-                                 });
+    write_chunked<std::uint32_t>(
+        os, trace.words, [](const BusWord& word, std::vector<std::uint32_t>& chunk) {
+          chunk.push_back(word.low32());
+        });
     return;
   }
   os.write(kMagicV2, sizeof(kMagicV2));
@@ -138,10 +138,10 @@ void save_binary(const Trace& trace, std::ostream& os) {
   os.write(trace.name.data(), static_cast<std::streamsize>(name_len));
   os.write(reinterpret_cast<const char*>(&n), sizeof(n));
   const int lanes = lanes_per_word(trace.n_bits);
-  write_chunked<std::uint64_t>(os, trace.words,
-                               [lanes](const BusWord& word, std::vector<std::uint64_t>& chunk) {
-                                 for (int l = 0; l < lanes; ++l) chunk.push_back(word.lane(l));
-                               });
+  write_chunked<std::uint64_t>(
+      os, trace.words, [lanes](const BusWord& word, std::vector<std::uint64_t>& chunk) {
+        for (int l = 0; l < lanes; ++l) chunk.push_back(word.lane(l));
+      });
 }
 
 std::optional<Trace> load_binary(std::istream& is) {

@@ -32,9 +32,11 @@ BusWord next_word(SyntheticStyle style, const BusWord& prev, int n_bits, double 
       // Flip a binomial number of random bit positions.
       BusWord word = prev;
       const int max_flips = std::max(1, static_cast<int>(n_bits * activity));
-      const auto flips = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_flips)) + 1);
+      const auto flips = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(max_flips)) + 1);
       for (int i = 0; i < flips; ++i)
-        word ^= BusWord(1) << static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n_bits)));
+        word ^= BusWord(1)
+                << static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n_bits)));
       return word;
     }
     case SyntheticStyle::fp_like: {
@@ -72,10 +74,11 @@ BusWord next_word(SyntheticStyle style, const BusWord& prev, int n_bits, double 
     }
     case SyntheticStyle::sparse: {
       BusWord word;
-      const auto set_bits = static_cast<int>(1 + rng.next_below(
-                                static_cast<std::uint64_t>(std::max(1.0, activity * 6.0))));
+      const auto set_bits = static_cast<int>(
+          1 + rng.next_below(static_cast<std::uint64_t>(std::max(1.0, activity * 6.0))));
       for (int i = 0; i < set_bits; ++i)
-        word |= BusWord(1) << static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n_bits)));
+        word |= BusWord(1)
+                << static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n_bits)));
       return word;
     }
     case SyntheticStyle::worst_case:
@@ -104,6 +107,28 @@ Trace generate_synthetic(const SyntheticConfig& config, const std::string& name)
     out.words.push_back(word);
   }
   return out;
+}
+
+std::string to_string(SyntheticStyle style) {
+  switch (style) {
+    case SyntheticStyle::uniform: return "uniform";
+    case SyntheticStyle::random_walk: return "random_walk";
+    case SyntheticStyle::fp_like: return "fp_like";
+    case SyntheticStyle::pointer_like: return "pointer_like";
+    case SyntheticStyle::sparse: return "sparse";
+    case SyntheticStyle::worst_case: return "worst_case";
+  }
+  throw std::invalid_argument("to_string: unknown SyntheticStyle");
+}
+
+SyntheticStyle synthetic_style_from_string(const std::string& name) {
+  for (const SyntheticStyle style :
+       {SyntheticStyle::uniform, SyntheticStyle::random_walk, SyntheticStyle::fp_like,
+        SyntheticStyle::pointer_like, SyntheticStyle::sparse, SyntheticStyle::worst_case})
+    if (to_string(style) == name) return style;
+  throw std::invalid_argument("unknown synthetic trace style '" + name +
+                              "' (expected uniform, random_walk, fp_like, pointer_like, "
+                              "sparse or worst_case)");
 }
 
 }  // namespace razorbus::trace

@@ -39,4 +39,10 @@ struct SyntheticConfig {
 
 Trace generate_synthetic(const SyntheticConfig& config, const std::string& name);
 
+// Style names as used by the declarative scenario specs (DESIGN.md §11):
+// "uniform", "random_walk", "fp_like", "pointer_like", "sparse",
+// "worst_case". from_string throws std::invalid_argument on unknown names.
+std::string to_string(SyntheticStyle style);
+SyntheticStyle synthetic_style_from_string(const std::string& name);
+
 }  // namespace razorbus::trace

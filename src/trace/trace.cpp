@@ -42,7 +42,8 @@ TraceStats compute_stats(const Trace& trace) {
   }
 
   const auto transitions = static_cast<double>(trace.words.size() - 1);
-  stats.toggle_rate = static_cast<double>(toggles) / (transitions * static_cast<double>(n));
+  stats.toggle_rate =
+      static_cast<double>(toggles) / (transitions * static_cast<double>(n));
   stats.active_cycle_rate = static_cast<double>(active_cycles) / transitions;
   stats.worst_pattern_rate = static_cast<double>(worst_pattern_cycles) / transitions;
   for (int b = 0; b < n; ++b)
@@ -61,7 +62,8 @@ Trace concatenate(const std::vector<Trace>& traces, const std::string& name) {
   std::size_t total = 0;
   for (const auto& t : traces) total += t.words.size();
   out.words.reserve(total);
-  for (const auto& t : traces) out.words.insert(out.words.end(), t.words.begin(), t.words.end());
+  for (const auto& t : traces)
+    out.words.insert(out.words.end(), t.words.begin(), t.words.end());
   return out;
 }
 
@@ -77,7 +79,8 @@ Trace widen(const Trace& trace, int factor) {
   const BusWord in_mask = BusWord::mask_low(trace.n_bits);
   for (std::size_t i = 0; i < trace.words.size(); i += static_cast<std::size_t>(factor)) {
     BusWord wide;
-    for (int k = 0; k < factor && i + static_cast<std::size_t>(k) < trace.words.size(); ++k)
+    for (int k = 0; k < factor && i + static_cast<std::size_t>(k) < trace.words.size();
+         ++k)
       wide |= (trace.words[i + static_cast<std::size_t>(k)] & in_mask)
               << (k * trace.n_bits);
     out.words.push_back(wide);

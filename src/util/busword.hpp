@@ -135,7 +135,9 @@ class BusWord {
   friend constexpr bool operator==(const BusWord& a, const BusWord& b) {
     return a.lanes_[0] == b.lanes_[0] && a.lanes_[1] == b.lanes_[1];
   }
-  friend constexpr bool operator!=(const BusWord& a, const BusWord& b) { return !(a == b); }
+  friend constexpr bool operator!=(const BusWord& a, const BusWord& b) {
+    return !(a == b);
+  }
   friend constexpr bool operator==(const BusWord& a, std::uint64_t b) {
     return a == BusWord(b);
   }

@@ -17,7 +17,8 @@ CliFlags::CliFlags(int argc, const char* const* argv) {
       values_[arg.substr(2)] = "true";
     } else {
       const std::string name = arg.substr(2, eq - 2);
-      if (name.empty()) throw std::invalid_argument("CliFlags: empty flag name in '" + arg + "'");
+      if (name.empty())
+        throw std::invalid_argument("CliFlags: empty flag name in '" + arg + "'");
       values_[name] = arg.substr(eq + 1);
     }
   }

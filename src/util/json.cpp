@@ -1,8 +1,11 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace razorbus {
@@ -52,7 +55,297 @@ void newline_indent(std::string& out, int indent, int depth) {
   out.append(static_cast<std::size_t>(indent * depth), ' ');
 }
 
+// ------------------------------------------------------------------ parser
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return value;
+  }
+
+ private:
+  // Deep enough for any report this repo writes, shallow enough that a
+  // malicious "[[[[..." cannot blow the native stack.
+  static constexpr int kMaxDepth = 200;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError(message, pos_);
+  }
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char take() {
+    if (done()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!done()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (done() || peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t n = 0;
+    while (literal[n] != '\0') ++n;
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (done()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (!done() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (done() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.set(key, parse_value(depth + 1));  // duplicate keys: last one wins
+      skip_ws();
+      const char c = take();
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (!done() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      arr.push(parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape digit");
+    }
+    return value;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;  // UTF-8 bytes pass through untouched
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {  // high surrogate: pair required
+            if (take() != '\\' || take() != 'u') fail("unpaired surrogate");
+            const unsigned lo = parse_hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!done() && peek() == '-') ++pos_;
+    if (done() || peek() < '0' || peek() > '9') fail("invalid number");
+    const char first_digit = peek();
+    ++pos_;
+    if (first_digit == '0') {
+      if (!done() && peek() >= '0' && peek() <= '9') fail("leading zero in number");
+    } else {
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!done() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (done() || peek() < '0' || peek() > '9') fail("digit required after '.'");
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (done() || peek() < '0' || peek() > '9') fail("digit required in exponent");
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    // "-0" is a floating negative zero, not the integer 0: keeping it a
+    // double makes dump(parse(s)) reproduce the emitter's "-0" exactly.
+    if (integral && token != "-0") {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      // Integers beyond the long long range degrade to double (still a
+      // valid JSON number, just past exact integer representation).
+      if (errno != ERANGE && end == token.c_str() + token.size()) return Json(v);
+    }
+    return Json(std::strtod(token.c_str(), nullptr));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
+
+JsonParseError::JsonParseError(const std::string& message, std::size_t offset)
+    : std::runtime_error("JSON parse error at offset " + std::to_string(offset) + ": " +
+                         message),
+      offset_(offset) {}
+
+Json Json::parse(const std::string& text) { return Parser(text).parse_document(); }
+
+Json Json::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::boolean) throw std::logic_error("Json::as_bool on a non-boolean");
+  return bool_;
+}
+
+long long Json::as_int() const {
+  if (type_ != Type::integer) throw std::logic_error("Json::as_int on a non-integer");
+  return int_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::integer) return static_cast<double>(int_);
+  if (type_ != Type::number) throw std::logic_error("Json::as_double on a non-number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::string) throw std::logic_error("Json::as_string on a non-string");
+  return str_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::array) return items_.size();
+  if (type_ == Type::object) return members_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::array) throw std::logic_error("Json::at(index) on a non-array");
+  if (index >= items_.size()) throw std::out_of_range("Json array index out of range");
+  return items_[index];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::object) return nullptr;
+  for (const auto& member : members_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* value = find(key);
+  if (value == nullptr) throw std::out_of_range("Json object has no key '" + key + "'");
+  return *value;
+}
 
 Json& Json::set(const std::string& key, Json value) {
   if (type_ == Type::null) type_ = Type::object;
@@ -72,6 +365,17 @@ Json& Json::push(Json value) {
   if (type_ != Type::array) throw std::logic_error("Json::push on a non-array");
   items_.push_back(std::move(value));
   return *this;
+}
+
+bool Json::erase(const std::string& key) {
+  if (type_ != Type::object) return false;
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->first == key) {
+      members_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 void Json::dump_to(std::string& out, int indent, int depth) const {

@@ -1,16 +1,32 @@
-// Minimal JSON document builder for machine-readable bench/experiment
-// output (BENCH_*.json and the --json flag of the scenario runner).
+// Minimal JSON document type for machine-readable bench/experiment output
+// (BENCH_*.json, the --json flag of the scenario runner) and for the
+// declarative scenario-campaign specs (DESIGN.md §11).
 //
-// Build-only (no parsing): insertion-ordered objects, shortest round-trip
-// number formatting, UTF-8 passthrough with control/quote escaping.
+// Builder side: insertion-ordered objects, shortest round-trip number
+// formatting, UTF-8 passthrough with control/quote escaping. Parser side:
+// strict RFC-8259 recursive descent (no comments, no trailing commas) with
+// positioned errors, \uXXXX decoding (surrogate pairs included), and
+// integer/double discrimination so parse(dump(x)) reproduces x exactly.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace razorbus {
+
+// Thrown by Json::parse on malformed input; `offset` is the byte position
+// of the error in the input text.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& message, std::size_t offset);
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
 
 class Json {
  public:
@@ -36,13 +52,53 @@ class Json {
     return j;
   }
 
-  bool is_null() const { return type_ == Type::null; }
+  // Strict parse of a complete JSON document (throws JsonParseError).
+  static Json parse(const std::string& text);
+  // Reads and parses a JSON file; throws std::runtime_error when the file
+  // cannot be opened, JsonParseError on bad content.
+  static Json parse_file(const std::string& path);
 
+  // ------------------------------------------------------------- inspection
+  bool is_null() const { return type_ == Type::null; }
+  bool is_bool() const { return type_ == Type::boolean; }
+  bool is_integer() const { return type_ == Type::integer; }
+  // True for any numeric value (integer or floating).
+  bool is_number() const { return type_ == Type::integer || type_ == Type::number; }
+  bool is_string() const { return type_ == Type::string; }
+  bool is_array() const { return type_ == Type::array; }
+  bool is_object() const { return type_ == Type::object; }
+
+  // Typed reads; throw std::logic_error on a type mismatch. as_double
+  // accepts integers as well (the parser keeps "2" and "2.0" distinct).
+  bool as_bool() const;
+  long long as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  // Array/object element count (0 for scalars).
+  std::size_t size() const;
+
+  // Array element access; throws std::out_of_range / std::logic_error.
+  const Json& at(std::size_t index) const;
+
+  // Object member lookup: nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  // Object member access; throws std::out_of_range when absent.
+  const Json& at(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+
+  // Insertion-ordered members / items (empty for scalars).
+  const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+  const std::vector<Json>& items() const { return items_; }
+
+  // ------------------------------------------------------------- building
   // Object member access: inserts (preserving order) or overwrites.
   // Throws on non-objects.
   Json& set(const std::string& key, Json value);
   // Array append. Throws on non-arrays.
   Json& push(Json value);
+  // Remove an object member if present; returns whether it existed.
+  bool erase(const std::string& key);
 
   std::string dump(int indent = 2) const;
 

@@ -48,7 +48,10 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
   if (bins == 0 || !(hi > lo)) throw std::invalid_argument("Histogram: bad range/bins");
 }
 
@@ -70,7 +73,9 @@ void Histogram::add(double x, double weight) {
   total_ += weight;
 }
 
-double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
 double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
 
 double Histogram::fraction(std::size_t i) const {

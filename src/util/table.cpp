@@ -30,7 +30,9 @@ Table& Table::add(const std::string& cell) {
   return *this;
 }
 
-Table& Table::add(double value, int precision) { return add(format_fixed(value, precision)); }
+Table& Table::add(double value, int precision) {
+  return add(format_fixed(value, precision));
+}
 
 Table& Table::add(long long value) { return add(std::to_string(value)); }
 

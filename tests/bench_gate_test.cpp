@@ -1,0 +1,141 @@
+// The CI bench-regression gate (core::compare_bench_reports): the
+// acceptance contract is that a synthetic 25% throughput regression fails
+// at the default 20% threshold and an unchanged rerun passes.
+#include <gtest/gtest.h>
+
+#include "core/bench_gate.hpp"
+#include "util/json.hpp"
+
+namespace razorbus {
+namespace {
+
+// A BENCH_engine.json-shaped report: throughput metrics ("_cps"), plus the
+// fields the gate must ignore (wall clock, thread counts, result metrics).
+Json engine_report(double active_cps, double width64_cps) {
+  Json metrics = Json::object();
+  metrics.set("active_reference_cps", 2.5e6);
+  metrics.set("active_bit_parallel_cps", active_cps);
+  metrics.set("active_speedup", active_cps / 2.5e6);
+  metrics.set("width64_bit_parallel_cps", width64_cps);
+  metrics.set("threads", 4.0);
+  metrics.set("sweep_seconds_1t", 1.25);
+
+  Json report = Json::object();
+  report.set("scenario", "engine");
+  report.set("threads", "auto");
+  report.set("threads_resolved", 4);
+  report.set("wall_seconds", 12.875);
+  report.set("metrics", std::move(metrics));
+  return report;
+}
+
+TEST(BenchGate, UnchangedRerunPasses) {
+  const Json report = engine_report(80e6, 60e6);
+  const core::BenchGateResult result = core::compare_bench_reports(report, report, 0.20);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.regressions(), 0u);
+  // Exactly the three _cps metrics are compared — never wall_seconds,
+  // threads, speedups or seconds-per-run fields.
+  ASSERT_EQ(result.compared.size(), 3u);
+  for (const auto& finding : result.compared) {
+    EXPECT_DOUBLE_EQ(finding.ratio, 1.0);
+    EXPECT_NE(finding.path.find("_cps"), std::string::npos);
+  }
+  EXPECT_TRUE(result.missing.empty());
+  EXPECT_TRUE(result.added.empty());
+}
+
+TEST(BenchGate, SyntheticQuarterRegressionFails) {
+  const Json baseline = engine_report(80e6, 60e6);
+  const Json current = engine_report(0.75 * 80e6, 60e6);  // injected 25% drop
+  const core::BenchGateResult result =
+      core::compare_bench_reports(baseline, current, 0.20);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions(), 1u);
+  for (const auto& finding : result.compared) {
+    if (finding.path == "metrics/active_bit_parallel_cps") {
+      EXPECT_TRUE(finding.regression);
+      EXPECT_NEAR(finding.ratio, 0.75, 1e-12);
+    } else {
+      EXPECT_FALSE(finding.regression);
+    }
+  }
+}
+
+TEST(BenchGate, DropWithinThresholdPasses) {
+  const Json baseline = engine_report(80e6, 60e6);
+  // 15% down and 10% down: noisy runners, not regressions at 20%.
+  const Json current = engine_report(0.85 * 80e6, 0.90 * 60e6);
+  EXPECT_TRUE(core::compare_bench_reports(baseline, current, 0.20).ok());
+  // The same drop IS a regression at a 10% threshold.
+  EXPECT_FALSE(core::compare_bench_reports(baseline, current, 0.10).ok());
+}
+
+TEST(BenchGate, ImprovementsNeverFail) {
+  const Json baseline = engine_report(80e6, 60e6);
+  const Json current = engine_report(3.0 * 80e6, 2.0 * 60e6);
+  const core::BenchGateResult result =
+      core::compare_bench_reports(baseline, current, 0.20);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchGate, CampaignNestingIsCompared) {
+  // BENCH_campaign.json nests one report per scenario.
+  Json baseline = Json::object();
+  baseline.set("campaign", "paper");
+  Json scenarios = Json::object();
+  scenarios.set("engine", engine_report(80e6, 60e6));
+  baseline.set("scenarios", std::move(scenarios));
+
+  Json current = Json::object();
+  current.set("campaign", "paper");
+  Json cur_scenarios = Json::object();
+  cur_scenarios.set("engine", engine_report(0.5 * 80e6, 60e6));
+  current.set("scenarios", std::move(cur_scenarios));
+
+  const core::BenchGateResult result =
+      core::compare_bench_reports(baseline, current, 0.20);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.regressions(), 1u);
+  for (const auto& finding : result.compared)
+    if (finding.regression)
+      EXPECT_EQ(finding.path, "scenarios/engine/metrics/active_bit_parallel_cps");
+}
+
+TEST(BenchGate, AddedAndRemovedMetricsAreNotedNotFailed) {
+  Json baseline = Json::object();
+  Json base_metrics = Json::object();
+  base_metrics.set("old_scenario_cps", 10e6);
+  base_metrics.set("shared_cps", 20e6);
+  baseline.set("metrics", std::move(base_metrics));
+
+  Json current = Json::object();
+  Json cur_metrics = Json::object();
+  cur_metrics.set("shared_cps", 20e6);
+  cur_metrics.set("new_scenario_cps", 5e6);
+  current.set("metrics", std::move(cur_metrics));
+
+  const core::BenchGateResult result =
+      core::compare_bench_reports(baseline, current, 0.20);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.compared.size(), 1u);
+  ASSERT_EQ(result.missing.size(), 1u);
+  EXPECT_EQ(result.missing[0], "metrics/old_scenario_cps");
+  ASSERT_EQ(result.added.size(), 1u);
+  EXPECT_EQ(result.added[0], "metrics/new_scenario_cps");
+}
+
+TEST(BenchGate, ZeroBaselineNeverDividesOrFails) {
+  Json baseline = Json::object();
+  Json base_metrics = Json::object();
+  base_metrics.set("broken_cps", 0.0);
+  baseline.set("metrics", std::move(base_metrics));
+  const core::BenchGateResult result =
+      core::compare_bench_reports(baseline, baseline, 0.20);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.compared.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.compared[0].ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace razorbus

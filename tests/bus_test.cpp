@@ -140,7 +140,8 @@ TEST_F(BusSimTest, EnergyDropsWithSupply) {
     sim.set_supply(v);
     sim.step(0);
     double total = 0.0;
-    for (int i = 1; i < 64; ++i) total += sim.step(0x0F0F0F0Fu ^ (i % 2 ? 0u : ~0u)).bus_energy;
+    for (int i = 1; i < 64; ++i)
+      total += sim.step(0x0F0F0F0Fu ^ (i % 2 ? 0u : ~0u)).bus_energy;
     return total;
   };
   const double hi = energy_at(1.20);

@@ -1,0 +1,421 @@
+// Scenario-campaign subsystem (DESIGN.md §11).
+//
+// Two layers under test:
+//  * core::ScenarioSpec / CampaignSpec — strict JSON parsing (unknown key,
+//    wrong type, out-of-range width all throw), to_json round trips, and
+//    the scenarios x widths x controllers cross-product expansion.
+//  * The campaign runner end to end — the acceptance contract that a
+//    campaign job referencing a registered bench produces a report
+//    byte-identical to the standalone binary's (modulo wall-clock fields),
+//    and that a finished campaign resumes from its result files. These
+//    spawn the sibling binaries from the build directory, like CI does.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/scenario_spec.hpp"
+#include "util/json.hpp"
+
+namespace razorbus {
+namespace {
+
+core::ScenarioSpec parse_scenario(const std::string& text) {
+  return core::ScenarioSpec::from_json(Json::parse(text));
+}
+
+core::CampaignSpec parse_campaign(const std::string& text) {
+  return core::CampaignSpec::from_json(Json::parse(text));
+}
+
+// ------------------------------------------------------------ spec parsing
+
+TEST(ScenarioSpec, BenchShorthandAndObjectForms) {
+  const core::ScenarioSpec shorthand = parse_scenario("\"fig4_voltage_sweep\"");
+  EXPECT_EQ(shorthand.kind, core::ScenarioSpec::Kind::bench);
+  EXPECT_EQ(shorthand.bench, "fig4_voltage_sweep");
+  EXPECT_EQ(shorthand.name, "fig4_voltage_sweep");
+
+  const core::ScenarioSpec full = parse_scenario(
+      R"({"bench": "fig8_dvs_trace", "cycles": 20000, "threads": 1,
+          "flags": {"max_rows": 16}})");
+  EXPECT_EQ(full.kind, core::ScenarioSpec::Kind::bench);
+  EXPECT_EQ(full.cycles, 20000u);
+  EXPECT_EQ(full.threads, 1u);
+  ASSERT_EQ(full.flags.size(), 1u);
+  EXPECT_EQ(full.flags[0].first, "max_rows");
+  EXPECT_EQ(full.flags[0].second, "16");
+}
+
+TEST(ScenarioSpec, DeclarativeClosedLoopParses) {
+  const core::ScenarioSpec spec = parse_scenario(
+      R"({"name": "uniform_dvs", "experiment": "closed_loop",
+          "trace": {"source": "synthetic", "style": "pointer_like",
+                    "load_rate": 0.7, "seed": 42},
+          "widths": [16, 64], "controllers": ["threshold", "fixed_vs"],
+          "corners": ["typical", "worst"], "engine": "reference",
+          "encoding": "bus_invert", "cycles": 50000})");
+  EXPECT_EQ(spec.kind, core::ScenarioSpec::Kind::closed_loop);
+  EXPECT_EQ(spec.trace.style, trace::SyntheticStyle::pointer_like);
+  EXPECT_DOUBLE_EQ(spec.trace.load_rate, 0.7);
+  EXPECT_EQ(spec.trace.seed, 42u);
+  EXPECT_EQ(spec.widths, (std::vector<int>{16, 64}));
+  ASSERT_EQ(spec.controllers.size(), 2u);
+  EXPECT_EQ(spec.controllers[0].kind, dvs::ControllerKind::threshold);
+  EXPECT_EQ(spec.controllers[1].kind, dvs::ControllerKind::fixed_vs);
+  ASSERT_EQ(spec.corners.size(), 2u);
+  EXPECT_EQ(spec.corners[1], tech::worst_case_corner());
+  EXPECT_EQ(spec.engine, bus::EngineMode::reference);
+  EXPECT_TRUE(spec.bus_invert);
+}
+
+TEST(ScenarioSpec, ControllerTuningKnobs) {
+  const core::ScenarioSpec spec = parse_scenario(
+      R"({"name": "tuned", "experiment": "closed_loop",
+          "controllers": [{"kind": "threshold", "low": 0.005, "high": 0.01,
+                           "window": 2000},
+                          {"kind": "proportional", "gain": 6.0}]})");
+  ASSERT_EQ(spec.controllers.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.controllers[0].threshold.low_threshold, 0.005);
+  EXPECT_DOUBLE_EQ(spec.controllers[0].threshold.high_threshold, 0.01);
+  EXPECT_EQ(spec.controllers[0].threshold.window_cycles, 2000u);
+  EXPECT_DOUBLE_EQ(spec.controllers[1].proportional.gain, 6.0);
+}
+
+// The malformed-spec error paths the loader must catch BEFORE any
+// characterization work starts.
+TEST(ScenarioSpec, MalformedSpecsThrow) {
+  // Unknown key (typo'd "cycels").
+  EXPECT_THROW(parse_scenario(R"({"bench": "fig4_voltage_sweep", "cycels": 10})"),
+               std::invalid_argument);
+  // Wrong type.
+  EXPECT_THROW(parse_scenario(R"({"bench": "fig4_voltage_sweep", "cycles": "many"})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "widths": ["wide"]})"),
+               std::invalid_argument);
+  // Runner-owned flags cannot be shadowed through "flags".
+  EXPECT_THROW(parse_scenario(R"({"bench": "fig4_voltage_sweep",
+                                  "flags": {"json": "elsewhere.json"}})"),
+               std::invalid_argument);
+  // Negative cycle budgets must not wrap to a huge std::size_t.
+  EXPECT_THROW(parse_scenario(R"({"bench": "fig4_voltage_sweep", "cycles": -1})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_campaign(R"({"name": "x", "defaults": {"cycles": -5},
+                                  "scenarios": ["engine"]})"),
+               std::invalid_argument);
+  // Out-of-range widths (BusWord holds 1..128 wires).
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "widths": [0]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "widths": [256]})"),
+               std::invalid_argument);
+  // Neither bench nor experiment / both at once.
+  EXPECT_THROW(parse_scenario(R"({"name": "x"})"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "bench": "engine",
+                                  "experiment": "closed_loop"})"),
+               std::invalid_argument);
+  // Unknown enum values.
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "warp_speed"})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "controllers": ["pid"]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "trace": {"source": "synthetic", "style": "plaid"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "corners": ["mars"]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "encoding": "gray"})"),
+               std::invalid_argument);
+  // controllers on a static sweep (closed-loop-only axis).
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "static_sweep",
+                                  "controllers": ["threshold"]})"),
+               std::invalid_argument);
+  // Names become file names / subprocess args: shell metachars rejected.
+  EXPECT_THROW(parse_scenario(R"({"name": "rm -rf", "experiment": "closed_loop"})"),
+               std::invalid_argument);
+  // Trace sources with missing required fields.
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "trace": {"source": "file"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "trace": {"source": "benchmark"}})"),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpec, ParsesDefaultsAndRejectsEmpty) {
+  const core::CampaignSpec campaign = parse_campaign(
+      R"({"name": "quick", "defaults": {"cycles": 20000, "threads": 2},
+          "scenarios": ["fig4_voltage_sweep"]})");
+  EXPECT_EQ(campaign.default_cycles, 20000u);
+  EXPECT_EQ(campaign.default_threads, 2u);
+  ASSERT_EQ(campaign.scenarios.size(), 1u);
+
+  EXPECT_THROW(parse_campaign(R"({"name": "empty", "scenarios": []})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_campaign(R"({"name": "x", "scenarios": ["engine"], "typo": 1})"),
+               std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"name\": \"x\",}"), JsonParseError);
+}
+
+TEST(ScenarioSpec, ToJsonRoundTrips) {
+  const std::string text =
+      R"({"name": "uniform_dvs", "experiment": "closed_loop",
+          "trace": {"source": "synthetic", "style": "sparse", "load_rate": 0.1,
+                    "seed": 7},
+          "widths": [32, 128],
+          "controllers": [{"kind": "proportional", "gain": 3.5}],
+          "corners": [{"process": "fast", "temp_c": 25.0, "ir_drop": 0.05}],
+          "engine": "reference", "cycles": 123456, "threads": 3})";
+  const core::ScenarioSpec spec = parse_scenario(text);
+  const core::ScenarioSpec back = core::ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.to_json().dump(0), spec.to_json().dump(0));
+  EXPECT_EQ(back.trace.seed, 7u);
+  EXPECT_DOUBLE_EQ(back.controllers.at(0).proportional.gain, 3.5);
+  EXPECT_EQ(back.corners.at(0).process, tech::ProcessCorner::fast);
+  EXPECT_DOUBLE_EQ(back.corners.at(0).ir_drop_fraction, 0.05);
+}
+
+// ------------------------------------------------------------- expansion
+
+TEST(CampaignExpansion, CrossProductWithAxisSuffixes) {
+  const core::CampaignSpec campaign = parse_campaign(
+      R"({"name": "grid", "defaults": {"cycles": 1000},
+          "scenarios": [
+            {"bench": "fig4_voltage_sweep"},
+            {"name": "grid_dvs", "experiment": "closed_loop",
+             "widths": [16, 64], "controllers": ["threshold", "fixed_vs"]},
+            {"name": "solo", "experiment": "static_sweep"}
+          ]})");
+  const auto jobs = core::expand_campaign(campaign);
+  ASSERT_EQ(jobs.size(), 6u);
+  EXPECT_EQ(jobs[0].name, "fig4_voltage_sweep");
+  EXPECT_EQ(jobs[1].name, "grid_dvs_w16_threshold");
+  EXPECT_EQ(jobs[2].name, "grid_dvs_w16_fixed_vs");
+  EXPECT_EQ(jobs[3].name, "grid_dvs_w64_threshold");
+  EXPECT_EQ(jobs[4].name, "grid_dvs_w64_fixed_vs");
+  EXPECT_EQ(jobs[5].name, "solo");
+  // Each job collapsed to a single point with the defaults applied.
+  EXPECT_EQ(jobs[1].spec.widths, std::vector<int>{16});
+  ASSERT_EQ(jobs[1].spec.controllers.size(), 1u);
+  EXPECT_EQ(jobs[1].spec.cycles, 1000u);
+  // Single-axis scenarios keep their plain name (no suffix).
+  EXPECT_EQ(jobs[5].spec.widths, std::vector<int>{32});
+}
+
+// A tuning sweep repeats one controller kind; unlabelled duplicates get
+// occurrence suffixes and explicit labels name the axis point directly.
+TEST(CampaignExpansion, ControllerTuningSweepsKeepDistinctJobNames) {
+  const core::CampaignSpec campaign = parse_campaign(
+      R"({"name": "tuning", "defaults": {"cycles": 1000}, "scenarios": [
+            {"name": "band", "experiment": "closed_loop",
+             "controllers": [{"kind": "threshold", "low": 0.005, "high": 0.01},
+                             {"kind": "threshold", "low": 0.02, "high": 0.05},
+                             {"kind": "threshold", "label": "paper_band"}]}
+          ]})");
+  const auto jobs = core::expand_campaign(campaign);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].name, "band_threshold");
+  EXPECT_EQ(jobs[1].name, "band_threshold_2");
+  EXPECT_EQ(jobs[2].name, "band_paper_band");
+  EXPECT_DOUBLE_EQ(jobs[1].spec.controllers.at(0).threshold.low_threshold, 0.02);
+}
+
+TEST(CampaignExpansion, DuplicateJobNamesAreRejected) {
+  const core::CampaignSpec campaign = parse_campaign(
+      R"({"name": "dup", "scenarios": [
+            {"name": "same", "experiment": "static_sweep", "cycles": 10},
+            {"name": "same", "experiment": "closed_loop", "cycles": 10}
+          ]})");
+  EXPECT_THROW(core::expand_campaign(campaign), std::invalid_argument);
+}
+
+// ----------------------------------------------- end-to-end byte identity
+
+// Everything below spawns the sibling binaries, so it runs from the build
+// directory (as ctest and CI do).
+
+int run_cmd(const std::string& cmd) { return std::system(cmd.c_str()); }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << "missing " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// A report with the wall-clock field dropped; everything else — metrics,
+// notes, tables, cycles, threads — must match exactly.
+std::string normalized_report(const std::string& path) {
+  Json report = Json::parse(slurp(path));
+  report.erase("wall_seconds");
+  return report.dump(2);
+}
+
+class CampaignEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!std::ifstream("./campaign") || !std::ifstream("./fig4_voltage_sweep"))
+      GTEST_SKIP() << "bench binaries not in the working directory; run from build/";
+    ASSERT_EQ(run_cmd("rm -rf campaign_test_out && mkdir -p campaign_test_out"), 0);
+  }
+};
+
+TEST_F(CampaignEndToEnd, ReportsMatchLegacyBinariesByteForByte) {
+  // The acceptance scenarios: fig4, fig8 and table1, at budgets small
+  // enough for CI but large enough to exercise sweeps, the consecutive
+  // closed-loop driver and the per-trace suite driver.
+  ASSERT_EQ(run_cmd("./fig4_voltage_sweep --cycles=3000 --threads=1 "
+                    "--json=campaign_test_out/legacy_fig4.json "
+                    "> campaign_test_out/legacy_fig4.log 2>&1"),
+            0);
+  ASSERT_EQ(run_cmd("./fig8_dvs_trace --cycles=20000 --threads=1 --max_rows=16 "
+                    "--json=campaign_test_out/legacy_fig8.json "
+                    "> campaign_test_out/legacy_fig8.log 2>&1"),
+            0);
+  ASSERT_EQ(run_cmd("./table1_dvs_gains --cycles=10000 --threads=1 "
+                    "--json=campaign_test_out/legacy_table1.json "
+                    "> campaign_test_out/legacy_table1.log 2>&1"),
+            0);
+
+  std::ofstream spec("campaign_test_out/paper_small.json");
+  spec << R"({
+    "name": "paper_small",
+    "defaults": {"threads": 1},
+    "scenarios": [
+      {"bench": "fig4_voltage_sweep", "cycles": 3000},
+      {"bench": "fig8_dvs_trace", "cycles": 20000, "flags": {"max_rows": 16}},
+      {"bench": "table1_dvs_gains", "cycles": 10000}
+    ]
+  })";
+  spec.close();
+
+  ASSERT_EQ(run_cmd("./campaign run campaign_test_out/paper_small.json "
+                    "--out=campaign_test_out/run "
+                    "--json=campaign_test_out/BENCH_campaign.json "
+                    "> campaign_test_out/campaign.log 2>&1"),
+            0);
+
+  EXPECT_EQ(normalized_report("campaign_test_out/legacy_fig4.json"),
+            normalized_report("campaign_test_out/run/BENCH_fig4_voltage_sweep.json"));
+  EXPECT_EQ(normalized_report("campaign_test_out/legacy_fig8.json"),
+            normalized_report("campaign_test_out/run/BENCH_fig8_dvs_trace.json"));
+  EXPECT_EQ(normalized_report("campaign_test_out/legacy_table1.json"),
+            normalized_report("campaign_test_out/run/BENCH_table1_dvs_gains.json"));
+
+  // The consolidated report aggregates all three per-job reports.
+  const Json aggregate = Json::parse(slurp("campaign_test_out/BENCH_campaign.json"));
+  EXPECT_EQ(aggregate.at("campaign").as_string(), "paper_small");
+  EXPECT_EQ(aggregate.at("jobs").as_int(), 3);
+  ASSERT_TRUE(aggregate.at("scenarios").has("table1_dvs_gains"));
+  EXPECT_EQ(aggregate.at("scenarios").at("fig4_voltage_sweep").at("cycles").as_int(),
+            3000);
+
+  // Resume: a second run must execute nothing (all jobs cached) and still
+  // rewrite the same consolidated report.
+  ASSERT_EQ(run_cmd("./campaign run campaign_test_out/paper_small.json "
+                    "--out=campaign_test_out/run "
+                    "--json=campaign_test_out/BENCH_campaign2.json "
+                    "> campaign_test_out/campaign2.log 2>&1"),
+            0);
+  const std::string log = slurp("campaign_test_out/campaign2.log");
+  EXPECT_NE(log.find("3 cached"), std::string::npos) << log;
+  Json second = Json::parse(slurp("campaign_test_out/BENCH_campaign2.json"));
+  second.erase("wall_seconds");
+  second.erase("cached");
+  Json first = Json::parse(slurp("campaign_test_out/BENCH_campaign.json"));
+  first.erase("wall_seconds");
+  first.erase("cached");
+  EXPECT_EQ(first.dump(2), second.dump(2));
+}
+
+TEST_F(CampaignEndToEnd, DeclarativeJobRunsAndReports) {
+  std::ofstream spec("campaign_test_out/decl.json");
+  spec << R"({
+    "name": "decl",
+    "scenarios": [
+      {"name": "sparse_dvs", "experiment": "closed_loop",
+       "trace": {"source": "synthetic", "style": "sparse", "load_rate": 0.1,
+                 "seed": 11},
+       "widths": [16], "cycles": 30000, "threads": 1}
+    ]
+  })";
+  spec.close();
+  ASSERT_EQ(run_cmd("./campaign run campaign_test_out/decl.json "
+                    "--out=campaign_test_out/decl_run "
+                    "--json=campaign_test_out/BENCH_decl.json "
+                    "> campaign_test_out/decl.log 2>&1"),
+            0);
+  const Json report =
+      Json::parse(slurp("campaign_test_out/decl_run/BENCH_sparse_dvs.json"));
+  EXPECT_EQ(report.at("scenario").as_string(), "sparse_dvs");
+  EXPECT_EQ(report.at("cycles").as_int(), 30000);
+  EXPECT_TRUE(report.at("metrics").has("typical_100C_sparse_gain"));
+  EXPECT_EQ(report.at("notes").at("width").as_string(), "16");
+}
+
+TEST_F(CampaignEndToEnd, EditedSpecInvalidatesResume) {
+  const auto write_spec = [](int cycles) {
+    std::ofstream spec("campaign_test_out/edit.json");
+    spec << R"({"name": "edit", "scenarios": [
+      {"name": "sweep", "experiment": "static_sweep",
+       "trace": {"source": "synthetic", "style": "uniform", "seed": 3},
+       "cycles": )"
+         << cycles << R"(, "threads": 1}]})";
+  };
+  const std::string cmd =
+      "./campaign run campaign_test_out/edit.json --out=campaign_test_out/edit_run "
+      "--json=campaign_test_out/BENCH_edit.json > campaign_test_out/edit.log 2>&1";
+  write_spec(2000);
+  ASSERT_EQ(run_cmd(cmd), 0);
+  // Unchanged rerun: cached.
+  ASSERT_EQ(run_cmd(cmd), 0);
+  EXPECT_NE(slurp("campaign_test_out/edit.log").find("1 cached"), std::string::npos);
+  // Edited cycle budget, same job name: must NOT resume from the stale
+  // report — the rerun executes and the aggregate carries the new budget.
+  write_spec(4000);
+  ASSERT_EQ(run_cmd(cmd), 0);
+  EXPECT_NE(slurp("campaign_test_out/edit.log").find("0 cached"), std::string::npos);
+  const Json aggregate = Json::parse(slurp("campaign_test_out/BENCH_edit.json"));
+  EXPECT_EQ(aggregate.at("scenarios").at("sweep").at("cycles").as_int(), 4000);
+}
+
+TEST_F(CampaignEndToEnd, MalformedCampaignFailsBeforeAnyWork) {
+  std::ofstream spec("campaign_test_out/bad.json");
+  spec << R"({"name": "bad", "scenarios": [{"bench": "fig4_voltage_sweep",
+              "cycels": 10}]})";
+  spec.close();
+  EXPECT_NE(run_cmd("./campaign run campaign_test_out/bad.json "
+                    "--out=campaign_test_out/bad_run "
+                    "> campaign_test_out/bad.log 2>&1"),
+            0);
+  const std::string log = slurp("campaign_test_out/bad.log");
+  EXPECT_NE(log.find("unknown key 'cycels'"), std::string::npos) << log;
+  // Nothing ran: the output directory was never created.
+  EXPECT_FALSE(std::ifstream("campaign_test_out/bad_run/campaign.json").good());
+
+  // A typo'd bench NAME must also fail before any job executes, even when
+  // it sits behind other (expensive) scenarios in the campaign.
+  std::ofstream typo("campaign_test_out/typo.json");
+  typo << R"({"name": "typo", "scenarios": [
+              {"bench": "fig4_voltage_sweep", "cycles": 1000},
+              {"bench": "fig4_voltage_swep"}]})";
+  typo.close();
+  EXPECT_NE(run_cmd("./campaign run campaign_test_out/typo.json "
+                    "--out=campaign_test_out/typo_run "
+                    "> campaign_test_out/typo.log 2>&1"),
+            0);
+  const std::string typo_log = slurp("campaign_test_out/typo.log");
+  EXPECT_NE(typo_log.find("unknown scenario 'fig4_voltage_swep'"), std::string::npos)
+      << typo_log;
+  EXPECT_FALSE(std::ifstream("campaign_test_out/typo_run/campaign.json").good());
+}
+
+}  // namespace
+}  // namespace razorbus

@@ -46,7 +46,8 @@ TEST(System, NominalWorstDelaySpreadAcrossFig5Corners) {
     prev = d;
   }
   EXPECT_NEAR(to_ps(paper_system().nominal_worst_delay(tech::fig5_corners()[0])), 600, 8);
-  const double fastest = to_ps(paper_system().nominal_worst_delay(tech::fig5_corners()[4]));
+  const double fastest =
+      to_ps(paper_system().nominal_worst_delay(tech::fig5_corners()[4]));
   EXPECT_GT(fastest, 380);
   EXPECT_LT(fastest, 500);
 }
@@ -166,10 +167,12 @@ TEST(ClosedLoop, ConvergesToFloorOnIdleTraffic) {
   trace::Trace idle{"idle", std::vector<BusWord>(300000, BusWord())};
   DvsRunConfig cfg;
   cfg.record_series = true;
-  const DvsRunReport r = run_closed_loop(paper_system(), tech::typical_corner(), idle, cfg);
+  const DvsRunReport r =
+      run_closed_loop(paper_system(), tech::typical_corner(), idle, cfg);
   // No errors ever: every window steps down 20 mV until the floor.
   EXPECT_EQ(r.totals.errors, 0u);
-  EXPECT_NEAR(r.floor_supply, paper_system().dvs_floor(tech::ProcessCorner::typical), 1e-12);
+  EXPECT_NEAR(r.floor_supply, paper_system().dvs_floor(tech::ProcessCorner::typical),
+              1e-12);
   ASSERT_FALSE(r.series.empty());
   EXPECT_NEAR(r.series.back().supply, r.floor_supply, 1e-9);  // settled at the floor
   EXPECT_LT(r.average_supply, 1.05);  // average includes the descent

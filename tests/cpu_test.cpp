@@ -356,7 +356,8 @@ TEST_P(MachineFuzz, RandomProgramsExecuteSafely) {
     instr.rb = static_cast<std::uint8_t>(rng.next_below(kRegisterCount));
     instr.imm = is_control_flow(instr.op)
                     ? static_cast<std::int64_t>(rng.next_below(length))
-                    : static_cast<std::int64_t>(static_cast<std::int32_t>(rng.next_u64()));
+                    : static_cast<std::int64_t>(
+                          static_cast<std::int32_t>(rng.next_u64()));
     program.code.push_back(instr);
   }
   Machine machine(std::move(program), 1u << 12);

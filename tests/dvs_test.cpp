@@ -81,7 +81,8 @@ TEST(Controller, DecisionsFollowThePaperBand) {
   EXPECT_DOUBLE_EQ(ctl.last_window_error_rate(), 0.0);
 
   // Window 2: 1.5% errors -> inside the band -> hold.
-  for (int i = 0; i < 100; ++i) last = ctl.observe_cycle(i < 2);  // 2 errors? 2% is > band
+  for (int i = 0; i < 100; ++i)
+    last = ctl.observe_cycle(i < 2);  // 2 errors? 2% is > band
   EXPECT_EQ(ctl.windows_completed(), 2u);
   // 2/100 = 2% which is NOT > 2%: hold.
   EXPECT_EQ(last, VoltageDecision::hold);
@@ -170,8 +171,9 @@ TEST(FixedVs, LessConservativeEnvironmentAllowsLowerSupply) {
   mild.ir_drop_fraction = 0.0;
   const double with_ir = fixed_vs_voltage(small_system().design(), small_system().table(),
                                           tech::ProcessCorner::typical);
-  const double without_ir = fixed_vs_voltage(small_system().design(), small_system().table(),
-                                             tech::ProcessCorner::typical, mild);
+  const double without_ir =
+      fixed_vs_voltage(small_system().design(), small_system().table(),
+                       tech::ProcessCorner::typical, mild);
   EXPECT_LT(without_ir, with_ir);
 }
 
@@ -250,9 +252,11 @@ TEST_F(OracleTest, CriticalIndexHigherForWorsePatterns) {
 TEST_F(OracleTest, ClassCriticalIndicesMonotoneInMiller) {
   const auto& idx = oracle_.class_critical_index();
   const int worst = lut::PatternClass::encode(
-      lut::VictimActivity::rise, lut::NeighborActivity::fall, lut::NeighborActivity::fall);
+      lut::VictimActivity::rise, lut::NeighborActivity::fall,
+      lut::NeighborActivity::fall);
   const int best = lut::PatternClass::encode(
-      lut::VictimActivity::rise, lut::NeighborActivity::rise, lut::NeighborActivity::rise);
+      lut::VictimActivity::rise, lut::NeighborActivity::rise,
+      lut::NeighborActivity::rise);
   EXPECT_GE(idx[static_cast<std::size_t>(worst)], idx[static_cast<std::size_t>(best)]);
 }
 
@@ -357,7 +361,9 @@ TEST(Proportional, NoChangeMidWindowOrOnTarget) {
   // A window exactly on target requests nothing.
   for (int i = 0; i < 100; ++i) {
     const double delta = ctl.observe_cycle(i < 2);  // 2% = target
-    if (i == 99) EXPECT_DOUBLE_EQ(delta, 0.0);
+    if (i == 99) {
+      EXPECT_DOUBLE_EQ(delta, 0.0);
+    }
   }
 }
 

@@ -50,7 +50,8 @@ std::vector<std::uint32_t> pattern_trace(const std::string& kind, std::size_t cy
   Rng rng(seed);
   if (kind == "random") {
     for (std::size_t i = 0; i < cycles; ++i)
-      words.push_back(rng.bernoulli(0.45) ? static_cast<std::uint32_t>(rng.next_u64()) : 0u);
+      words.push_back(rng.bernoulli(0.45) ? static_cast<std::uint32_t>(rng.next_u64())
+                                          : 0u);
   } else if (kind == "idle_runs") {
     std::uint32_t word = 0;
     for (std::size_t i = 0; i < cycles; ++i) {
@@ -346,7 +347,8 @@ TEST(EngineParity, MaskClassifierMatchesPerBit) {
       const auto prev = static_cast<std::uint32_t>(rng.next_u64());
       const auto cur = static_cast<std::uint32_t>(rng.next_u64());
       int counts[lut::PatternClass::kCount] = {};
-      for (int bit = 0; bit < n_bits; ++bit) ++counts[classifier.classify(prev, cur, bit)];
+      for (int bit = 0; bit < n_bits; ++bit)
+        ++counts[classifier.classify(prev, cur, bit)];
 
       const ClassMaskSet s = classifier.masks(prev, cur);
       int mask_total = 0;

@@ -183,7 +183,8 @@ TEST(Fig8, InstantaneousErrorRateCanOvershootTarget) {
       {trace_of("crafty"), trace_of("mgrid"), trace_of("mesa")}, cfg);
 
   double max_window_rate = 0.0;
-  for (const auto& s : r.series) max_window_rate = std::max(max_window_rate, s.error_rate);
+  for (const auto& s : r.series)
+    max_window_rate = std::max(max_window_rate, s.error_rate);
   EXPECT_GT(max_window_rate, 0.02);  // overshoot happens...
   for (const auto& t : r.per_trace)
     EXPECT_LT(t.totals.error_rate(), 0.05);  // per-program averages stay close
@@ -204,10 +205,12 @@ TEST(Fig8, SupplyAdaptsAcrossProgramTransitions) {
   auto settled = [&](std::size_t begin_cycle, std::size_t end_cycle) {
     std::vector<double> voltages;
     for (const auto& s : r.series)
-      if (s.end_cycle > begin_cycle && s.end_cycle <= end_cycle) voltages.push_back(s.supply);
+      if (s.end_cycle > begin_cycle && s.end_cycle <= end_cycle)
+        voltages.push_back(s.supply);
     double acc = 0.0;
     std::size_t n = std::min<std::size_t>(3, voltages.size());
-    for (std::size_t i = voltages.size() - n; i < voltages.size(); ++i) acc += voltages[i];
+    for (std::size_t i = voltages.size() - n; i < voltages.size(); ++i)
+      acc += voltages[i];
     return acc / static_cast<double>(n);
   };
   const double mesa_settled = settled(0, kCycles);

@@ -15,7 +15,8 @@ namespace {
 // ---------------------------------------------------------------- geometry
 
 TEST(Geometry, PaperWireParasiticsInPlausibleRange) {
-  const WireParasitics p = extract_parasitics(WireGeometry::from_node(tech::node_130nm()));
+  const WireParasitics p =
+      extract_parasitics(WireGeometry::from_node(tech::node_130nm()));
   // Global-layer 0.4 um Cu wire: tens of ohm/mm.
   EXPECT_GT(p.r_per_m, 20e3);
   EXPECT_LT(p.r_per_m, 200e3);
@@ -57,7 +58,8 @@ TEST(Geometry, RejectsNonPositiveDimensions) {
 
 // The Section 6 transform: Cc/Cg ratio x1.95, worst-case load and R constant.
 TEST(Geometry, CouplingRatioTransformInvariants) {
-  const WireParasitics p = extract_parasitics(WireGeometry::from_node(tech::node_130nm()));
+  const WireParasitics p =
+      extract_parasitics(WireGeometry::from_node(tech::node_130nm()));
   const WireParasitics q = scale_coupling_ratio(p, 1.95);
   EXPECT_NEAR(q.cc_to_cg_ratio(), 1.95 * p.cc_to_cg_ratio(), 1e-12);
   EXPECT_NEAR(q.worst_case_c_per_m(), p.worst_case_c_per_m(), 1e-20);
@@ -67,14 +69,16 @@ TEST(Geometry, CouplingRatioTransformInvariants) {
 }
 
 TEST(Geometry, CouplingRatioIdentityAtOne) {
-  const WireParasitics p = extract_parasitics(WireGeometry::from_node(tech::node_130nm()));
+  const WireParasitics p =
+      extract_parasitics(WireGeometry::from_node(tech::node_130nm()));
   const WireParasitics q = scale_coupling_ratio(p, 1.0);
   EXPECT_NEAR(q.cg_per_m, p.cg_per_m, 1e-20);
   EXPECT_NEAR(q.cc_per_m, p.cc_per_m, 1e-20);
 }
 
 TEST(Geometry, CouplingRatioRejectsNonPositive) {
-  const WireParasitics p = extract_parasitics(WireGeometry::from_node(tech::node_130nm()));
+  const WireParasitics p =
+      extract_parasitics(WireGeometry::from_node(tech::node_130nm()));
   EXPECT_THROW(scale_coupling_ratio(p, 0.0), std::invalid_argument);
 }
 
@@ -107,8 +111,10 @@ TEST(Elmore, StageDelayMonotonicInLoad) {
 }
 
 TEST(Elmore, RepeatedLineScalesWithSegments) {
-  const double one = repeated_line_delay(300.0, 50e-15, 120e-15, 90.0, 500e-15, 10e-15, 1);
-  const double four = repeated_line_delay(300.0, 50e-15, 120e-15, 90.0, 500e-15, 10e-15, 4);
+  const double one =
+      repeated_line_delay(300.0, 50e-15, 120e-15, 90.0, 500e-15, 10e-15, 1);
+  const double four =
+      repeated_line_delay(300.0, 50e-15, 120e-15, 90.0, 500e-15, 10e-15, 4);
   EXPECT_GT(four, 3.0 * one);
   EXPECT_LT(four, 5.0 * one);
   EXPECT_THROW(repeated_line_delay(300.0, 50e-15, 120e-15, 90.0, 500e-15, 10e-15, 0),

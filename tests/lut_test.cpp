@@ -110,17 +110,17 @@ TEST(Pattern, MillerFactorSums) {
     return miller_factor_sum(PatternClass::encode(v, l, r));
   };
   // Eq. 1: both neighbors opposing a rising victim -> 4.
-  EXPECT_DOUBLE_EQ(mf(VictimActivity::rise, NeighborActivity::fall, NeighborActivity::fall),
-                   4.0);
+  EXPECT_DOUBLE_EQ(
+      mf(VictimActivity::rise, NeighborActivity::fall, NeighborActivity::fall), 4.0);
   // Both in phase -> 0.
-  EXPECT_DOUBLE_EQ(mf(VictimActivity::rise, NeighborActivity::rise, NeighborActivity::rise),
-                   0.0);
+  EXPECT_DOUBLE_EQ(
+      mf(VictimActivity::rise, NeighborActivity::rise, NeighborActivity::rise), 0.0);
   // Quiet/shield neighbors -> 1 each.
-  EXPECT_DOUBLE_EQ(mf(VictimActivity::rise, NeighborActivity::hold, NeighborActivity::shield),
-                   2.0);
+  EXPECT_DOUBLE_EQ(
+      mf(VictimActivity::rise, NeighborActivity::hold, NeighborActivity::shield), 2.0);
   // Falling victim mirrors.
-  EXPECT_DOUBLE_EQ(mf(VictimActivity::fall, NeighborActivity::rise, NeighborActivity::rise),
-                   4.0);
+  EXPECT_DOUBLE_EQ(
+      mf(VictimActivity::fall, NeighborActivity::rise, NeighborActivity::rise), 4.0);
   // Holding victims have no delay hence no Miller sum.
   EXPECT_DOUBLE_EQ(
       mf(VictimActivity::hold_low, NeighborActivity::fall, NeighborActivity::fall), 0.0);
@@ -282,8 +282,8 @@ TEST_F(TableTest, LoadRejectsTruncated) {
 }
 
 TEST_F(TableTest, MinShadowSafeVoltageIsConsistent) {
-  const double v =
-      table_->min_shadow_safe_voltage(sized_paper_bus(), tech::ProcessCorner::slow, 100.0);
+  const double v = table_->min_shadow_safe_voltage(sized_paper_bus(),
+                                                   tech::ProcessCorner::slow, 100.0);
   const int worst = PatternClass::encode(VictimActivity::rise, NeighborActivity::fall,
                                          NeighborActivity::fall);
   EXPECT_LE(table_->delay(worst, tech::ProcessCorner::slow, 100.0, v),
@@ -296,8 +296,8 @@ TEST_F(TableTest, MinShadowSafeVoltageIsConsistent) {
 TEST_F(TableTest, WorstDelayConsistentWithElmoreEstimate) {
   const auto& bus = sized_paper_bus();
   const tech::DriverModel driver(bus.node);
-  const double r_drv = driver.effective_resistance(bus.repeater_size,
-                                                   tech::ProcessCorner::typical, 100.0, 1.2);
+  const double r_drv = driver.effective_resistance(
+      bus.repeater_size, tech::ProcessCorner::typical, 100.0, 1.2);
   const double estimate = interconnect::repeated_line_delay(
       r_drv, driver.self_capacitance(bus.repeater_size),
       driver.input_capacitance(bus.repeater_size),
@@ -369,7 +369,8 @@ TEST(Cache, BuildStoreReload) {
   EXPECT_GT(build_calls, 0);  // cache miss: built
 
   build_calls = 0;
-  const DelayEnergyTable second = build_or_load(sized_paper_bus(), driver, tiny, progress);
+  const DelayEnergyTable second =
+      build_or_load(sized_paper_bus(), driver, tiny, progress);
   EXPECT_EQ(build_calls, 0);  // cache hit: loaded
 
   const int cls = PatternClass::encode(VictimActivity::rise, NeighborActivity::fall,

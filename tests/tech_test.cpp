@@ -107,7 +107,8 @@ TEST_F(DriverModelTest, NominalResistanceMatchesUnitSpec) {
 
 TEST_F(DriverModelTest, ResistanceScalesInverselyWithSize) {
   const double r1 = driver_.effective_resistance(1.0, ProcessCorner::typical, 25.0, 1.2);
-  const double r80 = driver_.effective_resistance(80.0, ProcessCorner::typical, 25.0, 1.2);
+  const double r80 =
+      driver_.effective_resistance(80.0, ProcessCorner::typical, 25.0, 1.2);
   EXPECT_NEAR(r1 / r80, 80.0, 1e-9);
 }
 
@@ -130,7 +131,8 @@ TEST_F(DriverModelTest, CornerOrderingOnResistance) {
 
 TEST_F(DriverModelTest, HotterIsSlower) {
   const double r25 = driver_.effective_resistance(1.0, ProcessCorner::typical, 25.0, 1.2);
-  const double r100 = driver_.effective_resistance(1.0, ProcessCorner::typical, 100.0, 1.2);
+  const double r100 =
+      driver_.effective_resistance(1.0, ProcessCorner::typical, 100.0, 1.2);
   EXPECT_GT(r100, r25);
   // ... but only mildly (velocity saturation + Vth(T) compensation): under
   // 25% swing for the 75C step.
@@ -174,8 +176,10 @@ TEST_F(DriverModelTest, VthEffIncludesDiblAndTemperature) {
 // Alpha-power sanity: the voltage-induced delay ratio from 1.2 V to 0.96 V
 // should be in the vicinity of the analytic alpha-power prediction.
 TEST_F(DriverModelTest, AlphaPowerVoltageScalingMagnitude) {
-  const double r_hi = driver_.effective_resistance(1.0, ProcessCorner::typical, 100.0, 1.2);
-  const double r_lo = driver_.effective_resistance(1.0, ProcessCorner::typical, 100.0, 0.96);
+  const double r_hi =
+      driver_.effective_resistance(1.0, ProcessCorner::typical, 100.0, 1.2);
+  const double r_lo =
+      driver_.effective_resistance(1.0, ProcessCorner::typical, 100.0, 0.96);
   EXPECT_GT(r_lo / r_hi, 1.10);
   EXPECT_LT(r_lo / r_hi, 1.45);
 }
@@ -221,8 +225,8 @@ TEST_F(LeakageTest, FastCornerLeaksMore) {
 
 TEST_F(LeakageTest, EnergyIsCurrentTimesVoltageTimesTime) {
   const double i = leak_.current(10.0, ProcessCorner::typical, 100.0, 1.0);
-  EXPECT_NEAR(leak_.energy(10.0, ProcessCorner::typical, 100.0, 1.0, 1e-9), i * 1.0 * 1e-9,
-              1e-24);
+  EXPECT_NEAR(leak_.energy(10.0, ProcessCorner::typical, 100.0, 1.0, 1e-9),
+              i * 1.0 * 1e-9, 1e-24);
 }
 
 TEST_F(LeakageTest, ZeroVoltageNoLeakage) {
@@ -230,7 +234,8 @@ TEST_F(LeakageTest, ZeroVoltageNoLeakage) {
 }
 
 TEST_F(LeakageTest, RejectsNonPositiveSize) {
-  EXPECT_THROW(leak_.current(0.0, ProcessCorner::typical, 25.0, 1.2), std::invalid_argument);
+  EXPECT_THROW(leak_.current(0.0, ProcessCorner::typical, 25.0, 1.2),
+               std::invalid_argument);
 }
 
 // ---------------------------------------------------------------- supply

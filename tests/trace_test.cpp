@@ -65,7 +65,8 @@ TEST(Stats, WorstPatternDetectsOpposingTriple) {
 TEST(Stats, PerBitTogglesSumToToggleRate) {
   Trace t{"r", {}};
   Rng rng(5);
-  for (int i = 0; i < 500; ++i) t.words.push_back(static_cast<std::uint32_t>(rng.next_u64()));
+  for (int i = 0; i < 500; ++i)
+    t.words.push_back(static_cast<std::uint32_t>(rng.next_u64()));
   const TraceStats s = compute_stats(t);
   double sum = 0.0;
   for (const double p : s.per_bit_toggle) sum += p;
@@ -310,7 +311,8 @@ TEST(TraceIo, CorruptWordCountRejectedWithoutGiantAllocation) {
   std::string data = buffer.str();
 
   // The word count is the 8 bytes right before the payload.
-  const std::size_t count_offset = data.size() - t.words.size() * sizeof(std::uint32_t) - 8;
+  const std::size_t count_offset =
+      data.size() - t.words.size() * sizeof(std::uint32_t) - 8;
   const std::uint64_t huge = (1ull << 33) - 1;
   std::memcpy(&data[count_offset], &huge, sizeof(huge));
 

@@ -411,5 +411,118 @@ TEST(Json, TypeMisuseThrows) {
   EXPECT_THROW(obj.push(1), std::logic_error);
 }
 
+// ------------------------------------------------- json parser / round-trip
+
+TEST(JsonParse, ScalarsAndContainers) {
+  const Json j = Json::parse(
+      R"({"int": -42, "num": 2.5, "flag": true, "off": false, "nil": null,)"
+      R"( "arr": [1, [2]], "obj": {"k": "v"}})");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("int").as_int(), -42);
+  EXPECT_DOUBLE_EQ(j.at("num").as_double(), 2.5);
+  EXPECT_TRUE(j.at("flag").as_bool());
+  EXPECT_FALSE(j.at("off").as_bool());
+  EXPECT_TRUE(j.at("nil").is_null());
+  ASSERT_EQ(j.at("arr").size(), 2u);
+  EXPECT_EQ(j.at("arr").at(0).as_int(), 1);
+  EXPECT_EQ(j.at("arr").at(1).at(0).as_int(), 2);
+  EXPECT_EQ(j.at("obj").at("k").as_string(), "v");
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW(j.at("missing"), std::out_of_range);
+}
+
+TEST(JsonParse, IntegerAndDoubleStayDistinct) {
+  EXPECT_TRUE(Json::parse("7").is_integer());
+  EXPECT_FALSE(Json::parse("7.0").is_integer());
+  EXPECT_TRUE(Json::parse("7.0").is_number());
+  EXPECT_TRUE(Json::parse("1e3").is_number());
+  EXPECT_FALSE(Json::parse("1e3").is_integer());
+  // Integers past the long long range degrade to double rather than failing.
+  EXPECT_TRUE(Json::parse("123456789012345678901234567890").is_number());
+}
+
+// parse(dump(x)) must reproduce x exactly: the ScenarioSpec loader and the
+// bench-regression gate both read numbers the emitter wrote.
+TEST(JsonParse, DumpParseRoundTripIsExact) {
+  Json j = Json::object();
+  j.set("third", 1.0 / 3.0)
+      .set("tiny", 5e-324)
+      .set("huge", 1.7976931348623157e308)
+      .set("neg_zero", -0.0)
+      .set("pi", 3.141592653589793)
+      .set("max_ll", 9223372036854775807LL)
+      .set("min_ll", -9223372036854775807LL - 1)
+      .set("ratio", 0.1);
+  for (int indent : {0, 2}) {
+    const Json back = Json::parse(j.dump(indent));
+    EXPECT_DOUBLE_EQ(back.at("third").as_double(), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(back.at("tiny").as_double(), 5e-324);
+    EXPECT_DOUBLE_EQ(back.at("huge").as_double(), 1.7976931348623157e308);
+    EXPECT_EQ(back.at("neg_zero").as_double(), 0.0);
+    EXPECT_DOUBLE_EQ(back.at("pi").as_double(), 3.141592653589793);
+    EXPECT_EQ(back.at("max_ll").as_int(), 9223372036854775807LL);
+    EXPECT_EQ(back.at("min_ll").as_int(), -9223372036854775807LL - 1);
+    EXPECT_DOUBLE_EQ(back.at("ratio").as_double(), 0.1);
+    // Second round trip is byte-stable.
+    EXPECT_EQ(back.dump(indent), j.dump(indent));
+  }
+}
+
+TEST(JsonParse, EscapesAndUtf8RoundTrip) {
+  Json j = Json::object();
+  j.set("quotes", "a\"b\\c");
+  j.set("control", std::string("line\nreturn\rtab\tbell\x07"));
+  j.set("utf8", "caf\xc3\xa9 \xe6\xbc\xa2\xe5\xad\x97");  // café 漢字 as raw UTF-8
+  const Json back = Json::parse(j.dump(0));
+  EXPECT_EQ(back.at("quotes").as_string(), "a\"b\\c");
+  EXPECT_EQ(back.at("control").as_string(), "line\nreturn\rtab\tbell\x07");
+  EXPECT_EQ(back.at("utf8").as_string(), "caf\xc3\xa9 \xe6\xbc\xa2\xe5\xad\x97");
+  EXPECT_EQ(Json::parse(back.dump(2)).dump(0), back.dump(0));
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse(R"("\u0041\u00e9\u6f22")").as_string(),
+            "A\xc3\xa9\xe6\xbc\xa2");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");
+  EXPECT_EQ(Json::parse(R"("\b\f\/")").as_string(), "\b\f/");
+}
+
+TEST(JsonParse, MalformedInputsThrowWithPosition) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "nul", "01", "1.", "1e", "-",
+        "\"unterminated", "\"bad\\q\"", "\"\\ud800\"", "\"\\ud800\\u0041\"",
+        "{\"a\":1,}", "[1 2]", "{\"a\" 1}", "{1: 2}", "1 2", "\"tab\there\""}) {
+    EXPECT_THROW(Json::parse(bad), JsonParseError) << "input: " << bad;
+  }
+  try {
+    Json::parse("{\"a\": 1, }");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, WhitespaceAndDuplicateKeys) {
+  const Json j = Json::parse("  \r\n\t{ \"a\" : 1 , \"a\" : 2 }  ");
+  EXPECT_EQ(j.size(), 1u);  // duplicate keys: last wins
+  EXPECT_EQ(j.at("a").as_int(), 2);
+}
+
+TEST(JsonParse, DeepNestingIsRejectedNotACrash) {
+  std::string deep(5000, '[');
+  deep += std::string(5000, ']');
+  EXPECT_THROW(Json::parse(deep), JsonParseError);
+}
+
+TEST(Json, EraseRemovesMember) {
+  Json j = Json::object();
+  j.set("keep", 1).set("drop", 2);
+  EXPECT_TRUE(j.erase("drop"));
+  EXPECT_FALSE(j.erase("drop"));
+  EXPECT_EQ(j.dump(0), "{\"keep\":1}");
+}
+
 }  // namespace
 }  // namespace razorbus
