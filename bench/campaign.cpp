@@ -32,6 +32,7 @@
 #include "core/scenario_spec.hpp"
 #include "scenario_registry.hpp"
 #include "trace/io.hpp"
+#include "trace/source.hpp"
 #include "trace/synthetic.hpp"
 #include "util/parallel.hpp"
 
@@ -145,6 +146,72 @@ std::vector<trace::Trace> traces_for(const core::ScenarioSpec& spec,
   return traces;
 }
 
+// Streamed twin of traces_for (DESIGN.md §12): one TraceSource per trace
+// the materialized path would have built, producing the identical word
+// sequences and names — which is what keeps a "stream": true job's
+// experiment metrics byte-identical to the materialized job's.
+std::vector<std::unique_ptr<trace::TraceSource>> sources_for(
+    const core::ScenarioSpec& spec, std::size_t cycles) {
+  const int width = spec.widths.at(0);
+  std::vector<std::unique_ptr<trace::TraceSource>> sources;
+  switch (spec.trace.source) {
+    case core::TraceSpec::Source::synthetic: {
+      trace::SyntheticConfig cfg;
+      cfg.style = spec.trace.style;
+      cfg.cycles = cycles;
+      cfg.load_rate = spec.trace.load_rate;
+      cfg.activity = spec.trace.activity;
+      cfg.seed = spec.trace.seed;
+      cfg.n_bits = width;
+      sources.push_back(
+          trace::make_synthetic_source(cfg, trace::to_string(spec.trace.style)));
+      break;
+    }
+    case core::TraceSpec::Source::benchmark:
+    case core::TraceSpec::Source::suite: {
+      if (width % 32 != 0)
+        throw std::invalid_argument("benchmark traces require a width that is a "
+                                    "multiple of 32, got " +
+                                    std::to_string(width));
+      const int factor = width / 32;
+      const auto stream_one = [&](const cpu::Benchmark& bench) {
+        auto s = bench.stream(cycles * static_cast<std::size_t>(factor));
+        if (factor > 1) s = trace::widen_source(std::move(s), factor);
+        return s;
+      };
+      if (spec.trace.source == core::TraceSpec::Source::benchmark) {
+        sources.push_back(stream_one(cpu::benchmark_by_name(spec.trace.benchmark)));
+      } else {
+        for (const auto& bench : cpu::spec2000_suite())
+          sources.push_back(stream_one(bench));
+      }
+      break;
+    }
+    case core::TraceSpec::Source::file: {
+      auto s = trace::open_trace_stream(spec.trace.path);
+      if (s->n_bits() != width)
+        throw std::invalid_argument("trace file " + spec.trace.path + " is " +
+                                    std::to_string(s->n_bits()) + " wires, job wants " +
+                                    std::to_string(width));
+      sources.push_back(std::move(s));
+      break;
+    }
+  }
+  if (spec.bus_invert)
+    for (auto& s : sources) s = bus::bus_invert_encode_source(std::move(s));
+  return sources;
+}
+
+// Block accounting of a streamed job, surfaced next to the experiment
+// metrics (docs/bench-reports.md): how much trace was pulled and the
+// peak-RSS-relevant per-shard buffer bound.
+void record_stream_stats(ScenarioContext& ctx, const core::StreamStats& stats) {
+  ctx.metric("stream_block_cycles", static_cast<double>(stats.block_cycles));
+  ctx.metric("stream_blocks", static_cast<double>(stats.blocks));
+  ctx.metric("stream_cycles", static_cast<double>(stats.cycles));
+  ctx.metric("stream_peak_buffer_words", static_cast<double>(stats.peak_buffer_words));
+}
+
 std::string corner_key(const tech::PvtCorner& corner) {
   std::string key = tech::to_string(corner.process) + "_" +
                     std::to_string(static_cast<int>(corner.temp_c)) + "C";
@@ -156,8 +223,22 @@ std::string corner_key(const tech::PvtCorner& corner) {
 
 void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
   const auto& system = system_for_width(spec.widths.at(0));
-  const auto traces = traces_for(spec, ctx.cycles);
   const core::ControllerSpec& controller = spec.controllers.at(0);
+
+  // Either every trace resident (legacy) or one lazily-executed stream per
+  // trace: the reports — and therefore every metric below — are
+  // bit-identical between the two paths (tests/stream_test.cpp).
+  std::vector<trace::Trace> traces;
+  std::vector<std::unique_ptr<trace::TraceSource>> sources;
+  std::vector<std::string> trace_names;
+  if (spec.stream) {
+    sources = sources_for(spec, ctx.cycles);
+    for (const auto& s : sources) trace_names.push_back(s->name());
+  } else {
+    traces = traces_for(spec, ctx.cycles);
+    for (const auto& t : traces) trace_names.push_back(t.name);
+  }
+  core::StreamStats stream_stats;
 
   Table table({"Corner", "Trace", "Gain (%)", "Err (%)", "Avg V (mV)", "Floor (mV)"});
   for (const auto& corner : spec.corners) {
@@ -170,7 +251,10 @@ void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
         cfg.controller = controller.threshold;
         cfg.engine = spec.engine;
         cfg.timing_jitter_sigma = spec.timing_jitter_sigma;
-        reports = core::run_closed_loop_suite(system, corner, traces, cfg);
+        reports = spec.stream
+                      ? core::run_closed_loop_suite_streamed(system, corner, sources,
+                                                             cfg, {}, &stream_stats)
+                      : core::run_closed_loop_suite(system, corner, traces, cfg);
         break;
       }
       case dvs::ControllerKind::proportional: {
@@ -178,25 +262,37 @@ void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
         cfg.controller = controller.proportional;
         cfg.engine = spec.engine;
         cfg.timing_jitter_sigma = spec.timing_jitter_sigma;
-        for (const auto& t : traces)
-          reports.push_back(core::run_closed_loop_proportional(system, corner, t, cfg));
+        if (spec.stream) {
+          for (const auto& s : sources)
+            reports.push_back(core::run_closed_loop_proportional_streamed(
+                system, corner, *s, cfg, {}, &stream_stats));
+        } else {
+          for (const auto& t : traces)
+            reports.push_back(
+                core::run_closed_loop_proportional(system, corner, t, cfg));
+        }
         break;
       }
       case dvs::ControllerKind::fixed_vs:
-        reports = core::run_fixed_vs_suite(system, corner, traces, spec.engine,
-                                           spec.timing_jitter_sigma);
+        reports = spec.stream
+                      ? core::run_fixed_vs_suite_streamed(system, corner, sources,
+                                                          spec.engine,
+                                                          spec.timing_jitter_sigma, {},
+                                                          &stream_stats)
+                      : core::run_fixed_vs_suite(system, corner, traces, spec.engine,
+                                                 spec.timing_jitter_sigma);
         break;
     }
-    for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (std::size_t t = 0; t < trace_names.size(); ++t) {
       const core::DvsRunReport& r = reports[t];
       table.row()
           .add(corner.name())
-          .add(traces[t].name)
+          .add(trace_names[t])
           .add(100.0 * r.energy_gain(), 1)
           .add(100.0 * r.error_rate(), 2)
           .add(to_mV(r.average_supply), 0)
           .add(to_mV(r.floor_supply), 0);
-      const std::string key = corner_key(corner) + "_" + traces[t].name;
+      const std::string key = corner_key(corner) + "_" + trace_names[t];
       ctx.metric(key + "_gain", r.energy_gain());
       ctx.metric(key + "_error_rate", r.error_rate());
       ctx.metric(key + "_avg_supply", r.average_supply);
@@ -206,16 +302,34 @@ void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
   ctx.note("controller", controller.label());
   ctx.note("engine", bus::to_string(spec.engine));
   ctx.note("width", std::to_string(spec.widths.at(0)));
+  ctx.note("trace_mode", spec.stream ? "streamed" : "materialized");
+  if (spec.stream) record_stream_stats(ctx, stream_stats);
 }
 
 void run_static_sweep_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
   const auto& system = system_for_width(spec.widths.at(0));
-  const auto traces = traces_for(spec, ctx.cycles);
+  std::vector<trace::Trace> traces;
+  std::unique_ptr<trace::TraceSource> source;
+  if (spec.stream) {
+    // The materialized sweep runs its traces back to back through one
+    // simulator, so the streamed sweep sees their concatenation.
+    auto parts = sources_for(spec, ctx.cycles);
+    source = parts.size() == 1
+                 ? std::move(parts.front())
+                 : trace::concatenate_sources(std::move(parts), "suite");
+  } else {
+    traces = traces_for(spec, ctx.cycles);
+  }
+  core::StreamStats stream_stats;
 
   for (const auto& corner : spec.corners) {
     std::fprintf(stderr, "[sweeping %s]\n", corner.name().c_str());
-    const core::StaticSweepResult sweep = core::static_voltage_sweep(
-        system, corner, traces, spec.timing_jitter_sigma, spec.engine);
+    const core::StaticSweepResult sweep =
+        spec.stream ? core::static_voltage_sweep_streamed(
+                          system, corner, *source, spec.timing_jitter_sigma,
+                          spec.engine, {}, &stream_stats)
+                    : core::static_voltage_sweep(system, corner, traces,
+                                                 spec.timing_jitter_sigma, spec.engine);
     Table table({"Supply (mV)", "Error Rate (%)", "Bus Energy (norm)",
                  "Bus+Recovery (norm)"});
     for (auto it = sweep.points.rbegin(); it != sweep.points.rend(); ++it) {
@@ -232,6 +346,8 @@ void run_static_sweep_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) 
   }
   ctx.note("engine", bus::to_string(spec.engine));
   ctx.note("width", std::to_string(spec.widths.at(0)));
+  ctx.note("trace_mode", spec.stream ? "streamed" : "materialized");
+  if (spec.stream) record_stream_stats(ctx, stream_stats);
 }
 
 // ----------------------------------------------------------------- run-one
@@ -257,6 +373,7 @@ int run_one(const std::string& spec_path, const std::string& json_flag) {
                   std::to_string(spec.widths.at(0)) + " wires)"
             : "declarative static voltage sweep (" +
                   std::to_string(spec.widths.at(0)) + " wires)";
+    if (spec.stream) scenario.description += " [streamed]";
     scenario.paper_ref = "campaign spec " + spec_path;
     scenario.default_cycles = spec.cycles;
     scenario.run = [spec](ScenarioContext& ctx) {

@@ -1,4 +1,5 @@
-// Trace tooling walkthrough: capture, SimPoint reduction, file round-trip.
+// Trace tooling walkthrough: capture, SimPoint reduction, file round-trip,
+// and the streaming pipeline.
 //
 // The paper evaluates 10M-instruction SimPoint windows of SPEC2000. This
 // example shows the equivalent workflow in this library: capture a long
@@ -7,6 +8,14 @@
 // save/reload the trace from disk.
 //
 //   $ ./examples/trace_tools --benchmark=mgrid --cycles=800000
+//
+// --stream switches to the streaming demonstration (DESIGN.md §12,
+// docs/architecture.md): a closed-loop DVS run over a synthetic stream of
+// --stream_cycles cycles (default 10^8 — materialized, that trace would be
+// ~1.6 GB) executed through one --block-word buffer, with the block
+// accounting printed at the end:
+//
+//   $ ./examples/trace_tools --stream --stream_cycles=100000000
 #include <cstdio>
 #include <filesystem>
 
@@ -15,13 +24,70 @@
 #include "cpu/kernels.hpp"
 #include "cpu/simpoint.hpp"
 #include "trace/io.hpp"
+#include "trace/source.hpp"
+#include "trace/synthetic.hpp"
 #include "util/cli.hpp"
 #include "util/units.hpp"
 
 namespace {
 
+// A 10^8-cycle closed-loop scenario at bounded memory: the trace is never
+// materialized — the generator state (an Rng and the previous word) and
+// one block buffer are all that exists, however many cycles stream.
+int run_streaming_demo(const razorbus::CliFlags& flags) {
+  using namespace razorbus;
+
+  trace::SyntheticConfig cfg;
+  cfg.style = trace::synthetic_style_from_string(flags.get("style", "uniform"));
+  cfg.cycles = static_cast<std::size_t>(flags.get_int("stream_cycles", 100000000));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 24101));
+  const auto block = static_cast<std::size_t>(
+      flags.get_int("block", static_cast<std::int64_t>(trace::kDefaultBlockCycles)));
+  flags.reject_unused();
+
+  const auto source = trace::make_synthetic_source(cfg, trace::to_string(cfg.style));
+  std::printf("streaming %zu cycles of '%s' traffic through a %zu-word buffer\n",
+              cfg.cycles, source->name().c_str(), block);
+  std::printf("  materialized, this trace would hold %.2f GiB of BusWords;\n",
+              static_cast<double>(cfg.cycles) * sizeof(razorbus::BusWord) /
+                  (1024.0 * 1024.0 * 1024.0));
+  std::printf("  streamed, trace memory is %.2f MiB, independent of length\n\n",
+              static_cast<double>(block) * sizeof(razorbus::BusWord) /
+                  (1024.0 * 1024.0));
+
+  core::DvsBusSystem system(interconnect::BusDesign::paper_bus());
+  const auto corner = tech::typical_corner();
+  core::DvsRunConfig run_cfg;
+  run_cfg.start_supply = system.dvs_floor(corner.process) + 0.1;  // skip the descent
+
+  core::StreamStats stats;
+  const core::DvsRunReport report = core::run_closed_loop_streamed(
+      system, corner, *source, run_cfg, core::StreamConfig{block}, &stats);
+
+  std::printf("closed-loop DVS over the stream:\n");
+  std::printf("  energy gain  %.1f%%  (error rate %.2f%%)\n",
+              100.0 * report.energy_gain(), 100.0 * report.error_rate());
+  std::printf("  avg supply   %.0f mV (floor %.0f mV)\n", to_mV(report.average_supply),
+              to_mV(report.floor_supply));
+  std::printf("block accounting (the BENCH_*.json stream_* metrics):\n");
+  std::printf("  cycles streamed    %llu\n",
+              static_cast<unsigned long long>(stats.cycles));
+  std::printf("  blocks pulled      %llu\n",
+              static_cast<unsigned long long>(stats.blocks));
+  std::printf("  peak trace buffer  %zu words (%.2f MiB)\n", stats.peak_buffer_words,
+              static_cast<double>(stats.peak_buffer_words) *
+                  sizeof(razorbus::BusWord) / (1024.0 * 1024.0));
+  if (stats.peak_buffer_words > block) {
+    std::fprintf(stderr, "FAIL: trace buffer exceeded the configured block\n");
+    return 1;
+  }
+  return 0;
+}
+
 int run(const razorbus::CliFlags& flags) {
   using namespace razorbus;
+
+  if (flags.get_bool("stream", false)) return run_streaming_demo(flags);
 
   const std::string name = flags.get("benchmark", "mgrid");
   const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 800000));

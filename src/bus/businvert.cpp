@@ -1,6 +1,64 @@
 #include "bus/businvert.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 namespace razorbus::bus {
+
+namespace {
+
+// In-place block re-coder: pulls raw words and replaces each with the word
+// bus-invert would physically drive, using exactly bus_invert_encode's
+// per-cycle decision so the streamed and materialized sequences match word
+// for word.
+class BusInvertSource final : public trace::TraceSource {
+ public:
+  explicit BusInvertSource(std::unique_ptr<trace::TraceSource> raw)
+      : raw_(std::move(raw)) {
+    if (!raw_) throw std::invalid_argument("bus_invert_encode_source: null source");
+    name_ = raw_->name() + "+businvert";
+    mask_ = BusWord::mask_low(raw_->n_bits());
+  }
+
+  std::size_t next_block(BusWord* dst, std::size_t max) override {
+    const std::size_t n = raw_->next_block(dst, max);
+    for (std::size_t i = 0; i < n; ++i) {
+      const BusWord direct = (invert_ ? ~dst[i] : dst[i]) & mask_;
+      const BusWord flipped = ~direct & mask_;
+      const int toggles_direct = (bus_ ^ direct).popcount();
+      const int toggles_flipped = (bus_ ^ flipped).popcount() + 1;
+      if (toggles_flipped < toggles_direct) {
+        invert_ = !invert_;
+        bus_ = flipped;
+      } else {
+        bus_ = direct;
+      }
+      dst[i] = bus_;
+    }
+    return n;
+  }
+
+  int n_bits() const override { return raw_->n_bits(); }
+  const std::string& name() const override { return name_; }
+  std::optional<std::uint64_t> length() const override { return raw_->length(); }
+  std::unique_ptr<trace::TraceSource> clone() const override {
+    return std::make_unique<BusInvertSource>(raw_->clone());
+  }
+
+ private:
+  std::unique_ptr<trace::TraceSource> raw_;
+  std::string name_;
+  BusWord mask_;
+  BusWord bus_;
+  bool invert_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<trace::TraceSource> bus_invert_encode_source(
+    std::unique_ptr<trace::TraceSource> raw) {
+  return std::make_unique<BusInvertSource>(std::move(raw));
+}
 
 BusInvertResult bus_invert_encode(const trace::Trace& raw) {
   BusInvertResult result;

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "trace/source.hpp"
 #include "trace/trace.hpp"
 
 namespace razorbus::bus {
@@ -33,6 +35,15 @@ struct BusInvertResult {
 // Encode a trace with bus-invert coding. The first cycle starts from an
 // all-zero bus with the invert line low.
 BusInvertResult bus_invert_encode(const trace::Trace& raw);
+
+// Streaming re-coder (DESIGN.md §12): wraps a raw word stream and emits
+// the words bus_invert_encode would drive — identical sequence, identical
+// "<name>+businvert" naming — one block at a time, carrying the
+// (bus state, invert line) pair across blocks. The per-cycle invert-line
+// states are not retained (that sidecar accounting stays with the
+// materialized encoder and ablation_encoding).
+std::unique_ptr<trace::TraceSource> bus_invert_encode_source(
+    std::unique_ptr<trace::TraceSource> raw);
 
 // Decode (for verification): reconstructs the original words.
 trace::Trace bus_invert_decode(const trace::Trace& encoded,

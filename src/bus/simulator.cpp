@@ -536,6 +536,30 @@ RunningTotals BusSimulator::run(const std::uint32_t* words, std::size_t n) {
   return run(wide.data(), wide.size());
 }
 
+RunningTotals BusSimulator::run(trace::TraceSource& source, std::size_t block_cycles) {
+  if (block_cycles == 0)
+    throw std::invalid_argument("BusSimulator::run: block_cycles must be > 0");
+  if (source.n_bits() > design_.n_bits)
+    throw std::invalid_argument("BusSimulator::run: stream '" + source.name() +
+                                "' is " + std::to_string(source.n_bits()) +
+                                " bits wide but the bus has " +
+                                std::to_string(design_.n_bits) + " wires");
+  const RunningTotals before = totals_;
+  std::vector<BusWord> buffer(block_cycles);
+  for (;;) {
+    const std::size_t n = source.next_block(buffer.data(), buffer.size());
+    if (n == 0) break;
+    run(buffer.data(), n);
+  }
+  RunningTotals delta;
+  delta.cycles = totals_.cycles - before.cycles;
+  delta.errors = totals_.errors - before.errors;
+  delta.shadow_failures = totals_.shadow_failures - before.shadow_failures;
+  delta.bus_energy = totals_.bus_energy - before.bus_energy;
+  delta.overhead_energy = totals_.overhead_energy - before.overhead_energy;
+  return delta;
+}
+
 void BusSimulator::reset(const BusWord& initial_word) {
   prev_word_ = initial_word;
   line_word_ = initial_word & classifier_.bits_mask();

@@ -45,6 +45,7 @@
 #include "razor/bank.hpp"
 #include "tech/corner.hpp"
 #include "tech/leakage.hpp"
+#include "trace/source.hpp"
 #include "util/busword.hpp"
 #include "util/rng.hpp"
 
@@ -125,6 +126,14 @@ class BusSimulator {
   RunningTotals run(const std::vector<std::uint32_t>& words) {
     return run(words.data(), words.size());
   }
+  // Drain a streaming trace (DESIGN.md §12) through a fixed block buffer
+  // of `block_cycles` words: resident trace memory stays O(block) no
+  // matter how long the stream runs, and because run() accumulates totals
+  // with the same per-cycle operation sequence at any span split, the
+  // result is bit-identical to one run() over the materialized words.
+  // Rejects streams wider than the bus (the high lanes would be dropped).
+  RunningTotals run(trace::TraceSource& source,
+                    std::size_t block_cycles = trace::kDefaultBlockCycles);
 
   // Reset bus/flop state and totals (keeps the operating point and mode).
   void reset(const BusWord& initial_word = BusWord());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "dvs/regulator.hpp"
@@ -37,7 +38,123 @@ void check_trace_width(const DvsBusSystem& system, const trace::Trace& trace) {
         " wires");
 }
 
+void check_source_width(const DvsBusSystem& system, const trace::TraceSource& source) {
+  if (source.n_bits() > system.design().n_bits)
+    throw std::invalid_argument(
+        "experiment: trace '" + source.name() + "' is " +
+        std::to_string(source.n_bits()) + " bits wide but the bus has " +
+        std::to_string(system.design().n_bits) + " wires");
+}
+
+// Serves one stream through a fixed block buffer. The closed-loop drivers
+// ask it for LOGICAL segments (up to a controller-window or regulator
+// boundary); the feeder satisfies a segment from as many buffered chunks
+// as needed, so block boundaries never change where control decisions
+// fall — that, plus the engine's span-split invariance, is what makes the
+// streamed reports bit-identical to the materialized ones.
+class StreamFeeder {
+ public:
+  StreamFeeder(const trace::TraceSource& prototype, std::size_t block_cycles)
+      : source_(prototype.clone()), buffer_(block_cycles) {
+    if (block_cycles == 0)
+      throw std::invalid_argument("stream: block_cycles must be > 0");
+  }
+
+  // True when at least one word is available (refilling if necessary).
+  bool has_more() {
+    if (pos_ == filled_ && !eof_) refill();
+    return pos_ < filled_;
+  }
+
+  struct FeedResult {
+    std::uint64_t cycles = 0;
+    std::uint64_t errors = 0;
+  };
+
+  // Drive up to `cycles` words through `sim` (and mirror every chunk into
+  // `baseline` when given); short only when the stream ends.
+  FeedResult feed(bus::BusSimulator& sim, bus::BusSimulator* baseline,
+                  std::uint64_t cycles) {
+    FeedResult out;
+    while (out.cycles < cycles && has_more()) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(filled_ - pos_, cycles - out.cycles));
+      const bus::RunningTotals d = sim.run(buffer_.data() + pos_, n);
+      if (baseline != nullptr) baseline->run(buffer_.data() + pos_, n);
+      pos_ += n;
+      out.cycles += d.cycles;
+      out.errors += d.errors;
+    }
+    return out;
+  }
+
+  void account(StreamStats* stats, std::size_t block_cycles) const {
+    if (stats == nullptr) return;
+    stats->block_cycles = block_cycles;
+    stats->blocks += blocks_;
+    stats->cycles += streamed_;
+    stats->peak_buffer_words = std::max(stats->peak_buffer_words, buffer_.size());
+  }
+
+ private:
+  void refill() {
+    filled_ = source_->next_block(buffer_.data(), buffer_.size());
+    pos_ = 0;
+    if (filled_ == 0) {
+      eof_ = true;
+    } else {
+      ++blocks_;
+      streamed_ += filled_;
+    }
+  }
+
+  std::unique_ptr<trace::TraceSource> source_;
+  std::vector<BusWord> buffer_;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+  bool eof_ = false;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t streamed_ = 0;
+};
+
+// Nominal-supply conventional-bus simulator matching
+// BusSimulator::run_reference (the default recovery model, supply pinned
+// at nominal): fed in lockstep with the DVS simulator, its totals equal a
+// run_reference pass over the materialized words.
+bus::BusSimulator make_baseline_sim(const DvsBusSystem& system,
+                                    const tech::PvtCorner& environment) {
+  bus::BusSimulator sim(system.design(), system.table(), environment);
+  sim.set_supply(system.design().node.vdd_nominal);
+  return sim;
+}
+
+// Monte-Carlo operating-point draw shared by both pvt_sample_gains forms:
+// the population is part of the streamed/materialized parity contract, so
+// there is exactly one copy of the distribution.
+tech::PvtCorner draw_pvt_corner(Rng& rng) {
+  tech::PvtCorner corner;
+  // Process corners are discrete (die-to-die); skew toward typical.
+  const double p = rng.next_double();
+  corner.process = p < 0.2   ? tech::ProcessCorner::slow
+                   : p < 0.8 ? tech::ProcessCorner::typical
+                             : tech::ProcessCorner::fast;
+  corner.temp_c = rng.uniform(25.0, 100.0);
+  corner.ir_drop_fraction = rng.uniform(0.0, 0.10);
+
+  // Temperatures are characterised at 25/100C; evaluate at the nearer one
+  // (the table axis is coarse by design, like the paper's).
+  corner.temp_c = corner.temp_c < 62.5 ? 25.0 : 100.0;
+  return corner;
+}
+
 }  // namespace
+
+void StreamStats::merge(const StreamStats& other) {
+  block_cycles = std::max(block_cycles, other.block_cycles);
+  blocks += other.blocks;
+  cycles += other.cycles;
+  peak_buffer_words = std::max(peak_buffer_words, other.peak_buffer_words);
+}
 
 StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
                                        const tech::PvtCorner& environment,
@@ -314,24 +431,291 @@ PvtSampleResult pvt_sample_gains(const DvsBusSystem& system, const trace::Trace&
     // (seed, sample index), never on the shard-to-thread assignment.
     Rng rng(util::shard_seed(config.seed, s));
     PvtSample sample;
-    // Process corners are discrete (die-to-die); skew toward typical.
-    const double p = rng.next_double();
-    sample.corner.process = p < 0.2   ? tech::ProcessCorner::slow
-                            : p < 0.8 ? tech::ProcessCorner::typical
-                                      : tech::ProcessCorner::fast;
-    sample.corner.temp_c = rng.uniform(25.0, 100.0);
-    sample.corner.ir_drop_fraction = rng.uniform(0.0, 0.10);
-
-    // Temperatures are characterised at 25/100C; evaluate at the nearer one
-    // (the table axis is coarse by design, like the paper's).
-    sample.corner.temp_c = sample.corner.temp_c < 62.5 ? 25.0 : 100.0;
-
+    sample.corner = draw_pvt_corner(rng);
     sample.report = run_closed_loop(system, sample.corner, trace, config.run);
     return sample;
   });
 
   // Per-shard singleton stats merged in shard order: the aggregate is the
   // same double sequence no matter how many threads ran the samples.
+  for (const auto& sample : out.samples) {
+    RunningStats gain, err;
+    gain.add(sample.report.energy_gain());
+    err.add(sample.report.error_rate());
+    out.gain_stats.merge(gain);
+    out.err_stats.merge(err);
+  }
+  return out;
+}
+
+// --------------------------------------------- streamed drivers (§12)
+
+StaticSweepResult static_voltage_sweep_streamed(const DvsBusSystem& system,
+                                                const tech::PvtCorner& environment,
+                                                const trace::TraceSource& source,
+                                                double timing_jitter_sigma,
+                                                bus::EngineMode engine,
+                                                const StreamConfig& stream,
+                                                StreamStats* stats) {
+  check_source_width(system, source);
+  StaticSweepResult result;
+  result.floor_supply = system.shadow_floor(environment);
+  const double vnom = system.design().node.vdd_nominal;
+  const double step = 0.020;
+
+  std::vector<double> supplies;
+  for (double v = vnom; v > result.floor_supply - 1e-9; v -= step) supplies.push_back(v);
+  std::sort(supplies.begin(), supplies.end());
+
+  // One shard per supply, exactly like the materialized sweep; each shard
+  // drains its own clone of the stream, so total trace memory is
+  // block_cycles x live shards instead of the whole campaign.
+  std::vector<StreamStats> shard_stats(supplies.size());
+  result.points = util::parallel_map(
+      util::global_pool(), supplies.size(), [&](std::size_t s) {
+        const double v = supplies[s];
+        bus::BusSimulator sim = system.make_simulator(environment);
+        sim.set_engine_mode(engine);
+        if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
+        sim.set_supply(v);
+        StreamFeeder feeder(source, stream.block_cycles);
+        feeder.feed(sim, nullptr, std::numeric_limits<std::uint64_t>::max());
+        feeder.account(&shard_stats[s], stream.block_cycles);
+
+        SweepPoint p;
+        p.supply = v;
+        p.error_rate = sim.totals().error_rate();
+        p.bus_energy = sim.totals().bus_energy;
+        p.total_energy = sim.totals().total_energy();
+        return p;
+      });
+  if (stats != nullptr)
+    for (const auto& shard : shard_stats) stats->merge(shard);
+
+  result.baseline_bus_energy = result.points.back().bus_energy;  // nominal supply
+  for (auto& p : result.points) {
+    p.norm_bus_energy = p.bus_energy / result.baseline_bus_energy;
+    p.norm_total_energy = p.total_energy / result.baseline_bus_energy;
+  }
+  return result;
+}
+
+ConsecutiveRunReport run_consecutive_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<std::unique_ptr<trace::TraceSource>>& sources,
+    const DvsRunConfig& config, const StreamConfig& stream, StreamStats* stats) {
+  for (const auto& source : sources) check_source_width(system, *source);
+  const double vnom = system.design().node.vdd_nominal;
+  const double floor = system.dvs_floor(environment.process);
+  const double start = config.start_supply > 0.0 ? config.start_supply : vnom;
+
+  bus::BusSimulator sim = system.make_simulator(environment);
+  sim.set_engine_mode(config.engine);
+  if (config.timing_jitter_sigma > 0.0) sim.set_timing_jitter(config.timing_jitter_sigma);
+  dvs::VoltageRegulator regulator(start, floor, vnom, config.regulator_delay_cycles);
+  dvs::ThresholdController controller(config.controller);
+  sim.set_supply(regulator.voltage());
+
+  ConsecutiveRunReport report;
+  std::uint64_t cycle = 0;
+
+  for (const auto& source : sources) {
+    const bus::RunningTotals before = sim.totals();
+    double supply_sum = 0.0;
+    std::uint64_t source_cycles = 0;
+    bus::BusSimulator baseline = make_baseline_sim(system, environment);
+    StreamFeeder feeder(*source, stream.block_cycles);
+
+    // The materialized driver's window-batched loop, with one change: a
+    // logical segment is planned from the controller window and the
+    // pending regulator change alone (the end of the trace is discovered,
+    // not known), and the feeder serves it across block refills. Control
+    // decisions therefore land on identical cycles.
+    while (feeder.has_more()) {
+      sim.set_supply(regulator.advance(cycle));
+      std::uint64_t planned = controller.cycles_remaining_in_window();
+      const std::uint64_t change = regulator.next_change_cycle();
+      if (change != dvs::VoltageRegulator::kNoPendingChange && change > cycle)
+        planned = std::min(planned, change - cycle);
+      const StreamFeeder::FeedResult fed = feeder.feed(sim, &baseline, planned);
+      supply_sum += sim.supply() * static_cast<double>(fed.cycles);
+      cycle += fed.cycles;
+      source_cycles += fed.cycles;
+
+      const dvs::VoltageDecision decision =
+          controller.observe_segment(fed.cycles, fed.errors);
+      if (decision == dvs::VoltageDecision::step_down)
+        regulator.request_change(-config.controller.voltage_step, cycle - 1);
+      else if (decision == dvs::VoltageDecision::step_up)
+        regulator.request_change(+config.controller.voltage_step, cycle - 1);
+
+      if (config.record_series && controller.cycles_remaining_in_window() ==
+                                      config.controller.window_cycles &&
+          controller.windows_completed() > 0)
+        report.series.push_back(
+            {cycle, sim.supply(), controller.last_window_error_rate()});
+    }
+    feeder.account(stats, stream.block_cycles);
+
+    DvsRunReport r;
+    r.totals.cycles = sim.totals().cycles - before.cycles;
+    r.totals.errors = sim.totals().errors - before.errors;
+    r.totals.shadow_failures = sim.totals().shadow_failures - before.shadow_failures;
+    r.totals.bus_energy = sim.totals().bus_energy - before.bus_energy;
+    r.totals.overhead_energy = sim.totals().overhead_energy - before.overhead_energy;
+    r.floor_supply = floor;
+    r.average_supply = source_cycles == 0
+                           ? sim.supply()
+                           : supply_sum / static_cast<double>(source_cycles);
+    r.baseline_bus_energy = baseline.totals().bus_energy;
+    report.per_trace.push_back(std::move(r));
+  }
+  return report;
+}
+
+DvsRunReport run_closed_loop_streamed(const DvsBusSystem& system,
+                                      const tech::PvtCorner& environment,
+                                      const trace::TraceSource& source,
+                                      const DvsRunConfig& config,
+                                      const StreamConfig& stream, StreamStats* stats) {
+  std::vector<std::unique_ptr<trace::TraceSource>> one;
+  one.push_back(source.clone());
+  ConsecutiveRunReport r =
+      run_consecutive_streamed(system, environment, one, config, stream, stats);
+  DvsRunReport out = std::move(r.per_trace.front());
+  out.series = std::move(r.series);
+  return out;
+}
+
+DvsRunReport run_closed_loop_proportional_streamed(const DvsBusSystem& system,
+                                                   const tech::PvtCorner& environment,
+                                                   const trace::TraceSource& source,
+                                                   const ProportionalRunConfig& config,
+                                                   const StreamConfig& stream,
+                                                   StreamStats* stats) {
+  check_source_width(system, source);
+  const double vnom = system.design().node.vdd_nominal;
+  const double floor = system.dvs_floor(environment.process);
+  const double start = config.start_supply > 0.0 ? config.start_supply : vnom;
+
+  bus::BusSimulator sim = system.make_simulator(environment);
+  sim.set_engine_mode(config.engine);
+  if (config.timing_jitter_sigma > 0.0) sim.set_timing_jitter(config.timing_jitter_sigma);
+  dvs::VoltageRegulator regulator(start, floor, vnom, config.regulator_delay_cycles);
+  dvs::ProportionalController controller(config.controller);
+  sim.set_supply(regulator.voltage());
+
+  bus::BusSimulator baseline = make_baseline_sim(system, environment);
+  StreamFeeder feeder(source, stream.block_cycles);
+  double supply_sum = 0.0;
+  std::uint64_t cycle = 0;
+  while (feeder.has_more()) {
+    sim.set_supply(regulator.advance(cycle));
+    std::uint64_t planned = controller.cycles_remaining_in_window();
+    const std::uint64_t change = regulator.next_change_cycle();
+    if (change != dvs::VoltageRegulator::kNoPendingChange && change > cycle)
+      planned = std::min(planned, change - cycle);
+    const StreamFeeder::FeedResult fed = feeder.feed(sim, &baseline, planned);
+    supply_sum += sim.supply() * static_cast<double>(fed.cycles);
+    cycle += fed.cycles;
+
+    const double delta = controller.observe_segment(fed.cycles, fed.errors);
+    if (delta != 0.0) regulator.request_change(delta, cycle - 1);
+  }
+  feeder.account(stats, stream.block_cycles);
+
+  DvsRunReport report;
+  report.totals = sim.totals();
+  report.floor_supply = floor;
+  report.average_supply =
+      cycle == 0 ? sim.supply() : supply_sum / static_cast<double>(cycle);
+  report.baseline_bus_energy = baseline.totals().bus_energy;
+  return report;
+}
+
+DvsRunReport run_fixed_vs_streamed(const DvsBusSystem& system,
+                                   const tech::PvtCorner& environment,
+                                   const trace::TraceSource& source,
+                                   bus::EngineMode engine, double timing_jitter_sigma,
+                                   const StreamConfig& stream, StreamStats* stats) {
+  check_source_width(system, source);
+  const double supply = system.fixed_vs_supply(environment.process);
+
+  // Conventional receiver: no double-sampling overhead at all.
+  razor::RecoveryCostModel no_overhead;
+  no_overhead.flop_clock_energy = 0.0;
+  no_overhead.detection_energy_per_cycle = 0.0;
+
+  bus::BusSimulator sim(system.design(), system.table(), environment, no_overhead);
+  sim.set_engine_mode(engine);
+  if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
+  sim.set_supply(supply);
+
+  bus::BusSimulator baseline = make_baseline_sim(system, environment);
+  StreamFeeder feeder(source, stream.block_cycles);
+  feeder.feed(sim, &baseline, std::numeric_limits<std::uint64_t>::max());
+  feeder.account(stats, stream.block_cycles);
+
+  DvsRunReport report;
+  report.totals = sim.totals();
+  report.floor_supply = supply;
+  report.average_supply = supply;
+  report.baseline_bus_energy = baseline.totals().bus_energy;
+  return report;
+}
+
+std::vector<DvsRunReport> run_closed_loop_suite_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<std::unique_ptr<trace::TraceSource>>& sources,
+    const DvsRunConfig& config, const StreamConfig& stream, StreamStats* stats) {
+  std::vector<StreamStats> shard_stats(sources.size());
+  auto reports =
+      util::parallel_map(util::global_pool(), sources.size(), [&](std::size_t t) {
+        return run_closed_loop_streamed(system, environment, *sources[t], config,
+                                        stream, &shard_stats[t]);
+      });
+  if (stats != nullptr)
+    for (const auto& shard : shard_stats) stats->merge(shard);
+  return reports;
+}
+
+std::vector<DvsRunReport> run_fixed_vs_suite_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<std::unique_ptr<trace::TraceSource>>& sources,
+    bus::EngineMode engine, double timing_jitter_sigma, const StreamConfig& stream,
+    StreamStats* stats) {
+  std::vector<StreamStats> shard_stats(sources.size());
+  auto reports =
+      util::parallel_map(util::global_pool(), sources.size(), [&](std::size_t t) {
+        return run_fixed_vs_streamed(system, environment, *sources[t], engine,
+                                     timing_jitter_sigma, stream, &shard_stats[t]);
+      });
+  if (stats != nullptr)
+    for (const auto& shard : shard_stats) stats->merge(shard);
+  return reports;
+}
+
+PvtSampleResult pvt_sample_gains_streamed(const DvsBusSystem& system,
+                                          const trace::TraceSource& source,
+                                          const PvtSampleConfig& config,
+                                          const StreamConfig& stream,
+                                          StreamStats* stats) {
+  const auto n = static_cast<std::size_t>(std::max(config.samples, 0));
+  std::vector<StreamStats> shard_stats(n);
+  PvtSampleResult out;
+  out.samples = util::parallel_map(util::global_pool(), n, [&](std::size_t s) {
+    // Identical per-shard Rng stream to the materialized driver: the drawn
+    // population depends only on (seed, sample index).
+    Rng rng(util::shard_seed(config.seed, s));
+    PvtSample sample;
+    sample.corner = draw_pvt_corner(rng);
+    sample.report = run_closed_loop_streamed(system, sample.corner, source, config.run,
+                                             stream, &shard_stats[s]);
+    return sample;
+  });
+  if (stats != nullptr)
+    for (const auto& shard : shard_stats) stats->merge(shard);
+
   for (const auto& sample : out.samples) {
     RunningStats gain, err;
     gain.add(sample.report.energy_gain());

@@ -3,19 +3,64 @@
 // Every table and figure of the paper maps to one of these functions; the
 // bench binaries are thin printers around them (see DESIGN.md section 4
 // for the experiment index).
+//
+// Each driver exists in two forms with one results contract:
+//
+//   * The MATERIALIZED form takes `trace::Trace` vectors — every cycle
+//     resident in RAM (16 bytes/cycle), indexable, and the golden
+//     reference the streamed form is tested against.
+//   * The STREAMED form (`*_streamed`, DESIGN.md §12) takes
+//     `trace::TraceSource` streams and iterates fixed-size blocks, so
+//     campaign length is bounded by simulation time, not memory. Reports
+//     are BIT-IDENTICAL to the materialized form on the same word
+//     sequence — same integer counts, exactly equal energy/supply doubles
+//     (enforced by tests/stream_test.cpp). Both forms obey the width rule:
+//     traces wider than the bus throw; narrower traces are legal (surplus
+//     wires hold).
+//
+// Streamed drivers clone their source per shard (one clone per sweep
+// supply / suite trace / Monte-Carlo sample), so the §9 determinism
+// contract — bit-identical at any thread count — carries over unchanged.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/system.hpp"
 #include "dvs/controller.hpp"
 #include "dvs/proportional.hpp"
+#include "trace/source.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
 
 namespace razorbus::core {
+
+// ------------------------------------------------ streaming configuration
+// Block sizing for the streamed drivers: each active stream is served
+// through one buffer of `block_cycles` BusWords (1 MiB at the default), so
+// peak trace memory is block_cycles x concurrent shards, independent of
+// how many cycles the campaign runs. Purely a memory/throughput knob —
+// results are bit-identical at ANY block size (the batched engine's totals
+// are invariant under span splits, DESIGN.md §5).
+struct StreamConfig {
+  std::size_t block_cycles = trace::kDefaultBlockCycles;
+};
+
+// Block accounting a streamed driver reports (surfaced in BENCH_*.json as
+// the stream_* metrics, docs/bench-reports.md): how much trace was pulled
+// and the largest trace buffer that was ever resident per shard — the
+// peak-RSS-relevant number a memory budget cares about. Counts cover every
+// pass the driver makes (the closed-loop baseline shares its pass; each
+// sweep supply is its own pass).
+struct StreamStats {
+  std::size_t block_cycles = 0;       // configured block size
+  std::uint64_t blocks = 0;           // next_block pulls, all shards
+  std::uint64_t cycles = 0;           // words streamed, all shards
+  std::size_t peak_buffer_words = 0;  // largest per-shard trace buffer
+  void merge(const StreamStats& other);
+};
 
 // ---------------------------------------------------------------- Fig. 4
 struct SweepPoint {
@@ -41,6 +86,17 @@ StaticSweepResult static_voltage_sweep(
     const DvsBusSystem& system, const tech::PvtCorner& environment,
     const std::vector<trace::Trace>& traces, double timing_jitter_sigma = 0.0,
     bus::EngineMode engine = bus::EngineMode::bit_parallel);
+
+// Streamed form: each supply shard clones `source` and drains it block by
+// block. A multi-trace sweep is the concatenation of its traces (the
+// materialized form runs them back to back through one simulator), so pass
+// trace::concatenate_sources for suites. Bit-identical to the materialized
+// sweep on the same word sequence.
+StaticSweepResult static_voltage_sweep_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const trace::TraceSource& source, double timing_jitter_sigma = 0.0,
+    bus::EngineMode engine = bus::EngineMode::bit_parallel,
+    const StreamConfig& stream = {}, StreamStats* stats = nullptr);
 
 // ---------------------------------------------------------------- Fig. 5
 struct TargetGainPoint {
@@ -108,6 +164,19 @@ DvsRunReport run_closed_loop(const DvsBusSystem& system,
                              const tech::PvtCorner& environment,
                              const trace::Trace& trace, const DvsRunConfig& config = {});
 
+// Streamed form: single pass over a clone of `source`, with the
+// nominal-supply baseline simulator fed the same blocks in lockstep (so no
+// second pass and no materialization anywhere). Control decisions are made
+// on the same cycle boundaries as the materialized driver — segments are
+// delimited by controller windows and regulator change landings, never by
+// block boundaries — so the report is bit-identical.
+DvsRunReport run_closed_loop_streamed(const DvsBusSystem& system,
+                                      const tech::PvtCorner& environment,
+                                      const trace::TraceSource& source,
+                                      const DvsRunConfig& config = {},
+                                      const StreamConfig& stream = {},
+                                      StreamStats* stats = nullptr);
+
 // Fixed-VS baseline: run the trace at the fixed-VS supply for the corner's
 // process. Gains are zero errors by construction (at zero jitter; a
 // non-zero jitter can push arrivals past the capture limit).
@@ -115,6 +184,14 @@ DvsRunReport run_fixed_vs(const DvsBusSystem& system, const tech::PvtCorner& env
                           const trace::Trace& trace,
                           bus::EngineMode engine = bus::EngineMode::bit_parallel,
                           double timing_jitter_sigma = 0.0);
+
+DvsRunReport run_fixed_vs_streamed(const DvsBusSystem& system,
+                                   const tech::PvtCorner& environment,
+                                   const trace::TraceSource& source,
+                                   bus::EngineMode engine = bus::EngineMode::bit_parallel,
+                                   double timing_jitter_sigma = 0.0,
+                                   const StreamConfig& stream = {},
+                                   StreamStats* stats = nullptr);
 
 // Closed loop with the PROPORTIONAL controller the paper discusses and
 // rejects (Section 5). Same regulator model; the controller requests
@@ -133,6 +210,11 @@ DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
                                           const trace::Trace& trace,
                                           const ProportionalRunConfig& config = {});
 
+DvsRunReport run_closed_loop_proportional_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const trace::TraceSource& source, const ProportionalRunConfig& config = {},
+    const StreamConfig& stream = {}, StreamStats* stats = nullptr);
+
 // Continue a closed-loop run across consecutive traces without resetting
 // controller/regulator state (Fig. 8 runs the 10 benchmarks back to back).
 struct ConsecutiveRunReport {
@@ -144,6 +226,18 @@ ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
                                      const tech::PvtCorner& environment,
                                      const std::vector<trace::Trace>& traces,
                                      const DvsRunConfig& config = {});
+
+// Streamed form of the paper's headline run: the consecutive-benchmark
+// stream is executed one source at a time with controller/regulator state
+// carried across boundaries, exactly like the materialized driver — this
+// is the path that makes billion-cycle Fig. 8 campaigns memory-feasible.
+// Sources are NOT cloned (the pass is inherently sequential); per-source
+// baselines stream in lockstep with the DVS simulator.
+ConsecutiveRunReport run_consecutive_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<std::unique_ptr<trace::TraceSource>>& sources,
+    const DvsRunConfig& config = {}, const StreamConfig& stream = {},
+    StreamStats* stats = nullptr);
 
 // Independent closed-loop / fixed-VS runs over a trace suite (Table 1 runs
 // every benchmark separately). Unlike run_consecutive, controller and
@@ -159,6 +253,20 @@ std::vector<DvsRunReport> run_fixed_vs_suite(
     const std::vector<trace::Trace>& traces,
     bus::EngineMode engine = bus::EngineMode::bit_parallel,
     double timing_jitter_sigma = 0.0);
+
+// Streamed suite forms: one shard per source, each shard cloning its
+// source and running the streamed single-trace driver.
+std::vector<DvsRunReport> run_closed_loop_suite_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<std::unique_ptr<trace::TraceSource>>& sources,
+    const DvsRunConfig& config = {}, const StreamConfig& stream = {},
+    StreamStats* stats = nullptr);
+std::vector<DvsRunReport> run_fixed_vs_suite_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<std::unique_ptr<trace::TraceSource>>& sources,
+    bus::EngineMode engine = bus::EngineMode::bit_parallel,
+    double timing_jitter_sigma = 0.0, const StreamConfig& stream = {},
+    StreamStats* stats = nullptr);
 
 // ------------------------------------------------- PVT sampling extension
 // Monte-Carlo over operating conditions (the paper hand-picks corners; the
@@ -186,5 +294,15 @@ struct PvtSampleResult {
 
 PvtSampleResult pvt_sample_gains(const DvsBusSystem& system, const trace::Trace& trace,
                                  const PvtSampleConfig& config = {});
+
+// Streamed form: each sample shard draws its corner from the identical
+// per-shard Rng stream, then runs the streamed closed loop on its own
+// clone of `source` — the population and every derived statistic match
+// the materialized form bit for bit.
+PvtSampleResult pvt_sample_gains_streamed(const DvsBusSystem& system,
+                                          const trace::TraceSource& source,
+                                          const PvtSampleConfig& config = {},
+                                          const StreamConfig& stream = {},
+                                          StreamStats* stats = nullptr);
 
 }  // namespace razorbus::core

@@ -14,6 +14,11 @@ namespace {
   throw std::invalid_argument("scenario spec: " + where + ": " + message);
 }
 
+// When set (record_accepted_keys), every key a Fields reader asks about is
+// recorded under its object name — the introspection behind the
+// docs/campaigns.md schema cross-check.
+thread_local std::map<std::string, std::set<std::string>>* g_key_recorder = nullptr;
+
 // Strict reader over one JSON object: typed getters that name the offending
 // field on a type mismatch, plus an unknown-key check once parsing is done.
 class Fields {
@@ -24,6 +29,7 @@ class Fields {
 
   const Json* find(const std::string& key) {
     seen_.insert(key);
+    if (g_key_recorder != nullptr) (*g_key_recorder)[where_].insert(key);
     return json_.find(key);
   }
 
@@ -378,6 +384,8 @@ ScenarioSpec ScenarioSpec::from_json(const Json& json) {
   if (spec.timing_jitter_sigma < 0.0)
     bad_spec("scenario", "'timing_jitter_sigma' must be >= 0");
 
+  spec.stream = f.get_bool("stream", false);
+
   f.reject_unknown();
   return spec;
 }
@@ -409,6 +417,7 @@ Json ScenarioSpec::to_json() const {
     j.set("encoding", bus_invert ? "bus_invert" : "none");
     j.set("engine", bus::to_string(engine));
     if (timing_jitter_sigma > 0.0) j.set("timing_jitter_sigma", timing_jitter_sigma);
+    if (stream) j.set("stream", true);
   }
   if (cycles > 0) j.set("cycles", static_cast<long long>(cycles));
   if (threads > 0) j.set("threads", static_cast<long long>(threads));
@@ -462,6 +471,21 @@ Json CampaignSpec::to_json() const {
   for (const auto& scenario : scenarios) js.push(scenario.to_json());
   j.set("scenarios", std::move(js));
   return j;
+}
+
+// ------------------------------------------------------------ introspection
+
+std::map<std::string, std::set<std::string>> record_accepted_keys(const Json& campaign) {
+  std::map<std::string, std::set<std::string>> keys;
+  g_key_recorder = &keys;
+  try {
+    CampaignSpec::from_json(campaign);
+  } catch (...) {
+    g_key_recorder = nullptr;
+    throw;
+  }
+  g_key_recorder = nullptr;
+  return keys;
 }
 
 // ------------------------------------------------------------------ expansion

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -96,6 +98,11 @@ struct ScenarioSpec {
   std::vector<tech::PvtCorner> corners;     // default: typical
   bool bus_invert = false;  // encode the trace with bus-invert coding first
   double timing_jitter_sigma = 0.0;
+  // Stream the trace through the experiment in bounded-memory blocks
+  // (DESIGN.md §12) instead of materializing it: `cycles` may then exceed
+  // what RAM could hold (results are bit-identical either way; the job
+  // report gains stream_* block-accounting metrics).
+  bool stream = false;
 
   static ScenarioSpec from_json(const Json& json);
   Json to_json() const;
@@ -131,5 +138,16 @@ std::vector<ScenarioJob> expand_campaign(const CampaignSpec& campaign);
 // Named PVT corner for specs: "typical", "worst" / "worst_case", or one of
 // tech::fig5_corners() as "fig5_1" .. "fig5_5".
 tech::PvtCorner corner_from_spec_name(const std::string& name);
+
+// Accepted-key introspection for the schema reference in docs/campaigns.md:
+// parses `campaign` (a campaign document) with key recording enabled and
+// returns, per spec object ("campaign", "defaults", "scenario", "trace",
+// "controllers", "corners"), every key the STRICT parser actually looked
+// up along the branches the document exercised. Because unknown keys
+// throw, looked-up keys == accepted keys. tests/docs_test.cpp feeds this
+// an exemplar document covering every branch and cross-checks the result
+// against the documented schema tables, so the docs cannot drift from the
+// parser.
+std::map<std::string, std::set<std::string>> record_accepted_keys(const Json& campaign);
 
 }  // namespace razorbus::core

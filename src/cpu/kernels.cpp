@@ -1,5 +1,6 @@
 #include "cpu/kernels.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -501,6 +502,49 @@ Benchmark make_wupwise() {
   return bench;
 }
 
+// Executes a benchmark kernel block by block: exactly capture_bus_trace's
+// loop (a LOAD drives its data word, anything else holds, an early halt
+// truncates), with the (machine, held word, cycles left) triple carried
+// across blocks. Cloning rebuilds a fresh machine from the Benchmark, so
+// every clone replays the identical deterministic instruction stream.
+class BenchmarkTraceSource final : public trace::TraceSource {
+ public:
+  BenchmarkTraceSource(Benchmark bench, std::size_t cycles, std::size_t memory_words)
+      : bench_(std::move(bench)),
+        machine_(bench_.make_machine(memory_words)),
+        memory_words_(memory_words),
+        cycles_(cycles),
+        remaining_(cycles) {}
+
+  std::size_t next_block(BusWord* dst, std::size_t max) override {
+    std::size_t written = 0;
+    std::uint32_t data = 0;
+    while (written < std::min(max, remaining_) && !machine_.halted()) {
+      const std::uint64_t before = machine_.instructions_executed();
+      const bool loaded = machine_.step(data);
+      if (machine_.instructions_executed() == before) break;  // halted on entry
+      if (loaded) bus_word_ = data;
+      dst[written++] = BusWord(bus_word_);
+    }
+    remaining_ -= written;
+    return written;
+  }
+
+  int n_bits() const override { return 32; }
+  const std::string& name() const override { return bench_.name; }
+  std::unique_ptr<trace::TraceSource> clone() const override {
+    return std::make_unique<BenchmarkTraceSource>(bench_, cycles_, memory_words_);
+  }
+
+ private:
+  Benchmark bench_;
+  Machine machine_;
+  std::size_t memory_words_;
+  std::size_t cycles_;
+  std::size_t remaining_;
+  std::uint32_t bus_word_ = 0;
+};
+
 }  // namespace
 
 Machine Benchmark::make_machine(std::size_t memory_words) const {
@@ -512,6 +556,11 @@ Machine Benchmark::make_machine(std::size_t memory_words) const {
 trace::Trace Benchmark::capture(std::size_t cycles, std::size_t memory_words) const {
   Machine m = make_machine(memory_words);
   return capture_bus_trace(m, cycles, name);
+}
+
+std::unique_ptr<trace::TraceSource> Benchmark::stream(std::size_t cycles,
+                                                      std::size_t memory_words) const {
+  return std::make_unique<BenchmarkTraceSource>(*this, cycles, memory_words);
 }
 
 std::vector<Benchmark> spec2000_suite() {

@@ -22,11 +22,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cpu/machine.hpp"
 #include "cpu/program.hpp"
+#include "trace/source.hpp"
 #include "trace/trace.hpp"
 
 namespace razorbus::cpu {
@@ -41,6 +43,15 @@ struct Benchmark {
   Machine make_machine(std::size_t memory_words = 1u << 20) const;
   // Convenience: run and capture `cycles` of memory-read-bus trace.
   trace::Trace capture(std::size_t cycles, std::size_t memory_words = 1u << 20) const;
+  // Streaming capture (DESIGN.md §12): executes the kernel ON DEMAND, one
+  // block of bus cycles at a time, instead of materializing the trace —
+  // the word sequence is identical to capture(cycles) (same hold-last-word
+  // semantics, same early-halt truncation), but the resident memory is the
+  // machine image plus the consumer's block buffer, independent of
+  // `cycles`. `length()` is unknown (a kernel may halt early); `clone()`
+  // restarts execution from a fresh machine.
+  std::unique_ptr<trace::TraceSource> stream(
+      std::size_t cycles, std::size_t memory_words = 1u << 20) const;
 };
 
 // All 10 benchmarks in the paper's Table 1 order:

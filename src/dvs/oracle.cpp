@@ -52,11 +52,23 @@ std::size_t OracleSelector::critical_grid_index(const BusWord& prev,
 
 OracleResult OracleSelector::select(const trace::Trace& trace,
                                     const OracleConfig& config) const {
+  // One implementation serves both forms: the materialized trace is viewed
+  // as a (non-owning) stream, whose per-word visit order is identical to
+  // the historical vector loop.
+  const auto view = trace::make_trace_view_source(trace);
+  return select(*view, config);
+}
+
+OracleResult OracleSelector::select(trace::TraceSource& source,
+                                    const OracleConfig& config,
+                                    std::size_t block_cycles) const {
   if (config.window_cycles == 0) throw std::invalid_argument("oracle: zero window");
+  if (block_cycles == 0)
+    throw std::invalid_argument("oracle: block_cycles must be > 0");
   // Same guard as the core experiment drivers: a trace wider than the bus
   // would silently drop its high lanes in the classifier masks.
-  if (trace.n_bits > design_.n_bits)
-    throw std::invalid_argument("oracle: trace '" + trace.name +
+  if (source.n_bits() > design_.n_bits)
+    throw std::invalid_argument("oracle: trace '" + source.name() +
                                 "' is wider than the bus");
   const auto& grid = table_.grid();
   const std::size_t floor_index = config.vmin > 0.0 ? grid.index_of(config.vmin) : 0;
@@ -99,13 +111,18 @@ OracleResult OracleSelector::select(const trace::Trace& trace,
     std::fill(histogram.begin(), histogram.end(), 0);
   };
 
-  for (std::size_t i = 0; i < trace.words.size(); ++i) {
-    const BusWord& cur = trace.words[i];
-    ++histogram[critical_grid_index(prev, cur)];
-    prev = cur;
-    if (++in_window == config.window_cycles) {
-      close_window(in_window);
-      in_window = 0;
+  std::vector<BusWord> block(block_cycles);
+  for (;;) {
+    const std::size_t n = source.next_block(block.data(), block.size());
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      const BusWord& cur = block[i];
+      ++histogram[critical_grid_index(prev, cur)];
+      prev = cur;
+      if (++in_window == config.window_cycles) {
+        close_window(in_window);
+        in_window = 0;
+      }
     }
   }
   close_window(in_window);

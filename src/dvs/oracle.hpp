@@ -17,6 +17,7 @@
 #include "interconnect/bus_design.hpp"
 #include "lut/table.hpp"
 #include "tech/corner.hpp"
+#include "trace/source.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
 
@@ -49,6 +50,15 @@ class OracleSelector {
   std::size_t critical_grid_index(const BusWord& prev, const BusWord& cur) const;
 
   OracleResult select(const trace::Trace& trace, const OracleConfig& config) const;
+
+  // Streamed form (DESIGN.md §12): identical window accounting over a
+  // block-buffered stream — per-window histograms are the only state, so
+  // the oracle windows arbitrarily long captures in O(block) memory. The
+  // result matches select() on the same word sequence exactly. The source
+  // is consumed (not cloned); per-window voltages still accumulate
+  // O(windows) entries.
+  OracleResult select(trace::TraceSource& source, const OracleConfig& config,
+                      std::size_t block_cycles = trace::kDefaultBlockCycles) const;
 
   // Lowest passing grid voltage per pattern class (exposed for tests).
   const std::vector<std::size_t>& class_critical_index() const {

@@ -115,7 +115,96 @@ std::optional<Trace> load_v2_body(std::istream& is) {
   return trace;
 }
 
+// Incremental reader behind open_trace_stream: the header is parsed once
+// at construction (with the same claimed-count-vs-file-size defence as
+// load_binary), after which each next_block reads and assembles at most
+// `max` words' worth of payload.
+class FileTraceSource final : public TraceSource {
+ public:
+  explicit FileTraceSource(std::string path) : path_(std::move(path)) {
+    is_.open(path_, std::ios::binary);
+    if (!is_) throw std::runtime_error("open_trace_stream: cannot open " + path_);
+
+    char magic[sizeof(kMagicV1)];
+    if (!is_.read(magic, sizeof(magic)))
+      throw std::runtime_error("open_trace_stream: not a trace file: " + path_);
+    std::uint32_t n_bits = 32;
+    if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+      v1_ = true;
+    } else if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+      if (!is_.read(reinterpret_cast<char*>(&n_bits), sizeof(n_bits)) || n_bits == 0 ||
+          n_bits > static_cast<std::uint32_t>(BusWord::kMaxBits))
+        throw std::runtime_error("open_trace_stream: not a trace file: " + path_);
+    } else {
+      throw std::runtime_error("open_trace_stream: not a trace file: " + path_);
+    }
+    n_bits_ = static_cast<int>(n_bits);
+    lanes_ = static_cast<std::size_t>(lanes_per_word(n_bits_));
+
+    std::uint64_t name_len = 0;
+    if (!is_.read(reinterpret_cast<char*>(&name_len), sizeof(name_len)) ||
+        name_len > 4096)
+      throw std::runtime_error("open_trace_stream: not a trace file: " + path_);
+    name_.resize(name_len);
+    if (!is_.read(name_.data(), static_cast<std::streamsize>(name_len)))
+      throw std::runtime_error("open_trace_stream: not a trace file: " + path_);
+    if (!is_.read(reinterpret_cast<char*>(&remaining_), sizeof(remaining_)) ||
+        remaining_ > (1ull << 33) ||
+        !claim_fits_stream(is_, remaining_,
+                           v1_ ? sizeof(std::uint32_t)
+                               : lanes_ * sizeof(std::uint64_t)))
+      throw std::runtime_error("open_trace_stream: not a trace file: " + path_);
+    total_ = remaining_;
+  }
+
+  std::size_t next_block(BusWord* dst, std::size_t max) override {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(max, remaining_));
+    if (n == 0) return 0;
+    if (v1_) {
+      raw32_.resize(n);
+      if (!is_.read(reinterpret_cast<char*>(raw32_.data()),
+                    static_cast<std::streamsize>(n * sizeof(std::uint32_t))))
+        throw std::runtime_error("open_trace_stream: truncated trace file: " + path_);
+      for (std::size_t w = 0; w < n; ++w) dst[w] = BusWord(raw32_[w]);
+    } else {
+      raw64_.resize(n * lanes_);
+      if (!is_.read(reinterpret_cast<char*>(raw64_.data()),
+                    static_cast<std::streamsize>(raw64_.size() * sizeof(std::uint64_t))))
+        throw std::runtime_error("open_trace_stream: truncated trace file: " + path_);
+      for (std::size_t w = 0; w < n; ++w)
+        dst[w] = BusWord::from_lanes(raw64_[w * lanes_],
+                                     lanes_ > 1 ? raw64_[w * lanes_ + 1] : 0);
+    }
+    remaining_ -= n;
+    return n;
+  }
+
+  int n_bits() const override { return n_bits_; }
+  const std::string& name() const override { return name_; }
+  std::optional<std::uint64_t> length() const override { return total_; }
+  std::unique_ptr<TraceSource> clone() const override {
+    return std::make_unique<FileTraceSource>(path_);
+  }
+
+ private:
+  std::string path_;
+  std::ifstream is_;
+  bool v1_ = false;
+  int n_bits_ = 32;
+  std::size_t lanes_ = 1;
+  std::string name_;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint32_t> raw32_;
+  std::vector<std::uint64_t> raw64_;
+};
+
 }  // namespace
+
+std::unique_ptr<TraceSource> open_trace_stream(const std::string& path) {
+  return std::make_unique<FileTraceSource>(path);
+}
 
 void save_binary(const Trace& trace, std::ostream& os) {
   const std::uint64_t name_len = trace.name.size();

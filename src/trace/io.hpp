@@ -7,9 +7,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "trace/source.hpp"
 #include "trace/trace.hpp"
 
 namespace razorbus::trace {
@@ -22,6 +24,16 @@ std::optional<Trace> load_binary(std::istream& is);
 // load_trace_file also throws on a corrupt/unrecognised file.
 void save_trace_file(const Trace& trace, const std::string& path);
 Trace load_trace_file(const std::string& path);
+
+// Streaming reader over a saved trace file (DESIGN.md §12): parses the
+// RBTRACE1/RBTRACE2 header up front (width, name, word count — the count
+// is bounds-checked against the file size before any read, like
+// load_binary) and then serves the words block by block, so a multi-GB
+// archive never has to fit in RAM. The word sequence is identical to
+// load_trace_file's; `length()` reports the header's word count; `clone()`
+// reopens the file. Throws std::runtime_error on open/parse failure and on
+// a file truncated mid-stream.
+std::unique_ptr<TraceSource> open_trace_stream(const std::string& path);
 
 // One word per line, with a header row ("cycle,word_hex").
 void export_csv(const Trace& trace, std::ostream& os);

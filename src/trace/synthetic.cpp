@@ -88,13 +88,57 @@ BusWord next_word(SyntheticStyle style, const BusWord& prev, int n_bits, double 
   throw std::invalid_argument("generate_synthetic: unknown style");
 }
 
-}  // namespace
-
-Trace generate_synthetic(const SyntheticConfig& config, const std::string& name) {
+void check_synthetic_config(const SyntheticConfig& config) {
   if (config.load_rate < 0.0 || config.load_rate > 1.0)
     throw std::invalid_argument("generate_synthetic: load_rate must be in [0,1]");
   if (config.n_bits <= 0 || config.n_bits > BusWord::kMaxBits)
     throw std::invalid_argument("generate_synthetic: n_bits must be in 1..128");
+}
+
+// Streams the generate_synthetic sequence without materializing it: the
+// (Rng, previous word) pair IS the whole generator state, so each block is
+// the exact continuation of the last (the parity suite diffs streamed
+// blocks against the materialized vector word for word).
+class SyntheticSource final : public TraceSource {
+ public:
+  SyntheticSource(const SyntheticConfig& config, std::string name)
+      : config_(config), name_(std::move(name)), rng_(config.seed) {
+    check_synthetic_config(config_);
+  }
+
+  std::size_t next_block(BusWord* dst, std::size_t max) override {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(max, remaining()));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng_.bernoulli(config_.load_rate))
+        word_ = next_word(config_.style, word_, config_.n_bits, config_.activity, rng_);
+      dst[i] = word_;
+    }
+    produced_ += n;
+    return n;
+  }
+
+  int n_bits() const override { return config_.n_bits; }
+  const std::string& name() const override { return name_; }
+  std::optional<std::uint64_t> length() const override { return config_.cycles; }
+  std::unique_ptr<TraceSource> clone() const override {
+    return std::make_unique<SyntheticSource>(config_, name_);
+  }
+
+ private:
+  std::uint64_t remaining() const { return config_.cycles - produced_; }
+
+  SyntheticConfig config_;
+  std::string name_;
+  Rng rng_;
+  BusWord word_;
+  std::uint64_t produced_ = 0;
+};
+
+}  // namespace
+
+Trace generate_synthetic(const SyntheticConfig& config, const std::string& name) {
+  check_synthetic_config(config);
   Trace out;
   out.name = name;
   out.n_bits = config.n_bits;
@@ -107,6 +151,11 @@ Trace generate_synthetic(const SyntheticConfig& config, const std::string& name)
     out.words.push_back(word);
   }
   return out;
+}
+
+std::unique_ptr<TraceSource> make_synthetic_source(const SyntheticConfig& config,
+                                                   const std::string& name) {
+  return std::make_unique<SyntheticSource>(config, name);
 }
 
 std::string to_string(SyntheticStyle style) {

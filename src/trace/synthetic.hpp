@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "trace/source.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -38,6 +40,15 @@ struct SyntheticConfig {
 };
 
 Trace generate_synthetic(const SyntheticConfig& config, const std::string& name);
+
+// Streaming twin of generate_synthetic (DESIGN.md §12): produces the
+// IDENTICAL word sequence — same Rng draw order, same hold decisions — one
+// block at a time, so `config.cycles` may exceed what a materialized Trace
+// could hold (a 10^8-cycle stream is ~1 MiB of buffer instead of ~1.6 GB
+// of vector). `length()` reports config.cycles; `clone()` restarts from
+// the seed. Validation matches generate_synthetic and throws up front.
+std::unique_ptr<TraceSource> make_synthetic_source(const SyntheticConfig& config,
+                                                   const std::string& name);
 
 // Style names as used by the declarative scenario specs (DESIGN.md §11):
 // "uniform", "random_walk", "fp_like", "pointer_like", "sparse",

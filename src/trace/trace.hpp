@@ -2,9 +2,20 @@
 //
 // A trace is the per-cycle sequence of bus words observed on a bus (one
 // word per cycle, IPC = 1 as in the paper; cycles without a new load
-// repeat the previous word — the bus holds). Words are width-generic
-// BusWords; `n_bits` records how many wires the trace drives (the paper's
-// memory read bus is 32, memory buses 64, cacheline flits 128).
+// repeat the previous word — the bus HOLDS, and the hold is materialized
+// as a repeated word, so `words[i] == words[i-1]` is the idle-cycle test
+// everywhere). Words are width-generic BusWords; `n_bits` records how many
+// wires the trace drives (the paper's memory read bus is 32, memory buses
+// 64, cacheline flits 128). Width rules: experiment drivers reject traces
+// WIDER than their bus (the high lanes would be dropped silently);
+// narrower traces are legal — the surplus wires hold. Producers keep bits
+// at or above n_bits clear.
+//
+// Memory contract: a Trace materializes every cycle (16 bytes each), so
+// campaign length is RAM-bound — 10^8 cycles is ~1.6 GB resident. For
+// longer runs, stream the same word sequence in bounded-memory blocks
+// through trace::TraceSource (source.hpp, DESIGN.md §12) instead; the
+// experiment results are bit-identical either way.
 #pragma once
 
 #include <array>
@@ -42,7 +53,9 @@ struct TraceStats {
 TraceStats compute_stats(const Trace& trace);
 
 // Concatenate traces back to back (Fig. 8 runs the 10 benchmarks
-// consecutively). The width of the first trace is used.
+// consecutively). All inputs must share one n_bits — mixed widths throw
+// std::invalid_argument (a silently adopted first-trace width would
+// mislabel the wider inputs). An empty list yields an empty 32-wire trace.
 Trace concatenate(const std::vector<Trace>& traces, const std::string& name);
 
 // Pack `factor` consecutive words into one wide word (earliest word in the

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <stdexcept>
 
 #include "trace/io.hpp"
 #include "trace/synthetic.hpp"
@@ -14,15 +15,23 @@ namespace {
 // ---------------------------------------------------------------- stats
 
 TEST(Stats, EmptyAndSingleWordTraces) {
+  // No transition exists in either trace, so EVERY statistic must be its
+  // zero default — in particular no division by the zero transition count.
   Trace empty{"e", {}};
   const TraceStats s0 = compute_stats(empty);
   EXPECT_EQ(s0.cycles, 0u);
   EXPECT_DOUBLE_EQ(s0.toggle_rate, 0.0);
+  EXPECT_DOUBLE_EQ(s0.active_cycle_rate, 0.0);
+  EXPECT_DOUBLE_EQ(s0.worst_pattern_rate, 0.0);
+  for (const double p : s0.per_bit_toggle) EXPECT_DOUBLE_EQ(p, 0.0);
 
   Trace one{"o", {42}};
   const TraceStats s1 = compute_stats(one);
   EXPECT_EQ(s1.cycles, 1u);
   EXPECT_DOUBLE_EQ(s1.toggle_rate, 0.0);
+  EXPECT_DOUBLE_EQ(s1.active_cycle_rate, 0.0);
+  EXPECT_DOUBLE_EQ(s1.worst_pattern_rate, 0.0);
+  for (const double p : s1.per_bit_toggle) EXPECT_DOUBLE_EQ(p, 0.0);
 }
 
 TEST(Stats, ConstantTraceHasNoActivity) {
@@ -82,6 +91,61 @@ TEST(Concatenate, PreservesOrderAndLength) {
   ASSERT_EQ(c.words.size(), 3u);
   EXPECT_EQ(c.words[0], 1u);
   EXPECT_EQ(c.words[2], 3u);
+}
+
+TEST(Concatenate, RejectsMixedWidths) {
+  // Regression: concatenate used to adopt the first trace's width and
+  // silently mislabel (or effectively truncate) wider inputs; mixed widths
+  // must throw instead, whichever order they arrive in.
+  Trace narrow{"n", {1, 2}};
+  Trace wide{"w", {3}};
+  wide.n_bits = 64;
+  EXPECT_THROW(concatenate({narrow, wide}, "nw"), std::invalid_argument);
+  EXPECT_THROW(concatenate({wide, narrow}, "wn"), std::invalid_argument);
+  // Same-width inputs keep working and keep their width.
+  Trace wide2{"w2", {4, 5}};
+  wide2.n_bits = 64;
+  const Trace c = concatenate({wide, wide2}, "ww");
+  EXPECT_EQ(c.n_bits, 64);
+  EXPECT_EQ(c.words.size(), 3u);
+}
+
+// ---------------------------------------------------------------- widen
+
+TEST(Widen, PacksEarliestWordLowest) {
+  Trace t{"t", {0x11111111u, 0x22222222u, 0x33333333u, 0x44444444u}};
+  const Trace wide = widen(t, 2);
+  EXPECT_EQ(wide.n_bits, 64);
+  ASSERT_EQ(wide.words.size(), 2u);
+  EXPECT_EQ(wide.words[0].low64(), 0x2222222211111111ull);
+  EXPECT_EQ(wide.words[1].low64(), 0x4444444433333333ull);
+}
+
+TEST(Widen, ZeroPadsTheTail) {
+  // 5 words at factor 4: the second flit packs one word and must leave
+  // the remaining 96 bits zero.
+  Trace t{"t", {1, 2, 3, 4, 0xABCDu}};
+  const Trace wide = widen(t, 4);
+  EXPECT_EQ(wide.n_bits, 128);
+  ASSERT_EQ(wide.words.size(), 2u);
+  EXPECT_EQ(wide.words[1].lane(0), 0xABCDull);
+  EXPECT_EQ(wide.words[1].lane(1), 0ull);
+  // Tail padding also masks garbage above the input width.
+  Trace small{"s", {0xFFu, 0xFFu, 0xFFu}};
+  small.n_bits = 4;
+  const Trace packed = widen(small, 2);
+  EXPECT_EQ(packed.n_bits, 8);
+  ASSERT_EQ(packed.words.size(), 2u);
+  EXPECT_EQ(packed.words[0].low64(), 0xFFull);  // two 4-bit 0xF fields
+  EXPECT_EQ(packed.words[1].low64(), 0x0Full);  // zero-padded high half
+}
+
+TEST(Widen, ValidatesFactorAndCapacity) {
+  Trace t{"t", {1, 2}};
+  EXPECT_THROW(widen(t, 0), std::invalid_argument);
+  EXPECT_THROW(widen(t, -1), std::invalid_argument);
+  EXPECT_THROW(widen(t, 5), std::invalid_argument);  // 160 bits > kMaxBits
+  EXPECT_EQ(widen(t, 4).n_bits, 128);
 }
 
 // ---------------------------------------------------------------- synthetic

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in markdown files.
+
+Usage: tools/check_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Scans every given markdown file (directories are walked for *.md) for
+inline links/images `[text](target)` and reference definitions
+`[label]: target`. External schemes (http/https/mailto) and pure
+in-page anchors (#...) are ignored; everything else must resolve,
+relative to the containing file, to an existing file or directory
+(fragments are stripped before the check). Exit code 1 lists every dead
+link; 0 means all links resolve.
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target) — target up to the first unescaped ')' — plus
+# reference-style "[label]: target" definitions at line start.
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def check(md_file):
+    dead = []
+    with open(md_file, encoding="utf-8") as handle:
+        text = handle.read()
+    targets = INLINE.findall(text) + REFDEF.findall(text)
+    for target in targets:
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(md_file), target.split("#", 1)[0])
+        )
+        if not os.path.exists(resolved):
+            dead.append((target, resolved))
+    return dead
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for md_file in markdown_files(argv[1:]):
+        checked += 1
+        for target, resolved in check(md_file):
+            failures += 1
+            print(f"DEAD LINK {md_file}: ({target}) -> {resolved}")
+    print(f"checked {checked} markdown file(s), {failures} dead link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
