@@ -131,12 +131,14 @@ int main(int argc, char** argv) {
   int args_count = static_cast<int>(args.size());
 
   // Always emit the JSON report: BENCH_engine.json is the tracked artifact.
-  std::string default_json = "--json";
+  // Static storage: `args` holds a pointer to it, and argv-style pointers
+  // must stay valid for as long as anyone may walk the vector.
+  static char default_json[] = "--json";
   bool has_json = false;
   for (int i = 1; i < args_count; ++i)
     if (std::string(args[static_cast<std::size_t>(i)]).rfind("--json", 0) == 0)
       has_json = true;
-  if (!has_json) args.push_back(&default_json[0]);
+  if (!has_json) args.push_back(default_json);
 
   const int rc = run_scenario(static_cast<int>(args.size()), args.data(),
                               scenario_by_name("engine"));

@@ -148,6 +148,85 @@ double measure_seconds(Fn&& fn) {
   return elapsed / calls;
 }
 
+// Multi-operating-point engine (DESIGN.md §13): point-cycles/second of one
+// batched pass vs batch size. The scalar loop's point-cycles/sec is flat in
+// P by construction (P passes over the trace); the batch engine amortises
+// classification and vectorises the per-point arithmetic, so its
+// point-cycles/sec should GROW with P. Tracked per width and point count as
+// sweep_points_w<W>_p<P>_cps, plus a driver-level scalar-vs-simd A/B on the
+// Fig. 4 sweep (same report bytes, fewer passes).
+void multipoint_showdown(ScenarioContext& ctx) {
+  const tech::PvtCorner corner = tech::typical_corner();
+  const int point_counts[] = {1, 4, 8, 20};
+
+  Table table({"Width (wires)", "P=1 (Mpt-cyc/s)", "P=4", "P=8", "P=20",
+               "P=20 vs P=1"});
+  for (const int width : {16, 32, 64, 128}) {
+    interconnect::BusDesign design = paper_system().design();  // sized repeaters
+    design.n_bits = width;
+    const trace::Trace t = make_trace(trace::SyntheticStyle::uniform, 0.4, ctx.cycles,
+                                      "points", width);
+    table.row().add(static_cast<long long>(width));
+    double first_cps = 0.0, last_cps = 0.0;
+    for (const int n_points : point_counts) {
+      std::vector<bus::OperatingPoint> points;
+      for (int p = 0; p < n_points; ++p) points.push_back({1.00 + 0.01 * p, corner});
+      bus::MultiPointEngine engine(design, paper_system().table(), points);
+      engine.run(t.words);  // warm up (and fault in the SoA tables)
+
+      using clock = std::chrono::steady_clock;
+      std::uint64_t cycles_done = 0;
+      double elapsed = 0.0;
+      const auto t0 = clock::now();
+      do {
+        engine.run(t.words);
+        cycles_done += t.words.size();
+        elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+      } while (elapsed < 0.25);
+      const double cps =
+          static_cast<double>(n_points) * static_cast<double>(cycles_done) / elapsed;
+      table.add(cps / 1e6, 1);
+      ctx.metric("sweep_points_w" + std::to_string(width) + "_p" +
+                     std::to_string(n_points) + "_cps",
+                 cps);
+      if (n_points == point_counts[0]) first_cps = cps;
+      last_cps = cps;
+    }
+    table.add(first_cps > 0.0 ? last_cps / first_cps : 0.0, 2);
+  }
+  ctx.table("multipoint_throughput", table);
+
+  // Fig. 4 sweep A/B: identical grid and report, scalar per-supply sharding
+  // vs one EngineMode::simd batch per thread chunk.
+  const auto& system = paper_system();
+  const trace::Trace sweep_trace =
+      make_trace(trace::SyntheticStyle::uniform, 0.4, ctx.cycles, "sweep_ab");
+  const std::vector<trace::Trace> traces{sweep_trace};
+  const std::size_t supplies =
+      core::static_voltage_sweep(system, corner, traces).points.size();
+  const double scalar_s = measure_seconds(
+      [&] { core::static_voltage_sweep(system, corner, traces); });
+  const double simd_s = measure_seconds([&] {
+    core::static_voltage_sweep(system, corner, traces, 0.0, bus::EngineMode::simd);
+  });
+  const double speedup = scalar_s / simd_s;
+
+  Table ab({"Fig. 4 sweep", "Supplies", "Scalar (s)", "SIMD batch (s)", "Speedup"});
+  ab.row()
+      .add("static_voltage_sweep")
+      .add(static_cast<long long>(supplies))
+      .add(scalar_s, 3)
+      .add(simd_s, 3)
+      .add(speedup, 2);
+  ctx.table("sweep_engine_ab", ab);
+  ctx.metric("sweep_supplies", static_cast<double>(supplies));
+  ctx.metric("sweep_scalar_seconds", scalar_s);
+  ctx.metric("sweep_simd_seconds", simd_s);
+  ctx.metric("sweep_simd_speedup", speedup);
+  if (speedup < 2.0)
+    std::printf("WARNING: simd sweep speedup %.2fx below the 2x budget\n", speedup);
+}
+
 // Single- vs multi-thread throughput of the two sharded workloads
 // (DESIGN.md §9): a characterization grid build and a static voltage
 // sweep. Both are bit-identical at any width, so this is purely the
@@ -221,6 +300,7 @@ Scenario make_engine_scenario() {
   scenario.run = [](ScenarioContext& ctx) {
     engine_showdown(ctx);
     width_showdown(ctx);
+    multipoint_showdown(ctx);
     parallel_showdown(ctx);
   };
   return scenario;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/bits.hpp"
+#include "util/simd.hpp"
 #include "util/units.hpp"
 
 namespace razorbus::bus {
@@ -25,7 +27,112 @@ razor::FlopTiming make_timing(const interconnect::BusDesign& design) {
   return t;
 }
 
+// Branch order mirrors DoubleSamplingFlop::clock exactly; keeping the
+// comparison chain identical across every engine is what makes them all
+// bit-compatible.
+detail::Verdict classify_arrival_for(const razor::FlopTiming& timing, double arrival) {
+  using detail::Verdict;
+  if (arrival <= 0.0) return Verdict::held;
+  if (timing.min_path_limit > 0.0 && arrival < timing.min_path_limit)
+    return Verdict::shadow_failed;
+  if (arrival <= timing.main_capture_limit) return Verdict::clean;
+  if (arrival <= timing.shadow_capture_limit) return Verdict::corrected;
+  return Verdict::shadow_failed;
+}
+
+// One (prev, cur) combination of one shield group at one operating point:
+// the per-bit chain in ascending bit order — the exact operation sequence
+// every engine uses for this group's energy sub-sum — plus the zero-jitter
+// wire verdicts folded into error/shadow masks. `any_held` flags the
+// arrival <= 0 case the toggle-update table path cannot express. Shared by
+// the single-point and multi-point table builders so their tables agree
+// bit for bit by construction.
+struct ComboCell {
+  double energy = 0.0;
+  double worst = 0.0;
+  std::uint8_t error_mask = 0;
+  std::uint8_t shadow_mask = 0;
+  bool any_held = false;
+};
+
+ComboCell compute_combo(int w, std::uint32_t pm, std::uint32_t cm,
+                        const double* scaled_energy, const double* class_delay,
+                        const detail::Verdict* class_verdict) {
+  using detail::Verdict;
+  using lut::NeighborActivity;
+  using lut::PatternClass;
+  ComboCell cell;
+  for (int b = 0; b < w; ++b) {
+    const auto victim = lut::classify_victim((pm >> b) & 1u, (cm >> b) & 1u);
+    const NeighborActivity left =
+        b == 0 ? NeighborActivity::shield
+               : lut::classify_neighbor((pm >> (b - 1)) & 1u, (cm >> (b - 1)) & 1u);
+    const NeighborActivity right =
+        b == w - 1 ? NeighborActivity::shield
+                   : lut::classify_neighbor((pm >> (b + 1)) & 1u, (cm >> (b + 1)) & 1u);
+    const int cls = PatternClass::encode(victim, left, right);
+    cell.energy += scaled_energy[cls];
+    const double d = class_delay[cls];
+    if (std::isnan(d)) continue;
+    if (d > cell.worst) cell.worst = d;
+    // A switching victim toggles by definition, so at zero jitter
+    // (line == prev) the wire is active and the class verdict is the
+    // wire verdict.
+    switch (class_verdict[cls]) {
+      case Verdict::held:
+        cell.any_held = true;
+        break;
+      case Verdict::clean:
+        break;
+      case Verdict::corrected:
+        cell.error_mask |= static_cast<std::uint8_t>(1u << b);
+        break;
+      case Verdict::shadow_failed:
+        cell.shadow_mask |= static_cast<std::uint8_t>(1u << b);
+        break;
+    }
+  }
+  return cell;
+}
+
 }  // namespace
+
+namespace detail {
+
+GroupLayout GroupLayout::build(const interconnect::BusDesign& design) {
+  // A group is a maximal run of signal wires with no internal shield; its
+  // edges border shields (the layout guarantees shields at both bus
+  // edges), so nothing outside a group influences its wires. Same-width
+  // groups are structurally identical and share one combo-table block.
+  GroupLayout layout;
+  const int n = design.n_bits;
+  std::size_t offsets[kMaxTableWidth + 1];
+  std::fill(std::begin(offsets), std::end(offsets), static_cast<std::size_t>(-1));
+  layout.tabulatable = true;
+
+  int i = 0;
+  while (i < n) {
+    int j = i + 1;
+    while (j < n && design.left_neighbor(j) != interconnect::NeighborKind::shield) ++j;
+    WireGroup g;
+    g.start = i;
+    g.width = j - i;
+    if (g.width > kMaxTableWidth) {
+      layout.tabulatable = false;
+    } else {
+      if (offsets[g.width] == static_cast<std::size_t>(-1)) {
+        offsets[g.width] = layout.total_combos;
+        layout.total_combos += static_cast<std::size_t>(1) << (2 * g.width);
+      }
+      g.table_offset = offsets[g.width];
+    }
+    layout.groups.push_back(g);
+    i = j;
+  }
+  return layout;
+}
+
+}  // namespace detail
 
 BusSimulator::BusSimulator(const interconnect::BusDesign& design,
                            const lut::DelayEnergyTable& table,
@@ -46,49 +153,14 @@ BusSimulator::BusSimulator(const interconnect::BusDesign& design,
     throw std::invalid_argument("BusSimulator: repeaters not sized");
   cycle_overhead_ = recovery_.cycle_overhead(design_.n_bits);
   error_overhead_ = recovery_.error_overhead(design_.n_bits);
-  build_group_structure();
+  layout_ = detail::GroupLayout::build(design_);
+  if (layout_.tabulatable) {
+    combo_energy_.assign(layout_.total_combos, 0.0);
+    combo_worst_.assign(layout_.total_combos, 0.0);
+    combo_error_.assign(layout_.total_combos, 0);
+    combo_shadow_.assign(layout_.total_combos, 0);
+  }
   set_supply(design_.node.vdd_nominal);
-}
-
-void BusSimulator::build_group_structure() {
-  // A group is a maximal run of signal wires with no internal shield; its
-  // edges border shields (the layout guarantees shields at both bus
-  // edges), so nothing outside a group influences its wires. Same-width
-  // groups are structurally identical and share one combo-table block.
-  groups_.clear();
-  const int n = design_.n_bits;
-  std::size_t offsets[kMaxTableWidth + 1];
-  std::fill(std::begin(offsets), std::end(offsets), static_cast<std::size_t>(-1));
-  std::size_t total = 0;
-  bool tabulatable = true;
-
-  int i = 0;
-  while (i < n) {
-    int j = i + 1;
-    while (j < n && design_.left_neighbor(j) != interconnect::NeighborKind::shield) ++j;
-    WireGroup g;
-    g.start = i;
-    g.width = j - i;
-    if (g.width > kMaxTableWidth) {
-      tabulatable = false;
-    } else {
-      if (offsets[g.width] == static_cast<std::size_t>(-1)) {
-        offsets[g.width] = total;
-        total += static_cast<std::size_t>(1) << (2 * g.width);
-      }
-      g.table_offset = offsets[g.width];
-    }
-    groups_.push_back(g);
-    i = j;
-  }
-
-  group_tables_enabled_ = tabulatable;
-  if (group_tables_enabled_) {
-    combo_energy_.assign(total, 0.0);
-    combo_worst_.assign(total, 0.0);
-    combo_error_.assign(total, 0);
-    combo_shadow_.assign(total, 0);
-  }
 }
 
 void BusSimulator::set_supply(double volts) {
@@ -105,14 +177,23 @@ void BusSimulator::set_supply(double volts) {
 }
 
 std::string to_string(EngineMode mode) {
-  return mode == EngineMode::bit_parallel ? "bit_parallel" : "reference";
+  switch (mode) {
+    case EngineMode::bit_parallel:
+      return "bit_parallel";
+    case EngineMode::reference:
+      return "reference";
+    case EngineMode::simd:
+      return "simd";
+  }
+  return "bit_parallel";
 }
 
 EngineMode engine_mode_from_string(const std::string& name) {
   if (name == "bit_parallel") return EngineMode::bit_parallel;
   if (name == "reference") return EngineMode::reference;
+  if (name == "simd") return EngineMode::simd;
   throw std::invalid_argument("unknown engine mode '" + name +
-                              "' (expected bit_parallel or reference)");
+                              "' (expected bit_parallel, reference or simd)");
 }
 
 void BusSimulator::set_engine_mode(EngineMode mode) {
@@ -126,14 +207,7 @@ void BusSimulator::set_engine_mode(EngineMode mode) {
 }
 
 BusSimulator::Verdict BusSimulator::classify_arrival(double arrival) const {
-  // Branch order mirrors DoubleSamplingFlop::clock exactly; keeping the
-  // comparison chain identical is what makes the engines bit-compatible.
-  if (arrival <= 0.0) return Verdict::held;
-  if (timing_.min_path_limit > 0.0 && arrival < timing_.min_path_limit)
-    return Verdict::shadow_failed;
-  if (arrival <= timing_.main_capture_limit) return Verdict::clean;
-  if (arrival <= timing_.shadow_capture_limit) return Verdict::corrected;
-  return Verdict::shadow_failed;
+  return classify_arrival_for(timing_, arrival);
 }
 
 void BusSimulator::refresh_operating_point() {
@@ -159,69 +233,31 @@ void BusSimulator::refresh_operating_point() {
                               ? Verdict::held
                               : classify_arrival(class_delay_[cls]);
   }
-  if (group_tables_enabled_) rebuild_group_tables();
+  if (layout_.tabulatable) rebuild_group_tables();
 }
 
 void BusSimulator::rebuild_group_tables() {
-  using lut::NeighborActivity;
-  using lut::PatternClass;
-
   combo_zero_jitter_ok_ = true;
-  bool built[kMaxTableWidth + 1] = {};
-  for (const auto& g : groups_) {
+  bool built[detail::GroupLayout::kMaxTableWidth + 1] = {};
+  for (const auto& g : layout_.groups) {
     if (built[g.width]) continue;
     built[g.width] = true;
     const int w = g.width;
     const std::uint32_t combos = 1u << w;
     for (std::uint32_t pm = 0; pm < combos; ++pm) {
       for (std::uint32_t cm = 0; cm < combos; ++cm) {
-        // Per-bit chain in ascending bit order: the exact operation
-        // sequence every engine uses for this group's energy sub-sum.
-        double sub = 0.0;
-        double worst = 0.0;
-        std::uint8_t error_mask = 0;
-        std::uint8_t shadow_mask = 0;
-        for (int b = 0; b < w; ++b) {
-          const auto victim =
-              lut::classify_victim((pm >> b) & 1u, (cm >> b) & 1u);
-          const NeighborActivity left =
-              b == 0 ? NeighborActivity::shield
-                     : lut::classify_neighbor((pm >> (b - 1)) & 1u, (cm >> (b - 1)) & 1u);
-          const NeighborActivity right =
-              b == w - 1
-                  ? NeighborActivity::shield
-                  : lut::classify_neighbor((pm >> (b + 1)) & 1u, (cm >> (b + 1)) & 1u);
-          const int cls = PatternClass::encode(victim, left, right);
-          sub += scaled_energy_[cls];
-          const double d = class_delay_[cls];
-          if (std::isnan(d)) continue;
-          if (d > worst) worst = d;
-          // A switching victim toggles by definition, so at zero jitter
-          // (line == prev) the wire is active and the class verdict is the
-          // wire verdict.
-          switch (class_verdict_[cls]) {
-            case Verdict::held:
-              // Arrival <= 0 at zero jitter: the wire would silently keep
-              // its old value, which the toggle-update table path cannot
-              // express — route such operating points through the
-              // per-class kernel instead.
-              combo_zero_jitter_ok_ = false;
-              break;
-            case Verdict::clean:
-              break;
-            case Verdict::corrected:
-              error_mask |= static_cast<std::uint8_t>(1u << b);
-              break;
-            case Verdict::shadow_failed:
-              shadow_mask |= static_cast<std::uint8_t>(1u << b);
-              break;
-          }
-        }
+        const ComboCell cell =
+            compute_combo(w, pm, cm, scaled_energy_, class_delay_, class_verdict_);
+        // An arrival <= 0 verdict in any reachable combo means the wire
+        // would silently keep its old value, which the toggle-update
+        // table path cannot express — route such operating points
+        // through the per-class kernel instead.
+        if (cell.any_held) combo_zero_jitter_ok_ = false;
         const std::size_t idx = g.table_offset + ((pm << w) | cm);
-        combo_energy_[idx] = sub;
-        combo_worst_[idx] = worst;
-        combo_error_[idx] = error_mask;
-        combo_shadow_[idx] = shadow_mask;
+        combo_energy_[idx] = cell.energy;
+        combo_worst_[idx] = cell.worst;
+        combo_error_[idx] = cell.error_mask;
+        combo_shadow_[idx] = cell.shadow_mask;
       }
     }
   }
@@ -243,8 +279,10 @@ void BusSimulator::account_idle(CycleResult& out) {
 }
 
 CycleResult BusSimulator::step(const BusWord& word) {
-  return mode_ == EngineMode::bit_parallel ? step_bit_parallel(word)
-                                           : step_reference(word);
+  // simd is a driver-level scheduling mode; on a single simulator it IS
+  // the bit-parallel engine.
+  return mode_ == EngineMode::reference ? step_reference(word)
+                                        : step_bit_parallel(word);
 }
 
 // --------------------------------------------------------------- reference
@@ -278,7 +316,7 @@ CycleResult BusSimulator::step_reference(const BusWord& word) {
   // bit-parallel engine's precomputed group tables, so the engines'
   // energy totals match bit for bit.
   double dynamic_energy = 0.0;
-  for (const auto& g : groups_) {
+  for (const auto& g : layout_.groups) {
     double sub = 0.0;
     for (int bit = g.start; bit < g.start + g.width; ++bit)
       sub += scaled_energy_[classes_[static_cast<std::size_t>(bit)]];
@@ -311,7 +349,7 @@ BusSimulator::CycleOutcome BusSimulator::table_kernel(const BusWord& prev,
   // shield group. Every toggling wire captures (cleanly or not), so the
   // line update is simply the toggle mask.
   CycleOutcome out;
-  for (const auto& g : groups_) {
+  for (const auto& g : layout_.groups) {
     const std::uint64_t pm = prev.extract(g.start, g.width);
     const std::uint64_t cm = word.extract(g.start, g.width);
     const std::size_t idx =
@@ -332,7 +370,7 @@ BusSimulator::CycleOutcome BusSimulator::jitter_kernel(const BusWord& prev,
   CycleOutcome out;
   // Energy and the per-group sub-sum order are jitter-independent: reuse
   // the combo tables.
-  for (const auto& g : groups_) {
+  for (const auto& g : layout_.groups) {
     const std::uint64_t pm = prev.extract(g.start, g.width);
     const std::uint64_t cm = word.extract(g.start, g.width);
     out.dynamic_energy +=
@@ -389,7 +427,7 @@ BusSimulator::CycleOutcome BusSimulator::general_kernel(const BusWord& prev,
   CycleOutcome out;
   classifier_.classify_all(prev, word, classes_.data());
   const BusWord flop_toggle = word ^ line;
-  for (const auto& g : groups_) {
+  for (const auto& g : layout_.groups) {
     double sub = 0.0;
     for (int bit = g.start; bit < g.start + g.width; ++bit) {
       const int cls = classes_[static_cast<std::size_t>(bit)];
@@ -433,7 +471,7 @@ CycleResult BusSimulator::step_bit_parallel(const BusWord& word) {
       jitter_sigma_ > 0.0 ? jitter_rng_.normal(0.0, jitter_sigma_) : 0.0;
   const bool in_sync = ((line_word_ ^ prev_word_) & classifier_.bits_mask()).none();
   CycleOutcome k;
-  if (!group_tables_enabled_)
+  if (!layout_.tabulatable)
     k = general_kernel(prev_word_, word, line_word_, jitter);
   else if (jitter == 0.0 && in_sync && combo_zero_jitter_ok_)
     k = table_kernel(prev_word_, word);
@@ -485,7 +523,7 @@ void BusSimulator::run_bit_parallel(const BusWord* words, std::size_t n) {
     }
     const double jitter = jitter_on ? jitter_rng_.normal(0.0, jitter_sigma_) : 0.0;
     CycleOutcome k;
-    if (!group_tables_enabled_)
+    if (!layout_.tabulatable)
       k = general_kernel(prev, word, line, jitter);
     else if (jitter == 0.0 && ((line ^ prev) & bits_mask).none() && combo_zero_jitter_ok_)
       k = table_kernel(prev, word);
@@ -517,10 +555,10 @@ void BusSimulator::run_bit_parallel(const BusWord* words, std::size_t n) {
 
 RunningTotals BusSimulator::run(const BusWord* words, std::size_t n) {
   const RunningTotals before = totals_;
-  if (mode_ == EngineMode::bit_parallel) {
-    run_bit_parallel(words, n);
-  } else {
+  if (mode_ == EngineMode::reference) {
     for (std::size_t i = 0; i < n; ++i) step_reference(words[i]);
+  } else {
+    run_bit_parallel(words, n);
   }
   RunningTotals delta;
   delta.cycles = totals_.cycles - before.cycles;
@@ -571,7 +609,7 @@ double BusSimulator::peek_cycle_energy(const BusWord& word) const {
   // Per-group sub-sums, same accounting as the engines.
   double energy = leakage_energy_per_cycle_;
   if (word == prev_word_) return energy;
-  for (const auto& g : groups_) {
+  for (const auto& g : layout_.groups) {
     double sub = 0.0;
     for (int bit = g.start; bit < g.start + g.width; ++bit)
       sub += slice_.energy[classifier_.classify(prev_word_, word, bit)] * energy_scale_;
@@ -596,6 +634,382 @@ RunningTotals BusSimulator::run_reference(const interconnect::BusDesign& design,
                                           const std::vector<std::uint32_t>& words) {
   return run_reference(design, table, environment,
                        std::vector<BusWord>(words.begin(), words.end()));
+}
+
+// ------------------------------------------------------------- multi-point
+
+MultiPointEngine::MultiPointEngine(const interconnect::BusDesign& design,
+                                   const lut::DelayEnergyTable& table,
+                                   const std::vector<OperatingPoint>& points,
+                                   const MultiPointConfig& config)
+    : design_(design),
+      table_(table),
+      leakage_(design.node),
+      classifier_(design),
+      timing_(make_timing(design)),
+      jitter_sigma_(config.timing_jitter_sigma),
+      jitter_rng_(config.jitter_seed),
+      classes_(static_cast<std::size_t>(design.n_bits), 0) {
+  design_.validate();
+  if (design_.repeater_size <= 0.0)
+    throw std::invalid_argument("MultiPointEngine: repeaters not sized");
+  if (points.empty())
+    throw std::invalid_argument("MultiPointEngine: empty operating-point list");
+  if (jitter_sigma_ < 0.0) throw std::invalid_argument("negative jitter sigma");
+
+  cycle_overhead_ = config.recovery.cycle_overhead(design_.n_bits);
+  cycle_error_overhead_ =
+      cycle_overhead_ + config.recovery.error_overhead(design_.n_bits);
+  layout_ = detail::GroupLayout::build(design_);
+
+  n_points_ = points.size();
+  // Rows padded to a fixed four-lane granule (the widest double vector in
+  // util/simd.cpp); padding slots stay zero and never reach the totals.
+  stride_ = (n_points_ + 3) & ~std::size_t{3};
+
+  leak_.assign(stride_, 0.0);
+  scaled_energy_.assign(n_points_ * lut::PatternClass::kCount, 0.0);
+  class_delay_.assign(n_points_ * lut::PatternClass::kCount, 0.0);
+  class_verdict_.assign(n_points_ * lut::PatternClass::kCount, detail::Verdict::held);
+  combo_ok_.assign(n_points_, 1);
+  if (layout_.tabulatable) {
+    combo_energy_.assign(layout_.total_combos * stride_, 0.0);
+    combo_error_.assign(layout_.total_combos * stride_, 0);
+    combo_shadow_.assign(layout_.total_combos * stride_, 0);
+  }
+  for (std::size_t p = 0; p < n_points_; ++p) build_point(p, points[p]);
+  all_combo_ok_ = layout_.tabulatable;
+  for (std::size_t p = 0; p < n_points_; ++p)
+    if (!combo_ok_[p]) all_combo_ok_ = false;
+
+  line_.assign(n_points_, BusWord());
+  errors_.assign(n_points_, 0);
+  shadow_failures_.assign(n_points_, 0);
+  bus_energy_.assign(stride_, 0.0);
+  overhead_energy_.assign(stride_, 0.0);
+  dyn_.assign(stride_, 0.0);
+  errb_.assign(stride_, 0);
+  shadowb_.assign(stride_, 0);
+  reset(config.initial_word);
+}
+
+void MultiPointEngine::build_point(std::size_t p, const OperatingPoint& point) {
+  if (point.supply <= 0.0)
+    throw std::invalid_argument("MultiPointEngine: non-positive supply");
+  // Exactly BusSimulator::refresh_operating_point, written into row `p`
+  // of the structure-of-arrays tables.
+  const tech::PvtCorner& env = point.environment;
+  const double v_eff = env.effective_supply(point.supply);
+  const lut::TableSlice slice = table_.slice(env.process, env.temp_c, v_eff);
+  const double energy_scale = point.supply / v_eff;
+
+  const double n_drivers =
+      static_cast<double>(design_.n_bits) * static_cast<double>(design_.n_segments);
+  const double leak_current =
+      leakage_.current(design_.repeater_size, env.process, env.temp_c, v_eff);
+  leak_[p] = n_drivers * leak_current * point.supply * design_.clock_period();
+
+  double* se = &scaled_energy_[p * lut::PatternClass::kCount];
+  double* cd = &class_delay_[p * lut::PatternClass::kCount];
+  detail::Verdict* cv = &class_verdict_[p * lut::PatternClass::kCount];
+  for (int cls = 0; cls < lut::PatternClass::kCount; ++cls) {
+    se[cls] = slice.energy[cls] * energy_scale;
+    cd[cls] = slice.delay[cls];
+    cv[cls] = std::isnan(cd[cls]) ? detail::Verdict::held
+                                  : classify_arrival_for(timing_, cd[cls]);
+  }
+
+  if (!layout_.tabulatable) return;
+  bool ok = true;
+  bool built[detail::GroupLayout::kMaxTableWidth + 1] = {};
+  for (const auto& g : layout_.groups) {
+    if (built[g.width]) continue;
+    built[g.width] = true;
+    const int w = g.width;
+    const std::uint32_t combos = 1u << w;
+    for (std::uint32_t pm = 0; pm < combos; ++pm) {
+      for (std::uint32_t cm = 0; cm < combos; ++cm) {
+        const ComboCell cell = compute_combo(w, pm, cm, se, cd, cv);
+        if (cell.any_held) ok = false;
+        const std::size_t row =
+            (g.table_offset + static_cast<std::size_t>((pm << w) | cm)) * stride_;
+        combo_energy_[row + p] = cell.energy;
+        combo_error_[row + p] = cell.error_mask;
+        combo_shadow_[row + p] = cell.shadow_mask;
+      }
+    }
+  }
+  combo_ok_[p] = ok ? 1 : 0;
+}
+
+void MultiPointEngine::reset(const BusWord& initial_word) {
+  prev_word_ = initial_word;
+  std::fill(line_.begin(), line_.end(), initial_word & classifier_.bits_mask());
+  all_fast_ = all_combo_ok_;
+  cycles_ = 0;
+  std::fill(errors_.begin(), errors_.end(), 0);
+  std::fill(shadow_failures_.begin(), shadow_failures_.end(), 0);
+  std::fill(bus_energy_.begin(), bus_energy_.end(), 0.0);
+  std::fill(overhead_energy_.begin(), overhead_energy_.end(), 0.0);
+}
+
+void MultiPointEngine::run(const BusWord* words, std::size_t n) {
+  const bool jitter_on = jitter_sigma_ > 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const BusWord word = words[i];
+    if (word == prev_word_) {
+      // Idle bus: nothing switches for ANY point — leakage plus the flop
+      // clocking overhead, rows at a time.
+      ++cycles_;
+      simd::add_rows(bus_energy_.data(), leak_.data(), stride_);
+      simd::add_const(overhead_energy_.data(), cycle_overhead_, stride_);
+      continue;
+    }
+    const double jitter = jitter_on ? jitter_rng_.normal(0.0, jitter_sigma_) : 0.0;
+    if (all_fast_ && jitter == 0.0)
+      fast_cycle(word);
+    else
+      mixed_cycle(word, jitter);
+    prev_word_ = word;
+  }
+}
+
+void MultiPointEngine::fast_cycle(const BusWord& word) {
+  // Every point is on the zero-jitter table path: the cycle is one combo
+  // row per shield group, reduced with the SIMD kernels. Receiver lines
+  // stay implicitly in sync (line == word on the signal wires), so no
+  // per-point line update is needed.
+  std::fill(dyn_.begin(), dyn_.end(), 0.0);
+  std::memset(errb_.data(), 0, stride_);
+  std::memset(shadowb_.data(), 0, stride_);
+  const BusWord prev = prev_word_;
+  for (const auto& g : layout_.groups) {
+    const std::uint64_t pm = prev.extract(g.start, g.width);
+    const std::uint64_t cm = word.extract(g.start, g.width);
+    const std::size_t row =
+        (g.table_offset + static_cast<std::size_t>((pm << g.width) | cm)) * stride_;
+    simd::add_rows(dyn_.data(), combo_energy_.data() + row, stride_);
+    simd::or_bytes(errb_.data(), combo_error_.data() + row, stride_);
+    simd::or_bytes(shadowb_.data(), combo_shadow_.data() + row, stride_);
+  }
+  simd::add2_rows(bus_energy_.data(), dyn_.data(), leak_.data(), stride_);
+  ++cycles_;
+  for (std::size_t p = 0; p < n_points_; ++p) {
+    const bool error = errb_[p] != 0;
+    errors_[p] += error ? 1u : 0u;
+    shadow_failures_[p] += shadowb_[p] != 0 ? 1u : 0u;
+    overhead_energy_[p] += error ? cycle_error_overhead_ : cycle_overhead_;
+  }
+}
+
+void MultiPointEngine::mixed_cycle(const BusWord& word, double jitter) {
+  // The general cycle: jittered arrivals, a desynced receiver, a
+  // combo-ineligible point, or an untabulatable layout. Points are walked
+  // one at a time with the scalar engine's own per-point kernel
+  // selection; the trace-dependent pattern work (class masks / per-wire
+  // classes) is shared across points, computed lazily on first demand.
+  const BusWord prev = prev_word_;
+  const BusWord bits_mask = classifier_.bits_mask();
+  if (all_fast_) {
+    // Leaving the fast path: materialize the per-point receiver lines
+    // (all equal to prev on the signal wires while the path was hot).
+    std::fill(line_.begin(), line_.end(), prev & bits_mask);
+    all_fast_ = false;
+  }
+
+  ClassMaskSet masks{};
+  bool have_masks = false;
+  bool have_classes = false;
+
+  ++cycles_;
+  for (std::size_t p = 0; p < n_points_; ++p) {
+    const double* cd = &class_delay_[p * lut::PatternClass::kCount];
+    double dynamic_energy = 0.0;
+    BusWord error_mask, shadow_mask, line_update;
+
+    if (!layout_.tabulatable) {
+      // Per-wire general kernel (BusSimulator::general_kernel).
+      if (!have_classes) {
+        classifier_.classify_all(prev, word, classes_.data());
+        have_classes = true;
+      }
+      const double* se = &scaled_energy_[p * lut::PatternClass::kCount];
+      const BusWord flop_toggle = word ^ line_[p];
+      for (const auto& g : layout_.groups) {
+        double sub = 0.0;
+        for (int bit = g.start; bit < g.start + g.width; ++bit) {
+          const int cls = classes_[static_cast<std::size_t>(bit)];
+          sub += se[cls];
+          const double d = cd[cls];
+          if (std::isnan(d)) continue;
+          const double arrival = d + jitter;
+          if (!flop_toggle.test(bit)) continue;
+          const BusWord wire = BusWord(1) << bit;
+          switch (classify_arrival_for(timing_, arrival)) {
+            case detail::Verdict::held:
+              break;
+            case detail::Verdict::clean:
+              line_update |= wire;
+              break;
+            case detail::Verdict::corrected:
+              error_mask |= wire;
+              line_update |= wire;
+              break;
+            case detail::Verdict::shadow_failed:
+              shadow_mask |= wire;
+              line_update |= wire;
+              break;
+          }
+        }
+        dynamic_energy += sub;
+      }
+    } else if (jitter == 0.0 && combo_ok_[p] &&
+               ((line_[p] ^ prev) & bits_mask).none()) {
+      // This point still qualifies for the table path
+      // (BusSimulator::table_kernel), scalar over its combo rows.
+      for (const auto& g : layout_.groups) {
+        const std::uint64_t pm = prev.extract(g.start, g.width);
+        const std::uint64_t cm = word.extract(g.start, g.width);
+        const std::size_t row =
+            (g.table_offset + static_cast<std::size_t>((pm << g.width) | cm)) *
+            stride_;
+        dynamic_energy += combo_energy_[row + p];
+        error_mask |= BusWord(combo_error_[row + p]) << g.start;
+        shadow_mask |= BusWord(combo_shadow_[row + p]) << g.start;
+      }
+      line_update = (prev ^ word) & bits_mask;
+    } else {
+      // Per-class kernel (BusSimulator::jitter_kernel): energy from the
+      // combo rows, verdicts re-derived per present switching class.
+      for (const auto& g : layout_.groups) {
+        const std::uint64_t pm = prev.extract(g.start, g.width);
+        const std::uint64_t cm = word.extract(g.start, g.width);
+        dynamic_energy +=
+            combo_energy_[(g.table_offset +
+                           static_cast<std::size_t>((pm << g.width) | cm)) *
+                              stride_ +
+                          p];
+      }
+      if (!have_masks) {
+        masks = classifier_.masks(prev, word);
+        have_masks = true;
+      }
+      const BusWord flop_toggle = word ^ line_[p];
+      for (int v = 0; v < 2; ++v) {  // rise, fall: the switching victims
+        const BusWord vm = masks.victim[v];
+        if (!vm.any()) continue;
+        for (int l = 0; l < 4; ++l) {
+          const BusWord vl = vm & masks.left[l];
+          if (!vl.any()) continue;
+          for (int r = 0; r < 4; ++r) {
+            const BusWord mask = vl & masks.right[r];
+            if (!mask.any()) continue;
+            const int cls = (v << 4) | (l << 2) | r;
+            const double arrival = cd[cls] + jitter;
+            const BusWord active = mask & flop_toggle;
+            if (!active.any()) continue;
+            switch (classify_arrival_for(timing_, arrival)) {
+              case detail::Verdict::held:
+                break;
+              case detail::Verdict::clean:
+                line_update |= active;
+                break;
+              case detail::Verdict::corrected:
+                error_mask |= active;
+                line_update |= active;
+                break;
+              case detail::Verdict::shadow_failed:
+                shadow_mask |= active;
+                line_update |= active;
+                break;
+            }
+          }
+        }
+      }
+    }
+
+    line_[p] = (line_[p] & ~line_update) | (word & line_update);
+    const bool error = error_mask.any();
+    errors_[p] += error ? 1u : 0u;
+    shadow_failures_[p] += shadow_mask.any() ? 1u : 0u;
+    bus_energy_[p] += dynamic_energy + leak_[p];
+    overhead_energy_[p] += error ? cycle_error_overhead_ : cycle_overhead_;
+  }
+
+  // Rejoin the all-points fast path once every receiver line is back in
+  // sync with the new prev (= word) — immediately after a transient
+  // jitter cycle in which every active wire captured.
+  if (all_combo_ok_) {
+    bool sync = true;
+    for (std::size_t p = 0; p < n_points_; ++p) {
+      if (((line_[p] ^ word) & bits_mask).any()) {
+        sync = false;
+        break;
+      }
+    }
+    all_fast_ = sync;
+  }
+}
+
+void MultiPointEngine::run(trace::TraceSource& source, std::size_t block_cycles) {
+  if (block_cycles == 0)
+    throw std::invalid_argument("MultiPointEngine::run: block_cycles must be > 0");
+  if (source.n_bits() > design_.n_bits)
+    throw std::invalid_argument("MultiPointEngine::run: stream '" + source.name() +
+                                "' is " + std::to_string(source.n_bits()) +
+                                " bits wide but the bus has " +
+                                std::to_string(design_.n_bits) + " wires");
+  std::vector<BusWord> buffer(block_cycles);
+  for (;;) {
+    const std::size_t n = source.next_block(buffer.data(), buffer.size());
+    if (n == 0) break;
+    run(buffer.data(), n);
+  }
+}
+
+RunningTotals MultiPointEngine::totals(std::size_t point) const {
+  RunningTotals t;
+  t.cycles = cycles_;
+  t.errors = errors_[point];
+  t.shadow_failures = shadow_failures_[point];
+  t.bus_energy = bus_energy_[point];
+  t.overhead_energy = overhead_energy_[point];
+  return t;
+}
+
+std::vector<RunningTotals> MultiPointEngine::all_totals() const {
+  std::vector<RunningTotals> out(n_points_);
+  for (std::size_t p = 0; p < n_points_; ++p) out[p] = totals(p);
+  return out;
+}
+
+std::vector<RunningTotals> multi_point_run(const interconnect::BusDesign& design,
+                                           const lut::DelayEnergyTable& table,
+                                           const std::vector<OperatingPoint>& points,
+                                           const BusWord* words, std::size_t n,
+                                           const MultiPointConfig& config) {
+  MultiPointEngine engine(design, table, points, config);
+  engine.run(words, n);
+  return engine.all_totals();
+}
+
+std::vector<RunningTotals> multi_point_run(const interconnect::BusDesign& design,
+                                           const lut::DelayEnergyTable& table,
+                                           const std::vector<OperatingPoint>& points,
+                                           const std::vector<BusWord>& words,
+                                           const MultiPointConfig& config) {
+  return multi_point_run(design, table, points, words.data(), words.size(), config);
+}
+
+std::vector<RunningTotals> multi_point_run(const interconnect::BusDesign& design,
+                                           const lut::DelayEnergyTable& table,
+                                           const std::vector<OperatingPoint>& points,
+                                           trace::TraceSource& source,
+                                           const MultiPointConfig& config,
+                                           std::size_t block_cycles) {
+  MultiPointEngine engine(design, table, points, config);
+  engine.run(source, block_cycles);
+  return engine.all_totals();
 }
 
 }  // namespace razorbus::bus

@@ -33,6 +33,17 @@
 // The batched run() entry point drives whole words[] spans (e.g. one
 // regulator window) through the hot loop with totals accumulated in
 // registers — this is what the experiment drivers use.
+//
+// A third mode, EngineMode::simd, selects the same bit-parallel cycle
+// semantics but tells multi-operating-point DRIVERS (static sweeps, PVT
+// sampling) to batch their points through MultiPointEngine (DESIGN.md
+// §13): one pass over the trace evaluates N (supply, corner) points with
+// the per-cycle pattern classification done once and the per-point
+// delay/energy/verdict evaluation laid out structure-of-arrays, vectorized
+// via util/simd.hpp. Per-point totals are bit-identical to running the
+// single-point engine once per point — a scheduling choice, never a
+// semantic one. On a single BusSimulator, simd behaves exactly like
+// bit_parallel.
 #pragma once
 
 #include <cstdint>
@@ -51,13 +62,56 @@
 
 namespace razorbus::bus {
 
-// Which cycle engine drives the simulation (see file comment).
-enum class EngineMode { bit_parallel, reference };
+// Which cycle engine drives the simulation (see file comment). `simd` is
+// bit_parallel semantics plus a driver-level promise: multi-point
+// consumers batch their operating points through MultiPointEngine.
+enum class EngineMode { bit_parallel, reference, simd };
 
-// Engine names as used by the scenario specs ("bit_parallel", "reference");
-// from_string throws std::invalid_argument on unknown names.
+// Engine names as used by the scenario specs ("bit_parallel", "reference",
+// "simd"); from_string throws std::invalid_argument on unknown names.
 std::string to_string(EngineMode mode);
 EngineMode engine_mode_from_string(const std::string& name);
+
+namespace detail {
+
+// Capture verdict of a whole pattern class for one cycle (all wires of a
+// class share one arrival time). Mirrors DoubleSamplingFlop::clock.
+enum class Verdict : std::uint8_t {
+  held,          // arrival <= 0: latches keep their value, no line update
+  clean,         // captured by the main flop
+  corrected,     // main missed, shadow caught it: Error_L asserted
+  shadow_failed  // silent corruption (late arrival or short-path race)
+};
+
+// Shield-delimited wire groups. A group's wires interact with nothing
+// outside it (its edges border shields), so for tabulatable widths the
+// whole group's cycle contribution is precomputed over all (prev, cur)
+// bit combinations. Same-width groups are structurally identical and
+// share one table block. A group lives at `start` within the (possibly
+// multi-lane) bus word; extraction/deposit straddle the 64-bit lane
+// boundary transparently. Energy accounting is group-wise in EVERY
+// engine/kernel (one sub-accumulator per group, groups summed in order)
+// so all paths agree bit for bit. Shared between the single-point
+// BusSimulator and the multi-point engine so both tabulate identically.
+struct WireGroup {
+  int start = 0;
+  int width = 0;
+  std::size_t table_offset = 0;  // into the combo_* arrays
+};
+
+struct GroupLayout {
+  static constexpr int kMaxTableWidth = 6;  // 4^6 combos per table block
+
+  std::vector<WireGroup> groups;
+  std::size_t total_combos = 0;  // summed block sizes (distinct widths)
+  // False when some group is wider than kMaxTableWidth; combo tables are
+  // then not built and every cycle takes the per-wire general kernel.
+  bool tabulatable = false;
+
+  static GroupLayout build(const interconnect::BusDesign& design);
+};
+
+}  // namespace detail
 
 struct CycleResult {
   bool error = false;           // bank error signal (>=1 flop corrected)
@@ -156,14 +210,7 @@ class BusSimulator {
                                      const std::vector<std::uint32_t>& words);
 
  private:
-  // Capture verdict of a whole pattern class for one cycle (all wires of a
-  // class share one arrival time). Mirrors DoubleSamplingFlop::clock.
-  enum class Verdict : std::uint8_t {
-    held,          // arrival <= 0: latches keep their value, no line update
-    clean,         // captured by the main flop
-    corrected,     // main missed, shadow caught it: Error_L asserted
-    shadow_failed  // silent corruption (late arrival or short-path race)
-  };
+  using Verdict = detail::Verdict;
 
   struct CycleOutcome {
     double dynamic_energy = 0.0;
@@ -176,7 +223,6 @@ class BusSimulator {
   void refresh_operating_point();
   Verdict classify_arrival(double arrival) const;
 
-  void build_group_structure();
   void rebuild_group_tables();
 
   CycleResult step_reference(const BusWord& word);
@@ -225,23 +271,9 @@ class BusSimulator {
   double class_delay_[lut::PatternClass::kCount] = {};
   Verdict class_verdict_[lut::PatternClass::kCount] = {};
 
-  // Shield-delimited wire groups. A group's wires interact with nothing
-  // outside it (its edges border shields), so for tabulatable widths the
-  // whole group's cycle contribution is precomputed over all
-  // (prev, cur) bit combinations. Same-width groups are structurally
-  // identical and share one table block. A group lives at `start` within
-  // the (possibly multi-lane) bus word; extraction/deposit straddle the
-  // 64-bit lane boundary transparently. Energy accounting is group-wise
-  // in EVERY engine/kernel (one sub-accumulator per group, groups summed
-  // in order) so all paths agree bit for bit.
-  struct WireGroup {
-    int start = 0;
-    int width = 0;
-    std::size_t table_offset = 0;      // into the combo_* arrays
-  };
-  static constexpr int kMaxTableWidth = 6;  // 4^6 combos per table block
-  std::vector<WireGroup> groups_;
-  bool group_tables_enabled_ = false;
+  // Shield-group structure (see detail::GroupLayout). Combo tables are
+  // built per operating point when layout_.tabulatable.
+  detail::GroupLayout layout_;
   // False when some tabulated verdict is "held" (arrival <= 0), which the
   // toggle-update table path cannot express; zero-jitter cycles then go
   // through the per-class kernel instead.
@@ -261,5 +293,139 @@ class BusSimulator {
   std::vector<double> arrivals_;
   std::vector<int> classes_;
 };
+
+// ------------------------------------------------------------- multi-point
+
+// One operating point of a batched run: the regulator rail voltage plus
+// the process/temperature/IR environment — exactly the axes BusSimulator
+// fixes per instance (set_supply + the constructor's PvtCorner).
+struct OperatingPoint {
+  double supply = 0.0;
+  tech::PvtCorner environment{};
+};
+
+struct MultiPointConfig {
+  razor::RecoveryCostModel recovery{};
+  // Common-mode arrival jitter, as BusSimulator::set_timing_jitter: one
+  // draw per non-idle cycle. The draw sequence depends only on the trace
+  // (which cycles are idle), never on the operating point, so a single
+  // shared generator reproduces what N scalar shards — each re-seeded
+  // with the same seed — would each draw.
+  double timing_jitter_sigma = 0.0;
+  std::uint64_t jitter_seed = 0x7a5e11u;
+  BusWord initial_word{};
+};
+
+// Evaluates N operating points against ONE trace in a single pass
+// (DESIGN.md §13). Per-cycle pattern work (idle detection, group combo
+// indices, class masks) is shared across points; the per-point
+// delay/energy/verdict evaluation is laid out structure-of-arrays — the
+// combo tables hold rows of N energies/error-bytes per (prev, cur)
+// combination — and the hot zero-jitter path reduces those rows with the
+// util/simd.hpp kernels. Per-point totals are bit-identical to running
+// BusSimulator (bit_parallel) once per point over the same trace: the
+// per-cycle IEEE operation sequence of every point is preserved exactly
+// (group-order energy sub-sums, one `+= dynamic + leakage` per cycle,
+// the scalar engine's own per-point kernel selection).
+class MultiPointEngine {
+ public:
+  // `design` and `table` must outlive the engine. Throws on an empty
+  // point list or a non-positive supply.
+  MultiPointEngine(const interconnect::BusDesign& design,
+                   const lut::DelayEnergyTable& table,
+                   const std::vector<OperatingPoint>& points,
+                   const MultiPointConfig& config = {});
+
+  std::size_t n_points() const { return n_points_; }
+
+  // Drive `n` words through every point. Calls accumulate: spans may be
+  // split arbitrarily (streamed blocks, multiple traces back to back)
+  // with bit-identical totals, same contract as BusSimulator::run.
+  void run(const BusWord* words, std::size_t n);
+  void run(const std::vector<BusWord>& words) { run(words.data(), words.size()); }
+  // Drain a streaming trace through a fixed block buffer (same width
+  // check and block semantics as BusSimulator::run(TraceSource&)).
+  void run(trace::TraceSource& source,
+           std::size_t block_cycles = trace::kDefaultBlockCycles);
+
+  // Totals of one point (cycles are shared: every point saw every cycle).
+  RunningTotals totals(std::size_t point) const;
+  std::vector<RunningTotals> all_totals() const;
+
+  // Reset bus/receiver state and totals (keeps the operating points).
+  void reset(const BusWord& initial_word = BusWord());
+
+ private:
+  void build_point(std::size_t p, const OperatingPoint& point);
+  void fast_cycle(const BusWord& word);
+  void mixed_cycle(const BusWord& word, double jitter);
+
+  const interconnect::BusDesign& design_;
+  const lut::DelayEnergyTable& table_;
+  tech::LeakageModel leakage_;
+  WireClassifier classifier_;
+  razor::FlopTiming timing_;
+  detail::GroupLayout layout_;
+
+  std::size_t n_points_ = 0;
+  std::size_t stride_ = 0;  // n_points_ padded to the SIMD row granule
+  double cycle_overhead_ = 0.0;
+  double cycle_error_overhead_ = 0.0;  // cycle + error overhead, pre-added
+  double jitter_sigma_ = 0.0;
+  Rng jitter_rng_{0x7a5e11u};
+
+  // Per-point operating tables, structure-of-arrays. Row-major over the
+  // point index: combo_* arrays hold one stride_-wide row per (group
+  // table offset, prev, cur) combination so the fast path reduces whole
+  // rows; the per-class arrays are point-major ([p * kCount + cls]) since
+  // the scalar fallback kernels walk one point at a time.
+  std::vector<double> leak_;                   // [stride_]
+  std::vector<double> combo_energy_;           // [combo][stride_]
+  std::vector<std::uint8_t> combo_error_;      // [combo][stride_]
+  std::vector<std::uint8_t> combo_shadow_;     // [combo][stride_]
+  std::vector<double> scaled_energy_;          // [point][kCount]
+  std::vector<double> class_delay_;            // [point][kCount]
+  std::vector<detail::Verdict> class_verdict_; // [point][kCount]
+  std::vector<std::uint8_t> combo_ok_;         // per point: zero-jitter ok
+  bool all_combo_ok_ = false;
+
+  // Cycle state. While every point rides the fast table path their
+  // receiver lines are all equal to prev & bits_mask, so line_ is kept
+  // STALE (all_fast_ set) and materialized only when a cycle leaves the
+  // fast path; afterwards per-point lines may diverge exactly as N scalar
+  // engines' would.
+  BusWord prev_word_;
+  std::vector<BusWord> line_;
+  bool all_fast_ = false;
+  std::uint64_t cycles_ = 0;
+  std::vector<std::uint64_t> errors_;           // [n_points_]
+  std::vector<std::uint64_t> shadow_failures_;  // [n_points_]
+  std::vector<double> bus_energy_;              // [stride_]
+  std::vector<double> overhead_energy_;         // [stride_]
+
+  // Per-cycle scratch rows (fast path).
+  std::vector<double> dyn_;
+  std::vector<std::uint8_t> errb_;
+  std::vector<std::uint8_t> shadowb_;
+  std::vector<int> classes_;
+};
+
+// One-shot convenience wrappers: build the engine, run the trace, return
+// per-point totals in point order.
+std::vector<RunningTotals> multi_point_run(const interconnect::BusDesign& design,
+                                           const lut::DelayEnergyTable& table,
+                                           const std::vector<OperatingPoint>& points,
+                                           const BusWord* words, std::size_t n,
+                                           const MultiPointConfig& config = {});
+std::vector<RunningTotals> multi_point_run(const interconnect::BusDesign& design,
+                                           const lut::DelayEnergyTable& table,
+                                           const std::vector<OperatingPoint>& points,
+                                           const std::vector<BusWord>& words,
+                                           const MultiPointConfig& config = {});
+std::vector<RunningTotals> multi_point_run(
+    const interconnect::BusDesign& design, const lut::DelayEnergyTable& table,
+    const std::vector<OperatingPoint>& points, trace::TraceSource& source,
+    const MultiPointConfig& config = {},
+    std::size_t block_cycles = trace::kDefaultBlockCycles);
 
 }  // namespace razorbus::bus

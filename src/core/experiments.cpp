@@ -147,6 +147,108 @@ tech::PvtCorner draw_pvt_corner(Rng& rng) {
   return corner;
 }
 
+// ------------------------------------------------- batched (simd) helpers
+//
+// EngineMode::simd routes the point loops below through
+// bus::MultiPointEngine (DESIGN.md §13): one pass over the trace per CHUNK
+// of operating points instead of one pass per point. Per-point results are
+// bit-identical to the scalar loop at any chunking, so the chunk count is
+// free to follow the thread pool — reports never depend on it.
+
+// Supply points for one environment, in `supplies` order.
+std::vector<bus::OperatingPoint> supply_points(const std::vector<double>& supplies,
+                                               std::size_t lo, std::size_t hi,
+                                               const tech::PvtCorner& environment) {
+  std::vector<bus::OperatingPoint> points;
+  points.reserve(hi - lo);
+  for (std::size_t s = lo; s < hi; ++s) points.push_back({supplies[s], environment});
+  return points;
+}
+
+std::size_t sweep_chunks(std::size_t n_points) {
+  return std::min<std::size_t>(n_points,
+                               std::max<std::size_t>(1, util::global_threads()));
+}
+
+std::vector<SweepPoint> collect_sweep_points(const bus::MultiPointEngine& engine,
+                                             const std::vector<bus::OperatingPoint>& points) {
+  std::vector<SweepPoint> out(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const bus::RunningTotals totals = engine.totals(i);
+    out[i].supply = points[i].supply;
+    out[i].error_rate = totals.error_rate();
+    out[i].bus_energy = totals.bus_energy;
+    out[i].total_energy = totals.total_energy();
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_points_batched(const DvsBusSystem& system,
+                                             const tech::PvtCorner& environment,
+                                             const std::vector<double>& supplies,
+                                             double timing_jitter_sigma,
+                                             const std::vector<trace::Trace>& traces) {
+  const std::size_t n_chunks = sweep_chunks(supplies.size());
+  const std::size_t per = (supplies.size() + n_chunks - 1) / n_chunks;
+  auto chunks = util::parallel_map(util::global_pool(), n_chunks, [&](std::size_t c) {
+    const std::size_t lo = std::min(supplies.size(), c * per);
+    const std::size_t hi = std::min(supplies.size(), lo + per);
+    if (lo >= hi) return std::vector<SweepPoint>{};
+    const auto points = supply_points(supplies, lo, hi, environment);
+    bus::MultiPointConfig config;
+    config.timing_jitter_sigma = timing_jitter_sigma;
+    bus::MultiPointEngine engine(system.design(), system.table(), points, config);
+    for (const auto& t : traces) engine.run(t.words);
+    return collect_sweep_points(engine, points);
+  });
+  std::vector<SweepPoint> points;
+  points.reserve(supplies.size());
+  for (auto& chunk : chunks) points.insert(points.end(), chunk.begin(), chunk.end());
+  return points;
+}
+
+// Streamed twin: each chunk drains its own clone of the stream through the
+// batched engine — N supplies per drain instead of one, so a 20-supply
+// sweep pulls the stream ~threads times instead of 20.
+std::vector<SweepPoint> sweep_points_batched_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<double>& supplies, double timing_jitter_sigma,
+    const trace::TraceSource& source, const StreamConfig& stream,
+    std::vector<StreamStats>& shard_stats) {
+  if (stream.block_cycles == 0)
+    throw std::invalid_argument("stream: block_cycles must be > 0");
+  const std::size_t n_chunks = sweep_chunks(supplies.size());
+  const std::size_t per = (supplies.size() + n_chunks - 1) / n_chunks;
+  shard_stats.assign(n_chunks, StreamStats{});
+  auto chunks = util::parallel_map(util::global_pool(), n_chunks, [&](std::size_t c) {
+    const std::size_t lo = std::min(supplies.size(), c * per);
+    const std::size_t hi = std::min(supplies.size(), lo + per);
+    if (lo >= hi) return std::vector<SweepPoint>{};
+    const auto points = supply_points(supplies, lo, hi, environment);
+    bus::MultiPointConfig config;
+    config.timing_jitter_sigma = timing_jitter_sigma;
+    bus::MultiPointEngine engine(system.design(), system.table(), points, config);
+
+    const auto clone = source.clone();
+    std::vector<BusWord> buffer(stream.block_cycles);
+    StreamStats& stats = shard_stats[c];
+    stats.block_cycles = stream.block_cycles;
+    stats.peak_buffer_words = buffer.size();
+    for (;;) {
+      const std::size_t n = clone->next_block(buffer.data(), buffer.size());
+      if (n == 0) break;
+      engine.run(buffer.data(), n);
+      ++stats.blocks;
+      stats.cycles += n;
+    }
+    return collect_sweep_points(engine, points);
+  });
+  std::vector<SweepPoint> points;
+  points.reserve(supplies.size());
+  for (auto& chunk : chunks) points.insert(points.end(), chunk.begin(), chunk.end());
+  return points;
+}
+
 }  // namespace
 
 void StreamStats::merge(const StreamStats& other) {
@@ -172,25 +274,32 @@ StaticSweepResult static_voltage_sweep(const DvsBusSystem& system,
   for (double v = vnom; v > result.floor_supply - 1e-9; v -= step) supplies.push_back(v);
   std::sort(supplies.begin(), supplies.end());
 
-  // One shard per supply point; each shard owns a fresh simulator (the
-  // jitter Rng is re-seeded per shard exactly as the sequential loop
-  // re-seeded it per supply), results land in ascending-supply order.
-  result.points = util::parallel_map(
-      util::global_pool(), supplies.size(), [&](std::size_t s) {
-        const double v = supplies[s];
-        bus::BusSimulator sim = system.make_simulator(environment);
-        sim.set_engine_mode(engine);
-        if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
-        sim.set_supply(v);
-        for (const auto& t : traces) sim.run(t.words);
+  if (engine == bus::EngineMode::simd) {
+    // Batched: chunks of supplies share one trace pass each (bit-identical
+    // to the per-supply loop below — see the multipoint parity suite).
+    result.points = sweep_points_batched(system, environment, supplies,
+                                         timing_jitter_sigma, traces);
+  } else {
+    // One shard per supply point; each shard owns a fresh simulator (the
+    // jitter Rng is re-seeded per shard exactly as the sequential loop
+    // re-seeded it per supply), results land in ascending-supply order.
+    result.points = util::parallel_map(
+        util::global_pool(), supplies.size(), [&](std::size_t s) {
+          const double v = supplies[s];
+          bus::BusSimulator sim = system.make_simulator(environment);
+          sim.set_engine_mode(engine);
+          if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
+          sim.set_supply(v);
+          for (const auto& t : traces) sim.run(t.words);
 
-        SweepPoint p;
-        p.supply = v;
-        p.error_rate = sim.totals().error_rate();
-        p.bus_energy = sim.totals().bus_energy;
-        p.total_energy = sim.totals().total_energy();
-        return p;
-      });
+          SweepPoint p;
+          p.supply = v;
+          p.error_rate = sim.totals().error_rate();
+          p.bus_energy = sim.totals().bus_energy;
+          p.total_energy = sim.totals().total_energy();
+          return p;
+        });
+  }
 
   result.baseline_bus_energy = result.points.back().bus_energy;  // nominal supply
   for (auto& p : result.points) {
@@ -245,10 +354,15 @@ VoltageDistribution oracle_voltage_distribution(const DvsBusSystem& system,
   return out;
 }
 
-ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
-                                     const tech::PvtCorner& environment,
-                                     const std::vector<trace::Trace>& traces,
-                                     const DvsRunConfig& config) {
+// Shared body of run_consecutive: `baselines`, when non-null, supplies the
+// per-trace nominal-supply reference energy (baselines[i] for traces[i])
+// instead of the run_reference pass per trace — the batched PVT driver
+// precomputes all samples' baselines in one multi-point pass.
+static ConsecutiveRunReport run_consecutive_impl(const DvsBusSystem& system,
+                                                 const tech::PvtCorner& environment,
+                                                 const std::vector<trace::Trace>& traces,
+                                                 const DvsRunConfig& config,
+                                                 const double* baselines) {
   for (const auto& t : traces) check_trace_width(system, t);
   const double vnom = system.design().node.vdd_nominal;
   const double floor = system.dvs_floor(environment.process);
@@ -264,7 +378,8 @@ ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
   ConsecutiveRunReport report;
   std::uint64_t cycle = 0;
 
-  for (const auto& trace : traces) {
+  for (std::size_t trace_index = 0; trace_index < traces.size(); ++trace_index) {
+    const auto& trace = traces[trace_index];
     const bus::RunningTotals before = sim.totals();
     double supply_sum = 0.0;
 
@@ -312,18 +427,40 @@ ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
         trace.words.empty() ? sim.supply()
                             : supply_sum / static_cast<double>(trace.words.size());
     r.baseline_bus_energy =
-        bus::BusSimulator::run_reference(system.design(), system.table(), environment,
-                                         trace.words)
-            .bus_energy;
+        baselines != nullptr
+            ? baselines[trace_index]
+            : bus::BusSimulator::run_reference(system.design(), system.table(),
+                                               environment, trace.words)
+                  .bus_energy;
     report.per_trace.push_back(std::move(r));
   }
   return report;
+}
+
+ConsecutiveRunReport run_consecutive(const DvsBusSystem& system,
+                                     const tech::PvtCorner& environment,
+                                     const std::vector<trace::Trace>& traces,
+                                     const DvsRunConfig& config) {
+  return run_consecutive_impl(system, environment, traces, config, nullptr);
 }
 
 DvsRunReport run_closed_loop(const DvsBusSystem& system,
                              const tech::PvtCorner& environment,
                              const trace::Trace& trace, const DvsRunConfig& config) {
   ConsecutiveRunReport r = run_consecutive(system, environment, {trace}, config);
+  DvsRunReport out = std::move(r.per_trace.front());
+  out.series = std::move(r.series);
+  return out;
+}
+
+// Closed loop with a precomputed nominal baseline (the batched PVT path).
+static DvsRunReport run_closed_loop_with_baseline(const DvsBusSystem& system,
+                                                  const tech::PvtCorner& environment,
+                                                  const trace::Trace& trace,
+                                                  const DvsRunConfig& config,
+                                                  double baseline_bus_energy) {
+  ConsecutiveRunReport r = run_consecutive_impl(system, environment, {trace}, config,
+                                                &baseline_bus_energy);
   DvsRunReport out = std::move(r.per_trace.front());
   out.series = std::move(r.series);
   return out;
@@ -426,15 +563,41 @@ PvtSampleResult pvt_sample_gains(const DvsBusSystem& system, const trace::Trace&
                                  const PvtSampleConfig& config) {
   const auto n = static_cast<std::size_t>(std::max(config.samples, 0));
   PvtSampleResult out;
-  out.samples = util::parallel_map(util::global_pool(), n, [&](std::size_t s) {
-    // Private Rng stream per sample: the drawn population depends only on
-    // (seed, sample index), never on the shard-to-thread assignment.
-    Rng rng(util::shard_seed(config.seed, s));
-    PvtSample sample;
-    sample.corner = draw_pvt_corner(rng);
-    sample.report = run_closed_loop(system, sample.corner, trace, config.run);
-    return sample;
-  });
+  if (config.run.engine == bus::EngineMode::simd && n > 0) {
+    // Batched baselines: the closed loops themselves diverge per sample
+    // (the controller feeds back), but every sample's NOMINAL reference
+    // pass — one run_reference per corner, identical trace — is a pure
+    // multi-point batch: one pass over the trace for all N corners.
+    check_trace_width(system, trace);
+    std::vector<tech::PvtCorner> corners(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      Rng rng(util::shard_seed(config.seed, s));
+      corners[s] = draw_pvt_corner(rng);
+    }
+    const double vnom = system.design().node.vdd_nominal;
+    std::vector<bus::OperatingPoint> points(n);
+    for (std::size_t s = 0; s < n; ++s) points[s] = {vnom, corners[s]};
+    const std::vector<bus::RunningTotals> baselines =
+        bus::multi_point_run(system.design(), system.table(), points, trace.words);
+    out.samples = util::parallel_map(util::global_pool(), n, [&](std::size_t s) {
+      PvtSample sample;
+      sample.corner = corners[s];
+      sample.report = run_closed_loop_with_baseline(system, sample.corner, trace,
+                                                    config.run,
+                                                    baselines[s].bus_energy);
+      return sample;
+    });
+  } else {
+    out.samples = util::parallel_map(util::global_pool(), n, [&](std::size_t s) {
+      // Private Rng stream per sample: the drawn population depends only on
+      // (seed, sample index), never on the shard-to-thread assignment.
+      Rng rng(util::shard_seed(config.seed, s));
+      PvtSample sample;
+      sample.corner = draw_pvt_corner(rng);
+      sample.report = run_closed_loop(system, sample.corner, trace, config.run);
+      return sample;
+    });
+  }
 
   // Per-shard singleton stats merged in shard order: the aggregate is the
   // same double sequence no matter how many threads ran the samples.
@@ -467,30 +630,41 @@ StaticSweepResult static_voltage_sweep_streamed(const DvsBusSystem& system,
   for (double v = vnom; v > result.floor_supply - 1e-9; v -= step) supplies.push_back(v);
   std::sort(supplies.begin(), supplies.end());
 
-  // One shard per supply, exactly like the materialized sweep; each shard
-  // drains its own clone of the stream, so total trace memory is
-  // block_cycles x live shards instead of the whole campaign.
-  std::vector<StreamStats> shard_stats(supplies.size());
-  result.points = util::parallel_map(
-      util::global_pool(), supplies.size(), [&](std::size_t s) {
-        const double v = supplies[s];
-        bus::BusSimulator sim = system.make_simulator(environment);
-        sim.set_engine_mode(engine);
-        if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
-        sim.set_supply(v);
-        StreamFeeder feeder(source, stream.block_cycles);
-        feeder.feed(sim, nullptr, std::numeric_limits<std::uint64_t>::max());
-        feeder.account(&shard_stats[s], stream.block_cycles);
+  if (engine == bus::EngineMode::simd) {
+    // Batched: N supplies per stream drain instead of one (chunked over
+    // the pool), so the stream is pulled ~threads times, not per supply.
+    std::vector<StreamStats> shard_stats;
+    result.points = sweep_points_batched_streamed(
+        system, environment, supplies, timing_jitter_sigma, source, stream,
+        shard_stats);
+    if (stats != nullptr)
+      for (const auto& shard : shard_stats) stats->merge(shard);
+  } else {
+    // One shard per supply, exactly like the materialized sweep; each shard
+    // drains its own clone of the stream, so total trace memory is
+    // block_cycles x live shards instead of the whole campaign.
+    std::vector<StreamStats> shard_stats(supplies.size());
+    result.points = util::parallel_map(
+        util::global_pool(), supplies.size(), [&](std::size_t s) {
+          const double v = supplies[s];
+          bus::BusSimulator sim = system.make_simulator(environment);
+          sim.set_engine_mode(engine);
+          if (timing_jitter_sigma > 0.0) sim.set_timing_jitter(timing_jitter_sigma);
+          sim.set_supply(v);
+          StreamFeeder feeder(source, stream.block_cycles);
+          feeder.feed(sim, nullptr, std::numeric_limits<std::uint64_t>::max());
+          feeder.account(&shard_stats[s], stream.block_cycles);
 
-        SweepPoint p;
-        p.supply = v;
-        p.error_rate = sim.totals().error_rate();
-        p.bus_energy = sim.totals().bus_energy;
-        p.total_energy = sim.totals().total_energy();
-        return p;
-      });
-  if (stats != nullptr)
-    for (const auto& shard : shard_stats) stats->merge(shard);
+          SweepPoint p;
+          p.supply = v;
+          p.error_rate = sim.totals().error_rate();
+          p.bus_energy = sim.totals().bus_energy;
+          p.total_energy = sim.totals().total_energy();
+          return p;
+        });
+    if (stats != nullptr)
+      for (const auto& shard : shard_stats) stats->merge(shard);
+  }
 
   result.baseline_bus_energy = result.points.back().bus_energy;  // nominal supply
   for (auto& p : result.points) {
@@ -500,10 +674,14 @@ StaticSweepResult static_voltage_sweep_streamed(const DvsBusSystem& system,
   return result;
 }
 
-ConsecutiveRunReport run_consecutive_streamed(
+// Shared body of run_consecutive_streamed: when `baselines` is non-null it
+// holds one precomputed nominal reference energy per source (from a batched
+// MultiPointEngine pass) and the lockstep baseline simulator is skipped.
+static ConsecutiveRunReport run_consecutive_streamed_impl(
     const DvsBusSystem& system, const tech::PvtCorner& environment,
     const std::vector<std::unique_ptr<trace::TraceSource>>& sources,
-    const DvsRunConfig& config, const StreamConfig& stream, StreamStats* stats) {
+    const DvsRunConfig& config, const StreamConfig& stream, StreamStats* stats,
+    const double* baselines) {
   for (const auto& source : sources) check_source_width(system, *source);
   const double vnom = system.design().node.vdd_nominal;
   const double floor = system.dvs_floor(environment.process);
@@ -519,11 +697,13 @@ ConsecutiveRunReport run_consecutive_streamed(
   ConsecutiveRunReport report;
   std::uint64_t cycle = 0;
 
-  for (const auto& source : sources) {
+  for (std::size_t source_index = 0; source_index < sources.size(); ++source_index) {
+    const auto& source = sources[source_index];
     const bus::RunningTotals before = sim.totals();
     double supply_sum = 0.0;
     std::uint64_t source_cycles = 0;
     bus::BusSimulator baseline = make_baseline_sim(system, environment);
+    bus::BusSimulator* baseline_sim = baselines == nullptr ? &baseline : nullptr;
     StreamFeeder feeder(*source, stream.block_cycles);
 
     // The materialized driver's window-batched loop, with one change: a
@@ -537,7 +717,7 @@ ConsecutiveRunReport run_consecutive_streamed(
       const std::uint64_t change = regulator.next_change_cycle();
       if (change != dvs::VoltageRegulator::kNoPendingChange && change > cycle)
         planned = std::min(planned, change - cycle);
-      const StreamFeeder::FeedResult fed = feeder.feed(sim, &baseline, planned);
+      const StreamFeeder::FeedResult fed = feeder.feed(sim, baseline_sim, planned);
       supply_sum += sim.supply() * static_cast<double>(fed.cycles);
       cycle += fed.cycles;
       source_cycles += fed.cycles;
@@ -567,10 +747,19 @@ ConsecutiveRunReport run_consecutive_streamed(
     r.average_supply = source_cycles == 0
                            ? sim.supply()
                            : supply_sum / static_cast<double>(source_cycles);
-    r.baseline_bus_energy = baseline.totals().bus_energy;
+    r.baseline_bus_energy = baselines != nullptr ? baselines[source_index]
+                                                 : baseline.totals().bus_energy;
     report.per_trace.push_back(std::move(r));
   }
   return report;
+}
+
+ConsecutiveRunReport run_consecutive_streamed(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const std::vector<std::unique_ptr<trace::TraceSource>>& sources,
+    const DvsRunConfig& config, const StreamConfig& stream, StreamStats* stats) {
+  return run_consecutive_streamed_impl(system, environment, sources, config, stream,
+                                       stats, nullptr);
 }
 
 DvsRunReport run_closed_loop_streamed(const DvsBusSystem& system,
@@ -582,6 +771,21 @@ DvsRunReport run_closed_loop_streamed(const DvsBusSystem& system,
   one.push_back(source.clone());
   ConsecutiveRunReport r =
       run_consecutive_streamed(system, environment, one, config, stream, stats);
+  DvsRunReport out = std::move(r.per_trace.front());
+  out.series = std::move(r.series);
+  return out;
+}
+
+// Closed loop over a stream with the nominal reference energy supplied by a
+// batched multi-point pass (see pvt_sample_gains_streamed).
+static DvsRunReport run_closed_loop_streamed_with_baseline(
+    const DvsBusSystem& system, const tech::PvtCorner& environment,
+    const trace::TraceSource& source, const DvsRunConfig& config,
+    const StreamConfig& stream, StreamStats* stats, double baseline_bus_energy) {
+  std::vector<std::unique_ptr<trace::TraceSource>> one;
+  one.push_back(source.clone());
+  ConsecutiveRunReport r = run_consecutive_streamed_impl(
+      system, environment, one, config, stream, stats, &baseline_bus_energy);
   DvsRunReport out = std::move(r.per_trace.front());
   out.series = std::move(r.series);
   return out;
@@ -703,16 +907,59 @@ PvtSampleResult pvt_sample_gains_streamed(const DvsBusSystem& system,
   const auto n = static_cast<std::size_t>(std::max(config.samples, 0));
   std::vector<StreamStats> shard_stats(n);
   PvtSampleResult out;
-  out.samples = util::parallel_map(util::global_pool(), n, [&](std::size_t s) {
-    // Identical per-shard Rng stream to the materialized driver: the drawn
-    // population depends only on (seed, sample index).
-    Rng rng(util::shard_seed(config.seed, s));
-    PvtSample sample;
-    sample.corner = draw_pvt_corner(rng);
-    sample.report = run_closed_loop_streamed(system, sample.corner, source, config.run,
-                                             stream, &shard_stats[s]);
-    return sample;
-  });
+  if (config.run.engine == bus::EngineMode::simd && n > 0) {
+    // Same batching as the materialized driver: all N per-corner nominal
+    // baselines in one streamed pass, then the (divergent) closed loops.
+    check_source_width(system, source);
+    if (stream.block_cycles == 0)
+      throw std::invalid_argument("stream: block_cycles must be > 0");
+    std::vector<tech::PvtCorner> corners(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      Rng rng(util::shard_seed(config.seed, s));
+      corners[s] = draw_pvt_corner(rng);
+    }
+    const double vnom = system.design().node.vdd_nominal;
+    std::vector<bus::OperatingPoint> points(n);
+    for (std::size_t s = 0; s < n; ++s) points[s] = {vnom, corners[s]};
+
+    bus::MultiPointEngine baseline_engine(system.design(), system.table(), points);
+    StreamStats baseline_stats;
+    baseline_stats.block_cycles = stream.block_cycles;
+    {
+      const auto clone = source.clone();
+      std::vector<BusWord> buffer(stream.block_cycles);
+      for (;;) {
+        const std::size_t filled = clone->next_block(buffer.data(), buffer.size());
+        if (filled == 0) break;
+        baseline_engine.run(buffer.data(), filled);
+        ++baseline_stats.blocks;
+        baseline_stats.cycles += filled;
+      }
+      baseline_stats.peak_buffer_words =
+          std::max(baseline_stats.peak_buffer_words, buffer.size());
+    }
+
+    out.samples = util::parallel_map(util::global_pool(), n, [&](std::size_t s) {
+      PvtSample sample;
+      sample.corner = corners[s];
+      sample.report = run_closed_loop_streamed_with_baseline(
+          system, sample.corner, source, config.run, stream, &shard_stats[s],
+          baseline_engine.totals(s).bus_energy);
+      return sample;
+    });
+    if (stats != nullptr) stats->merge(baseline_stats);
+  } else {
+    out.samples = util::parallel_map(util::global_pool(), n, [&](std::size_t s) {
+      // Identical per-shard Rng stream to the materialized driver: the drawn
+      // population depends only on (seed, sample index).
+      Rng rng(util::shard_seed(config.seed, s));
+      PvtSample sample;
+      sample.corner = draw_pvt_corner(rng);
+      sample.report = run_closed_loop_streamed(system, sample.corner, source,
+                                               config.run, stream, &shard_stats[s]);
+      return sample;
+    });
+  }
   if (stats != nullptr)
     for (const auto& shard : shard_stats) stats->merge(shard);
 

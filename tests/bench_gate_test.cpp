@@ -125,6 +125,35 @@ TEST(BenchGate, AddedAndRemovedMetricsAreNotedNotFailed) {
   EXPECT_EQ(result.added[0], "metrics/new_scenario_cps");
 }
 
+// The multi-point engine metrics (sweep_points_w<W>_p<P>_cps) ride the
+// "_cps" suffix convention, so the gate tracks them with no code change —
+// while the companion speedup/seconds fields stay ignored.
+TEST(BenchGate, MultiPointSweepMetricsAreTracked) {
+  const auto report = [](double p20_cps) {
+    Json metrics = Json::object();
+    metrics.set("sweep_points_w32_p1_cps", 30e6);
+    metrics.set("sweep_points_w32_p20_cps", p20_cps);
+    metrics.set("sweep_simd_speedup", 4.2);    // not a throughput key
+    metrics.set("sweep_simd_seconds", 0.5);    // wall clock: ignored
+    metrics.set("sweep_supplies", 20.0);       // result metric: ignored
+    Json out = Json::object();
+    out.set("metrics", std::move(metrics));
+    return out;
+  };
+
+  const core::BenchGateResult same =
+      core::compare_bench_reports(report(120e6), report(120e6), 0.20);
+  EXPECT_TRUE(same.ok());
+  ASSERT_EQ(same.compared.size(), 2u);
+  EXPECT_EQ(same.compared[0].path, "metrics/sweep_points_w32_p1_cps");
+  EXPECT_EQ(same.compared[1].path, "metrics/sweep_points_w32_p20_cps");
+
+  const core::BenchGateResult regressed =
+      core::compare_bench_reports(report(120e6), report(0.5 * 120e6), 0.20);
+  EXPECT_FALSE(regressed.ok());
+  EXPECT_EQ(regressed.regressions(), 1u);
+}
+
 TEST(BenchGate, ZeroBaselineNeverDividesOrFails) {
   Json baseline = Json::object();
   Json base_metrics = Json::object();

@@ -1,0 +1,362 @@
+// Multi-point engine parity (DESIGN.md §13): MultiPointEngine evaluates N
+// operating points against one trace in a single pass, and every point's
+// totals must be bit-identical to running the single-point bit-parallel
+// engine once per point — across widths, with and without jitter, on
+// materialized and streamed traces, for SoA rows of any occupancy
+// (including the degenerate 1-point batch) and for untabulatable layouts
+// (general-kernel path). These hold with ANY util/simd.hpp backend, which
+// is why CI runs this suite with RAZORBUS_SIMD=OFF too.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bus/simulator.hpp"
+#include "core/experiments.hpp"
+#include "core/system.hpp"
+#include "test_support.hpp"
+#include "trace/source.hpp"
+#include "trace/synthetic.hpp"
+
+namespace razorbus {
+namespace {
+
+// One characterised system per width (same sharing trick as width_test:
+// the tables depend only on the per-wire electrical design).
+const core::DvsBusSystem& system_at(int width) {
+  static std::vector<std::unique_ptr<core::DvsBusSystem>> systems;
+  static std::vector<int> widths;
+  for (std::size_t i = 0; i < widths.size(); ++i)
+    if (widths[i] == width) return *systems[i];
+  interconnect::BusDesign design = interconnect::BusDesign::wide_bus(width);
+  design.repeater_size = test_support::sized_paper_bus().repeater_size;
+  core::SystemOptions options;
+  options.lut_config = test_support::small_lut_config();
+  systems.push_back(std::make_unique<core::DvsBusSystem>(design, options));
+  widths.push_back(width);
+  return *systems.back();
+}
+
+trace::SyntheticConfig trace_config(int width, std::size_t cycles, std::uint64_t seed) {
+  trace::SyntheticConfig cfg;
+  cfg.cycles = cycles;
+  cfg.load_rate = 0.5;
+  cfg.seed = seed;
+  cfg.n_bits = width;
+  return cfg;
+}
+
+// A point grid exercising the supply axis plus both characterised corners
+// and a nonzero IR drop — 8 points, deliberately not a multiple of the
+// SIMD row granule so the padding slots are exercised.
+std::vector<bus::OperatingPoint> point_grid() {
+  const tech::PvtCorner slow{tech::ProcessCorner::slow, 100.0, 0.0};
+  const tech::PvtCorner typical{tech::ProcessCorner::typical, 100.0, 0.0};
+  const tech::PvtCorner drooped{tech::ProcessCorner::typical, 100.0, 0.02};
+  std::vector<bus::OperatingPoint> points;
+  for (const double v : {1.08, 1.14, 1.20}) {
+    points.push_back({v, slow});
+    points.push_back({v, typical});
+  }
+  points.push_back({1.14, drooped});
+  points.push_back({1.20, drooped});
+  return points;
+}
+
+// Golden: the per-point scalar loop the drivers used before batching —
+// one BusSimulator per point, same jitter seed, traces back to back.
+bus::RunningTotals scalar_totals(const interconnect::BusDesign& design,
+                                 const lut::DelayEnergyTable& table,
+                                 const bus::OperatingPoint& point, double sigma,
+                                 const std::vector<std::vector<BusWord>>& traces) {
+  bus::BusSimulator sim(design, table, point.environment);
+  if (sigma > 0.0) sim.set_timing_jitter(sigma);
+  sim.set_supply(point.supply);
+  for (const auto& words : traces) sim.run(words);
+  return sim.totals();
+}
+
+void expect_totals_identical(const bus::RunningTotals& a, const bus::RunningTotals& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.errors, b.errors) << what;
+  EXPECT_EQ(a.shadow_failures, b.shadow_failures) << what;
+  EXPECT_EQ(a.bus_energy, b.bus_energy) << what;
+  EXPECT_EQ(a.overhead_energy, b.overhead_energy) << what;
+}
+
+void expect_batch_matches_scalar(const interconnect::BusDesign& design,
+                                 const lut::DelayEnergyTable& table,
+                                 const std::vector<bus::OperatingPoint>& points,
+                                 double sigma,
+                                 const std::vector<std::vector<BusWord>>& traces,
+                                 const std::string& what) {
+  bus::MultiPointConfig config;
+  config.timing_jitter_sigma = sigma;
+  bus::MultiPointEngine engine(design, table, points, config);
+  for (const auto& words : traces) engine.run(words);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    expect_totals_identical(
+        engine.totals(p), scalar_totals(design, table, points[p], sigma, traces),
+        what + " point " + std::to_string(p) + " @" + std::to_string(points[p].supply));
+  }
+}
+
+TEST(MultiPoint, MatchesScalarAcrossWidthsAndJitter) {
+  for (const int width : {16, 32, 64, 128}) {
+    const auto& system = system_at(width);
+    const trace::Trace trace =
+        trace::generate_synthetic(trace_config(width, 1500, 0x5eedu + width), "mp");
+    for (const double sigma : {0.0, 5e-12}) {
+      expect_batch_matches_scalar(
+          system.design(), system.table(), point_grid(), sigma, {trace.words},
+          "width " + std::to_string(width) + " sigma " + std::to_string(sigma));
+    }
+  }
+}
+
+// The drivers run several traces back to back through one engine (no reset
+// between them, receiver state carries over) — exactly like the scalar
+// per-point simulators do.
+TEST(MultiPoint, AccumulatesAcrossTraces) {
+  const auto& system = system_at(32);
+  const trace::Trace a = trace::generate_synthetic(trace_config(32, 900, 11), "a");
+  const trace::Trace b = trace::generate_synthetic(trace_config(32, 700, 12), "b");
+  expect_batch_matches_scalar(system.design(), system.table(), point_grid(), 0.0,
+                              {a.words, b.words}, "two traces");
+}
+
+// Streamed input: draining a TraceSource through the block buffer must be
+// bit-identical to one run over the materialized words (any block split),
+// and both must match the scalar loop.
+TEST(MultiPoint, StreamedMatchesMaterialized) {
+  for (const int width : {32, 64}) {
+    const auto& system = system_at(width);
+    const auto cfg = trace_config(width, 2000, 0xbeefu + width);
+    const trace::Trace materialized = trace::generate_synthetic(cfg, "mp_stream");
+    for (const double sigma : {0.0, 5e-12}) {
+      bus::MultiPointConfig config;
+      config.timing_jitter_sigma = sigma;
+      const std::vector<bus::OperatingPoint> points = point_grid();
+
+      bus::MultiPointEngine batch(system.design(), system.table(), points, config);
+      batch.run(materialized.words);
+
+      const auto source = trace::make_synthetic_source(cfg, "mp_stream");
+      bus::MultiPointEngine streamed(system.design(), system.table(), points, config);
+      streamed.run(*source, 256);
+
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        const std::string what = "width " + std::to_string(width) + " sigma " +
+                                 std::to_string(sigma) + " point " + std::to_string(p);
+        expect_totals_identical(streamed.totals(p), batch.totals(p), what);
+        expect_totals_identical(batch.totals(p),
+                                scalar_totals(system.design(), system.table(),
+                                              points[p], sigma, {materialized.words}),
+                                what + " [vs scalar]");
+      }
+    }
+  }
+}
+
+// Degenerate 1-point batch: the SoA machinery with a single occupied slot.
+TEST(MultiPoint, SinglePointBatchMatchesScalar) {
+  const auto& system = system_at(32);
+  const trace::Trace trace = trace::generate_synthetic(trace_config(32, 1200, 21), "one");
+  const std::vector<bus::OperatingPoint> one = {
+      {1.10, tech::PvtCorner{tech::ProcessCorner::slow, 100.0, 0.0}}};
+  for (const double sigma : {0.0, 5e-12})
+    expect_batch_matches_scalar(system.design(), system.table(), one, sigma,
+                                {trace.words}, "1-point sigma " + std::to_string(sigma));
+}
+
+// A shield group wider than the tabulatable maximum forces the per-wire
+// general kernel in both engines; parity must hold there too.
+TEST(MultiPoint, GeneralKernelParityOnUntabulatableLayout) {
+  interconnect::BusDesign design = interconnect::BusDesign::wide_bus(32);
+  design.shield_group = 7;  // > GroupLayout::kMaxTableWidth
+  design.repeater_size = test_support::sized_paper_bus().repeater_size;
+  core::SystemOptions options;
+  options.lut_config = test_support::small_lut_config();
+  const core::DvsBusSystem system(design, options);
+  const trace::Trace trace = trace::generate_synthetic(trace_config(32, 800, 31), "wide");
+  for (const double sigma : {0.0, 5e-12})
+    expect_batch_matches_scalar(system.design(), system.table(), point_grid(), sigma,
+                                {trace.words},
+                                "untabulatable sigma " + std::to_string(sigma));
+}
+
+// The one-shot wrappers return per-point totals in point order.
+TEST(MultiPoint, RunWrapperMatchesEngine) {
+  const auto& system = system_at(32);
+  const trace::Trace trace = trace::generate_synthetic(trace_config(32, 600, 41), "w");
+  const std::vector<bus::OperatingPoint> points = point_grid();
+  const auto totals =
+      bus::multi_point_run(system.design(), system.table(), points, trace.words);
+  ASSERT_EQ(totals.size(), points.size());
+  bus::MultiPointEngine engine(system.design(), system.table(), points);
+  engine.run(trace.words);
+  for (std::size_t p = 0; p < points.size(); ++p)
+    expect_totals_identical(totals[p], engine.totals(p), "wrapper " + std::to_string(p));
+}
+
+TEST(MultiPoint, RejectsBadInputs) {
+  const auto& system = system_at(32);
+  EXPECT_THROW(bus::MultiPointEngine(system.design(), system.table(), {}),
+               std::invalid_argument);
+  EXPECT_THROW(bus::MultiPointEngine(
+                   system.design(), system.table(),
+                   {{-1.0, tech::PvtCorner{tech::ProcessCorner::typical, 100.0, 0.0}}}),
+               std::invalid_argument);
+  // Streams wider than the bus are rejected loudly, not truncated.
+  const auto& narrow = system_at(16);
+  const auto wide_source = trace::make_synthetic_source(trace_config(32, 100, 5), "w32");
+  bus::MultiPointEngine engine(
+      narrow.design(), narrow.table(),
+      {{1.14, tech::PvtCorner{tech::ProcessCorner::typical, 100.0, 0.0}}});
+  EXPECT_THROW(engine.run(*wide_source), std::invalid_argument);
+}
+
+// "simd" is a first-class engine-mode name, and on a single simulator it
+// behaves exactly like bit_parallel.
+TEST(MultiPoint, SimdEngineModeRoundTripsAndAliasesBitParallel) {
+  EXPECT_EQ(bus::to_string(bus::EngineMode::simd), "simd");
+  EXPECT_EQ(bus::engine_mode_from_string("simd"), bus::EngineMode::simd);
+  EXPECT_THROW(bus::engine_mode_from_string("vector"), std::invalid_argument);
+
+  const auto& system = system_at(32);
+  const trace::Trace trace = trace::generate_synthetic(trace_config(32, 1000, 51), "s");
+  const tech::PvtCorner env{tech::ProcessCorner::slow, 100.0, 0.0};
+  bus::BusSimulator a = system.make_simulator(env);
+  bus::BusSimulator b = system.make_simulator(env);
+  b.set_engine_mode(bus::EngineMode::simd);
+  a.set_supply(1.10);
+  b.set_supply(1.10);
+  a.run(trace.words);
+  b.run(trace.words);
+  expect_totals_identical(a.totals(), b.totals(), "simd == bit_parallel");
+}
+
+// ------------------------------------------------------------ driver parity
+// EngineMode::simd routes the core drivers' point loops through the batch
+// engine; every REPORT field must stay bit-identical to the per-point
+// scalar sharding (the acceptance contract: same bytes, fewer passes).
+
+void expect_sweeps_identical(const core::StaticSweepResult& a,
+                             const core::StaticSweepResult& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.baseline_bus_energy, b.baseline_bus_energy) << what;
+  EXPECT_EQ(a.floor_supply, b.floor_supply) << what;
+  ASSERT_EQ(a.points.size(), b.points.size()) << what;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const std::string at = what + " point " + std::to_string(i);
+    EXPECT_EQ(a.points[i].supply, b.points[i].supply) << at;
+    EXPECT_EQ(a.points[i].error_rate, b.points[i].error_rate) << at;
+    EXPECT_EQ(a.points[i].bus_energy, b.points[i].bus_energy) << at;
+    EXPECT_EQ(a.points[i].total_energy, b.points[i].total_energy) << at;
+    EXPECT_EQ(a.points[i].norm_bus_energy, b.points[i].norm_bus_energy) << at;
+    EXPECT_EQ(a.points[i].norm_total_energy, b.points[i].norm_total_energy) << at;
+  }
+}
+
+void expect_reports_identical(const core::DvsRunReport& a, const core::DvsRunReport& b,
+                              const std::string& what) {
+  expect_totals_identical(a.totals, b.totals, what);
+  EXPECT_EQ(a.baseline_bus_energy, b.baseline_bus_energy) << what;
+  EXPECT_EQ(a.floor_supply, b.floor_supply) << what;
+  EXPECT_EQ(a.average_supply, b.average_supply) << what;
+}
+
+TEST(MultiPointDrivers, StaticSweepSimdMatchesBitParallel) {
+  const auto& system = system_at(32);
+  const tech::PvtCorner env{tech::ProcessCorner::typical, 100.0, 0.0};
+  const std::vector<trace::Trace> traces = {
+      trace::generate_synthetic(trace_config(32, 1200, 61), "sa"),
+      trace::generate_synthetic(trace_config(32, 800, 62), "sb")};
+  for (const double sigma : {0.0, 5e-12}) {
+    const auto scalar =
+        core::static_voltage_sweep(system, env, traces, sigma,
+                                   bus::EngineMode::bit_parallel);
+    const auto batched =
+        core::static_voltage_sweep(system, env, traces, sigma, bus::EngineMode::simd);
+    expect_sweeps_identical(scalar, batched, "sweep sigma " + std::to_string(sigma));
+  }
+}
+
+TEST(MultiPointDrivers, StreamedSweepSimdMatchesScalarAndMaterialized) {
+  const auto& system = system_at(32);
+  const tech::PvtCorner env{tech::ProcessCorner::typical, 100.0, 0.0};
+  const auto cfg = trace_config(32, 2000, 63);
+  const trace::Trace materialized = trace::generate_synthetic(cfg, "ss");
+  const auto source = trace::make_synthetic_source(cfg, "ss");
+  core::StreamConfig stream;
+  stream.block_cycles = 512;
+
+  const auto scalar_streamed = core::static_voltage_sweep_streamed(
+      system, env, *source, 0.0, bus::EngineMode::bit_parallel, stream);
+  const auto simd_streamed = core::static_voltage_sweep_streamed(
+      system, env, *source, 0.0, bus::EngineMode::simd, stream);
+  const auto simd_materialized = core::static_voltage_sweep(
+      system, env, {materialized}, 0.0, bus::EngineMode::simd);
+  expect_sweeps_identical(scalar_streamed, simd_streamed, "streamed scalar vs simd");
+  expect_sweeps_identical(simd_streamed, simd_materialized,
+                          "simd streamed vs materialized");
+}
+
+// Monte-Carlo corners span both characterised temperatures and all three
+// process corners: needs the full paper characterization (disk-cached),
+// like stream_test's PVT parity case.
+core::PvtSampleConfig pvt_config() {
+  core::PvtSampleConfig config;
+  config.samples = 5;  // not a multiple of the SIMD row granule
+  config.seed = 77;
+  config.run.controller.window_cycles = 2000;
+  config.run.regulator_delay_cycles = 700;
+  return config;
+}
+
+TEST(MultiPointDrivers, PvtSampleGainsSimdMatchesBitParallel) {
+  const auto& system = test_support::paper_system();
+  const trace::Trace trace = trace::generate_synthetic(trace_config(32, 8000, 64), "pv");
+  const core::PvtSampleConfig config = pvt_config();
+  auto simd_config = config;
+  simd_config.run.engine = bus::EngineMode::simd;
+
+  const auto scalar = core::pvt_sample_gains(system, trace, config);
+  const auto batched = core::pvt_sample_gains(system, trace, simd_config);
+  ASSERT_EQ(scalar.samples.size(), batched.samples.size());
+  for (std::size_t s = 0; s < scalar.samples.size(); ++s) {
+    const std::string what = "pvt sample " + std::to_string(s);
+    EXPECT_EQ(scalar.samples[s].corner.process, batched.samples[s].corner.process) << what;
+    EXPECT_EQ(scalar.samples[s].corner.temp_c, batched.samples[s].corner.temp_c) << what;
+    EXPECT_EQ(scalar.samples[s].corner.ir_drop_fraction,
+              batched.samples[s].corner.ir_drop_fraction)
+        << what;
+    expect_reports_identical(scalar.samples[s].report, batched.samples[s].report, what);
+  }
+  EXPECT_EQ(scalar.gain_stats.mean(), batched.gain_stats.mean());
+  EXPECT_EQ(scalar.err_stats.mean(), batched.err_stats.mean());
+}
+
+TEST(MultiPointDrivers, PvtSampleGainsStreamedSimdMatchesMaterialized) {
+  const auto& system = test_support::paper_system();
+  const auto cfg = trace_config(32, 8000, 64);
+  const trace::Trace materialized = trace::generate_synthetic(cfg, "pv");
+  const auto source = trace::make_synthetic_source(cfg, "pv");
+  core::PvtSampleConfig config = pvt_config();
+  config.run.engine = bus::EngineMode::simd;
+  core::StreamConfig stream;
+  stream.block_cycles = 512;
+
+  const auto batched = core::pvt_sample_gains(system, materialized, config);
+  const auto streamed = core::pvt_sample_gains_streamed(system, *source, config, stream);
+  ASSERT_EQ(batched.samples.size(), streamed.samples.size());
+  for (std::size_t s = 0; s < batched.samples.size(); ++s)
+    expect_reports_identical(batched.samples[s].report, streamed.samples[s].report,
+                             "streamed pvt sample " + std::to_string(s));
+}
+
+}  // namespace
+}  // namespace razorbus
