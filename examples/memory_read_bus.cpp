@@ -74,8 +74,10 @@ int run(const razorbus::CliFlags& flags) {
   corner.ir_drop_fraction = flags.get_double("ir", 0.0);
   const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 500000));
   flags.reject_unused();
-  const bool default_run = corner.process == tech::ProcessCorner::typical &&
-                           corner.temp_c == 100.0 && corner.ir_drop_fraction == 0.0 &&
+  // razorlint: allow(float-eq): detects the untouched default flag values —
+  // exact constants parsed from defaults, never arithmetic results.
+  const bool default_run = corner.temp_c == 100.0 && corner.ir_drop_fraction == 0.0 &&
+                           corner.process == tech::ProcessCorner::typical &&
                            cycles == 500000;
 
   core::DvsBusSystem system(interconnect::BusDesign::wide_bus(kBusBits));

@@ -473,6 +473,8 @@ CycleResult BusSimulator::step_bit_parallel(const BusWord& word) {
   CycleOutcome k;
   if (!layout_.tabulatable)
     k = general_kernel(prev_word_, word, line_word_, jitter);
+  // razorlint: allow(float-eq): exact 0.0 marks "no jitter drawn this cycle";
+  // the combo-table fast path is only valid for that exact case (DESIGN.md §5).
   else if (jitter == 0.0 && in_sync && combo_zero_jitter_ok_)
     k = table_kernel(prev_word_, word);
   else
@@ -525,6 +527,8 @@ void BusSimulator::run_bit_parallel(const BusWord* words, std::size_t n) {
     CycleOutcome k;
     if (!layout_.tabulatable)
       k = general_kernel(prev, word, line, jitter);
+    // razorlint: allow(float-eq): exact 0.0 marks "no jitter drawn this cycle";
+    // the table path is only valid for that exact case (DESIGN.md §5).
     else if (jitter == 0.0 && ((line ^ prev) & bits_mask).none() && combo_zero_jitter_ok_)
       k = table_kernel(prev, word);
     else
@@ -766,6 +770,7 @@ void MultiPointEngine::run(const BusWord* words, std::size_t n) {
       continue;
     }
     const double jitter = jitter_on ? jitter_rng_.normal(0.0, jitter_sigma_) : 0.0;
+    // razorlint: allow(float-eq): exact 0.0 marks "no jitter drawn this cycle".
     if (all_fast_ && jitter == 0.0)
       fast_cycle(word);
     else
@@ -863,6 +868,7 @@ void MultiPointEngine::mixed_cycle(const BusWord& word, double jitter) {
         }
         dynamic_energy += sub;
       }
+      // razorlint: allow(float-eq): exact 0.0 marks "no jitter drawn".
     } else if (jitter == 0.0 && combo_ok_[p] &&
                ((line_[p] ^ prev) & bits_mask).none()) {
       // This point still qualifies for the table path

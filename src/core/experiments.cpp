@@ -321,6 +321,8 @@ std::vector<TargetGainPoint> gains_for_targets(const StaticSweepResult& sweep,
     // Lowest supply whose error rate stays within the target (0 -> exact 0).
     const SweepPoint* chosen = &sweep.points.back();
     for (const auto& p : sweep.points) {
+      // razorlint: allow(float-eq): a 0 target means literally error-free —
+      // both sides are exact-by-construction (counts divided by counts).
       const bool ok = target == 0.0 ? p.error_rate == 0.0 : p.error_rate <= target;
       if (ok) {
         chosen = &p;
@@ -497,6 +499,8 @@ DvsRunReport run_closed_loop_proportional(const DvsBusSystem& system,
     cycle += seg;
 
     const double delta = controller.observe_segment(seg, d.errors);
+    // razorlint: allow(float-eq): the controller returns literal 0.0 for
+    // "no step"; any nonzero delta, however tiny, is a real request.
     if (delta != 0.0) regulator.request_change(delta, cycle - 1);
   }
 
@@ -824,6 +828,8 @@ DvsRunReport run_closed_loop_proportional_streamed(const DvsBusSystem& system,
     cycle += fed.cycles;
 
     const double delta = controller.observe_segment(fed.cycles, fed.errors);
+    // razorlint: allow(float-eq): the controller returns literal 0.0 for
+    // "no step"; any nonzero delta, however tiny, is a real request.
     if (delta != 0.0) regulator.request_change(delta, cycle - 1);
   }
   feeder.account(stats, stream.block_cycles);

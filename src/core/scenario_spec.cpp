@@ -17,6 +17,8 @@ namespace {
 // When set (record_accepted_keys), every key a Fields reader asks about is
 // recorded under its object name — the introspection behind the
 // docs/campaigns.md schema cross-check.
+// razorlint: allow(no-mutable-static): docs-introspection hook, thread-local
+// and null outside record_accepted_keys; parsing results never depend on it.
 thread_local std::map<std::string, std::set<std::string>>* g_key_recorder = nullptr;
 
 // Strict reader over one JSON object: typed getters that name the offending

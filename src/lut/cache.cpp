@@ -4,11 +4,76 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <random>
 #include <sstream>
 #include <system_error>
+#include <utility>
+
+#include "util/thread_annotations.hpp"
 
 namespace razorbus::lut {
+
+namespace {
+
+// Random per-process token for temp-file names. Entropy is exactly what
+// cross-process uniqueness needs here, and the token never reaches
+// simulation state — results are identical whatever it draws.
+std::uint64_t process_token() {
+  // razorlint: allow(no-raw-random): naming entropy, not a simulation draw.
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+
+// In-memory memo of every table this process has built or loaded, keyed by
+// (cache directory, table hash). Repeat build_or_load calls — each test
+// binary, bench scenario and experiment driver asks for the same paper bus —
+// return the memoised table instead of re-reading (or re-building) the disk
+// file. The directory is part of the key because tests point
+// RAZORBUS_CACHE_DIR at isolated directories and expect a fresh build there.
+// Entries are never evicted: a process touches a handful of (design, config)
+// pairs and each table is small. Contents depend only on the key, never on
+// timing, so the memo cannot perturb determinism.
+// razorlint: allow(no-mutable-static): process-wide memo guarded by the
+// annotated Mutex; see the determinism note above.
+util::Mutex g_memo_mutex;
+// razorlint: allow(no-mutable-static): guarded by g_memo_mutex above.
+std::map<std::pair<std::string, std::uint64_t>, DelayEnergyTable> g_memo
+    GUARDED_BY(g_memo_mutex);
+
+// Publish atomically: write a private temp file in the same directory,
+// then rename over the final path. A crash mid-write or a concurrent
+// second writer (parallel test binaries share this cache) can then never
+// leave a torn lut_*.bin — readers see the old file, the new file, or no
+// file, all of which load() handles. The temp name carries a random
+// per-process token (cross-process uniqueness; simulation results never
+// depend on it) and a process-local counter (two threads of one process
+// building the same entry must not share a temp file). Best-effort: a
+// failed write only costs the next process a rebuild.
+void write_cache_file(const std::string& path, const DelayEnergyTable& table,
+                      std::uint64_t hash) {
+  static const std::uint64_t tmp_token = process_token();
+  // razorlint: allow(no-mutable-static): atomic counter for temp-file name
+  // uniqueness within the process; file contents are identical regardless.
+  static std::atomic<unsigned> tmp_serial{0};
+  std::error_code ec;
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << std::hex << tmp_token << "." << tmp_serial++;
+  const std::string tmp_path = tmp_name.str();
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    table.save(out, hash);
+    if (!out) {
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) std::filesystem::remove(tmp_path, ec);
+}
+
+}  // namespace
 
 std::string cache_directory() {
   const char* env = std::getenv("RAZORBUS_CACHE_DIR");
@@ -21,46 +86,34 @@ DelayEnergyTable build_or_load(const interconnect::BusDesign& design,
                                const tech::DriverModel& driver, const LutConfig& config,
                                const std::function<void(int, int)>& progress) {
   const std::uint64_t hash = table_key_hash(design, config);
+  const std::string dir = cache_directory();
+  const std::pair<std::string, std::uint64_t> key{dir, hash};
+  {
+    util::MutexLock lock(g_memo_mutex);
+    const auto it = g_memo.find(key);
+    if (it != g_memo.end()) return it->second;
+  }
+
   std::ostringstream name;
-  name << cache_directory() << "/lut_" << std::hex << hash << ".bin";
+  name << dir << "/lut_" << std::hex << hash << ".bin";
   const std::string path = name.str();
 
   {
     std::ifstream in(path, std::ios::binary);
     if (in) {
-      if (auto table = DelayEnergyTable::load(in, hash)) return *std::move(table);
+      if (auto table = DelayEnergyTable::load(in, hash)) {
+        util::MutexLock lock(g_memo_mutex);
+        // emplace keeps the incumbent if another thread raced us here; both
+        // tables are bit-identical (same key), so either copy is the answer.
+        return g_memo.emplace(key, *std::move(table)).first->second;
+      }
     }
   }
 
   DelayEnergyTable table = DelayEnergyTable::build(design, driver, config, progress);
-
-  // Publish atomically: write a private temp file in the same directory,
-  // then rename over the final path. A crash mid-write or a concurrent
-  // second writer (parallel test binaries share this cache) can then never
-  // leave a torn lut_*.bin — readers see the old file, the new file, or no
-  // file, all of which load() handles. The temp name carries a random
-  // per-process token (cross-process uniqueness; simulation results never
-  // depend on it) and a process-local counter (two threads of one process
-  // building the same entry must not share a temp file).
-  static const std::uint64_t tmp_token =
-      (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^ std::random_device{}();
-  static std::atomic<unsigned> tmp_serial{0};
-  std::error_code ec;
-  std::ostringstream tmp_name;
-  tmp_name << path << ".tmp." << std::hex << tmp_token << "." << tmp_serial++;
-  const std::string tmp_path = tmp_name.str();
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return table;
-    table.save(out, hash);
-    if (!out) {
-      std::filesystem::remove(tmp_path, ec);
-      return table;
-    }
-  }
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec) std::filesystem::remove(tmp_path, ec);  // cache is best-effort
-  return table;
+  write_cache_file(path, table, hash);
+  util::MutexLock lock(g_memo_mutex);
+  return g_memo.emplace(key, std::move(table)).first->second;
 }
 
 }  // namespace razorbus::lut

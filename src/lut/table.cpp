@@ -5,11 +5,11 @@
 #include <cstring>
 #include <istream>
 #include <limits>
-#include <mutex>
 #include <ostream>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace razorbus::lut {
 
@@ -82,7 +82,7 @@ DelayEnergyTable DelayEnergyTable::build(const interconnect::BusDesign& design,
                                      table.grid_.size()) *
                     sims_per_point;
   std::atomic<int> done{0};
-  std::mutex progress_mutex;
+  util::Mutex progress_mutex;
   int reported = 0;  // monotonic max of done counts already reported
 
   // The dominant cold-start cost: thousands of independent transient runs.
@@ -136,7 +136,7 @@ DelayEnergyTable DelayEnergyTable::build(const interconnect::BusDesign& design,
             // increment in one order and acquire this mutex in the other,
             // and progress printers assume done never goes backwards. The
             // shard that increments to `total` always reports it.
-            std::lock_guard<std::mutex> lock(progress_mutex);
+            util::MutexLock lock(progress_mutex);
             if (now_done > reported) {
               reported = now_done;
               progress(now_done, total);

@@ -32,6 +32,8 @@ LuFactorization::LuFactorization(const DenseMatrix& m) : lu_(m), pivot_(m.size()
     for (std::size_t r = k + 1; r < n; ++r) {
       const double factor = lu_.at(r, k) * inv_diag;
       lu_.at(r, k) = factor;
+      // razorlint: allow(float-eq): structural-zero skip — eliminating with an
+      // exactly-zero factor is a no-op, and RC matrices are mostly zeros.
       if (factor == 0.0) continue;
       for (std::size_t c = k + 1; c < n; ++c) lu_.at(r, c) -= factor * lu_.at(k, c);
     }

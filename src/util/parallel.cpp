@@ -9,6 +9,8 @@ namespace {
 
 // True while the current thread is executing a shard; nested parallel_for
 // calls then run inline instead of deadlocking on the pool.
+// razorlint: allow(no-mutable-static): per-thread reentrancy flag — purely a
+// scheduling decision; which shard runs where never changes results.
 thread_local bool t_in_shard = false;
 
 unsigned resolve_threads(unsigned threads) {
@@ -26,7 +28,7 @@ ThreadPool::ThreadPool(unsigned threads) : threads_(resolve_threads(threads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -53,8 +55,10 @@ void ThreadPool::worker_loop(unsigned lane) {
     std::size_t n_shards = 0;
     std::vector<std::exception_ptr>* errors = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      // Plain while-wait (not a predicate lambda): the guarded reads stay at
+      // function scope where -Wthread-safety can see the lock is held.
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen) lock.wait(start_cv_);
       if (stop_) return;
       seen = generation_;
       fn = job_fn_;
@@ -63,7 +67,7 @@ void ThreadPool::worker_loop(unsigned lane) {
     }
     run_lane(lane, *fn, n_shards, *errors);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--lanes_remaining_ == 0) done_cv_.notify_all();
     }
   }
@@ -85,11 +89,11 @@ void ThreadPool::parallel_for(std::size_t n_shards,
   // must wait for the current job to drain. Nested calls never get here
   // (t_in_shard diverted them to the inline path above), so this cannot
   // self-deadlock.
-  std::lock_guard<std::mutex> submit(submit_mutex_);
+  MutexLock submit(submit_mutex_);
 
   std::vector<std::exception_ptr> errors(n_shards);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_fn_ = &fn;
     job_shards_ = n_shards;
     job_errors_ = &errors;
@@ -101,8 +105,8 @@ void ThreadPool::parallel_for(std::size_t n_shards,
   run_lane(0, fn, n_shards, errors);
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return lanes_remaining_ == 0; });
+    MutexLock lock(mutex_);
+    while (lanes_remaining_ != 0) lock.wait(done_cv_);
     job_fn_ = nullptr;
     job_errors_ = nullptr;
   }
@@ -111,18 +115,21 @@ void ThreadPool::parallel_for(std::size_t n_shards,
 }
 
 namespace {
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;
+// razorlint: allow(no-mutable-static): THE process-wide pool (DESIGN.md §9) —
+// the one sanctioned global, guarded by g_pool_mutex below.
+Mutex g_pool_mutex;
+// razorlint: allow(no-mutable-static): see g_pool_mutex above.
+std::unique_ptr<ThreadPool> g_pool GUARDED_BY(g_pool_mutex);
 }  // namespace
 
 ThreadPool& global_pool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>();
   return *g_pool;
 }
 
 void set_global_threads(unsigned threads) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   const unsigned resolved = resolve_threads(threads);
   if (g_pool && g_pool->threads() == resolved) return;
   g_pool.reset();  // join the old workers before spawning replacements
@@ -130,7 +137,7 @@ void set_global_threads(unsigned threads) {
 }
 
 unsigned global_threads() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>();
   return g_pool->threads();
 }

@@ -16,9 +16,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace razorbus::util {
 
@@ -44,7 +45,8 @@ class ThreadPool {
   // inside a shard run inline on the calling lane (no deadlock, no extra
   // parallelism); concurrent top-level calls from different threads
   // serialise, one job at a time.
-  void parallel_for(std::size_t n_shards, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n_shards, const std::function<void(std::size_t)>& fn)
+      EXCLUDES(submit_mutex_, mutex_);
 
  private:
   void worker_loop(unsigned lane);
@@ -59,16 +61,17 @@ class ThreadPool {
   // Serialises top-level parallel_for calls: the job slots below are
   // single-buffered, so concurrent callers queue up rather than trampling
   // a job in flight.
-  std::mutex submit_mutex_;
-  std::mutex mutex_;
+  Mutex submit_mutex_ ACQUIRED_BEFORE(mutex_);
+  Mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;   // bumped per job; workers wake on change
-  unsigned lanes_remaining_ = 0;
-  bool stop_ = false;
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_shards_ = 0;
-  std::vector<std::exception_ptr>* job_errors_ = nullptr;
+  // bumped per job; workers wake on change
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  unsigned lanes_remaining_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  const std::function<void(std::size_t)>* job_fn_ GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_shards_ GUARDED_BY(mutex_) = 0;
+  std::vector<std::exception_ptr>* job_errors_ GUARDED_BY(mutex_) = nullptr;
 };
 
 // Map [0, n_shards) through fn on the pool; results are returned in shard

@@ -70,6 +70,8 @@ class Rng {
 
   // 32-bit word with each bit set independently with probability `p`.
   std::uint32_t random_word(double p = 0.5) {
+    // razorlint: allow(float-eq): exactly-representable default picks the
+    // one-draw fast path; callers passing computed p take the per-bit path.
     if (p == 0.5) return static_cast<std::uint32_t>(next_u64());
     std::uint32_t w = 0;
     for (int i = 0; i < 32; ++i)

@@ -97,9 +97,11 @@ TEST(BenchGate, CampaignNestingIsCompared) {
       core::compare_bench_reports(baseline, current, 0.20);
   EXPECT_FALSE(result.ok());
   ASSERT_EQ(result.regressions(), 1u);
-  for (const auto& finding : result.compared)
-    if (finding.regression)
+  for (const auto& finding : result.compared) {
+    if (finding.regression) {
       EXPECT_EQ(finding.path, "scenarios/engine/metrics/active_bit_parallel_cps");
+    }
+  }
 }
 
 TEST(BenchGate, AddedAndRemovedMetricsAreNotedNotFailed) {

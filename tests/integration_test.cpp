@@ -51,6 +51,7 @@ TEST(Fig4, TypicalCornerErrorFreeDownToAbout980mV) {
       paper_system(), tech::typical_corner(), {trace_of("mgrid")});
   double lowest_error_free = 1.2;
   for (const auto& p : sweep.points)
+    // razorlint: allow(float-eq): "error-free" is an exact zero count / count.
     if (p.error_rate == 0.0) lowest_error_free = std::min(lowest_error_free, p.supply);
   EXPECT_NEAR(to_mV(lowest_error_free), 980.0, 45.0);  // paper: 980 mV
 }

@@ -1,0 +1,5 @@
+// razorlint fixture: raw floating-point ==/!= against literals must fire.
+// Never compiled; lint input only (see tests/lint_test.cpp).
+bool near_zero(double x) { return x == 0.0; }
+bool not_half(double x) { return 0.5 != x; }
+bool negated(double x) { return x == -1.0; }

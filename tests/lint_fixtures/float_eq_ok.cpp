@@ -1,0 +1,9 @@
+// razorlint fixture: integer compares, the tolerance idiom, and a justified
+// allow() are all clean. Never compiled; lint input only.
+#include <cmath>
+
+bool eq_int(int a, int b) { return a == b; }
+bool close(double a, double b) { return std::fabs(a - b) < 1e-9; }
+
+// razorlint: allow(float-eq): exact sentinel — 0.0 is assigned, never computed.
+bool is_unset(double x) { return x == 0.0; }

@@ -1,0 +1,9 @@
+// razorlint fixture: forbidden include edges, linted as a src/util/ file.
+// util sits at the bottom of the layer DAG and may include nothing above
+// itself; an unprefixed quoted include and a non-layer target also fire.
+// Never compiled; lint input only.
+#include "bus/simulator.hpp"
+#include "support.hpp"
+#include "vendor/widget.hpp"
+
+int never_compiled();

@@ -1,0 +1,11 @@
+// razorlint fixture: legal include edges, linted as a src/razor/ file —
+// its own layer plus the lut/tech/util layers below it; angle includes are
+// never layer edges. Never compiled; lint input only.
+#include <vector>
+
+#include "lut/table.hpp"
+#include "razor/flop.hpp"
+#include "tech/corner.hpp"
+#include "util/rng.hpp"
+
+int never_compiled();

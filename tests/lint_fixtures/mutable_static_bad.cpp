@@ -1,0 +1,14 @@
+// razorlint fixture: mutable statics in library code (linted under a src/
+// virtual path) must fire in all three shapes — function-local static,
+// namespace-scope thread_local, class-scope static data member.
+// Never compiled; lint input only.
+int counter() {
+  static int calls = 0;
+  return ++calls;
+}
+
+thread_local int t_scratch = 0;
+
+struct Registry {
+  static int live_count;
+};

@@ -1,0 +1,18 @@
+// razorlint fixture: constants in every spelling plus a justified allow()
+// are clean under a src/ virtual path. Never compiled; lint input only.
+int compute();
+
+constexpr double kScale = 1.25;
+const char* const kName = "razorbus";
+static const int kTableSize = 64;
+
+struct Codec {
+  static constexpr int kWidth = 32;
+};
+
+int with_allow() {
+  // razorlint: allow(no-mutable-static): memoised pure value — identical on
+  // every call, so sharing it across shards cannot change results.
+  static int cached = compute();
+  return cached;
+}

@@ -1,0 +1,14 @@
+// razorlint fixture: std:: engines, std::random_device and C rand() must
+// fire. Never compiled; lint input only.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+unsigned seed_entropy() {
+  std::random_device rd;
+  return rd();
+}
+int legacy() { return rand(); }

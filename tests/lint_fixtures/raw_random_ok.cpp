@@ -1,0 +1,16 @@
+// razorlint fixture: the seeded util Rng idiom, member calls named rand,
+// and a justified allow() are all clean. Never compiled; lint input only.
+#include <cstdint>
+#include <random>
+
+struct Rng {
+  std::uint64_t next_u64();
+  int rand();
+};
+
+std::uint64_t draw(Rng& rng) { return rng.next_u64(); }
+int member_named_rand(Rng& r) { return r.rand(); }
+
+// razorlint: allow(no-raw-random): naming entropy for a temp-file suffix,
+// never a simulation draw — results are identical whatever it yields.
+unsigned entropy_token() { return std::random_device{}(); }

@@ -1,0 +1,7 @@
+// razorlint fixture: malformed allow() comments are themselves diagnostics
+// (rule "suppression") and suppress nothing. Never compiled; lint input only.
+// razorlint: allow(float-eq):
+bool unjustified(double x) { return x == 0.0; }
+
+// razorlint: allow(not-a-rule): this rule name does not exist.
+int unknown_rule();

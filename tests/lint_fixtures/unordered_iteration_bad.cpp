@@ -1,0 +1,10 @@
+// razorlint fixture: range-for over an unordered container feeds hash-order
+// into downstream state — must fire. Never compiled; lint input only.
+#include <string>
+#include <unordered_map>
+
+double sum_hash_order(const std::unordered_map<std::string, double>& weights) {
+  double acc = 0.0;
+  for (const auto& [key, w] : weights) acc += w;
+  return acc;
+}

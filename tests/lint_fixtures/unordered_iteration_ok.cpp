@@ -1,0 +1,16 @@
+// razorlint fixture: iterating an ORDERED map and point lookups into an
+// unordered one are both clean. Never compiled; lint input only.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double sum_sorted(const std::map<std::string, double>& weights) {
+  double acc = 0.0;
+  for (const auto& [key, w] : weights) acc += w;
+  return acc;
+}
+
+int lookup(const std::unordered_map<int, int>& histogram, int key) {
+  const auto it = histogram.find(key);
+  return it == histogram.end() ? 0 : it->second;
+}

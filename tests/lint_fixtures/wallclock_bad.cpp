@@ -1,0 +1,10 @@
+// razorlint fixture: wall-clock reads must fire (chrono clock types, the C
+// library time()/clock() calls). Never compiled; lint input only.
+#include <chrono>
+#include <ctime>
+
+long now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+long now_s() { return time(nullptr); }
+long ticks() { return clock(); }

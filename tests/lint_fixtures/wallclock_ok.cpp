@@ -1,0 +1,10 @@
+// razorlint fixture: methods NAMED clock/time (declarations and member
+// calls) are the simulator's own accessors, not wall clocks — clean.
+// Never compiled; lint input only.
+struct Bank {
+  int clock(int cycle);  // declaration: the return type precedes the name
+  int time(int cycle);
+};
+
+int poll(Bank& b) { return b.clock(0) + b.time(1); }
+int poll_ptr(Bank* b) { return b->clock(2); }

@@ -1,0 +1,85 @@
+// razorlint CLI (docs/static-analysis.md).
+//
+//   razorlint --root <repo>            lint the whole tree, exit 1 on findings
+//   razorlint [--as <path>] <files>    lint specific files; --as sets the
+//                                      repo-relative path used for scoping
+//                                      (layer-dag / no-mutable-static / the
+//                                      wallclock whitelist) — this is how the
+//                                      lint fixtures impersonate src/ files
+//   razorlint --list-rules             print the rule set and the whitelist
+#include "razorlint.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace razorlint;
+
+  std::string root;
+  std::string as;
+  std::vector<std::string> files;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "razorlint: " << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") root = value("--root");
+    else if (arg == "--as") as = value("--as");
+    else if (arg == "--list-rules") list_rules = true;
+    else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: razorlint --root <repo> | [--as <path>] <files> |"
+                   " --list-rules\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "razorlint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    std::cout << "rules:\n";
+    for (const auto& r : rule_names()) std::cout << "  " << r << "\n";
+    std::cout << "no-wallclock whitelist:\n";
+    for (const auto& p : wallclock_whitelist()) std::cout << "  " << p << "\n";
+    return 0;
+  }
+
+  // The layer table itself must be a DAG before it is fit to judge anyone.
+  const std::string cycle = layer_dag_cycle();
+  if (!cycle.empty()) {
+    std::cerr << "razorlint: internal error: layer table has a cycle: " << cycle
+              << "\n";
+    return 2;
+  }
+
+  std::vector<Diagnostic> diags;
+  if (!root.empty()) {
+    diags = lint_tree(root);
+  } else if (!files.empty()) {
+    for (const std::string& f : files) {
+      const std::string virtual_path = as.empty() ? f : as;
+      auto d = lint_path(f, virtual_path);
+      diags.insert(diags.end(), d.begin(), d.end());
+    }
+  } else {
+    std::cerr << "razorlint: nothing to lint (use --root or pass files)\n";
+    return 2;
+  }
+
+  for (const auto& d : diags) std::cout << format(d) << "\n";
+  if (!diags.empty()) {
+    std::cerr << "razorlint: " << diags.size() << " diagnostic"
+              << (diags.size() == 1 ? "" : "s")
+              << " (suppress intentional ones with"
+                 " \"// razorlint: allow(<rule>): <justification>\")\n";
+    return 1;
+  }
+  return 0;
+}

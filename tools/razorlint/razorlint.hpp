@@ -1,0 +1,122 @@
+// razorlint — the project's determinism & concurrency lint (docs/static-analysis.md).
+//
+// Every result in this codebase is contractually bit-identical across thread
+// counts, engines, widths and streamed vs. materialized paths; the runtime
+// parity suites catch a violation only after it ships. razorlint rejects the
+// source patterns that breed nondeterminism at lint time instead: raw float
+// equality, wall-clock reads, unseeded randomness, unordered-container
+// iteration order, shared mutable statics, and upward layer dependencies.
+//
+// The checker is deliberately token-level ("AST-lite"): no libclang, builds
+// and runs under the tier-1 cmake configure on a bare toolchain. That buys
+// zero dependencies at the cost of type knowledge — each rule documents the
+// heuristic it uses and the blind spots that follow. Intentional violations
+// are annotated in place:
+//
+//   ... flagged code ...  // razorlint: allow(<rule>): <justification>
+//
+// on the flagged line or the line directly above it. The justification is
+// mandatory; an allow() without one is itself a diagnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace razorlint {
+
+// ------------------------------------------------------------------ tokens
+
+enum class TokKind {
+  identifier,
+  number,        // numeric literal; `is_float` distinguishes 1.0 / 1e3 from 10
+  punct,         // operators and punctuation, longest-match ("==", "::", ...)
+  string,        // string or char literal (contents dropped)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+  bool is_float = false;  // numbers only
+};
+
+// One `// razorlint: allow(rule[,rule...]): justification` comment.
+struct Suppression {
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string justification;  // may be empty — rules.cpp diagnoses that
+};
+
+// One #include directive.
+struct Include {
+  int line = 0;
+  std::string path;   // as written between the delimiters
+  bool quoted = false;  // "..." (project include) vs <...> (system include)
+};
+
+// Lexed view of one translation unit: comments and literal contents are
+// stripped (suppression comments and include directives are harvested into
+// their own lists), line numbers are preserved.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::vector<Include> includes;
+};
+
+LexedFile lex(const std::string& source);
+
+// -------------------------------------------------------------- diagnostics
+
+struct Diagnostic {
+  std::string path;   // virtual path (repo-relative) the rule saw
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// "path:line: [rule] message" — the format CI greps and editors jump on.
+std::string format(const Diagnostic& d);
+
+// ------------------------------------------------------------------- rules
+
+// All rule names, in documentation order.
+const std::vector<std::string>& rule_names();
+
+// Paths (repo-relative) where the no-wallclock rule is silent: the bench
+// timing harness reads steady_clock by design — wall time is what a bench
+// measures — and the readings only ever land in reporting fields, never in
+// simulation state. Kept as a named list (not inline suppressions) so the
+// whitelist is reviewable in one place.
+const std::vector<std::string>& wallclock_whitelist();
+
+// Lint one already-lexed file. `virtual_path` is the repo-relative path used
+// for scoping decisions (layer-dag and no-mutable-static apply to src/ only,
+// the wallclock whitelist matches against it) and for diagnostics.
+std::vector<Diagnostic> lint_file(const LexedFile& file, const std::string& virtual_path);
+
+// Convenience: read, lex and lint one file from disk.
+std::vector<Diagnostic> lint_path(const std::string& fs_path,
+                                  const std::string& virtual_path);
+
+// ---------------------------------------------------------------- layer DAG
+
+// The allowed dependency edges between src/ top-level directories, mirroring
+// the layer map in docs/architecture.md. Key: layer; value: layers it may
+// #include from. Returned as sorted pairs for deterministic iteration.
+const std::vector<std::pair<std::string, std::vector<std::string>>>& layer_dag();
+
+// Verifies layer_dag() is acyclic (a self-check run at startup and under
+// test); returns a human-readable cycle description, or "" if acyclic.
+std::string layer_dag_cycle();
+
+// --------------------------------------------------------------- tree walk
+
+// Repo-relative source files razorlint covers: *.cpp / *.hpp under src/,
+// bench/, tests/, examples/ and tools/, minus tests/lint_fixtures/ (fixtures
+// contain violations on purpose). Sorted, so diagnostics order is stable.
+std::vector<std::string> collect_sources(const std::string& root);
+
+// Lint the whole tree rooted at `root` (the repo checkout).
+std::vector<Diagnostic> lint_tree(const std::string& root);
+
+}  // namespace razorlint

@@ -1,0 +1,38 @@
+// Tree walk: which files razorlint covers, and the whole-tree entry point.
+#include "razorlint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace razorlint {
+
+std::vector<std::string> collect_sources(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const char* top : {"src", "bench", "tests", "examples", "tools"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      const std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (rel.find("tests/lint_fixtures/") == 0) continue;  // violations by design
+      out.push_back(rel);
+    }
+  }
+  // Sorted so diagnostics, and therefore CI logs, are byte-stable run to run.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root) {
+  std::vector<Diagnostic> out;
+  for (const std::string& rel : collect_sources(root)) {
+    auto file = lint_path((std::filesystem::path(root) / rel).string(), rel);
+    out.insert(out.end(), file.begin(), file.end());
+  }
+  return out;
+}
+
+}  // namespace razorlint
