@@ -3,12 +3,14 @@
 //   bench_gate <baseline.json> <current.json> [--threshold=0.20]
 //              [--allow-missing-baseline]
 //
-// Compares the "_cps" throughput metrics of two bench reports (single
-// scenario reports or aggregated BENCH_campaign.json files) and exits
-// non-zero when any metric regressed by more than the threshold. A missing
-// baseline file is exit 0 with --allow-missing-baseline (first run on a
-// branch, expired artifact) and exit 2 otherwise; malformed input is
-// always exit 2. Improvements and added/removed metrics never fail.
+// Compares the gated metrics of two bench reports (single scenario
+// reports or aggregated BENCH_campaign.json files) — "_cps" throughput
+// keys, where a drop regresses, and "_sims" characterization-cost keys,
+// where a rise regresses — and exits non-zero when any metric regressed
+// by more than the threshold. A missing baseline file is exit 0 with
+// --allow-missing-baseline (first run on a branch, expired artifact) and
+// exit 2 otherwise; malformed input is always exit 2. Improvements and
+// added/removed metrics never fail.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -42,15 +44,15 @@ int main(int argc, char** argv) {
         Json::parse_file(baseline_path), Json::parse_file(current_path), threshold);
 
     if (result.compared.empty()) {
-      std::printf("bench_gate: no _cps throughput metrics in %s — passing\n",
+      std::printf("bench_gate: no _cps/_sims gated metrics in %s — passing\n",
                   baseline_path.c_str());
       return 0;
     }
 
-    Table table({"Metric", "Baseline (cyc/s)", "Current (cyc/s)", "Ratio", "Verdict"});
+    Table table({"Metric", "Baseline", "Current", "Ratio", "Verdict"});
     for (const auto& finding : result.compared) {
       table.row()
-          .add(finding.path)
+          .add(finding.path + (finding.cost ? " [cost]" : ""))
           .add(finding.baseline, 0)
           .add(finding.current, 0)
           .add(finding.ratio, 3)

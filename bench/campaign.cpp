@@ -74,18 +74,28 @@ void spit(const std::string& path, const std::string& content) {
 // ------------------------------------------------- declarative experiments
 
 // The bus system a declarative job runs on: the paper bus at the job's
-// width. The characterised tables are width-independent, so every width
-// shares the paper system's cached characterization (DESIGN.md §10).
-const core::DvsBusSystem& system_for_width(int width) {
-  if (width == 32) return paper_system();
+// width, characterised adaptively when the job sets `lut_tolerance`. The
+// characterised tables are width-independent, so every width shares the
+// paper system's cached characterization (DESIGN.md §10); adaptive tables
+// additionally share the design's point store, so a dense table and an
+// adaptive one re-simulate nothing in common.
+const core::DvsBusSystem& system_for_job(int width, double lut_tolerance) {
+  if (width == 32 && lut_tolerance <= 0.0) return paper_system();
   static core::DvsBusSystem* cached = nullptr;
   static int cached_width = 0;
-  if (cached == nullptr || cached_width != width) {
-    interconnect::BusDesign design = interconnect::BusDesign::wide_bus(width);
+  static double cached_tol = 0.0;
+  if (cached == nullptr || cached_width != width || cached_tol != lut_tolerance) {
+    interconnect::BusDesign design = width == 32
+                                         ? paper_system().design()
+                                         : interconnect::BusDesign::wide_bus(width);
     design.repeater_size = paper_system().design().repeater_size;
+    core::SystemOptions options = options_with_progress("campaign bus");
+    options.lut_config =
+        core::lut_config_for_tolerance(lut_tolerance, options.lut_config);
     delete cached;
-    cached = new core::DvsBusSystem(design, options_with_progress("campaign bus"));
+    cached = new core::DvsBusSystem(design, options);
     cached_width = width;
+    cached_tol = lut_tolerance;
   }
   return *cached;
 }
@@ -222,7 +232,7 @@ std::string corner_key(const tech::PvtCorner& corner) {
 }
 
 void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
-  const auto& system = system_for_width(spec.widths.at(0));
+  const auto& system = system_for_job(spec.widths.at(0), spec.lut_tolerance);
   const core::ControllerSpec& controller = spec.controllers.at(0);
 
   // Either every trace resident (legacy) or one lazily-executed stream per
@@ -251,6 +261,7 @@ void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
         cfg.controller = controller.threshold;
         cfg.engine = spec.engine;
         cfg.timing_jitter_sigma = spec.timing_jitter_sigma;
+        cfg.lut_tolerance = spec.lut_tolerance;
         reports = spec.stream
                       ? core::run_closed_loop_suite_streamed(system, corner, sources,
                                                              cfg, {}, &stream_stats)
@@ -303,11 +314,13 @@ void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
   ctx.note("engine", bus::to_string(spec.engine));
   ctx.note("width", std::to_string(spec.widths.at(0)));
   ctx.note("trace_mode", spec.stream ? "streamed" : "materialized");
+  if (spec.lut_tolerance > 0.0)
+    ctx.note("lut_tolerance", std::to_string(spec.lut_tolerance));
   if (spec.stream) record_stream_stats(ctx, stream_stats);
 }
 
 void run_static_sweep_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
-  const auto& system = system_for_width(spec.widths.at(0));
+  const auto& system = system_for_job(spec.widths.at(0), spec.lut_tolerance);
   std::vector<trace::Trace> traces;
   std::unique_ptr<trace::TraceSource> source;
   if (spec.stream) {
@@ -347,6 +360,8 @@ void run_static_sweep_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) 
   ctx.note("engine", bus::to_string(spec.engine));
   ctx.note("width", std::to_string(spec.widths.at(0)));
   ctx.note("trace_mode", spec.stream ? "streamed" : "materialized");
+  if (spec.lut_tolerance > 0.0)
+    ctx.note("lut_tolerance", std::to_string(spec.lut_tolerance));
   if (spec.stream) record_stream_stats(ctx, stream_stats);
 }
 

@@ -6,23 +6,29 @@ namespace razorbus::core {
 
 namespace {
 
-bool is_throughput_key(const std::string& key) {
-  static const std::string suffix = "_cps";
+bool has_suffix(const std::string& key, const std::string& suffix) {
   return key.size() > suffix.size() &&
          key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Flattens every numeric "_cps" leaf of a report into path -> value.
-// std::map keeps the comparison output in a stable, runner-independent
-// order.
-void collect_throughput(const Json& json, const std::string& prefix,
-                        std::map<std::string, double>& out) {
+bool is_throughput_key(const std::string& key) { return has_suffix(key, "_cps"); }
+
+// Cost convention: transient-run counts of the characterization build
+// ("lut_build_sims" and friends). Lower is better, so the regression
+// predicate is inverted relative to throughput keys.
+bool is_cost_key(const std::string& key) { return has_suffix(key, "_sims"); }
+
+// Flattens every numeric gated leaf ("_cps" or "_sims") of a report into
+// path -> value. std::map keeps the comparison output in a stable,
+// runner-independent order.
+void collect_gated(const Json& json, const std::string& prefix,
+                   std::map<std::string, double>& out) {
   if (!json.is_object()) return;
   for (const auto& [key, value] : json.members()) {
     const std::string path = prefix.empty() ? key : prefix + "/" + key;
     if (value.is_object())
-      collect_throughput(value, path, out);
-    else if (value.is_number() && is_throughput_key(key))
+      collect_gated(value, path, out);
+    else if (value.is_number() && (is_throughput_key(key) || is_cost_key(key)))
       out[path] = value.as_double();
   }
 }
@@ -32,8 +38,8 @@ void collect_throughput(const Json& json, const std::string& prefix,
 BenchGateResult compare_bench_reports(const Json& baseline, const Json& current,
                                       double threshold) {
   std::map<std::string, double> base_metrics, cur_metrics;
-  collect_throughput(baseline, "", base_metrics);
-  collect_throughput(current, "", cur_metrics);
+  collect_gated(baseline, "", base_metrics);
+  collect_gated(current, "", cur_metrics);
 
   BenchGateResult result;
   result.threshold = threshold;
@@ -43,12 +49,26 @@ BenchGateResult compare_bench_reports(const Json& baseline, const Json& current,
       result.missing.push_back(path);
       continue;
     }
+    // The leaf key decides the convention; the path segments above it are
+    // scenario names.
+    const std::size_t slash = path.rfind('/');
+    const std::string leaf = slash == std::string::npos ? path : path.substr(slash + 1);
     BenchGateFinding finding;
     finding.path = path;
     finding.baseline = base_value;
     finding.current = cur->second;
     finding.ratio = base_value > 0.0 ? cur->second / base_value : 1.0;
-    finding.regression = base_value > 0.0 && cur->second < base_value * (1.0 - threshold);
+    finding.cost = is_cost_key(leaf);
+    if (finding.cost) {
+      // A zero baseline means a fully warm run (lut_warm_sims): any sim at
+      // all is a regression, not a ratio question.
+      finding.regression = base_value > 0.0
+                               ? cur->second > base_value * (1.0 + threshold)
+                               : cur->second > 0.0;
+    } else {
+      finding.regression =
+          base_value > 0.0 && cur->second < base_value * (1.0 - threshold);
+    }
     result.compared.push_back(std::move(finding));
   }
   for (const auto& [path, value] : cur_metrics) {

@@ -1,13 +1,16 @@
 // Bench-regression gate (DESIGN.md §11).
 //
 // CI uploads BENCH_*.json reports on every main build. The gate compares
-// the throughput metrics of the current run against the previous main
-// artifact and fails the job when any of them dropped by more than the
-// threshold. Throughput metrics are, by convention, the numeric metrics
-// whose key ends in "_cps" (cycles per second) — wall-clock fields,
-// thread counts and experiment results are never compared. Reports are
-// matched structurally, so both a single scenario report and the
-// aggregated BENCH_campaign.json (reports nested one per scenario) work.
+// the gated metrics of the current run against the previous main artifact
+// and fails the job when any of them regressed by more than the
+// threshold. Two key conventions are gated — the numeric metrics whose
+// key ends in "_cps" (throughput: cycles or sims per second; a DROP is a
+// regression) and those ending in "_sims" (cost: transient-run counts of
+// the characterization build; a RISE is a regression) — wall-clock
+// fields, thread counts and experiment results are never compared.
+// Reports are matched structurally, so both a single scenario report and
+// the aggregated BENCH_campaign.json (reports nested one per scenario)
+// work.
 #pragma once
 
 #include <string>
@@ -22,7 +25,8 @@ struct BenchGateFinding {
   double baseline = 0.0;
   double current = 0.0;
   double ratio = 0.0;        // current / baseline
-  bool regression = false;   // ratio < 1 - threshold
+  bool cost = false;         // "_sims" key: lower is better
+  bool regression = false;   // throughput: ratio < 1 - threshold; cost: > 1 + threshold
 };
 
 struct BenchGateResult {
@@ -43,10 +47,12 @@ struct BenchGateResult {
   }
 };
 
-// Compares every "_cps" metric of `current` against `baseline`; a metric
-// counts as regressed when current < baseline * (1 - threshold). Metrics
-// only present on one side are reported but never fail the gate (scenarios
-// come and go); improvements never fail.
+// Compares every "_cps" and "_sims" metric of `current` against
+// `baseline`. A "_cps" metric regresses when current < baseline *
+// (1 - threshold); a "_sims" metric regresses when current > baseline *
+// (1 + threshold), or when a zero-sim baseline (fully warm cache) starts
+// simulating at all. Metrics only present on one side are reported but
+// never fail the gate (scenarios come and go); improvements never fail.
 BenchGateResult compare_bench_reports(const Json& baseline, const Json& current,
                                       double threshold = 0.20);
 

@@ -11,6 +11,15 @@
 
 namespace razorbus::core {
 
+lut::LutConfig lut_config_for_tolerance(double tol, lut::LutConfig base) {
+  if (tol > 0.0) {
+    base.tolerance.relative = tol;
+    base.tolerance.delay_abs_s = tol * 1e-10;
+    base.tolerance.energy_abs_j = tol * 1e-13;
+  }
+  return base;
+}
+
 namespace {
 
 // Length of the next batched span for a closed-loop driver positioned at

@@ -133,6 +133,19 @@ struct WindowSample {
   double error_rate = 0.0;  // of the closed window
 };
 
+// Default relative tolerance for adaptive characterization when a scenario
+// opts in via the `lut_tolerance` key: a 2% interpolation-error envelope,
+// well under the run-to-run spread of the closed-loop metrics it feeds.
+constexpr double kDefaultLutTolerance = 0.02;
+
+// Maps the scalar scenario tolerance onto full LutTolerance bounds: the
+// relative envelope is `tol` itself, and the absolute floors (which stop
+// refinement from chasing noise where delay or energy approach zero) scale
+// with it — tol * 1e-10 s and tol * 1e-13 J, roughly `tol` relative to a
+// nominal-supply worst-class delay/energy. `tol <= 0` leaves `base`
+// untouched (dense characterization).
+lut::LutConfig lut_config_for_tolerance(double tol, lut::LutConfig base = {});
+
 struct DvsRunConfig {
   dvs::ControllerConfig controller{};
   std::uint64_t regulator_delay_cycles = 3000;  // 2 us at 1.5 GHz
@@ -142,6 +155,10 @@ struct DvsRunConfig {
   // Cycle engine for the run. Results are bit-identical either way
   // (DESIGN.md §5); scenario specs select `reference` to cross-check.
   bus::EngineMode engine = bus::EngineMode::bit_parallel;
+  // Provenance: adaptive characterization tolerance of the system's table
+  // (0 = dense). The run itself only reads the table; campaign drivers use
+  // this to build the system via lut_config_for_tolerance().
+  double lut_tolerance = 0.0;
 };
 
 struct DvsRunReport {

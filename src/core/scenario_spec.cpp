@@ -388,6 +388,9 @@ ScenarioSpec ScenarioSpec::from_json(const Json& json) {
 
   spec.stream = f.get_bool("stream", false);
 
+  spec.lut_tolerance = f.get_double("lut_tolerance", 0.0);
+  if (spec.lut_tolerance < 0.0) bad_spec("scenario", "'lut_tolerance' must be >= 0");
+
   f.reject_unknown();
   return spec;
 }
@@ -420,6 +423,7 @@ Json ScenarioSpec::to_json() const {
     j.set("engine", bus::to_string(engine));
     if (timing_jitter_sigma > 0.0) j.set("timing_jitter_sigma", timing_jitter_sigma);
     if (stream) j.set("stream", true);
+    if (lut_tolerance > 0.0) j.set("lut_tolerance", lut_tolerance);
   }
   if (cycles > 0) j.set("cycles", static_cast<long long>(cycles));
   if (threads > 0) j.set("threads", static_cast<long long>(threads));

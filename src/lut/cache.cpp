@@ -10,6 +10,7 @@
 #include <system_error>
 #include <utility>
 
+#include "lut/point_store.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace razorbus::lut {
@@ -84,7 +85,9 @@ std::string cache_directory() {
 
 DelayEnergyTable build_or_load(const interconnect::BusDesign& design,
                                const tech::DriverModel& driver, const LutConfig& config,
-                               const std::function<void(int, int)>& progress) {
+                               const std::function<void(int, int)>& progress,
+                               BuildStats* stats) {
+  if (stats) *stats = BuildStats{};  // memo/disk hits perform zero sims
   const std::uint64_t hash = table_key_hash(design, config);
   const std::string dir = cache_directory();
   const std::pair<std::string, std::uint64_t> key{dir, hash};
@@ -98,10 +101,18 @@ DelayEnergyTable build_or_load(const interconnect::BusDesign& design,
   name << dir << "/lut_" << std::hex << hash << ".bin";
   const std::string path = name.str();
 
+  // The design's shared point store: loads answer nothing from it, but
+  // tables loaded from disk still attach the lazy refiner to it, and
+  // builds fetch every already-simulated point instead of re-running the
+  // transient solver.
+  const std::shared_ptr<PointStore> store =
+      PointStore::open(dir, design_content_hash(design));
+
   {
     std::ifstream in(path, std::ios::binary);
     if (in) {
       if (auto table = DelayEnergyTable::load(in, hash)) {
+        table->attach_refiner(design, driver, store);  // no-op for dense tables
         util::MutexLock lock(g_memo_mutex);
         // emplace keeps the incumbent if another thread raced us here; both
         // tables are bit-identical (same key), so either copy is the answer.
@@ -110,7 +121,10 @@ DelayEnergyTable build_or_load(const interconnect::BusDesign& design,
     }
   }
 
-  DelayEnergyTable table = DelayEnergyTable::build(design, driver, config, progress);
+  DelayEnergyTable table =
+      DelayEnergyTable::build(design, driver, config, progress, store.get(), stats);
+  store->flush();
+  table.attach_refiner(design, driver, store);
   write_cache_file(path, table, hash);
   util::MutexLock lock(g_memo_mutex);
   return g_memo.emplace(key, std::move(table)).first->second;

@@ -20,8 +20,15 @@ std::string cache_directory();
 
 // Loads the table for (design, config) from the cache, or builds and stores
 // it. `progress` forwards to DelayEnergyTable::build on a cache miss.
+//
+// Builds consult the design's incremental point store (point_store.hpp) in
+// the same cache directory, so only points no table has ever simulated cost
+// transient runs; adaptive tables additionally get the lazy refiner
+// attached for lookups below their characterised range. `stats` (optional)
+// receives the build's cost counters — all zero on a memo or disk hit.
 DelayEnergyTable build_or_load(const interconnect::BusDesign& design,
                                const tech::DriverModel& driver, const LutConfig& config,
-                               const std::function<void(int, int)>& progress = {});
+                               const std::function<void(int, int)>& progress = {},
+                               BuildStats* stats = nullptr);
 
 }  // namespace razorbus::lut

@@ -1,0 +1,187 @@
+#include "lut/point_store.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "interconnect/rc_builder.hpp"
+
+namespace razorbus::lut {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'B', 'P', 'T', 'S', '0', '0', '1'};
+
+// Random per-process token for temp-file names — same idiom and same
+// rationale as the table cache writer (cache.cpp): entropy is exactly what
+// cross-process uniqueness needs, and the token never reaches simulation
+// state.
+std::uint64_t process_token() {
+  // razorlint: allow(no-raw-random): naming entropy, not a simulation draw.
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+
+// Process-wide registry of open stores keyed by (cache directory, design
+// hash): every table build in the process shares one instance per design,
+// which is what makes overlapping campaigns hit instead of re-simulate.
+// Entries are never evicted — a process touches a handful of designs and
+// each store is tens of kilobytes. Contents depend only on keys, never on
+// timing, so the registry cannot perturb determinism.
+// razorlint: allow(no-mutable-static): process-wide registry guarded by the
+// annotated Mutex; see the determinism note above.
+util::Mutex g_registry_mutex;
+// razorlint: allow(no-mutable-static): guarded by g_registry_mutex above.
+std::map<std::pair<std::string, std::uint64_t>, std::shared_ptr<PointStore>> g_registry
+    GUARDED_BY(g_registry_mutex);
+
+}  // namespace
+
+std::uint64_t design_content_hash(const interconnect::BusDesign& design) {
+  Fnv1a fnv;
+  const auto& n = design.node;
+  fnv.mix(n.name.data(), n.name.size());
+  for (double v : {n.vdd_nominal, n.vth0, n.alpha, n.vth_temp_coeff,
+                   n.mobility_temp_exponent, n.dibl, n.r_unit, n.c_in_unit,
+                   n.c_self_unit, n.e_short_unit, n.i_leak_unit, n.leak_n})
+    fnv.mix_double(v);
+  for (double v : {design.parasitics.r_per_m, design.parasitics.cg_per_m,
+                   design.parasitics.cc_per_m, design.length, design.clock_freq,
+                   design.setup_slack_fraction, design.shadow_delay_fraction,
+                   design.repeater_size, design.receiver_size})
+    fnv.mix_double(v);
+  // n_bits and shield_group deliberately omitted (DESIGN.md §10).
+  fnv.mix_int(design.n_segments);
+  fnv.mix_int(interconnect::ClusterCharacterizer::kSectionsPerSegment);
+  fnv.mix_int(static_cast<std::int64_t>(kSimulatorVersion));
+  return fnv.h;
+}
+
+std::uint64_t point_key(std::uint64_t design_hash, tech::ProcessCorner corner,
+                        double temp_c, double vdd, int pattern_class) {
+  Fnv1a fnv;
+  fnv.mix(&design_hash, sizeof(design_hash));
+  fnv.mix_int(static_cast<std::int64_t>(corner));
+  fnv.mix_double(temp_c);
+  fnv.mix_double(vdd);
+  fnv.mix_int(pattern_class);
+  return fnv.h;
+}
+
+PointStore::PointStore(std::string path) : path_(std::move(path)) {}
+
+std::shared_ptr<PointStore> PointStore::open(const std::string& dir,
+                                             std::uint64_t design_hash) {
+  const std::pair<std::string, std::uint64_t> key{dir, design_hash};
+  util::MutexLock registry_lock(g_registry_mutex);
+  auto it = g_registry.find(key);
+  if (it != g_registry.end()) return it->second;
+
+  std::ostringstream name;
+  name << dir << "/points_" << std::hex << design_hash << ".bin";
+  std::shared_ptr<PointStore> store(new PointStore(name.str()));
+  {
+    util::MutexLock lock(store->mutex_);
+    store->load_file();
+  }
+  g_registry.emplace(key, store);
+  return store;
+}
+
+void PointStore::load_file() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // cold store
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return;  // foreign or torn file: start cold, flush() will replace it
+  std::uint64_t count = 0;
+  if (!in.read(reinterpret_cast<char*>(&count), sizeof(count))) return;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t key = 0;
+    StoredPoint point;
+    in.read(reinterpret_cast<char*>(&key), sizeof(key));
+    in.read(reinterpret_cast<char*>(&point.delay), sizeof(point.delay));
+    in.read(reinterpret_cast<char*>(&point.energy), sizeof(point.energy));
+    if (!in) {  // truncated tail: keep the complete prefix
+      break;
+    }
+    points_.emplace(key, point);
+  }
+  persisted_ = points_.size();
+}
+
+std::optional<StoredPoint> PointStore::lookup(std::uint64_t key) {
+  util::MutexLock lock(mutex_);
+  const auto it = points_.find(key);
+  if (it == points_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void PointStore::insert(std::uint64_t key, StoredPoint point) {
+  util::MutexLock lock(mutex_);
+  // emplace keeps the incumbent when two shards simulated the same point
+  // concurrently; both results are bit-identical (same key), so either
+  // copy is the answer.
+  if (points_.emplace(key, point).second) ++stats_.inserts;
+}
+
+void PointStore::flush() {
+  util::MutexLock lock(mutex_);
+  if (points_.size() == persisted_) return;  // nothing new since last flush
+
+  // Publish atomically: private temp file, then rename over the final
+  // path — a crash or a concurrent second writer can never leave a torn
+  // points_*.bin (same contract as the table cache, cache.cpp).
+  static const std::uint64_t tmp_token = process_token();
+  // razorlint: allow(no-mutable-static): atomic counter for temp-file name
+  // uniqueness within the process; file contents are identical regardless.
+  static std::atomic<unsigned> tmp_serial{0};
+  std::error_code ec;
+  std::ostringstream tmp_name;
+  tmp_name << path_ << ".tmp." << std::hex << tmp_token << "." << tmp_serial++;
+  const std::string tmp_path = tmp_name.str();
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint64_t count = points_.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& [key, point] : points_) {
+      out.write(reinterpret_cast<const char*>(&key), sizeof(key));
+      out.write(reinterpret_cast<const char*>(&point.delay), sizeof(point.delay));
+      out.write(reinterpret_cast<const char*>(&point.energy), sizeof(point.energy));
+    }
+    if (!out) {
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp_path, path_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return;
+  }
+  persisted_ = points_.size();
+}
+
+PointStore::Stats PointStore::stats() const {
+  util::MutexLock lock(mutex_);
+  return stats_;
+}
+
+std::size_t PointStore::size() const {
+  util::MutexLock lock(mutex_);
+  return points_.size();
+}
+
+}  // namespace razorbus::lut

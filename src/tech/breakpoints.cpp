@@ -1,0 +1,48 @@
+#include "tech/breakpoints.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace razorbus::tech {
+
+SupplyBreakpoints::SupplyBreakpoints(std::vector<double> voltages)
+    : voltages_(std::move(voltages)) {
+  if (voltages_.empty())
+    throw std::invalid_argument("SupplyBreakpoints: empty voltage list");
+  for (std::size_t i = 1; i < voltages_.size(); ++i)
+    if (!(voltages_[i - 1] < voltages_[i]))
+      throw std::invalid_argument(
+          "SupplyBreakpoints: voltages must be strictly ascending");
+}
+
+double SupplyBreakpoints::voltage(std::size_t index) const {
+  if (index >= voltages_.size())
+    throw std::out_of_range("SupplyBreakpoints::voltage");
+  return voltages_[index];
+}
+
+double SupplyBreakpoints::vmin() const {
+  if (voltages_.empty()) throw std::out_of_range("SupplyBreakpoints::vmin");
+  return voltages_.front();
+}
+
+double SupplyBreakpoints::vmax() const {
+  if (voltages_.empty()) throw std::out_of_range("SupplyBreakpoints::vmax");
+  return voltages_.back();
+}
+
+SupplyBreakpoints::Segment SupplyBreakpoints::locate(double v) const {
+  if (voltages_.empty()) throw std::out_of_range("SupplyBreakpoints::locate");
+  const std::size_t n = voltages_.size();
+  if (v <= voltages_.front()) return {0, 0, 0.0};
+  if (v >= voltages_.back()) return {n - 1, n - 1, 0.0};
+  // First breakpoint strictly above v; v < back() guarantees it exists and
+  // v > front() guarantees it is not the first.
+  const auto it = std::upper_bound(voltages_.begin(), voltages_.end(), v);
+  const auto hi = static_cast<std::size_t>(it - voltages_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = voltages_[hi] - voltages_[lo];
+  return {lo, hi, span > 0.0 ? (v - voltages_[lo]) / span : 0.0};
+}
+
+}  // namespace razorbus::tech

@@ -1,0 +1,45 @@
+// Non-uniform supply breakpoints.
+//
+// SupplyGrid (supply.hpp) is the REGULATOR's discretisation: a uniform
+// 20 mV ladder whose indices are stable identifiers. Adaptive
+// characterization (docs/characterization.md) does not sample that ladder
+// densely — it keeps only the voltages where the delay/energy surfaces
+// actually bend. SupplyBreakpoints owns that non-uniform axis: a sorted
+// list of voltages with binary-search segment lookup for interpolation.
+// The two classes deliberately coexist: regulators step on the grid,
+// tables interpolate on breakpoints.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace razorbus::tech {
+
+class SupplyBreakpoints {
+ public:
+  // Empty axis; assign before use. locate() on an empty axis throws.
+  SupplyBreakpoints() = default;
+  // `voltages` must be strictly ascending and non-empty; throws otherwise.
+  explicit SupplyBreakpoints(std::vector<double> voltages);
+
+  bool empty() const { return voltages_.empty(); }
+  std::size_t size() const { return voltages_.size(); }
+  double voltage(std::size_t index) const;
+  double vmin() const;
+  double vmax() const;
+  const std::vector<double>& voltages() const { return voltages_; }
+
+  // The segment [lo, hi] containing `v` plus the interpolation fraction;
+  // clamped at the ends (v <= vmin -> {0, 0, 0}, v >= vmax -> {n-1, n-1, 0}).
+  struct Segment {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    double frac = 0.0;
+  };
+  Segment locate(double v) const;
+
+ private:
+  std::vector<double> voltages_;
+};
+
+}  // namespace razorbus::tech

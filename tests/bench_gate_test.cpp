@@ -156,6 +156,54 @@ TEST(BenchGate, MultiPointSweepMetricsAreTracked) {
   EXPECT_EQ(regressed.regressions(), 1u);
 }
 
+// Characterization-cost metrics ("_sims") gate in the opposite direction:
+// a RISE in transient-run counts is the regression.
+TEST(BenchGate, CostMetricsRegressOnRiseNotDrop) {
+  const auto report = [](double build_sims, double warm_sims) {
+    Json metrics = Json::object();
+    metrics.set("lut_build_sims", build_sims);
+    metrics.set("lut_warm_sims", warm_sims);
+    metrics.set("lut_build_cps", 150.0);  // throughput companion, gated too
+    Json out = Json::object();
+    out.set("metrics", std::move(metrics));
+    return out;
+  };
+
+  const core::BenchGateResult same =
+      core::compare_bench_reports(report(400.0, 0.0), report(400.0, 0.0), 0.20);
+  EXPECT_TRUE(same.ok());
+  ASSERT_EQ(same.compared.size(), 3u);  // both _sims keys plus the _cps key
+  EXPECT_EQ(same.compared[0].path, "metrics/lut_build_cps");
+  EXPECT_FALSE(same.compared[0].cost);
+  EXPECT_EQ(same.compared[1].path, "metrics/lut_build_sims");
+  EXPECT_TRUE(same.compared[1].cost);
+  EXPECT_TRUE(same.compared[2].cost);
+
+  // 50% MORE sims: regression. 50% fewer: an improvement, never fails.
+  EXPECT_FALSE(core::compare_bench_reports(report(400.0, 0.0), report(600.0, 0.0), 0.20).ok());
+  EXPECT_TRUE(core::compare_bench_reports(report(400.0, 0.0), report(200.0, 0.0), 0.20).ok());
+  // A rise within the threshold is noise, not a regression.
+  EXPECT_TRUE(core::compare_bench_reports(report(400.0, 0.0), report(440.0, 0.0), 0.20).ok());
+}
+
+TEST(BenchGate, WarmCacheMustStayAtZeroSims) {
+  const auto report = [](double warm_sims) {
+    Json metrics = Json::object();
+    metrics.set("lut_warm_sims", warm_sims);
+    Json out = Json::object();
+    out.set("metrics", std::move(metrics));
+    return out;
+  };
+  // Zero-sim baseline: ratios are meaningless, so ANY sim at all fails —
+  // the fully-warm point store started re-simulating known points.
+  EXPECT_TRUE(core::compare_bench_reports(report(0.0), report(0.0), 0.20).ok());
+  const core::BenchGateResult broken =
+      core::compare_bench_reports(report(0.0), report(3.0), 0.20);
+  EXPECT_FALSE(broken.ok());
+  EXPECT_EQ(broken.regressions(), 1u);
+  EXPECT_TRUE(broken.compared[0].cost);
+}
+
 TEST(BenchGate, ZeroBaselineNeverDividesOrFails) {
   Json baseline = Json::object();
   Json base_metrics = Json::object();

@@ -1,0 +1,282 @@
+// The LUT cache stack: the in-memory memo behind build_or_load, the
+// RAZORBUS_CACHE_DIR disk cache with its key-hash check, and the
+// incremental content-addressed point store that makes overlapping
+// characterizations free (docs/characterization.md).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "lut/cache.hpp"
+#include "lut/pattern.hpp"
+#include "lut/point_store.hpp"
+#include "lut/table.hpp"
+#include "test_support.hpp"
+
+namespace razorbus::lut {
+namespace {
+
+using test_support::small_lut_config;
+using test_support::sized_paper_bus;
+
+// Points RAZORBUS_CACHE_DIR at an isolated per-test directory for the
+// guard's lifetime; restores the previous value and removes the directory
+// on destruction.
+class CacheDirGuard {
+ public:
+  explicit CacheDirGuard(const std::string& dir) : dir_(dir) {
+    const char* prev = std::getenv("RAZORBUS_CACHE_DIR");
+    had_prev_ = prev != nullptr;
+    if (prev) prev_ = prev;
+    std::filesystem::remove_all(dir_);
+    setenv("RAZORBUS_CACHE_DIR", dir_.c_str(), 1);
+  }
+  ~CacheDirGuard() {
+    if (had_prev_)
+      setenv("RAZORBUS_CACHE_DIR", prev_.c_str(), 1);
+    else
+      unsetenv("RAZORBUS_CACHE_DIR");
+    std::filesystem::remove_all(dir_);
+  }
+
+ private:
+  std::string dir_;
+  std::string prev_;
+  bool had_prev_ = false;
+};
+
+// A few dense grid points only: fast to characterise.
+LutConfig tiny_config(double vmin) {
+  LutConfig cfg = small_lut_config();
+  cfg.vmin = vmin;
+  cfg.corners = {tech::ProcessCorner::typical};
+  return cfg;
+}
+
+// The small grid with adaptive refinement enabled at the default bounds.
+LutConfig tiny_adaptive_config() {
+  LutConfig cfg = small_lut_config();
+  cfg.corners = {tech::ProcessCorner::typical};
+  cfg.tolerance.relative = 0.02;
+  cfg.tolerance.delay_abs_s = 2e-12;
+  cfg.tolerance.energy_abs_j = 2e-15;
+  return cfg;
+}
+
+std::string table_path(const std::string& dir, const LutConfig& cfg) {
+  std::ostringstream name;
+  name << dir << "/lut_" << std::hex << table_key_hash(sized_paper_bus(), cfg)
+       << ".bin";
+  return name.str();
+}
+
+TEST(LutCache, MemoHitSkipsDisk) {
+  CacheDirGuard guard("./.razorbus_cache_memo_test");
+  const tech::DriverModel driver(sized_paper_bus().node);
+  const LutConfig cfg = tiny_config(1.16);
+
+  int first_progress = 0;
+  const DelayEnergyTable first = build_or_load(
+      sized_paper_bus(), driver, cfg, [&](int, int) { ++first_progress; });
+  EXPECT_GT(first_progress, 0);  // cold: characterised for real
+
+  // Wipe the disk cache entirely: a repeat call must be served by the
+  // in-memory memo — no rebuild (progress stays silent), no sims.
+  std::filesystem::remove_all(cache_directory());
+  int second_progress = 0;
+  BuildStats stats;
+  stats.transient_sims = 99;  // must be overwritten, not accumulated
+  const DelayEnergyTable second = build_or_load(
+      sized_paper_bus(), driver, cfg, [&](int, int) { ++second_progress; }, &stats);
+  EXPECT_EQ(second_progress, 0);
+  EXPECT_EQ(stats.transient_sims, 0u);
+  EXPECT_EQ(stats.store_hits, 0u);
+  ASSERT_FALSE(second.empty());
+
+  const int cls = PatternClass::encode(VictimActivity::rise, NeighborActivity::fall,
+                                       NeighborActivity::fall);
+  EXPECT_EQ(first.delay_at(cls, 0, 0, 0), second.delay_at(cls, 0, 0, 0));
+  EXPECT_EQ(first.energy_at(cls, 0, 0, 0), second.energy_at(cls, 0, 0, 0));
+}
+
+TEST(LutCache, HashMismatchRebuildsCleanly) {
+  CacheDirGuard guard("./.razorbus_cache_mismatch_test");
+  const tech::DriverModel driver(sized_paper_bus().node);
+  const LutConfig cfg_a = tiny_config(1.16);
+  const LutConfig cfg_b = tiny_config(1.18);
+  ASSERT_NE(table_key_hash(sized_paper_bus(), cfg_a),
+            table_key_hash(sized_paper_bus(), cfg_b));
+
+  build_or_load(sized_paper_bus(), driver, cfg_a);
+  const std::string dir = cache_directory();
+
+  // Plant config A's bytes at config B's expected path — the stale-entry
+  // shape a config change leaves behind. Its embedded hash cannot match
+  // B's key, so build_or_load must rebuild instead of trusting the file.
+  std::filesystem::copy_file(table_path(dir, cfg_a), table_path(dir, cfg_b));
+  int progress_calls = 0;
+  const DelayEnergyTable b = build_or_load(sized_paper_bus(), driver, cfg_b,
+                                           [&](int, int) { ++progress_calls; });
+  EXPECT_GT(progress_calls, 0);  // rebuilt, not loaded from the planted file
+  EXPECT_DOUBLE_EQ(b.grid().vmin(), cfg_b.vmin);
+
+  // The rebuild replaced the planted file with a loadable one.
+  std::ifstream in(table_path(dir, cfg_b), std::ios::binary);
+  ASSERT_TRUE(in.good());
+  EXPECT_TRUE(
+      DelayEnergyTable::load(in, table_key_hash(sized_paper_bus(), cfg_b)).has_value());
+}
+
+TEST(LutCache, PointStoreEliminatesRedundantSims) {
+  CacheDirGuard guard("./.razorbus_cache_store_test");
+  const tech::DriverModel driver(sized_paper_bus().node);
+  const LutConfig cfg = tiny_adaptive_config();
+
+  BuildStats cold;
+  const DelayEnergyTable first =
+      build_or_load(sized_paper_bus(), driver, cfg, {}, &cold);
+  EXPECT_TRUE(first.adaptive());
+  EXPECT_GT(cold.transient_sims, 0u);
+
+  // A second campaign re-characterising the same candidate points against
+  // the shared store performs ZERO redundant transient runs: every point
+  // is a store hit. (Built directly — build_or_load's memo would answer
+  // without exercising the store at all.)
+  const auto store =
+      PointStore::open(cache_directory(), design_content_hash(sized_paper_bus()));
+  BuildStats warm;
+  const DelayEnergyTable second = DelayEnergyTable::build(sized_paper_bus(), driver,
+                                                          cfg, {}, store.get(), &warm);
+  EXPECT_EQ(warm.transient_sims, 0u);
+  EXPECT_GT(warm.store_hits, 0u);
+  ASSERT_EQ(first.breakpoints(0, 0).size(), second.breakpoints(0, 0).size());
+  const int cls = PatternClass::encode(VictimActivity::rise, NeighborActivity::fall,
+                                       NeighborActivity::fall);
+  for (std::size_t vi = 0; vi < first.breakpoints(0, 0).size(); ++vi) {
+    EXPECT_EQ(first.breakpoints(0, 0).voltage(vi), second.breakpoints(0, 0).voltage(vi));
+    EXPECT_EQ(first.delay_at(cls, 0, 0, vi), second.delay_at(cls, 0, 0, vi));
+    EXPECT_EQ(first.energy_at(cls, 0, 0, vi), second.energy_at(cls, 0, 0, vi));
+  }
+
+  // An overlapping sub-range campaign only pays for points it never
+  // simulated before.
+  LutConfig sub = cfg;
+  sub.vmax = cfg.vmax - cfg.vstep;
+  BuildStats sub_stats;
+  build_or_load(sized_paper_bus(), driver, sub, {}, &sub_stats);
+  EXPECT_GT(sub_stats.store_hits, 0u);
+  EXPECT_LT(sub_stats.transient_sims, cold.transient_sims);
+}
+
+TEST(PointStoreTest, PersistsAndReloads) {
+  const std::string dir_a = "./.razorbus_pts_reload_a_test";
+  const std::string dir_b = "./.razorbus_pts_reload_b_test";
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+  std::filesystem::create_directories(dir_a);
+  std::filesystem::create_directories(dir_b);
+
+  const std::uint64_t design_hash = 0x1234;
+  const std::uint64_t key_1 =
+      point_key(design_hash, tech::ProcessCorner::typical, 100.0, 1.10, 7);
+  const std::uint64_t key_2 =
+      point_key(design_hash, tech::ProcessCorner::slow, 25.0, 0.90, 12);
+  ASSERT_NE(key_1, key_2);
+
+  const auto store = PointStore::open(dir_a, design_hash);
+  EXPECT_EQ(store->size(), 0u);
+  EXPECT_FALSE(store->lookup(key_1).has_value());
+  store->insert(key_1, {1e-10, 2e-13});
+  store->insert(key_2, {-1.0, 5e-14});  // raw "victim did not switch" result
+  store->flush();
+
+  // The flushed bytes under a fresh directory model a cold process: the
+  // store loads both points and answers lookups from them.
+  std::filesystem::copy_file(store->path(), dir_b + "/points_1234.bin");
+  const auto reloaded = PointStore::open(dir_b, design_hash);
+  EXPECT_EQ(reloaded->size(), 2u);
+  const auto hit = reloaded->lookup(key_1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->delay, 1e-10);
+  EXPECT_DOUBLE_EQ(hit->energy, 2e-13);
+  const auto raw = reloaded->lookup(key_2);
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_DOUBLE_EQ(raw->delay, -1.0);
+  EXPECT_EQ(reloaded->stats().hits, 2u);
+  EXPECT_EQ(reloaded->stats().misses, 0u);
+
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
+TEST(PointStoreTest, GarbageFileStartsColdAndIsReplaced) {
+  const std::string dir = "./.razorbus_pts_garbage_test";
+  const std::string dir_check = "./.razorbus_pts_garbage_check_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir_check);
+  std::filesystem::create_directories(dir);
+  std::filesystem::create_directories(dir_check);
+
+  const std::uint64_t design_hash = 0xbeef;
+  {
+    std::ofstream out(dir + "/points_beef.bin", std::ios::binary);
+    out << "not a point store at all";
+  }
+  const auto store = PointStore::open(dir, design_hash);
+  EXPECT_EQ(store->size(), 0u);  // foreign bytes: start cold, don't throw
+
+  store->insert(point_key(design_hash, tech::ProcessCorner::fast, 25.0, 1.0, 3),
+                {3e-11, 4e-14});
+  store->flush();  // atomically replaces the garbage
+
+  std::filesystem::copy_file(store->path(), dir_check + "/points_beef.bin");
+  EXPECT_EQ(PointStore::open(dir_check, design_hash)->size(), 1u);
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir_check);
+}
+
+// TSan-facing hammer (build_or_load is called from sharded
+// characterization, so the store must take concurrent lookup/insert/flush
+// traffic). Values are pure functions of the key, so whatever the
+// interleaving, the surviving contents are identical.
+TEST(PointStoreTest, ConcurrentLookupInsertFlush) {
+  const std::string dir = "./.razorbus_pts_hammer_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const std::uint64_t design_hash = 0x77;
+  const auto store = PointStore::open(dir, design_hash);
+  const auto worker = [&](int base) {
+    for (int i = 0; i < 200; ++i) {
+      const int cls = (base + i) % 64;
+      const std::uint64_t key = point_key(design_hash, tech::ProcessCorner::slow,
+                                          100.0, 1.0 + 0.001 * cls, cls);
+      store->lookup(key);
+      store->insert(key, {1e-12 * cls, 1e-15});
+      if (i % 50 == 0) store->flush();
+    }
+  };
+  std::thread a(worker, 0);
+  std::thread b(worker, 100);
+  a.join();
+  b.join();
+  store->flush();
+
+  EXPECT_EQ(store->size(), 64u);  // one entry per distinct key
+  EXPECT_EQ(store->stats().inserts, 64u);
+  for (int cls = 0; cls < 64; ++cls) {
+    const auto hit = store->lookup(point_key(design_hash, tech::ProcessCorner::slow,
+                                             100.0, 1.0 + 0.001 * cls, cls));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->delay, 1e-12 * cls);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace razorbus::lut

@@ -282,11 +282,12 @@ TEST_F(TableTest, LoadRejectsTruncated) {
 }
 
 TEST_F(TableTest, MinShadowSafeVoltageIsConsistent) {
-  const double v = table_->min_shadow_safe_voltage(sized_paper_bus(),
-                                                   tech::ProcessCorner::slow, 100.0);
+  const std::optional<double> v = table_->min_shadow_safe_voltage(
+      sized_paper_bus(), tech::ProcessCorner::slow, 100.0);
+  ASSERT_TRUE(v.has_value());
   const int worst = PatternClass::encode(VictimActivity::rise, NeighborActivity::fall,
                                          NeighborActivity::fall);
-  EXPECT_LE(table_->delay(worst, tech::ProcessCorner::slow, 100.0, v),
+  EXPECT_LE(table_->delay(worst, tech::ProcessCorner::slow, 100.0, *v),
             sized_paper_bus().shadow_capture_limit());
 }
 
