@@ -1,26 +1,27 @@
-// Declarative scenario-campaign runner (DESIGN.md §11).
+// Declarative scenario-campaign runner (DESIGN.md §11) — a thin client
+// over the campaign service (docs/campaignd.md).
 //
-//   campaign run <campaign.json> [--out=DIR] [--jobs=N] [--force]
-//                [--dry_run] [--json=PATH]
+//   campaign run <campaign.json> [--out=DIR] [--jobs=N] [--cache=DIR]
+//                [--force] [--dry_run] [--json=PATH]
 //   campaign list [<campaign.json>]
 //   campaign run-one <job.spec.json> --json=PATH   (internal)
 //
 // `run` expands the campaign file into the scenario cross product
-// (scenarios x widths x controllers), executes the jobs as shards on the
-// ThreadPool (--jobs children at a time; each child is a `campaign
-// run-one` subprocess whose stdout/stderr land in <out>/<job>.log), and
-// aggregates the per-job reports into one consolidated BENCH_campaign.json.
-//
-// Runs are RESUMABLE: a job whose <out>/BENCH_<job>.json already exists
-// and parses is skipped, so an interrupted campaign continues where it
-// stopped (--force reruns everything; a half-written report fails the
-// parse and reruns). Jobs referencing a registered bench scenario run the
-// exact legacy harness code path, so their reports are byte-identical to
-// the standalone binaries' (modulo wall-clock fields) — enforced by
-// tests/campaign_test.cpp.
+// (scenarios x widths x controllers) and hands the jobs to
+// svc::CampaignService: the durable queue under <out>/queue makes runs
+// resumable after any kill, and the content-hash result cache under
+// <out>/cache (shareable via --cache) replays previously-completed jobs'
+// BENCH_<job>.json byte-for-byte without simulating. Each executed job is
+// a `campaign run-one` subprocess (--jobs at a time) whose stdout/stderr
+// land in <out>/<job>.log; per-job reports aggregate into one consolidated
+// BENCH_campaign.json. A half-written report or queue record from an
+// interrupted run fails its parse and reruns — the same torn-file
+// tolerance lut::PointStore applies. Jobs referencing a registered bench
+// scenario run the exact legacy harness code path, so their reports are
+// byte-identical to the standalone binaries' (modulo wall-clock fields) —
+// enforced by tests/campaign_test.cpp. `campaignd` drives the same
+// service with workers, shard manifests and a status surface.
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -31,10 +32,11 @@
 #include "bus/businvert.hpp"
 #include "core/scenario_spec.hpp"
 #include "scenario_registry.hpp"
+#include "svc/fsio.hpp"
+#include "svc/service.hpp"
 #include "trace/io.hpp"
 #include "trace/source.hpp"
 #include "trace/synthetic.hpp"
-#include "util/parallel.hpp"
 
 using namespace razorbus;
 using namespace razorbus::bench;
@@ -42,34 +44,6 @@ using namespace razorbus::bench;
 namespace fs = std::filesystem;
 
 namespace {
-
-// POSIX-shell single-quoting: inhibits every expansion, survives spaces,
-// '$', backticks and double quotes in operator-supplied paths.
-std::string shell_quote(const std::string& s) {
-  std::string out = "'";
-  for (const char c : s) {
-    if (c == '\'')
-      out += "'\\''";
-    else
-      out += c;
-  }
-  out += "'";
-  return out;
-}
-
-std::string slurp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return text.str();
-}
-
-void spit(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc | std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write " + path);
-  out << content;
-}
 
 // ------------------------------------------------- declarative experiments
 
@@ -415,24 +389,6 @@ int run_one(const std::string& spec_path, const std::string& json_flag) {
 
 // --------------------------------------------------------------------- run
 
-struct JobState {
-  core::ScenarioJob job;
-  fs::path spec_path;
-  fs::path report_path;
-  fs::path log_path;
-  bool cached = false;
-  bool ok = false;
-};
-
-bool report_is_complete(const fs::path& path) {
-  try {
-    Json::parse_file(path.string());
-    return true;
-  } catch (const std::exception&) {
-    return false;  // missing, or half-written by an interrupted run: redo
-  }
-}
-
 int run_campaign(const std::string& self, const std::string& campaign_path,
                  CliFlags& flags) {
   const core::CampaignSpec campaign = core::CampaignSpec::from_file(campaign_path);
@@ -443,10 +399,13 @@ int run_campaign(const std::string& self, const std::string& campaign_path,
     if (job.spec.kind == core::ScenarioSpec::Kind::bench)
       scenario_by_name(job.spec.bench);  // throws, listing the known names
 
-  const fs::path out_dir = flags.get("out", "campaign_out/" + campaign.name);
-  const auto jobs_width = static_cast<unsigned>(
+  svc::ServiceConfig config;
+  config.out_dir = flags.get("out", "campaign_out/" + campaign.name);
+  config.cache_dir = flags.get("cache", "");
+  config.runner = self;  // jobs execute as `campaign run-one` children
+  config.workers = static_cast<unsigned>(
       std::max<std::int64_t>(1, flags.get_int("jobs", 1)));
-  const bool force = flags.get_bool("force", false);
+  config.force = flags.get_bool("force", false);
   const bool dry_run = flags.get_bool("dry_run", false);
   const std::string consolidated = flags.get("json", "BENCH_campaign.json");
   flags.reject_unused();
@@ -458,99 +417,20 @@ int run_campaign(const std::string& self, const std::string& campaign_path,
     return 0;
   }
 
-  fs::create_directories(out_dir);
-  spit((out_dir / "campaign.json").string(), campaign.to_json().dump(2) + "\n");
+  // All the heavy lifting — durable queue reconciliation (resume), the
+  // content-hash result cache, worker scheduling, status snapshots — is
+  // the shared service; this client keeps the PR-4 CLI and output shape.
+  svc::CampaignService service(campaign, std::move(jobs), std::move(config));
+  service.prepare();
+  const svc::CampaignService::Summary summary = service.run();
 
-  std::vector<JobState> states;
-  for (auto& job : jobs) {
-    JobState state;
-    state.spec_path = out_dir / (job.name + ".spec.json");
-    state.report_path = out_dir / ("BENCH_" + job.name + ".json");
-    state.log_path = out_dir / (job.name + ".log");
-    state.job = std::move(job);
-    const std::string spec_text = state.job.spec.to_json().dump(2) + "\n";
-    // A job resumes from its result file only when its resolved spec is
-    // exactly what the previous run executed — editing the campaign file
-    // invalidates the jobs it changes even though their names persist.
-    bool spec_unchanged = false;
-    try {
-      spec_unchanged = slurp(state.spec_path.string()) == spec_text;
-    } catch (const std::runtime_error&) {
-      // No previous spec: first run of this job.
-    }
-    state.cached =
-        !force && spec_unchanged && report_is_complete(state.report_path);
-    state.ok = state.cached;
-    // Stale report first, marker second: a crash in between leaves either
-    // a marker mismatch or no report — both rerun the job. The reverse
-    // order would let the next run pair a fresh marker with old results.
-    if (!state.cached) fs::remove(state.report_path);
-    spit(state.spec_path.string(), spec_text);
-    states.push_back(std::move(state));
-  }
-
-  std::vector<std::size_t> pending;
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    if (states[i].cached)
-      std::printf("  [cached] %s\n", states[i].job.name.c_str());
-    else
-      pending.push_back(i);
-  }
-
-  // One shard per pending job on the PR-2 ThreadPool; each shard waits on
-  // a `campaign run-one` child whose output is captured in <job>.log. The
-  // static shard->lane assignment keeps at most --jobs children alive.
-  const auto start = std::chrono::steady_clock::now();
-  std::atomic<std::size_t> done{0};
-  util::ThreadPool pool(std::min<unsigned>(jobs_width,
-                                           static_cast<unsigned>(std::max<std::size_t>(
-                                               pending.size(), 1))));
-  pool.parallel_for(pending.size(), [&](std::size_t p) {
-    JobState& state = states[pending[p]];
-    const std::string cmd = shell_quote(self) + " run-one " +
-                            shell_quote(state.spec_path.string()) + " " +
-                            shell_quote("--json=" + state.report_path.string()) + " > " +
-                            shell_quote(state.log_path.string()) + " 2>&1";
-    const int status = std::system(cmd.c_str());
-    state.ok = status == 0;
-    std::printf("  [%zu/%zu] %s %s\n", done.fetch_add(1) + 1, pending.size(),
-                state.ok ? "done" : "FAILED", state.job.name.c_str());
-    std::fflush(stdout);
-  });
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-
-  // Aggregate every job report into the consolidated trajectory file.
-  Json aggregate = Json::object();
-  aggregate.set("campaign", campaign.name);
-  if (!campaign.description.empty()) aggregate.set("description", campaign.description);
-  aggregate.set("out_dir", out_dir.string());
-  aggregate.set("jobs", static_cast<long long>(states.size()));
-  aggregate.set("cached", static_cast<long long>(states.size() - pending.size()));
-  aggregate.set("wall_seconds", wall_seconds);
-  Json scenarios = Json::object();
-  std::size_t failures = 0;
-  for (const auto& state : states) {
-    if (state.ok) {
-      scenarios.set(state.job.name, Json::parse_file(state.report_path.string()));
-    } else {
-      ++failures;
-      std::printf("\n%s failed; last lines of %s:\n", state.job.name.c_str(),
-                  state.log_path.string().c_str());
-      std::ifstream log(state.log_path);
-      std::vector<std::string> lines;
-      for (std::string line; std::getline(log, line);) lines.push_back(line);
-      for (std::size_t i = lines.size() > 10 ? lines.size() - 10 : 0; i < lines.size();
-           ++i)
-        std::printf("    %s\n", lines[i].c_str());
-    }
-  }
-  aggregate.set("scenarios", std::move(scenarios));
-  spit(consolidated, aggregate.dump(2) + "\n");
+  svc::write_file_atomic(consolidated, service.aggregate().dump(2) + "\n");
+  const std::size_t cached =
+      summary.cached_prior + static_cast<std::size_t>(summary.cache_hits);
   std::printf("\n[%s: %zu job(s), %zu cached, %zu failed, %.2f s] wrote %s\n",
-              campaign.name.c_str(), states.size(), states.size() - pending.size(),
-              failures, wall_seconds, consolidated.c_str());
-  return failures == 0 ? 0 : 1;
+              campaign.name.c_str(), summary.jobs_total, cached, summary.failed,
+              summary.wall_seconds, consolidated.c_str());
+  return summary.failed == 0 ? 0 : 1;
 }
 
 int list_scenarios(const CliFlags& flags) {

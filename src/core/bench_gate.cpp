@@ -1,6 +1,8 @@
 #include "core/bench_gate.hpp"
 
+#include <algorithm>
 #include <map>
+#include <vector>
 
 namespace razorbus::core {
 
@@ -33,6 +35,13 @@ void collect_gated(const Json& json, const std::string& prefix,
   }
 }
 
+// Shared comparison core: gates a flattened current-metric map against a
+// flattened baseline map (however the baseline was derived — one report or
+// a history median).
+BenchGateResult compare_gated_maps(const std::map<std::string, double>& base_metrics,
+                                   const std::map<std::string, double>& cur_metrics,
+                                   double threshold);
+
 }  // namespace
 
 BenchGateResult compare_bench_reports(const Json& baseline, const Json& current,
@@ -40,7 +49,34 @@ BenchGateResult compare_bench_reports(const Json& baseline, const Json& current,
   std::map<std::string, double> base_metrics, cur_metrics;
   collect_gated(baseline, "", base_metrics);
   collect_gated(current, "", cur_metrics);
+  return compare_gated_maps(base_metrics, cur_metrics, threshold);
+}
 
+BenchGateResult compare_bench_history(const std::vector<Json>& history,
+                                      const Json& current, double threshold) {
+  // Per-metric value series across the window; a metric missing from some
+  // entries (scenario added mid-window) is judged on the entries it has.
+  std::map<std::string, std::vector<double>> series;
+  for (const Json& entry : history) {
+    std::map<std::string, double> metrics;
+    collect_gated(entry, "", metrics);
+    for (const auto& [path, value] : metrics) series[path].push_back(value);
+  }
+  std::map<std::string, double> base_metrics;
+  for (auto& [path, values] : series) {
+    std::sort(values.begin(), values.end());
+    base_metrics[path] = values[(values.size() - 1) / 2];  // lower median
+  }
+  std::map<std::string, double> cur_metrics;
+  collect_gated(current, "", cur_metrics);
+  return compare_gated_maps(base_metrics, cur_metrics, threshold);
+}
+
+namespace {
+
+BenchGateResult compare_gated_maps(const std::map<std::string, double>& base_metrics,
+                                   const std::map<std::string, double>& cur_metrics,
+                                   double threshold) {
   BenchGateResult result;
   result.threshold = threshold;
   for (const auto& [path, base_value] : base_metrics) {
@@ -77,5 +113,7 @@ BenchGateResult compare_bench_reports(const Json& baseline, const Json& current,
   }
   return result;
 }
+
+}  // namespace
 
 }  // namespace razorbus::core

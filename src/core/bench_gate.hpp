@@ -56,4 +56,15 @@ struct BenchGateResult {
 BenchGateResult compare_bench_reports(const Json& baseline, const Json& current,
                                       double threshold = 0.20);
 
+// History variant: gates `current` against a window of prior reports
+// (oldest first) instead of one artifact. Each metric's baseline is the
+// LOWER MEDIAN of its values across the entries that carry it, so one
+// anomalously fast (or slow) history entry — a quiet CI runner, a thermal
+// throttle — cannot move the bar the way diffing the single last artifact
+// could. A single-entry history is exactly compare_bench_reports. An empty
+// history compares nothing (ok() is true); callers decide whether that
+// passes (see bench_gate --allow-missing-baseline).
+BenchGateResult compare_bench_history(const std::vector<Json>& history,
+                                      const Json& current, double threshold = 0.20);
+
 }  // namespace razorbus::core

@@ -1,0 +1,28 @@
+// Filesystem primitives shared by the campaign service (docs/campaignd.md).
+//
+// Everything campaignd persists — queue records, claims, done records,
+// cache entries, status snapshots, replayed reports — goes through
+// write_file_atomic: a private temp file renamed over the final path, the
+// same crash/concurrency contract as the LUT table cache and point store.
+// A reader therefore sees either the previous complete file or the new
+// complete file, never a torn one; torn files can only be left by a crash
+// BEFORE the rename, and every campaignd reader tolerates those by
+// treating an unparseable file as absent.
+#pragma once
+
+#include <string>
+
+namespace razorbus::svc {
+
+// Reads a whole file; throws std::runtime_error when it cannot be opened.
+std::string read_file(const std::string& path);
+
+// Writes `content` to a sibling temp file and renames it over `path`.
+// Throws std::runtime_error when the write or rename fails.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+// POSIX-shell single-quoting: inhibits every expansion, survives spaces,
+// '$', backticks and double quotes in operator-supplied paths.
+std::string shell_quote(const std::string& s);
+
+}  // namespace razorbus::svc

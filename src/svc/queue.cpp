@@ -1,0 +1,179 @@
+#include "svc/queue.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <system_error>
+
+#include "svc/fsio.hpp"
+
+namespace razorbus::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Claim-file names derive from the job name (filesystem-safe by the
+// ScenarioSpec name validation), so claim/job/done files line up 1:1.
+std::string claim_name(const std::string& job) { return job + ".claim"; }
+
+// Is the process that wrote a claim still alive? Signal 0 probes without
+// delivering: ESRCH means the pid is gone and the claim is stale. EPERM
+// (pid exists but owned by another user) counts as alive — stealing a
+// running job is worse than waiting. Per-host only, by construction.
+bool pid_alive(long long pid) {
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+}  // namespace
+
+Json QueueJob::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("hash", hash_hex);
+  j.set("spec", spec_path);
+  j.set("report", report_path);
+  j.set("log", log_path);
+  return j;
+}
+
+QueueJob QueueJob::from_json(const Json& json) {
+  QueueJob job;
+  job.name = json.at("name").as_string();
+  job.hash_hex = json.at("hash").as_string();
+  job.spec_path = json.at("spec").as_string();
+  job.report_path = json.at("report").as_string();
+  job.log_path = json.at("log").as_string();
+  return job;
+}
+
+JobQueue::JobQueue(std::string dir) : dir_(std::move(dir)) {
+  jobs_dir_ = (fs::path(dir_) / "jobs").string();
+  claims_dir_ = (fs::path(dir_) / "claims").string();
+  done_dir_ = (fs::path(dir_) / "done").string();
+  fs::create_directories(jobs_dir_);
+  fs::create_directories(claims_dir_);
+  fs::create_directories(done_dir_);
+}
+
+void JobQueue::enqueue(const QueueJob& job) {
+  write_file_atomic((fs::path(jobs_dir_) / (job.name + ".json")).string(),
+                    job.to_json().dump(2) + "\n");
+}
+
+std::vector<QueueJob> JobQueue::jobs() const {
+  std::vector<QueueJob> out;
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(jobs_dir_)) {
+    if (entry.path().extension() == ".json") paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    try {
+      out.push_back(QueueJob::from_json(Json::parse_file(path)));
+    } catch (const std::exception&) {
+      // Torn or foreign file: not a job. (Publishes are atomic, so this
+      // can only be debris; skipping matches the PointStore contract.)
+    }
+  }
+  return out;
+}
+
+std::optional<QueueJob> JobQueue::claim(const std::string& worker_id) {
+  for (const QueueJob& job : jobs()) {
+    if (is_done(job.name)) continue;
+    const std::string claim_path =
+        (fs::path(claims_dir_) / claim_name(job.name)).string();
+
+    // Up to two O_EXCL attempts: the first loses either to a live claim
+    // (skip the job) or to a stale one (remove it, try once more). The
+    // second attempt can still lose — another worker reclaimed first —
+    // and then this worker simply moves on; the filesystem's exclusivity
+    // guarantee is what makes double-claiming impossible.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const int fd = ::open(claim_path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+      if (fd >= 0) {
+        Json claim = Json::object();
+        claim.set("worker", worker_id);
+        claim.set("pid", static_cast<long long>(::getpid()));
+        claim.set("job", job.name);
+        const std::string text = claim.dump(2) + "\n";
+        // Best-effort body: an empty/torn claim body is treated as stale
+        // by other workers only once this pid exits, which is exactly the
+        // abandoned-claim semantics we want.
+        (void)!::write(fd, text.data(), text.size());
+        ::close(fd);
+        return job;
+      }
+      if (errno != EEXIST) break;  // unwritable claims dir: skip the job
+
+      // Existing claim: stale (dead pid / unreadable) or live?
+      bool stale = false;
+      try {
+        const Json claim = Json::parse_file(claim_path);
+        stale = !pid_alive(claim.at("pid").as_int());
+      } catch (const std::exception&) {
+        stale = true;  // torn claim from a crashed worker
+      }
+      if (!stale) break;
+      std::error_code ec;
+      fs::remove(claim_path, ec);  // then retry the O_EXCL gate once
+    }
+  }
+  return std::nullopt;
+}
+
+void JobQueue::complete(const std::string& name, const Json& record) {
+  write_file_atomic((fs::path(done_dir_) / (name + ".json")).string(),
+                    record.dump(2) + "\n");
+  release(name);
+}
+
+void JobQueue::release(const std::string& name) {
+  std::error_code ec;
+  fs::remove(fs::path(claims_dir_) / claim_name(name), ec);
+}
+
+bool JobQueue::is_done(const std::string& name) const {
+  return done_record(name).has_value();
+}
+
+std::optional<Json> JobQueue::done_record(const std::string& name) const {
+  try {
+    return Json::parse_file((fs::path(done_dir_) / (name + ".json")).string());
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+void JobQueue::reset(const std::string& name) {
+  std::error_code ec;
+  fs::remove(fs::path(done_dir_) / (name + ".json"), ec);
+  fs::remove(fs::path(claims_dir_) / claim_name(name), ec);
+}
+
+void JobQueue::remove(const std::string& name) {
+  reset(name);
+  std::error_code ec;
+  fs::remove(fs::path(jobs_dir_) / (name + ".json"), ec);
+}
+
+std::size_t JobQueue::done_count() const {
+  std::size_t n = 0;
+  for (const QueueJob& job : jobs())
+    if (is_done(job.name)) ++n;
+  return n;
+}
+
+bool JobQueue::all_done() const {
+  for (const QueueJob& job : jobs())
+    if (!is_done(job.name)) return false;
+  return true;
+}
+
+}  // namespace razorbus::svc

@@ -204,6 +204,106 @@ TEST(BenchGate, WarmCacheMustStayAtZeroSims) {
   EXPECT_TRUE(broken.compared[0].cost);
 }
 
+// --------------------------------------------------------------- history
+
+// History gating takes each metric's LOWER MEDIAN across the window, so a
+// single anomalously fast main-branch entry (a quiet CI runner) cannot
+// raise the bar and fail an honest current run the way diffing the last
+// artifact alone would.
+TEST(BenchGate, HistoryMedianShrugsOffOneNoisyEntry) {
+  const std::vector<Json> history = {
+      engine_report(80e6, 60e6),
+      engine_report(82e6, 61e6),
+      engine_report(160e6, 120e6),  // the noisy outlier, 2x everything
+      engine_report(78e6, 59e6),
+  };
+  const Json current = engine_report(79e6, 60e6);
+
+  // Against the outlier alone, an honest run "regresses" by ~50%.
+  EXPECT_FALSE(core::compare_bench_reports(history[2], current, 0.20).ok());
+  // Against the window median it passes, with the baseline at an honest
+  // entry: 4 values sorted -> lower median is index 1 (78, [80], 82, 160).
+  const core::BenchGateResult result =
+      core::compare_bench_history(history, current, 0.20);
+  EXPECT_TRUE(result.ok());
+  for (const auto& finding : result.compared) {
+    if (finding.path == "metrics/active_bit_parallel_cps") {
+      EXPECT_DOUBLE_EQ(finding.baseline, 80e6);
+    }
+  }
+
+  // A real 25% drop still fails against the median baseline.
+  EXPECT_FALSE(
+      core::compare_bench_history(history, engine_report(0.75 * 80e6, 60e6), 0.20)
+          .ok());
+}
+
+// A single-entry history degenerates to exactly compare_bench_reports.
+TEST(BenchGate, SingleEntryHistoryMatchesDirectComparison) {
+  const Json baseline = engine_report(80e6, 60e6);
+  const Json current = engine_report(0.70 * 80e6, 60e6);
+  const core::BenchGateResult direct =
+      core::compare_bench_reports(baseline, current, 0.20);
+  const core::BenchGateResult history =
+      core::compare_bench_history({baseline}, current, 0.20);
+  ASSERT_EQ(history.compared.size(), direct.compared.size());
+  for (std::size_t i = 0; i < direct.compared.size(); ++i) {
+    EXPECT_EQ(history.compared[i].path, direct.compared[i].path);
+    EXPECT_DOUBLE_EQ(history.compared[i].baseline, direct.compared[i].baseline);
+    EXPECT_EQ(history.compared[i].regression, direct.compared[i].regression);
+  }
+  EXPECT_FALSE(history.ok());
+}
+
+// An empty history compares nothing: ok() is true and the CLI decides
+// whether "no baseline" passes (--allow-missing-baseline).
+TEST(BenchGate, EmptyHistoryComparesNothing) {
+  const core::BenchGateResult result =
+      core::compare_bench_history({}, engine_report(80e6, 60e6), 0.20);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.compared.empty());
+  // Every current metric is "added" — reported, never failed.
+  EXPECT_EQ(result.added.size(), 3u);
+}
+
+// A metric that only entered the campaign mid-window is judged on the
+// entries that carry it, and the zero-sim cost convention survives the
+// median: a majority-zero window keeps the strict any-sim-fails baseline.
+TEST(BenchGate, HistoryHandlesPartialWindowsAndZeroSimBaselines) {
+  const auto warm_report = [](double warm_sims) {
+    Json metrics = Json::object();
+    metrics.set("lut_warm_sims", warm_sims);
+    Json out = Json::object();
+    out.set("metrics", std::move(metrics));
+    return out;
+  };
+  // One cold-cache entry polluted the window; the median stays 0.
+  const std::vector<Json> history = {warm_report(0.0), warm_report(417.0),
+                                     warm_report(0.0)};
+  EXPECT_TRUE(core::compare_bench_history(history, warm_report(0.0), 0.20).ok());
+  const core::BenchGateResult broken =
+      core::compare_bench_history(history, warm_report(2.0), 0.20);
+  EXPECT_FALSE(broken.ok());
+
+  // Metric present in only the newest entry: baseline is that one value.
+  std::vector<Json> partial = {engine_report(80e6, 60e6)};
+  Json newest = engine_report(80e6, 60e6);
+  Json metrics = newest.at("metrics");
+  metrics.set("fresh_scenario_cps", 10e6);
+  newest.set("metrics", std::move(metrics));
+  partial.push_back(newest);
+  const core::BenchGateResult fresh = core::compare_bench_history(
+      partial, newest, 0.20);
+  EXPECT_TRUE(fresh.ok());
+  bool saw_fresh = false;
+  for (const auto& finding : fresh.compared)
+    if (finding.path == "metrics/fresh_scenario_cps") {
+      saw_fresh = true;
+      EXPECT_DOUBLE_EQ(finding.baseline, 10e6);
+    }
+  EXPECT_TRUE(saw_fresh);
+}
+
 TEST(BenchGate, ZeroBaselineNeverDividesOrFails) {
   Json baseline = Json::object();
   Json base_metrics = Json::object();

@@ -1,0 +1,410 @@
+// Campaign service (docs/campaignd.md): content-hash job identity, the
+// durable O_EXCL claim queue, the verbatim result cache, and campaignd end
+// to end.
+//
+// The in-process tests drive src/svc directly (the concurrency ones run
+// under the TSan CI leg); the end-to-end tests spawn the sibling
+// `campaignd` binary from the build directory, like ctest and CI do, and
+// assert the acceptance contract: a warm rerun of a campaign performs
+// zero simulations and emits byte-identical per-job reports, and a worker
+// killed mid-campaign resumes without re-running completed jobs.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/job_hash.hpp"
+#include "core/scenario_spec.hpp"
+#include "svc/fsio.hpp"
+#include "svc/queue.hpp"
+#include "svc/result_cache.hpp"
+#include "util/json.hpp"
+
+namespace razorbus {
+namespace {
+
+namespace fs = std::filesystem;
+
+int run_cmd(const std::string& cmd) { return std::system(cmd.c_str()); }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << "missing " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+core::ScenarioJob make_job(const std::string& name, const std::string& spec_json) {
+  core::ScenarioJob job;
+  job.name = name;
+  job.spec = core::ScenarioSpec::from_json(Json::parse(spec_json));
+  return job;
+}
+
+// A scratch directory per test, wiped on entry.
+std::string scratch(const std::string& name) {
+  const std::string dir = "campaignd_test_out/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// --------------------------------------------------------- content hashing
+
+TEST(JobHash, SameSpecSameHash) {
+  const char* spec = R"({"name": "a", "experiment": "closed_loop",
+      "trace": {"source": "synthetic", "style": "uniform", "seed": 5},
+      "cycles": 1000, "threads": 1})";
+  EXPECT_EQ(core::job_content_hash(make_job("a", spec)),
+            core::job_content_hash(make_job("a", spec)));
+  EXPECT_EQ(core::job_hash_hex(make_job("a", spec)).size(), 16u);
+}
+
+// Any field change — the knobs that pick what gets simulated, how much,
+// and with which engine — must move the hash, or the result cache would
+// serve stale reports.
+TEST(JobHash, AnyFieldChangeChangesHash) {
+  const auto base = [](const std::string& patch) {
+    Json spec = Json::parse(
+        R"({"name": "a", "experiment": "closed_loop",
+            "trace": {"source": "synthetic", "style": "uniform", "seed": 5},
+            "cycles": 1000, "threads": 1})");
+    if (!patch.empty()) {
+      const Json extra = Json::parse(patch);
+      for (const auto& [key, value] : extra.members()) spec.set(key, value);
+    }
+    core::ScenarioJob job;
+    job.name = "a";
+    job.spec = core::ScenarioSpec::from_json(spec);
+    return core::job_content_hash(job);
+  };
+  const std::uint64_t reference = base("");
+  const std::vector<std::string> patches = {
+      R"({"cycles": 1001})",
+      R"({"threads": 2})",
+      R"({"widths": [64]})",
+      R"({"controllers": ["fixed_vs"]})",
+      R"({"engine": "reference"})",
+      R"({"stream": true})",
+      R"({"lut_tolerance": 0.02})",
+      R"({"corners": ["worst"]})",
+      R"({"encoding": "bus_invert"})",
+      R"({"trace": {"source": "synthetic", "style": "uniform", "seed": 6}})",
+      R"({"trace": {"source": "synthetic", "style": "sparse", "seed": 5}})",
+  };
+  std::set<std::uint64_t> seen{reference};
+  for (const auto& patch : patches) {
+    const std::uint64_t hash = base(patch);
+    EXPECT_NE(hash, reference) << patch;
+    EXPECT_TRUE(seen.insert(hash).second) << "collision for " << patch;
+  }
+  // The job NAME is part of the identity too (distinct axis points).
+  core::ScenarioJob renamed = make_job(
+      "b", R"({"name": "a", "experiment": "closed_loop",
+               "trace": {"source": "synthetic", "style": "uniform", "seed": 5},
+               "cycles": 1000, "threads": 1})");
+  EXPECT_NE(core::job_content_hash(renamed), reference);
+}
+
+// File traces hash their BYTES: editing the trace file invalidates the
+// cached result even though the spec is unchanged.
+TEST(JobHash, TraceFileBytesAreHashed) {
+  const std::string dir = scratch("job_hash_trace");
+  const std::string trace_path = dir + "/trace.bin";
+  const auto job_for = [&] {
+    core::ScenarioJob job;
+    job.name = "file_job";
+    job.spec = core::ScenarioSpec::from_json(Json::parse(
+        R"({"name": "file_job", "experiment": "static_sweep",
+            "trace": {"source": "file", "path": ")" +
+        trace_path + R"("}, "cycles": 100})"));
+    return job;
+  };
+  svc::write_file_atomic(trace_path, "trace-bytes-v1");
+  const std::uint64_t first = core::job_content_hash(job_for());
+  EXPECT_EQ(first, core::job_content_hash(job_for()));
+  svc::write_file_atomic(trace_path, "trace-bytes-v2");
+  EXPECT_NE(core::job_content_hash(job_for()), first);
+  // Unreadable trace: identity still computes (the job fails at run time).
+  fs::remove(trace_path);
+  EXPECT_NE(core::job_content_hash(job_for()), first);
+}
+
+// ------------------------------------------------------------- job queue
+
+svc::QueueJob queue_job(const std::string& name) {
+  svc::QueueJob job;
+  job.name = name;
+  job.hash_hex = "00000000000000" + name.substr(name.size() - 2);
+  job.spec_path = name + ".spec.json";
+  job.report_path = "BENCH_" + name + ".json";
+  job.log_path = name + ".log";
+  return job;
+}
+
+TEST(JobQueue, ClaimCompleteDrain) {
+  svc::JobQueue queue(scratch("queue_basic"));
+  for (const char* name : {"j01", "j02", "j03"}) queue.enqueue(queue_job(name));
+  EXPECT_EQ(queue.jobs().size(), 3u);
+  EXPECT_FALSE(queue.all_done());
+
+  // Claims hand out distinct jobs in name order; a claimed job is invisible
+  // to other claimants until released or completed.
+  const auto first = queue.claim("w1");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->name, "j01");
+  const auto second = queue.claim("w1");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->name, "j02");
+
+  Json ok = Json::object();
+  ok.set("status", "ok");
+  queue.complete("j01", ok);
+  queue.complete("j02", ok);
+  EXPECT_TRUE(queue.is_done("j01"));
+  EXPECT_EQ(queue.done_count(), 2u);
+
+  const auto third = queue.claim("w1");
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->name, "j03");
+  queue.complete("j03", ok);
+  EXPECT_TRUE(queue.all_done());
+  EXPECT_FALSE(queue.claim("w1").has_value());
+
+  // reset() reopens a done job.
+  queue.reset("j02");
+  EXPECT_FALSE(queue.all_done());
+  const auto again = queue.claim("w2");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->name, "j02");
+}
+
+// The kill -9 contract: a claim whose recorded pid is dead is stale, and
+// the next claimant steals the job; done jobs stay done.
+TEST(JobQueue, DurableAcrossAKilledWorker) {
+  const std::string dir = scratch("queue_killed");
+  svc::JobQueue queue(dir);
+  queue.enqueue(queue_job("j01"));
+  queue.enqueue(queue_job("j02"));
+
+  Json ok = Json::object();
+  ok.set("status", "ok");
+  queue.complete("j01", ok);
+
+  // A worker that died mid-job: its claim records a pid that no longer
+  // exists (fork a child that exits immediately and reap it).
+  const pid_t dead = fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) _exit(0);
+  ASSERT_EQ(waitpid(dead, nullptr, 0), dead);
+  Json stale = Json::object();
+  stale.set("worker", "killed");
+  stale.set("pid", static_cast<long long>(dead));
+  svc::write_file_atomic(dir + "/claims/j02.claim", stale.dump(2) + "\n");
+
+  // A fresh queue handle (a new process after the kill) reclaims j02 and
+  // does NOT re-run j01.
+  svc::JobQueue resumed(dir);
+  EXPECT_TRUE(resumed.is_done("j01"));
+  const auto claimed = resumed.claim("w2");
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->name, "j02");
+
+  // A LIVE claim (this process) is not stealable.
+  svc::JobQueue contender(dir);
+  EXPECT_FALSE(contender.claim("w3").has_value());
+
+  // A torn claim file (crash mid-write, before any pid landed) is stale.
+  resumed.release("j02");
+  svc::write_file_atomic(dir + "/claims/j02.claim", "{\"worker\": \"torn");
+  const auto reclaimed = contender.claim("w3");
+  ASSERT_TRUE(reclaimed.has_value());
+  EXPECT_EQ(reclaimed->name, "j02");
+}
+
+// Two workers hammering one queue never claim the same job twice — the
+// O_CREAT|O_EXCL gate is the whole mutual-exclusion protocol. Runs under
+// the TSan CI leg.
+TEST(JobQueue, ConcurrentWorkersNeverDoubleClaim) {
+  const std::string dir = scratch("queue_concurrent");
+  {
+    svc::JobQueue setup(dir);
+    for (int i = 0; i < 8; ++i)
+      setup.enqueue(queue_job("j0" + std::to_string(i)));
+  }
+  std::vector<std::string> claimed[2];
+  Json ok = Json::object();
+  ok.set("status", "ok");
+  const auto worker = [&](int lane) {
+    svc::JobQueue queue(dir);  // own handle, like a separate process
+    while (true) {
+      const auto job = queue.claim("w" + std::to_string(lane));
+      if (!job) break;
+      claimed[lane].push_back(job->name);
+      queue.complete(job->name, ok);
+    }
+  };
+  std::thread other([&] { worker(1); });
+  worker(0);
+  other.join();
+
+  std::set<std::string> all;
+  for (const auto& lane : claimed)
+    for (const auto& name : lane)
+      EXPECT_TRUE(all.insert(name).second) << name << " claimed twice";
+  EXPECT_EQ(all.size(), 8u);
+  svc::JobQueue queue(dir);
+  EXPECT_TRUE(queue.all_done());
+}
+
+// ----------------------------------------------------------- result cache
+
+TEST(ResultCache, VerbatimRoundTripAndTornEntryTolerance) {
+  svc::ResultCache cache(scratch("cache"));
+  const std::string hash = "00c0ffee00c0ffee";
+  EXPECT_FALSE(cache.lookup(hash).has_value());
+
+  const std::string report = "{\n  \"scenario\": \"x\",\n  \"cycles\": 7\n}\n";
+  cache.insert(hash, report);
+  const auto bytes = cache.lookup(hash);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(*bytes, report);  // verbatim, not re-serialized
+
+  // A torn entry — crash before the atomic publish — is a miss, and the
+  // debris is cleared for the next insert.
+  svc::write_file_atomic(cache.entry_path(hash), report.substr(0, 10));
+  EXPECT_FALSE(cache.lookup(hash).has_value());
+  EXPECT_FALSE(fs::exists(cache.entry_path(hash)));
+  cache.insert(hash, report);
+  EXPECT_TRUE(cache.lookup(hash).has_value());
+
+  // Unparseable bytes must never enter the cache.
+  EXPECT_THROW(cache.insert(hash, "not json"), std::exception);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.inserts, 2u);
+}
+
+// ------------------------------------------------------------- end to end
+
+class CampaigndEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!std::ifstream("./campaignd") || !std::ifstream("./campaign"))
+      GTEST_SKIP() << "bench binaries not in the working directory; run from build/";
+    fs::create_directories("campaignd_test_out");
+    std::ofstream spec("campaignd_test_out/tiny.json");
+    spec << R"({"name": "tiny", "defaults": {"cycles": 2000, "threads": 1},
+      "scenarios": [
+        {"name": "uni", "experiment": "closed_loop",
+         "trace": {"source": "synthetic", "style": "uniform", "seed": 7},
+         "controllers": ["threshold", "fixed_vs"]},
+        {"name": "sweep", "experiment": "static_sweep",
+         "trace": {"source": "synthetic", "style": "uniform", "seed": 7}}
+      ]})";
+  }
+
+  static Json status_of(const std::string& out_dir) {
+    return Json::parse(slurp(out_dir + "/status.json"));
+  }
+};
+
+// The acceptance contract: a warm rerun against a shared cache performs
+// ZERO simulations (no run-one children, zero simulated cycles) and emits
+// byte-identical per-job reports.
+TEST_F(CampaigndEndToEnd, WarmRerunIsAllCacheHitsAndByteIdentical) {
+  const std::string cold = "campaignd_test_out/cold";
+  const std::string warm = "campaignd_test_out/warm";
+  fs::remove_all(cold);
+  fs::remove_all(warm);
+  ASSERT_EQ(run_cmd("./campaignd run campaignd_test_out/tiny.json --out=" + cold +
+                    " --workers=2 > " + cold + ".log 2>&1"),
+            0);
+  const Json cold_status = status_of(cold);
+  EXPECT_EQ(cold_status.at("executed").as_int(), 3);
+  EXPECT_EQ(cold_status.at("cache_hits").as_int(), 0);
+
+  // Fresh out dir, shared cache: everything replays.
+  ASSERT_EQ(run_cmd("./campaignd run campaignd_test_out/tiny.json --out=" + warm +
+                    " --cache=" + cold + "/cache > " + warm + ".log 2>&1"),
+            0);
+  const Json warm_status = status_of(warm);
+  EXPECT_EQ(warm_status.at("executed").as_int(), 0);
+  EXPECT_EQ(warm_status.at("executed_cycles").as_double(), 0.0);
+  EXPECT_EQ(warm_status.at("cache_hits").as_int(), 3);
+  EXPECT_EQ(warm_status.at("jobs_total").as_int(), 3);
+  EXPECT_DOUBLE_EQ(warm_status.at("cache_hit_rate").as_double(), 1.0);
+
+  for (const char* name : {"uni_threshold", "uni_fixed_vs", "sweep"}) {
+    const std::string file = std::string("BENCH_") + name + ".json";
+    EXPECT_EQ(slurp(cold + "/" + file), slurp(warm + "/" + file)) << file;
+  }
+
+  // The status subcommand reads the same snapshot.
+  ASSERT_EQ(run_cmd("./campaignd status --out=" + warm + " > " + warm +
+                    "_status.log 2>&1"),
+            0);
+  const std::string printed = slurp(warm + "_status.log");
+  EXPECT_NE(printed.find("hit rate 100%"), std::string::npos) << printed;
+}
+
+// A scheduler stopped mid-campaign (here: a one-job budget, the same queue
+// state a kill -9 leaves behind) resumes without re-running completed jobs.
+TEST_F(CampaigndEndToEnd, InterruptedCampaignResumesWithoutRerunning) {
+  const std::string out = "campaignd_test_out/resume";
+  fs::remove_all(out);
+  ASSERT_EQ(run_cmd("./campaignd run campaignd_test_out/tiny.json --out=" + out +
+                    " --max_jobs=1 > " + out + ".log 2>&1"),
+            0);
+  EXPECT_EQ(status_of(out).at("executed").as_int(), 1);
+  EXPECT_NE(slurp(out + ".log").find("queue not drained"), std::string::npos);
+
+  ASSERT_EQ(run_cmd("./campaignd run campaignd_test_out/tiny.json --out=" + out +
+                    " > " + out + "2.log 2>&1"),
+            0);
+  const std::string log = slurp(out + "2.log");
+  // The completed job resumed as done; only the remaining two executed.
+  EXPECT_NE(log.find("[cached]"), std::string::npos) << log;
+  EXPECT_EQ(status_of(out).at("executed").as_int(), 2);
+  EXPECT_EQ(status_of(out).at("done").as_int(), 3);
+  svc::JobQueue queue(out + "/queue");
+  EXPECT_TRUE(queue.all_done());
+}
+
+// `campaignd manifest` splits jobs across shards by content hash:
+// exhaustive, disjoint, and stable.
+TEST_F(CampaigndEndToEnd, ManifestPartitionsJobsByHash) {
+  const std::string out = "campaignd_test_out/manifest";
+  fs::remove_all(out);
+  ASSERT_EQ(run_cmd("./campaignd manifest campaignd_test_out/tiny.json --shards=2 "
+                    "--out=" + out + " > " + out + ".log 2>&1"),
+            0);
+  std::set<std::string> names;
+  std::size_t total = 0;
+  for (int s = 0; s < 2; ++s) {
+    const Json shard = Json::parse(
+        slurp(out + "/shard_" + std::to_string(s) + "_of_2.json"));
+    EXPECT_EQ(shard.at("campaign").as_string(), "tiny");
+    EXPECT_EQ(shard.at("shards").as_int(), 2);
+    for (const auto& entry : shard.at("jobs").items()) {
+      EXPECT_TRUE(names.insert(entry.at("name").as_string()).second);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(names.count("sweep"), 1u);
+}
+
+}  // namespace
+}  // namespace razorbus

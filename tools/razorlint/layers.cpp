@@ -14,6 +14,9 @@ namespace razorlint {
 
 const std::vector<std::pair<std::string, std::vector<std::string>>>& layer_dag() {
   static const std::vector<std::pair<std::string, std::vector<std::string>>> kDag = {
+      // campaign service (queue/cache/scheduler) — sits above the drivers
+      {"svc", {"core", "bus", "cpu", "dvs", "gatesim", "interconnect", "lut",
+               "razor", "spice", "tech", "trace", "util"}},
       // experiment drivers — may see the whole library
       {"core", {"bus", "cpu", "dvs", "gatesim", "interconnect", "lut", "razor",
                 "spice", "tech", "trace", "util"}},
