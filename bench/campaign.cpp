@@ -27,6 +27,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 
 #include "bus/businvert.hpp"
@@ -34,6 +36,7 @@
 #include "scenario_registry.hpp"
 #include "svc/fsio.hpp"
 #include "svc/service.hpp"
+#include "sys/bus_system.hpp"
 #include "trace/io.hpp"
 #include "trace/source.hpp"
 #include "trace/synthetic.hpp"
@@ -55,10 +58,14 @@ namespace {
 // adaptive one re-simulate nothing in common.
 const core::DvsBusSystem& system_for_job(int width, double lut_tolerance) {
   if (width == 32 && lut_tolerance <= 0.0) return paper_system();
-  static core::DvsBusSystem* cached = nullptr;
-  static int cached_width = 0;
-  static double cached_tol = 0.0;
-  if (cached == nullptr || cached_width != width || cached_tol != lut_tolerance) {
+  // Keyed cache rather than a single slot: a multi_bus job builds one
+  // system per distinct lane width and holds references to ALL of them for
+  // the whole run, so earlier entries must survive later constructions.
+  static std::map<std::string, std::unique_ptr<core::DvsBusSystem>> cache;
+  const std::string key =
+      std::to_string(width) + ":" + std::to_string(lut_tolerance);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
     interconnect::BusDesign design = width == 32
                                          ? paper_system().design()
                                          : interconnect::BusDesign::wide_bus(width);
@@ -66,12 +73,11 @@ const core::DvsBusSystem& system_for_job(int width, double lut_tolerance) {
     core::SystemOptions options = options_with_progress("campaign bus");
     options.lut_config =
         core::lut_config_for_tolerance(lut_tolerance, options.lut_config);
-    delete cached;
-    cached = new core::DvsBusSystem(design, options);
-    cached_width = width;
-    cached_tol = lut_tolerance;
+    it = cache
+             .emplace(key, std::make_unique<core::DvsBusSystem>(design, options))
+             .first;
   }
-  return *cached;
+  return *it->second;
 }
 
 // Materialise the job's traces at the job's width.
@@ -186,6 +192,84 @@ std::vector<std::unique_ptr<trace::TraceSource>> sources_for(
   return sources;
 }
 
+// One lane's trace for a multi_bus job (docs/campaigns.md `buses`): the
+// single-trace branches of traces_for at the lane's own width. Suite
+// sources and non-multiple-of-32 benchmark widths are rejected by the
+// spec parser, so only the three single-stream branches survive to here.
+trace::Trace trace_for_lane(const core::TraceSpec& spec, int width,
+                            std::size_t cycles, bool bus_invert) {
+  trace::Trace t;
+  switch (spec.source) {
+    case core::TraceSpec::Source::synthetic: {
+      trace::SyntheticConfig cfg;
+      cfg.style = spec.style;
+      cfg.cycles = cycles;
+      cfg.load_rate = spec.load_rate;
+      cfg.activity = spec.activity;
+      cfg.seed = spec.seed;
+      cfg.n_bits = width;
+      t = trace::generate_synthetic(cfg, trace::to_string(spec.style));
+      break;
+    }
+    case core::TraceSpec::Source::benchmark:
+    case core::TraceSpec::Source::suite: {
+      const int factor = width / 32;  // width % 32 == 0, parser-checked
+      const cpu::Benchmark& bench = cpu::benchmark_by_name(spec.benchmark);
+      t = bench.capture(cycles * static_cast<std::size_t>(factor));
+      if (factor > 1) t = trace::widen(t, factor);
+      break;
+    }
+    case core::TraceSpec::Source::file: {
+      t = trace::load_trace_file(spec.path);
+      if (t.n_bits != width)
+        throw std::invalid_argument("trace file " + spec.path + " is " +
+                                    std::to_string(t.n_bits) + " wires, lane wants " +
+                                    std::to_string(width));
+      break;
+    }
+  }
+  if (bus_invert) t = bus::bus_invert_encode(t).encoded;
+  return t;
+}
+
+// Streamed twin of trace_for_lane: identical word sequence and name.
+std::unique_ptr<trace::TraceSource> source_for_lane(const core::TraceSpec& spec,
+                                                    int width, std::size_t cycles,
+                                                    bool bus_invert) {
+  std::unique_ptr<trace::TraceSource> s;
+  switch (spec.source) {
+    case core::TraceSpec::Source::synthetic: {
+      trace::SyntheticConfig cfg;
+      cfg.style = spec.style;
+      cfg.cycles = cycles;
+      cfg.load_rate = spec.load_rate;
+      cfg.activity = spec.activity;
+      cfg.seed = spec.seed;
+      cfg.n_bits = width;
+      s = trace::make_synthetic_source(cfg, trace::to_string(spec.style));
+      break;
+    }
+    case core::TraceSpec::Source::benchmark:
+    case core::TraceSpec::Source::suite: {
+      const int factor = width / 32;
+      s = cpu::benchmark_by_name(spec.benchmark)
+              .stream(cycles * static_cast<std::size_t>(factor));
+      if (factor > 1) s = trace::widen_source(std::move(s), factor);
+      break;
+    }
+    case core::TraceSpec::Source::file: {
+      s = trace::open_trace_stream(spec.path);
+      if (s->n_bits() != width)
+        throw std::invalid_argument("trace file " + spec.path + " is " +
+                                    std::to_string(s->n_bits()) + " wires, lane wants " +
+                                    std::to_string(width));
+      break;
+    }
+  }
+  if (bus_invert) s = bus::bus_invert_encode_source(std::move(s));
+  return s;
+}
+
 // Block accounting of a streamed job, surfaced next to the experiment
 // metrics (docs/bench-reports.md): how much trace was pulled and the
 // peak-RSS-relevant per-shard buffer bound.
@@ -229,8 +313,39 @@ void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
     std::fprintf(stderr, "[%s @ %s]\n", controller.label().c_str(),
                  corner.name().c_str());
     std::vector<core::DvsRunReport> reports;
+    std::vector<double> wall_tracking;
+    std::uint64_t env_updates = 0;
     switch (controller.kind) {
       case dvs::ControllerKind::threshold: {
+        if (spec.drift.enabled) {
+          // Drift rides on a 1-lane BusSystem; a zero-drift schedule is
+          // byte-identical to the plain drivers (tests/drift_test.cpp),
+          // so this branch only fires when the schedule actually moves.
+          sys::SystemRunConfig cfg;
+          cfg.controller = controller.threshold;
+          cfg.engine = spec.engine;
+          cfg.timing_jitter_sigma = spec.timing_jitter_sigma;
+          cfg.lut_tolerance = spec.lut_tolerance;
+          cfg.drift = sys::schedule_from_spec(spec.drift, ctx.cycles);
+          const sys::BusSystem one_lane({{&system, 1.0}});
+          const std::size_t runs = spec.stream ? sources.size() : traces.size();
+          for (std::size_t t = 0; t < runs; ++t) {
+            sys::SystemRunReport rep;
+            if (spec.stream) {
+              std::vector<std::unique_ptr<trace::TraceSource>> one;
+              one.push_back(std::move(sources[t]));
+              rep = one_lane.run_closed_loop_streamed(corner, one, cfg, {},
+                                                      &stream_stats);
+              sources[t] = std::move(one.front());  // reused by later corners
+            } else {
+              rep = one_lane.run_closed_loop(corner, {traces[t]}, cfg);
+            }
+            reports.push_back(rep.per_bus.front());
+            wall_tracking.push_back(rep.wall_tracking_error);
+            env_updates += rep.env_updates;
+          }
+          break;
+        }
         core::DvsRunConfig cfg;
         cfg.controller = controller.threshold;
         cfg.engine = spec.engine;
@@ -281,13 +396,94 @@ void run_closed_loop_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
       ctx.metric(key + "_gain", r.energy_gain());
       ctx.metric(key + "_error_rate", r.error_rate());
       ctx.metric(key + "_avg_supply", r.average_supply);
+      if (spec.drift.enabled)
+        ctx.metric(key + "_wall_tracking", wall_tracking.at(t));
     }
+    if (spec.drift.enabled)
+      ctx.metric(corner_key(corner) + "_env_updates",
+                 static_cast<double>(env_updates));
   }
   ctx.table("closed_loop", table);
   ctx.note("controller", controller.label());
   ctx.note("engine", bus::to_string(spec.engine));
   ctx.note("width", std::to_string(spec.widths.at(0)));
   ctx.note("trace_mode", spec.stream ? "streamed" : "materialized");
+  if (spec.drift.enabled) ctx.note("drift", "enabled");
+  if (spec.lut_tolerance > 0.0)
+    ctx.note("lut_tolerance", std::to_string(spec.lut_tolerance));
+  if (spec.stream) record_stream_stats(ctx, stream_stats);
+}
+
+// N buses of mixed widths sharing one regulator (sys::BusSystem): the
+// arbitration policy fuses per-lane window error counts into the single
+// threshold-controller input; per-lane and system-aggregate metrics land
+// under <corner>_bus<i>_* / <corner>_system_* (docs/bench-reports.md).
+void run_multi_bus_job(const core::ScenarioSpec& spec, ScenarioContext& ctx) {
+  std::vector<sys::BusLane> lanes;
+  lanes.reserve(spec.buses.size());
+  for (const auto& lane_spec : spec.buses)
+    lanes.push_back(
+        {&system_for_job(lane_spec.width, spec.lut_tolerance), lane_spec.weight});
+  const sys::BusSystem system(std::move(lanes));
+
+  sys::SystemRunConfig cfg;
+  cfg.controller = spec.controllers.at(0).threshold;
+  cfg.engine = spec.engine;
+  cfg.timing_jitter_sigma = spec.timing_jitter_sigma;
+  cfg.lut_tolerance = spec.lut_tolerance;
+  cfg.arbitration = spec.arbitration;
+  cfg.drift = sys::schedule_from_spec(spec.drift, ctx.cycles);
+
+  // Sources are cloned inside the streamed run, so one set serves every
+  // corner — mirroring the materialized path's trace reuse.
+  std::vector<trace::Trace> traces;
+  std::vector<std::unique_ptr<trace::TraceSource>> sources;
+  for (const auto& lane_spec : spec.buses) {
+    if (spec.stream)
+      sources.push_back(source_for_lane(lane_spec.trace, lane_spec.width,
+                                        ctx.cycles, spec.bus_invert));
+    else
+      traces.push_back(trace_for_lane(lane_spec.trace, lane_spec.width, ctx.cycles,
+                                      spec.bus_invert));
+  }
+  core::StreamStats stream_stats;
+
+  Table table({"Corner", "Bus", "Gain (%)", "Err (%)", "Avg V (mV)", "Floor (mV)"});
+  for (const auto& corner : spec.corners) {
+    std::fprintf(stderr, "[%zu-bus %s @ %s]\n", spec.buses.size(),
+                 dvs::to_string(spec.arbitration).c_str(), corner.name().c_str());
+    const sys::SystemRunReport report =
+        spec.stream
+            ? system.run_closed_loop_streamed(corner, sources, cfg, {}, &stream_stats)
+            : system.run_closed_loop(corner, traces, cfg);
+    const std::string ckey = corner_key(corner);
+    for (std::size_t b = 0; b < report.per_bus.size(); ++b) {
+      const core::DvsRunReport& r = report.per_bus[b];
+      table.row()
+          .add(corner.name())
+          .add("bus" + std::to_string(b) + "_w" + std::to_string(spec.buses[b].width))
+          .add(100.0 * r.energy_gain(), 1)
+          .add(100.0 * r.error_rate(), 2)
+          .add(to_mV(r.average_supply), 0)
+          .add(to_mV(r.floor_supply), 0);
+      const std::string key = ckey + "_bus" + std::to_string(b);
+      ctx.metric(key + "_gain", r.energy_gain());
+      ctx.metric(key + "_error_rate", r.error_rate());
+      ctx.metric(key + "_avg_supply", r.average_supply);
+    }
+    ctx.metric(ckey + "_system_gain", report.energy_gain());
+    ctx.metric(ckey + "_system_error_rate", report.error_rate());
+    ctx.metric(ckey + "_system_avg_supply", report.average_supply);
+    ctx.metric(ckey + "_system_wall_tracking", report.wall_tracking_error);
+    if (spec.drift.enabled)
+      ctx.metric(ckey + "_env_updates", static_cast<double>(report.env_updates));
+  }
+  ctx.table("multi_bus", table);
+  ctx.note("buses", std::to_string(spec.buses.size()));
+  ctx.note("arbitration", dvs::to_string(spec.arbitration));
+  ctx.note("engine", bus::to_string(spec.engine));
+  ctx.note("trace_mode", spec.stream ? "streamed" : "materialized");
+  if (spec.drift.enabled) ctx.note("drift", "enabled");
   if (spec.lut_tolerance > 0.0)
     ctx.note("lut_tolerance", std::to_string(spec.lut_tolerance));
   if (spec.stream) record_stream_stats(ctx, stream_stats);
@@ -356,18 +552,31 @@ int run_one(const std::string& spec_path, const std::string& json_flag) {
                                   "': declarative scenarios need a cycle budget "
                                   "(scenario 'cycles' or campaign defaults)");
     scenario.name = spec.name;
-    scenario.description =
-        spec.kind == core::ScenarioSpec::Kind::closed_loop
-            ? "declarative closed-loop DVS (" + spec.controllers.at(0).label() + ", " +
-                  std::to_string(spec.widths.at(0)) + " wires)"
-            : "declarative static voltage sweep (" +
-                  std::to_string(spec.widths.at(0)) + " wires)";
+    switch (spec.kind) {
+      case core::ScenarioSpec::Kind::closed_loop:
+        scenario.description = "declarative closed-loop DVS (" +
+                               spec.controllers.at(0).label() + ", " +
+                               std::to_string(spec.widths.at(0)) + " wires)";
+        break;
+      case core::ScenarioSpec::Kind::multi_bus:
+        scenario.description = "declarative multi-bus shared-supply DVS (" +
+                               std::to_string(spec.buses.size()) + " buses, " +
+                               dvs::to_string(spec.arbitration) + ")";
+        break;
+      default:
+        scenario.description = "declarative static voltage sweep (" +
+                               std::to_string(spec.widths.at(0)) + " wires)";
+        break;
+    }
+    if (spec.drift.enabled) scenario.description += " [drift]";
     if (spec.stream) scenario.description += " [streamed]";
     scenario.paper_ref = "campaign spec " + spec_path;
     scenario.default_cycles = spec.cycles;
     scenario.run = [spec](ScenarioContext& ctx) {
       if (spec.kind == core::ScenarioSpec::Kind::closed_loop)
         run_closed_loop_job(spec, ctx);
+      else if (spec.kind == core::ScenarioSpec::Kind::multi_bus)
+        run_multi_bus_job(spec, ctx);
       else
         run_static_sweep_job(spec, ctx);
     };

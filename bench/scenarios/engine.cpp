@@ -17,11 +17,13 @@
 #include "bus/simulator.hpp"
 #include "core/experiments.hpp"
 #include "cpu/kernels.hpp"
+#include "drift/schedule.hpp"
 #include "lut/cache.hpp"
 #include "lut/point_store.hpp"
 #include "lut/table.hpp"
 #include "scenarios/scenarios.hpp"
 #include "spice/transient.hpp"
+#include "sys/bus_system.hpp"
 #include "trace/synthetic.hpp"
 #include "util/parallel.hpp"
 
@@ -160,6 +162,51 @@ double measure_seconds(Fn&& fn) {
 // point-cycles/sec should GROW with P. Tracked per width and point count as
 // sweep_points_w<W>_p<P>_cps, plus a driver-level scalar-vs-simd A/B on the
 // Fig. 4 sweep (same report bytes, fewer passes).
+// Closed-loop throughput of the system layer (sys::BusSystem): lockstep
+// cycles/second of a 1-bus and a 3-bus shared-supply system, and of a
+// 1-bus run under an active drift ramp (window-granular corner
+// re-derivation). Every lane simulates its DVS bus AND the lockstep
+// nominal baseline, so these rates sit well below the raw engine numbers.
+// Tracked in BENCH_engine.json as system_*_cps and gated like the rest.
+void system_showdown(ScenarioContext& ctx) {
+  const std::size_t cycles = ctx.cycles;
+  const auto measure = [&](std::size_t n_lanes, bool with_drift) {
+    std::vector<sys::BusLane> lanes(n_lanes, sys::BusLane{&paper_system(), 1.0});
+    const sys::BusSystem system(std::move(lanes));
+    std::vector<trace::Trace> traces;
+    for (std::size_t l = 0; l < n_lanes; ++l)
+      traces.push_back(
+          make_trace(trace::SyntheticStyle::uniform, 0.4, cycles, "sysbench"));
+    sys::SystemRunConfig cfg;
+    if (with_drift)
+      cfg.drift = drift::Schedule::linear(cycles, 25.0, 100.0, 0.0, 0.05);
+    const tech::PvtCorner corner = tech::typical_corner();
+    system.run_closed_loop(corner, traces, cfg);  // warm up
+
+    using clock = std::chrono::steady_clock;
+    std::uint64_t cycles_done = 0;
+    double elapsed = 0.0;
+    const auto t0 = clock::now();
+    do {
+      cycles_done += system.run_closed_loop(corner, traces, cfg).cycles;
+      elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (elapsed < 0.25);
+    return static_cast<double>(cycles_done) / elapsed;
+  };
+  const double one_cps = measure(1, false);
+  const double three_cps = measure(3, false);
+  const double drift_cps = measure(1, true);
+
+  Table table({"System", "Closed loop (Mcyc/s)"});
+  table.row().add("1 bus").add(one_cps / 1e6, 1);
+  table.row().add("3 buses, shared rail").add(three_cps / 1e6, 1);
+  table.row().add("1 bus + drift ramp").add(drift_cps / 1e6, 1);
+  ctx.table("system_throughput", table);
+  ctx.metric("system_1bus_cps", one_cps);
+  ctx.metric("system_3bus_cps", three_cps);
+  ctx.metric("system_drift_cps", drift_cps);
+}
+
 void multipoint_showdown(ScenarioContext& ctx) {
   const tech::PvtCorner corner = tech::typical_corner();
   const int point_counts[] = {1, 4, 8, 20};
@@ -391,6 +438,7 @@ Scenario make_engine_scenario() {
   scenario.run = [](ScenarioContext& ctx) {
     engine_showdown(ctx);
     width_showdown(ctx);
+    system_showdown(ctx);
     multipoint_showdown(ctx);
     parallel_showdown(ctx);
     characterization_showdown(ctx);

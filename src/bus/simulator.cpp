@@ -176,6 +176,15 @@ void BusSimulator::set_supply(double volts) {
   refresh_operating_point();
 }
 
+void BusSimulator::set_environment(const tech::PvtCorner& environment) {
+  // Exact compare on purpose: drift schedules quantise temperature to the
+  // characterised axis and re-derive the same corner for most windows, so
+  // the common case is bit-equality and an early return.
+  if (environment == environment_) return;
+  environment_ = environment;
+  refresh_operating_point();
+}
+
 std::string to_string(EngineMode mode) {
   switch (mode) {
     case EngineMode::bit_parallel:

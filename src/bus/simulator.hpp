@@ -137,8 +137,9 @@ struct RunningTotals {
 class BusSimulator {
  public:
   // `table` must outlive the simulator. The operating environment (process
-  // corner, temperature, IR drop) is fixed per run; the supply is mutable
-  // (that is what the DVS loop controls).
+  // corner, temperature, IR drop) is set at construction and only moves
+  // under an explicit drift schedule (set_environment); the supply is
+  // mutable per cycle (that is what the DVS loop controls).
   BusSimulator(const interconnect::BusDesign& design, const lut::DelayEnergyTable& table,
                tech::PvtCorner environment,
                razor::RecoveryCostModel recovery = {});
@@ -148,6 +149,13 @@ class BusSimulator {
   // capture verdicts (the per-cycle hot path is pure table reads).
   void set_supply(double volts);
   double supply() const { return supply_; }
+
+  // Change the operating environment (process, temperature, IR drop) of a
+  // live simulator — the drift campaigns' corner-modulating hook
+  // (drift::Schedule). Cheap when the corner is unchanged; on change the
+  // operating point is re-derived exactly as a supply change would, and
+  // receiver state plus totals carry over untouched.
+  void set_environment(const tech::PvtCorner& environment);
 
   // Select the cycle engine. Switching is legal mid-run: the receiver
   // state carries over (the engines share it by construction).

@@ -277,6 +277,126 @@ Json ControllerSpec::to_json() const {
   return j;
 }
 
+// ------------------------------------------------------------------- BusSpec
+
+BusSpec BusSpec::from_json(const Json& json) {
+  Fields f(json, "buses");
+  BusSpec spec;
+  const long long width = f.get_int("width", 32);
+  if (width < 1 || width > BusWord::kMaxBits)
+    bad_spec("buses", "width " + std::to_string(width) + " out of range 1.." +
+                          std::to_string(BusWord::kMaxBits));
+  spec.width = static_cast<int>(width);
+  spec.weight = f.get_double("weight", 1.0);
+  if (!(spec.weight > 0.0)) bad_spec("buses", "'weight' must be > 0");
+  if (const Json* trace = f.find("trace")) spec.trace = TraceSpec::from_json(*trace);
+  if (spec.trace.source == TraceSpec::Source::suite)
+    bad_spec("buses",
+             "'suite' traces are not valid for a multi_bus lane (one stream per bus)");
+  // The 32-bit mini-CPU streams widen by whole words; a mismatched lane
+  // width would silently truncate the trace, so it throws here, before
+  // any characterization work starts.
+  if (spec.trace.source == TraceSpec::Source::benchmark && spec.width % 32 != 0)
+    bad_spec("buses", "benchmark trace '" + spec.trace.benchmark +
+                          "' is 32 bits wide but the bus width " +
+                          std::to_string(spec.width) + " is not a multiple of 32");
+  f.reject_unknown();
+  return spec;
+}
+
+Json BusSpec::to_json() const {
+  Json j = Json::object();
+  j.set("width", static_cast<long long>(width));
+  j.set("weight", weight);
+  j.set("trace", trace.to_json());
+  return j;
+}
+
+// ----------------------------------------------------------------- DriftSpec
+
+namespace {
+
+void check_drift_state(const std::string& where, double temp_c, double vth_shift) {
+  if (temp_c < -55.0 || temp_c > 150.0)
+    bad_spec(where, "temperature " + std::to_string(temp_c) +
+                        " out of range [-55, 150]");
+  if (vth_shift < 0.0 || vth_shift > 0.3)
+    bad_spec(where, "'vth_shift' must be in [0, 0.3] volts");
+}
+
+}  // namespace
+
+DriftSpec DriftSpec::from_json(const Json& json) {
+  Fields f(json, "drift");
+  DriftSpec spec;
+  spec.enabled = true;
+  // Look every key up in both branches so the accepted-key sets (and so
+  // the docs cross-check) do not depend on which branch a document takes.
+  const Json* points = f.find("points");
+  const Json* temp_start = f.find("temp_start");
+  const Json* temp_end = f.find("temp_end");
+  const Json* vth_start = f.find("vth_shift_start");
+  const Json* vth_end = f.find("vth_shift_end");
+  const auto number = [](const Json* v, const char* key, double fallback) {
+    if (v == nullptr) return fallback;
+    if (!v->is_number())
+      bad_spec("drift", "'" + std::string(key) + "' must be a number");
+    return v->as_double();
+  };
+  if (points != nullptr) {
+    if (temp_start != nullptr || temp_end != nullptr || vth_start != nullptr ||
+        vth_end != nullptr)
+      bad_spec("drift", "'points' excludes the linear ramp keys "
+                        "(temp_start/temp_end/vth_shift_start/vth_shift_end)");
+    if (!points->is_array() || points->size() == 0)
+      bad_spec("drift", "'points' must be a non-empty array");
+    for (const Json& p : points->items()) {
+      Fields pf(p, "drift_points");
+      DriftPointSpec point;
+      const long long cycle = pf.get_int("cycle", -1);
+      if (cycle < 0) bad_spec("drift_points", "'cycle' must be an integer >= 0");
+      point.cycle = static_cast<std::uint64_t>(cycle);
+      point.temp_c = pf.get_double("temp_c", 25.0);
+      point.vth_shift = pf.get_double("vth_shift", 0.0);
+      check_drift_state("drift_points", point.temp_c, point.vth_shift);
+      pf.reject_unknown();
+      if (!spec.points.empty() && point.cycle <= spec.points.back().cycle)
+        bad_spec("drift", "'points' cycles must be strictly increasing");
+      spec.points.push_back(point);
+    }
+  } else {
+    spec.temp_start = number(temp_start, "temp_start", 25.0);
+    spec.temp_end = number(temp_end, "temp_end", spec.temp_start);
+    spec.vth_shift_start = number(vth_start, "vth_shift_start", 0.0);
+    spec.vth_shift_end = number(vth_end, "vth_shift_end", spec.vth_shift_start);
+    check_drift_state("drift", spec.temp_start, spec.vth_shift_start);
+    check_drift_state("drift", spec.temp_end, spec.vth_shift_end);
+  }
+  f.reject_unknown();
+  return spec;
+}
+
+Json DriftSpec::to_json() const {
+  Json j = Json::object();
+  if (!points.empty()) {
+    Json jp = Json::array();
+    for (const auto& point : points) {
+      Json p = Json::object();
+      p.set("cycle", static_cast<long long>(point.cycle));
+      p.set("temp_c", point.temp_c);
+      p.set("vth_shift", point.vth_shift);
+      jp.push(std::move(p));
+    }
+    j.set("points", std::move(jp));
+  } else {
+    j.set("temp_start", temp_start);
+    j.set("temp_end", temp_end);
+    j.set("vth_shift_start", vth_shift_start);
+    j.set("vth_shift_end", vth_shift_end);
+  }
+  return j;
+}
+
 // --------------------------------------------------------------- ScenarioSpec
 
 ScenarioSpec ScenarioSpec::from_json(const Json& json) {
@@ -328,17 +448,50 @@ ScenarioSpec ScenarioSpec::from_json(const Json& json) {
     spec.kind = Kind::closed_loop;
   else if (experiment == "static_sweep")
     spec.kind = Kind::static_sweep;
+  else if (experiment == "multi_bus")
+    spec.kind = Kind::multi_bus;
   else
     bad_spec("scenario", "unknown experiment '" + experiment +
-                             "' (expected closed_loop or static_sweep)");
+                             "' (expected closed_loop, static_sweep or multi_bus)");
 
   spec.name = f.get_string("name", "");
   if (spec.name.empty()) bad_spec("scenario", "declarative scenarios require 'name'");
   check_name(spec.name, "scenario");
 
-  if (const Json* trace = f.find("trace")) spec.trace = TraceSpec::from_json(*trace);
+  if (const Json* trace = f.find("trace")) {
+    if (spec.kind == Kind::multi_bus)
+      bad_spec("scenario",
+               "multi_bus experiments take per-bus 'trace' entries inside 'buses'");
+    spec.trace = TraceSpec::from_json(*trace);
+  }
+
+  if (const Json* buses = f.find("buses")) {
+    if (spec.kind != Kind::multi_bus)
+      bad_spec("scenario", "'buses' only applies to multi_bus experiments");
+    if (!buses->is_array() || buses->size() == 0)
+      bad_spec("scenario", "'buses' must be a non-empty array");
+    for (const Json& bus : buses->items())
+      spec.buses.push_back(BusSpec::from_json(bus));
+  } else if (spec.kind == Kind::multi_bus) {
+    bad_spec("scenario", "multi_bus experiments require 'buses'");
+  }
+
+  if (const Json* arbitration = f.find("arbitration")) {
+    if (spec.kind != Kind::multi_bus)
+      bad_spec("scenario", "'arbitration' only applies to multi_bus experiments");
+    if (!arbitration->is_string())
+      bad_spec("scenario", "'arbitration' must be a string");
+    try {
+      spec.arbitration = dvs::arbitration_policy_from_string(arbitration->as_string());
+    } catch (const std::invalid_argument& e) {
+      bad_spec("scenario", e.what());
+    }
+  }
 
   if (const Json* widths = f.find("widths")) {
+    if (spec.kind == Kind::multi_bus)
+      bad_spec("scenario",
+               "multi_bus experiments take per-bus 'width' entries inside 'buses'");
     spec.widths = axis_values(*widths, [](const Json& w) {
       if (!w.is_integer()) bad_spec("scenario", "'widths' entries must be integers");
       return static_cast<int>(w.as_int());
@@ -351,14 +504,21 @@ ScenarioSpec ScenarioSpec::from_json(const Json& json) {
   }
 
   if (const Json* controllers = f.find("controllers")) {
-    if (spec.kind != Kind::closed_loop)
-      bad_spec("scenario", "'controllers' only applies to closed_loop experiments");
+    if (spec.kind == Kind::static_sweep)
+      bad_spec("scenario",
+               "'controllers' only applies to closed_loop and multi_bus experiments");
     spec.controllers = axis_values(
         *controllers, [](const Json& c) { return ControllerSpec::from_json(c); });
     if (spec.controllers.empty()) bad_spec("scenario", "'controllers' must not be empty");
-  } else if (spec.kind == Kind::closed_loop) {
+  } else if (spec.kind == Kind::closed_loop || spec.kind == Kind::multi_bus) {
     spec.controllers.push_back(ControllerSpec{});
   }
+  if (spec.kind == Kind::multi_bus)
+    for (const auto& controller : spec.controllers)
+      if (controller.kind != dvs::ControllerKind::threshold)
+        bad_spec("scenario",
+                 "multi_bus experiments require threshold controllers (cross-bus "
+                 "arbitration fuses into one threshold controller input)");
 
   if (const Json* corners = f.find("corners")) {
     spec.corners = axis_values(
@@ -391,6 +551,18 @@ ScenarioSpec ScenarioSpec::from_json(const Json& json) {
   spec.lut_tolerance = f.get_double("lut_tolerance", 0.0);
   if (spec.lut_tolerance < 0.0) bad_spec("scenario", "'lut_tolerance' must be >= 0");
 
+  if (const Json* drift = f.find("drift")) {
+    if (spec.kind == Kind::static_sweep)
+      bad_spec("scenario",
+               "'drift' only applies to closed_loop and multi_bus experiments");
+    spec.drift = DriftSpec::from_json(*drift);
+    // Drift rides the window-granular threshold loop; the other controller
+    // kinds have no window boundary to re-derive the corner at.
+    for (const auto& controller : spec.controllers)
+      if (controller.kind != dvs::ControllerKind::threshold)
+        bad_spec("scenario", "drift runs require threshold controllers");
+  }
+
   f.reject_unknown();
   return spec;
 }
@@ -406,12 +578,21 @@ Json ScenarioSpec::to_json() const {
       j.set("flags", std::move(jf));
     }
   } else {
-    j.set("experiment", kind == Kind::closed_loop ? "closed_loop" : "static_sweep");
-    j.set("trace", trace.to_json());
-    Json jw = Json::array();
-    for (const int width : widths) jw.push(width);
-    j.set("widths", std::move(jw));
-    if (kind == Kind::closed_loop) {
+    j.set("experiment", kind == Kind::closed_loop     ? "closed_loop"
+                        : kind == Kind::static_sweep ? "static_sweep"
+                                                     : "multi_bus");
+    if (kind == Kind::multi_bus) {
+      Json jb = Json::array();
+      for (const auto& bus : buses) jb.push(bus.to_json());
+      j.set("buses", std::move(jb));
+      j.set("arbitration", dvs::to_string(arbitration));
+    } else {
+      j.set("trace", trace.to_json());
+      Json jw = Json::array();
+      for (const int width : widths) jw.push(width);
+      j.set("widths", std::move(jw));
+    }
+    if (kind == Kind::closed_loop || kind == Kind::multi_bus) {
       Json jc = Json::array();
       for (const auto& controller : controllers) jc.push(controller.to_json());
       j.set("controllers", std::move(jc));
@@ -424,6 +605,7 @@ Json ScenarioSpec::to_json() const {
     if (timing_jitter_sigma > 0.0) j.set("timing_jitter_sigma", timing_jitter_sigma);
     if (stream) j.set("stream", true);
     if (lut_tolerance > 0.0) j.set("lut_tolerance", lut_tolerance);
+    if (drift.enabled) j.set("drift", drift.to_json());
   }
   if (cycles > 0) j.set("cycles", static_cast<long long>(cycles));
   if (threads > 0) j.set("threads", static_cast<long long>(threads));
@@ -520,11 +702,13 @@ std::vector<ScenarioJob> expand_campaign(const CampaignSpec& campaign) {
     // The cross product: one job per (width, controller). Axis suffixes are
     // only appended when the axis actually varies, so a single-point
     // scenario keeps its plain name.
+    const bool has_controller_axis =
+        base.kind == ScenarioSpec::Kind::closed_loop ||
+        base.kind == ScenarioSpec::Kind::multi_bus;
     const bool many_widths = base.widths.size() > 1;
     std::vector<ControllerSpec> controllers = base.controllers;
     if (controllers.empty()) controllers.push_back(ControllerSpec{});  // static_sweep
-    const bool many_controllers =
-        base.kind == ScenarioSpec::Kind::closed_loop && base.controllers.size() > 1;
+    const bool many_controllers = has_controller_axis && base.controllers.size() > 1;
 
     // Tuning sweeps repeat a controller kind; unlabelled duplicates get an
     // occurrence suffix so their job names stay distinct.
@@ -541,16 +725,15 @@ std::vector<ScenarioJob> expand_campaign(const CampaignSpec& campaign) {
       for (std::size_t c = 0; c < controllers.size(); ++c) {
         ScenarioSpec job = base;
         job.widths = {width};
-        job.controllers =
-            base.kind == ScenarioSpec::Kind::closed_loop
-                ? std::vector<ControllerSpec>{controllers[c]}
-                : std::vector<ControllerSpec>{};
+        job.controllers = has_controller_axis
+                              ? std::vector<ControllerSpec>{controllers[c]}
+                              : std::vector<ControllerSpec>{};
         std::string job_name = base.name;
         if (many_widths) job_name += "_w" + std::to_string(width);
         if (many_controllers) job_name += "_" + controller_labels[c];
         job.name = job_name;
         add_job(std::move(job_name), std::move(job));
-        if (base.kind != ScenarioSpec::Kind::closed_loop) break;  // one controller pass
+        if (!has_controller_axis) break;  // one controller pass (static_sweep)
       }
     }
   }

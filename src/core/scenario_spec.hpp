@@ -3,10 +3,12 @@
 // A campaign file is a JSON document declaring a list of scenarios. Each
 // scenario is either a reference to a registered bench harness ("bench":
 // "fig4_voltage_sweep") or a fully declarative experiment ("experiment":
-// "closed_loop" / "static_sweep") built from data: trace source (synthetic
-// family + seed, mini-CPU benchmark, the whole suite, or a trace file), bus
-// widths, encoding, DVS controllers, PVT corners, cycle budget, thread
-// count and engine mode. The `widths` and `controllers` axes are
+// "closed_loop" / "static_sweep" / "multi_bus") built from data: trace
+// source (synthetic family + seed, mini-CPU benchmark, the whole suite, or
+// a trace file), bus widths, encoding, DVS controllers, PVT corners, cycle
+// budget, thread count, engine mode — and, for multi_bus, the per-bus lane
+// list plus the cross-bus arbitration policy, and for closed-loop kinds an
+// optional drift schedule. The `widths` and `controllers` axes are
 // cross-product axes: expand_campaign() multiplies them out into concrete
 // single-width single-controller ScenarioJobs the `campaign` binary
 // executes as shards.
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "bus/simulator.hpp"
+#include "dvs/arbitration.hpp"
 #include "dvs/controller.hpp"
 #include "dvs/proportional.hpp"
 #include "tech/corner.hpp"
@@ -73,10 +76,52 @@ struct ControllerSpec {
   Json to_json() const;
 };
 
+// One bus of a `multi_bus` system scenario (docs/campaigns.md `buses`):
+// its own width and traffic source, plus the arbitration weight read by
+// the `weighted` fusion policy. Lengths and electrical knobs follow the
+// width via interconnect::wide_bus, like single-bus jobs.
+struct BusSpec {
+  int width = 32;
+  double weight = 1.0;
+  TraceSpec trace;
+
+  static BusSpec from_json(const Json& json);
+  Json to_json() const;
+};
+
+// Environmental drift over a closed_loop / multi_bus run (docs/campaigns.md
+// `drift`): either a linear ramp over the job's cycle budget or explicit
+// piecewise breakpoints. Temperatures are absolute junction temperatures
+// (they replace the corner's temp_c, quantised to the characterised axis);
+// `vth_shift` is the aging-induced threshold increase in volts. Pure data —
+// sys::schedule_from_spec resolves it into a drift::Schedule once the cycle
+// budget is known.
+struct DriftPointSpec {
+  std::uint64_t cycle = 0;
+  double temp_c = 25.0;
+  double vth_shift = 0.0;
+};
+
+struct DriftSpec {
+  bool enabled = false;
+  // Linear form (points empty): ramp from start at cycle 0 to end at the
+  // job's resolved cycle budget.
+  double temp_start = 25.0;
+  double temp_end = 25.0;
+  double vth_shift_start = 0.0;
+  double vth_shift_end = 0.0;
+  // Piecewise form: breakpoints with strictly increasing cycles.
+  std::vector<DriftPointSpec> points;
+
+  static DriftSpec from_json(const Json& json);
+  Json to_json() const;
+};
+
 struct ScenarioSpec {
   // bench: a registered harness run through the exact legacy code path.
-  // closed_loop / static_sweep: declarative experiments.
-  enum class Kind { bench, closed_loop, static_sweep };
+  // closed_loop / static_sweep / multi_bus: declarative experiments
+  // (multi_bus = N buses sharing one regulator, sys::BusSystem).
+  enum class Kind { bench, closed_loop, static_sweep, multi_bus };
 
   std::string name;  // job-name stem; defaults to the bench name
   Kind kind = Kind::bench;
@@ -94,8 +139,19 @@ struct ScenarioSpec {
   // Declarative knobs (cross-product axes: widths x controllers).
   TraceSpec trace;
   std::vector<int> widths{32};
-  std::vector<ControllerSpec> controllers;  // closed_loop only; default threshold
+  // closed_loop and multi_bus; default threshold. multi_bus restricts the
+  // axis to threshold controllers (arbitration fuses into one threshold
+  // controller input).
+  std::vector<ControllerSpec> controllers;
   std::vector<tech::PvtCorner> corners;     // default: typical
+
+  // kind == multi_bus: the lanes of the shared-supply system and the
+  // cross-bus error-fusion policy (docs/campaigns.md `buses`).
+  std::vector<BusSpec> buses;
+  dvs::ArbitrationPolicy arbitration = dvs::ArbitrationPolicy::max_error;
+
+  // closed_loop / multi_bus: optional environmental drift schedule.
+  DriftSpec drift;
   bool bus_invert = false;  // encode the trace with bus-invert coding first
   double timing_jitter_sigma = 0.0;
   // Stream the trace through the experiment in bounded-memory blocks
@@ -146,7 +202,8 @@ tech::PvtCorner corner_from_spec_name(const std::string& name);
 // Accepted-key introspection for the schema reference in docs/campaigns.md:
 // parses `campaign` (a campaign document) with key recording enabled and
 // returns, per spec object ("campaign", "defaults", "scenario", "trace",
-// "controllers", "corners"), every key the STRICT parser actually looked
+// "controllers", "corners", "buses", "drift", "drift_points"), every key
+// the STRICT parser actually looked
 // up along the branches the document exercised. Because unknown keys
 // throw, looked-up keys == accepted keys. tests/docs_test.cpp feeds this
 // an exemplar document covering every branch and cross-checks the result

@@ -1,0 +1,95 @@
+#include "drift/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace razorbus::drift {
+
+namespace {
+
+void validate_state(double temp_c, double vth_shift_v) {
+  if (!(temp_c >= -55.0 && temp_c <= 150.0))
+    throw std::invalid_argument(
+        "drift schedule: temperature " + std::to_string(temp_c) +
+        " C out of range [-55, 150]");
+  if (!(vth_shift_v >= 0.0))
+    throw std::invalid_argument("drift schedule: vth shift must be >= 0");
+}
+
+}  // namespace
+
+Schedule::Schedule(std::vector<Breakpoint> points)
+    : points_(std::move(points)) {}
+
+Schedule Schedule::linear(std::uint64_t cycles, double temp_start,
+                          double temp_end, double vth_start, double vth_end) {
+  if (cycles == 0)
+    throw std::invalid_argument("drift schedule: linear ramp needs cycles > 0");
+  return piecewise({{0, temp_start, vth_start}, {cycles, temp_end, vth_end}});
+}
+
+Schedule Schedule::piecewise(std::vector<Breakpoint> points) {
+  if (points.empty())
+    throw std::invalid_argument("drift schedule: no breakpoints");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    validate_state(points[i].temp_c, points[i].vth_shift_v);
+    if (i > 0 && points[i].cycle <= points[i - 1].cycle)
+      throw std::invalid_argument(
+          "drift schedule: breakpoint cycles must be strictly increasing");
+  }
+  return Schedule(std::move(points));
+}
+
+Breakpoint Schedule::at(std::uint64_t cycle) const {
+  if (!enabled())
+    throw std::logic_error("drift schedule: at() on a disabled schedule");
+  Breakpoint out;
+  out.cycle = cycle;
+  if (cycle <= points_.front().cycle) {
+    out.temp_c = points_.front().temp_c;
+    out.vth_shift_v = points_.front().vth_shift_v;
+    return out;
+  }
+  if (cycle >= points_.back().cycle) {
+    out.temp_c = points_.back().temp_c;
+    out.vth_shift_v = points_.back().vth_shift_v;
+    return out;
+  }
+  std::size_t hi = 1;
+  while (points_[hi].cycle < cycle) ++hi;
+  const Breakpoint& a = points_[hi - 1];
+  const Breakpoint& b = points_[hi];
+  const double t = static_cast<double>(cycle - a.cycle) /
+                   static_cast<double>(b.cycle - a.cycle);
+  out.temp_c = a.temp_c + t * (b.temp_c - a.temp_c);
+  out.vth_shift_v = a.vth_shift_v + t * (b.vth_shift_v - a.vth_shift_v);
+  return out;
+}
+
+tech::PvtCorner Schedule::corner_at(const tech::PvtCorner& base,
+                                    std::uint64_t cycle, double vdd_nominal,
+                                    const std::vector<double>& temp_axis) const {
+  const Breakpoint state = at(cycle);
+  tech::PvtCorner corner = base;
+  if (!temp_axis.empty()) {
+    // Nearest characterised temperature (ties resolve to the lower entry),
+    // mirroring core::draw_pvt_corner's quantisation.
+    double best = temp_axis.front();
+    for (double t : temp_axis)
+      if (std::abs(t - state.temp_c) < std::abs(best - state.temp_c)) best = t;
+    corner.temp_c = best;
+  } else {
+    corner.temp_c = state.temp_c;
+  }
+  if (!(vdd_nominal > 0.0))
+    throw std::invalid_argument("drift schedule: vdd_nominal must be > 0");
+  corner.ir_drop_fraction += state.vth_shift_v / vdd_nominal;
+  if (corner.ir_drop_fraction >= 1.0)
+    throw std::invalid_argument(
+        "drift schedule: aged IR drop fraction reaches 1 (no supply left)");
+  return corner;
+}
+
+}  // namespace razorbus::drift

@@ -1,0 +1,84 @@
+// Lifetime-scale environmental drift: slow temperature ramps and
+// aging-style threshold shift over a closed-loop run (docs/campaigns.md
+// `drift`).
+//
+// A Schedule maps an absolute cycle to a (temperature, vth shift)
+// operating state — either a single linear ramp over the run or explicit
+// piecewise-linear breakpoints — and `corner_at` folds that state into
+// the tech::PvtCorner the simulator already understands:
+//
+//  * Temperature snaps to the nearest characterised axis entry (the
+//    tables are built at discrete temperatures and lut::temp_index
+//    rejects anything off-axis), mirroring the Monte-Carlo sampler's
+//    quantisation in core::draw_pvt_corner.
+//  * A threshold shift dVth folds into ir_drop_fraction as dVth/vdd: in
+//    the alpha-power delay model (tech/device.hpp) delay is set by the
+//    gate overdrive V - Vth, so raising Vth by dV at fixed V slows the
+//    drivers exactly like losing dV of supply — which is what the IR-drop
+//    fraction already models, and what the tables are characterised over
+//    via effective_supply. Aging therefore reuses the existing
+//    characterisation instead of adding a table axis.
+//
+// Drivers apply the schedule as a lazy corner-modulating wrapper at
+// controller-window granularity (sys::BusSystem), so a 10^9-cycle drift
+// run re-slices the tables ~10^5 times and never materialises anything:
+// streamed drift campaigns stay in O(block) memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tech/corner.hpp"
+
+namespace razorbus::drift {
+
+// One breakpoint of a piecewise-linear schedule. `vth_shift_v` is the
+// aging-induced threshold increase in volts (>= 0).
+struct Breakpoint {
+  std::uint64_t cycle = 0;
+  double temp_c = 25.0;
+  double vth_shift_v = 0.0;
+};
+
+class Schedule {
+ public:
+  // Default-constructed schedule is disabled: at() is meaningless and
+  // drivers skip the wrapper entirely, keeping zero-drift runs
+  // byte-identical to static-corner runs.
+  Schedule() = default;
+
+  // Linear ramp from (temp_start, vth_start) at cycle 0 to
+  // (temp_end, vth_end) at `cycles`, clamped afterwards. Throws
+  // std::invalid_argument when cycles == 0 or a value is out of range.
+  static Schedule linear(std::uint64_t cycles, double temp_start,
+                         double temp_end, double vth_start, double vth_end);
+
+  // Explicit breakpoints; linear between them, clamped outside. Throws
+  // std::invalid_argument on an empty list, cycles that are not strictly
+  // increasing, or out-of-range values.
+  static Schedule piecewise(std::vector<Breakpoint> points);
+
+  bool enabled() const { return !points_.empty(); }
+  const std::vector<Breakpoint>& points() const { return points_; }
+
+  // Interpolated state at `cycle` (the returned Breakpoint's cycle field
+  // echoes the query). Requires enabled().
+  Breakpoint at(std::uint64_t cycle) const;
+
+  // The corner a simulator should run the window starting at `cycle`:
+  // `base` with the schedule's temperature (snapped to the nearest entry
+  // of `temp_axis`, the characterised temperatures of the job's table)
+  // and its vth shift folded into ir_drop_fraction as vth/vdd_nominal.
+  // Throws std::invalid_argument if the folded IR drop reaches 1 (no
+  // effective supply left). Requires enabled().
+  tech::PvtCorner corner_at(const tech::PvtCorner& base, std::uint64_t cycle,
+                            double vdd_nominal,
+                            const std::vector<double>& temp_axis) const;
+
+ private:
+  explicit Schedule(std::vector<Breakpoint> points);
+
+  std::vector<Breakpoint> points_;
+};
+
+}  // namespace razorbus::drift

@@ -1,0 +1,58 @@
+#include "dvs/arbitration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace razorbus::dvs {
+
+std::string to_string(ArbitrationPolicy policy) {
+  switch (policy) {
+    case ArbitrationPolicy::max_error: return "max_error";
+    case ArbitrationPolicy::sum_error: return "sum_error";
+    case ArbitrationPolicy::weighted: return "weighted";
+  }
+  throw std::invalid_argument("unknown ArbitrationPolicy");
+}
+
+ArbitrationPolicy arbitration_policy_from_string(const std::string& name) {
+  if (name == "max_error") return ArbitrationPolicy::max_error;
+  if (name == "sum_error") return ArbitrationPolicy::sum_error;
+  if (name == "weighted") return ArbitrationPolicy::weighted;
+  throw std::invalid_argument("unknown arbitration policy '" + name +
+                              "' (expected max_error, sum_error or weighted)");
+}
+
+std::uint64_t fuse_window_errors(ArbitrationPolicy policy,
+                                 const std::vector<std::uint64_t>& errors,
+                                 const std::vector<double>& weights) {
+  if (errors.empty())
+    throw std::invalid_argument("fuse_window_errors: no error counts");
+  switch (policy) {
+    case ArbitrationPolicy::max_error:
+      return *std::max_element(errors.begin(), errors.end());
+    case ArbitrationPolicy::sum_error: {
+      std::uint64_t sum = 0;
+      for (std::uint64_t e : errors) sum += e;
+      return sum;
+    }
+    case ArbitrationPolicy::weighted: {
+      if (weights.size() != errors.size())
+        throw std::invalid_argument(
+            "fuse_window_errors: one weight per bus required");
+      double sum = 0.0;
+      for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (!(weights[i] > 0.0))
+          throw std::invalid_argument(
+              "fuse_window_errors: weights must be > 0");
+        sum += weights[i] * static_cast<double>(errors[i]);
+      }
+      // floor(x + 0.5): deterministic nearest-count rounding, no
+      // libm rounding-mode dependence.
+      return static_cast<std::uint64_t>(sum + 0.5);
+    }
+  }
+  throw std::invalid_argument("unknown ArbitrationPolicy");
+}
+
+}  // namespace razorbus::dvs

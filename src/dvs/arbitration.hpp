@@ -1,0 +1,38 @@
+// Cross-bus arbitration: fusing per-bus error counts into the one
+// controller input of a shared-supply system (docs/campaigns.md
+// `arbitration`, sys::BusSystem).
+//
+// When N buses share a regulator there is still exactly one threshold
+// controller, so the N per-window error counts must be fused into a
+// single count before the window decision. The policies trade how
+// conservative the shared supply is: `max_error` lets the worst bus set
+// the pace (no bus is starved below the band), `sum_error` treats the
+// system as one wide bus (cheap buses subsidise expensive ones), and
+// `weighted` interpolates with per-bus weights. Every policy reduces to
+// the identity for N=1 (at the default unit weight) — the load-bearing
+// parity invariant that keeps a one-bus sys::BusSystem bit-identical to
+// the single-bus closed loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace razorbus::dvs {
+
+// Spec names: "max_error", "sum_error", "weighted" (DESIGN.md §11).
+enum class ArbitrationPolicy { max_error, sum_error, weighted };
+
+// from_string throws std::invalid_argument on unknown names.
+std::string to_string(ArbitrationPolicy policy);
+ArbitrationPolicy arbitration_policy_from_string(const std::string& name);
+
+// Fuse one controller window's per-bus error counts. `weights` is only
+// read by `weighted` (rounded to the nearest integer count so the fused
+// signal stays a count); it must then match `errors` in size and be > 0
+// per entry. Throws std::invalid_argument on empty input or bad weights.
+std::uint64_t fuse_window_errors(ArbitrationPolicy policy,
+                                 const std::vector<std::uint64_t>& errors,
+                                 const std::vector<double>& weights);
+
+}  // namespace razorbus::dvs

@@ -197,6 +197,165 @@ TEST(ScenarioSpec, ToJsonRoundTrips) {
   EXPECT_DOUBLE_EQ(back.corners.at(0).ir_drop_fraction, 0.05);
 }
 
+// ------------------------------------------------- multi_bus and drift
+
+// What from_json actually threw, so the strict-validation tests can pin
+// the full message (a typo'd campaign should say exactly what's wrong).
+std::string thrown_message(const std::string& text) {
+  try {
+    parse_scenario(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ScenarioSpec, MultiBusParses) {
+  const core::ScenarioSpec spec = parse_scenario(
+      R"({"name": "soc", "experiment": "multi_bus", "arbitration": "weighted",
+          "buses": [
+            {"width": 16, "weight": 0.5,
+             "trace": {"source": "synthetic", "style": "uniform", "seed": 1}},
+            {"width": 64, "weight": 2.0,
+             "trace": {"source": "synthetic", "style": "sparse", "seed": 2}}
+          ],
+          "cycles": 30000})");
+  EXPECT_EQ(spec.kind, core::ScenarioSpec::Kind::multi_bus);
+  EXPECT_EQ(spec.arbitration, dvs::ArbitrationPolicy::weighted);
+  ASSERT_EQ(spec.buses.size(), 2u);
+  EXPECT_EQ(spec.buses[0].width, 16);
+  EXPECT_DOUBLE_EQ(spec.buses[0].weight, 0.5);
+  EXPECT_EQ(spec.buses[1].trace.style, trace::SyntheticStyle::sparse);
+  // The default controller axis is a single threshold controller.
+  ASSERT_EQ(spec.controllers.size(), 1u);
+  EXPECT_EQ(spec.controllers[0].kind, dvs::ControllerKind::threshold);
+}
+
+TEST(ScenarioSpec, DriftParses) {
+  const core::ScenarioSpec linear = parse_scenario(
+      R"({"name": "aging", "experiment": "closed_loop",
+          "drift": {"temp_start": 25.0, "temp_end": 100.0,
+                    "vth_shift_start": 0.0, "vth_shift_end": 0.05}})");
+  EXPECT_TRUE(linear.drift.enabled);
+  EXPECT_DOUBLE_EQ(linear.drift.temp_end, 100.0);
+  EXPECT_DOUBLE_EQ(linear.drift.vth_shift_end, 0.05);
+
+  const core::ScenarioSpec piecewise = parse_scenario(
+      R"({"name": "steps", "experiment": "closed_loop",
+          "drift": {"points": [{"cycle": 0, "temp_c": 25.0},
+                               {"cycle": 5000, "temp_c": 100.0,
+                                "vth_shift": 0.02}]}})");
+  ASSERT_EQ(piecewise.drift.points.size(), 2u);
+  EXPECT_EQ(piecewise.drift.points[1].cycle, 5000u);
+  EXPECT_DOUBLE_EQ(piecewise.drift.points[1].vth_shift, 0.02);
+}
+
+// The new keys must fail with PRECISE messages (ISSUE satellite): the
+// offending object and field, not a generic parse error.
+TEST(ScenarioSpec, MultiBusAndDriftValidationMessages) {
+  EXPECT_EQ(thrown_message(
+                R"({"name": "x", "experiment": "multi_bus",
+                    "arbitration": "priority",
+                    "buses": [{"width": 32}]})"),
+            "scenario spec: scenario: unknown arbitration policy 'priority' "
+            "(expected max_error, sum_error or weighted)");
+  EXPECT_EQ(thrown_message(
+                R"({"name": "x", "experiment": "closed_loop",
+                    "drift": {"points": [{"cycle": 500, "temp_c": 25.0},
+                                         {"cycle": 500, "temp_c": 50.0}]}})"),
+            "scenario spec: drift: 'points' cycles must be strictly increasing");
+  EXPECT_EQ(thrown_message(
+                R"({"name": "x", "experiment": "multi_bus",
+                    "buses": [{"width": 16,
+                               "trace": {"source": "benchmark", "name": "gzip"}}]})"),
+            "scenario spec: buses: benchmark trace 'gzip' is 32 bits wide but "
+            "the bus width 16 is not a multiple of 32");
+}
+
+TEST(ScenarioSpec, MultiBusAndDriftMisuseThrows) {
+  // multi_bus takes per-bus traces and widths, not the scenario axes.
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "multi_bus",
+                                  "buses": [{"width": 32}],
+                                  "trace": {"source": "synthetic"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "multi_bus",
+                                  "buses": [{"width": 32}], "widths": [16]})"),
+               std::invalid_argument);
+  // buses only on multi_bus; multi_bus requires buses.
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "buses": [{"width": 32}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "multi_bus"})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "multi_bus",
+                                  "buses": []})"),
+               std::invalid_argument);
+  // One stream per bus: a whole-suite lane makes no sense.
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "multi_bus",
+                                  "buses": [{"width": 32,
+                                             "trace": {"source": "suite"}}]})"),
+               std::invalid_argument);
+  // Arbitration fuses into ONE threshold controller input.
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "multi_bus",
+                                  "buses": [{"width": 32}],
+                                  "controllers": ["fixed_vs"]})"),
+               std::invalid_argument);
+  // Drift needs a closed-loop kind and threshold controllers.
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "static_sweep",
+                                  "drift": {"temp_start": 25.0}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "controllers": ["fixed_vs"],
+                                  "drift": {"temp_start": 25.0}})"),
+               std::invalid_argument);
+  // Out-of-range drift states.
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "drift": {"temp_end": 400.0}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "closed_loop",
+                                  "drift": {"vth_shift_end": 0.5}})"),
+               std::invalid_argument);
+  // Bad lane weights.
+  EXPECT_THROW(parse_scenario(R"({"name": "x", "experiment": "multi_bus",
+                                  "buses": [{"width": 32, "weight": 0}]})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, MultiBusAndDriftRoundTrip) {
+  const std::string text =
+      R"({"name": "soc_drift", "experiment": "multi_bus",
+          "arbitration": "sum_error",
+          "buses": [
+            {"width": 16, "weight": 0.5,
+             "trace": {"source": "synthetic", "style": "uniform", "seed": 1}},
+            {"width": 64,
+             "trace": {"source": "synthetic", "style": "sparse", "seed": 2}}
+          ],
+          "drift": {"temp_start": 25.0, "temp_end": 100.0,
+                    "vth_shift_start": 0.0, "vth_shift_end": 0.05},
+          "cycles": 30000, "stream": true})";
+  const core::ScenarioSpec spec = parse_scenario(text);
+  const core::ScenarioSpec back = core::ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.to_json().dump(0), spec.to_json().dump(0));
+  EXPECT_EQ(back.arbitration, dvs::ArbitrationPolicy::sum_error);
+  ASSERT_EQ(back.buses.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.buses[0].weight, 0.5);
+  EXPECT_TRUE(back.drift.enabled);
+  EXPECT_DOUBLE_EQ(back.drift.vth_shift_end, 0.05);
+
+  // Piecewise drift survives the round trip too.
+  const core::ScenarioSpec steps = parse_scenario(
+      R"({"name": "steps", "experiment": "closed_loop",
+          "drift": {"points": [{"cycle": 0, "temp_c": 25.0},
+                               {"cycle": 9000, "temp_c": 100.0,
+                                "vth_shift": 0.03}]}})");
+  const core::ScenarioSpec steps_back =
+      core::ScenarioSpec::from_json(steps.to_json());
+  EXPECT_EQ(steps_back.to_json().dump(0), steps.to_json().dump(0));
+  ASSERT_EQ(steps_back.drift.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(steps_back.drift.points[1].vth_shift, 0.03);
+}
+
 // ------------------------------------------------------------- expansion
 
 TEST(CampaignExpansion, CrossProductWithAxisSuffixes) {
@@ -240,6 +399,31 @@ TEST(CampaignExpansion, ControllerTuningSweepsKeepDistinctJobNames) {
   EXPECT_EQ(jobs[1].name, "band_threshold_2");
   EXPECT_EQ(jobs[2].name, "band_paper_band");
   EXPECT_DOUBLE_EQ(jobs[1].spec.controllers.at(0).threshold.low_threshold, 0.02);
+}
+
+// multi_bus has no widths axis, but the controllers (tuning) axis still
+// multiplies out — each job keeps the full lane list.
+TEST(CampaignExpansion, MultiBusControllerAxisExpands) {
+  const core::CampaignSpec campaign = parse_campaign(
+      R"({"name": "soc", "defaults": {"cycles": 1000}, "scenarios": [
+            {"name": "fabric", "experiment": "multi_bus",
+             "arbitration": "sum_error",
+             "buses": [{"width": 16}, {"width": 64, "weight": 2.0}],
+             "controllers": [{"kind": "threshold", "low": 0.005, "high": 0.01},
+                             {"kind": "threshold", "label": "paper_band"}]}
+          ]})");
+  const auto jobs = core::expand_campaign(campaign);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, "fabric_threshold");
+  EXPECT_EQ(jobs[1].name, "fabric_paper_band");
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.spec.kind, core::ScenarioSpec::Kind::multi_bus);
+    EXPECT_EQ(job.spec.arbitration, dvs::ArbitrationPolicy::sum_error);
+    ASSERT_EQ(job.spec.buses.size(), 2u);
+    ASSERT_EQ(job.spec.controllers.size(), 1u);
+    EXPECT_EQ(job.spec.cycles, 1000u);
+  }
+  EXPECT_DOUBLE_EQ(jobs[0].spec.controllers.at(0).threshold.low_threshold, 0.005);
 }
 
 TEST(CampaignExpansion, DuplicateJobNamesAreRejected) {

@@ -115,6 +115,68 @@ TEST(JobHash, AnyFieldChangeChangesHash) {
   EXPECT_NE(core::job_content_hash(renamed), reference);
 }
 
+// The multi-bus lane list, the arbitration policy and the drift schedule
+// all pick what gets simulated, so each must move the content hash — a
+// cached one_bus report must never satisfy a two_bus job, and an aged run
+// must never replay a fresh one.
+TEST(JobHash, MultiBusAndDriftFieldsChangeHash) {
+  const auto base = [](const std::string& patch) {
+    Json spec = Json::parse(
+        R"({"name": "soc", "experiment": "multi_bus",
+            "arbitration": "max_error",
+            "buses": [
+              {"width": 32, "weight": 1.0,
+               "trace": {"source": "synthetic", "style": "uniform", "seed": 3}},
+              {"width": 32, "weight": 1.0,
+               "trace": {"source": "synthetic", "style": "sparse", "seed": 4}}
+            ],
+            "cycles": 1000, "threads": 1})");
+    if (!patch.empty()) {
+      const Json extra = Json::parse(patch);
+      for (const auto& [key, value] : extra.members()) spec.set(key, value);
+    }
+    core::ScenarioJob job;
+    job.name = "soc";
+    job.spec = core::ScenarioSpec::from_json(spec);
+    return core::job_content_hash(job);
+  };
+  const std::uint64_t reference = base("");
+  const std::vector<std::string> patches = {
+      R"({"arbitration": "sum_error"})",
+      R"({"arbitration": "weighted"})",
+      // Lane list: width, weight, trace and count all matter.
+      R"({"buses": [{"width": 64, "weight": 1.0,
+                     "trace": {"source": "synthetic", "style": "uniform", "seed": 3}},
+                    {"width": 32, "weight": 1.0,
+                     "trace": {"source": "synthetic", "style": "sparse", "seed": 4}}]})",
+      R"({"buses": [{"width": 32, "weight": 2.5,
+                     "trace": {"source": "synthetic", "style": "uniform", "seed": 3}},
+                    {"width": 32, "weight": 1.0,
+                     "trace": {"source": "synthetic", "style": "sparse", "seed": 4}}]})",
+      R"({"buses": [{"width": 32, "weight": 1.0,
+                     "trace": {"source": "synthetic", "style": "uniform", "seed": 9}},
+                    {"width": 32, "weight": 1.0,
+                     "trace": {"source": "synthetic", "style": "sparse", "seed": 4}}]})",
+      R"({"buses": [{"width": 32, "weight": 1.0,
+                     "trace": {"source": "synthetic", "style": "uniform", "seed": 3}}]})",
+      // Drift: enabling it, each ramp endpoint, and the piecewise form.
+      R"({"drift": {"temp_start": 25.0, "temp_end": 100.0}})",
+      R"({"drift": {"temp_start": 25.0, "temp_end": 90.0}})",
+      R"({"drift": {"temp_start": 25.0, "temp_end": 100.0,
+                    "vth_shift_start": 0.0, "vth_shift_end": 0.05}})",
+      R"({"drift": {"points": [{"cycle": 0, "temp_c": 25.0},
+                               {"cycle": 500, "temp_c": 100.0}]}})",
+      R"({"drift": {"points": [{"cycle": 0, "temp_c": 25.0},
+                               {"cycle": 600, "temp_c": 100.0}]}})",
+  };
+  std::set<std::uint64_t> seen{reference};
+  for (const auto& patch : patches) {
+    const std::uint64_t hash = base(patch);
+    EXPECT_NE(hash, reference) << patch;
+    EXPECT_TRUE(seen.insert(hash).second) << "collision for " << patch;
+  }
+}
+
 // File traces hash their BYTES: editing the trace file invalidates the
 // cached result even though the spec is unchanged.
 TEST(JobHash, TraceFileBytesAreHashed) {
@@ -380,6 +442,51 @@ TEST_F(CampaigndEndToEnd, InterruptedCampaignResumesWithoutRerunning) {
   EXPECT_EQ(status_of(out).at("done").as_int(), 3);
   svc::JobQueue queue(out + "/queue");
   EXPECT_TRUE(queue.all_done());
+}
+
+// The checked-in multi-bus and drift campaign files run cold end to end,
+// and a warm rerun against the shared cache replays every job without a
+// single simulated cycle, byte-identically — the same reuse contract the
+// campaign-cache CI leg asserts for quick.json.
+TEST_F(CampaigndEndToEnd, SystemAndDriftCampaignsColdThenWarm) {
+  for (const std::string campaign : {"system", "drift"}) {
+    const std::string file =
+        std::string(RAZORBUS_SOURCE_DIR) + "/campaigns/" + campaign + ".json";
+    const std::string cold = "campaignd_test_out/" + campaign + "_cold";
+    const std::string warm = "campaignd_test_out/" + campaign + "_warm";
+    fs::remove_all(cold);
+    fs::remove_all(warm);
+    ASSERT_EQ(run_cmd("./campaignd run " + file + " --out=" + cold +
+                      " --workers=2 > " + cold + ".log 2>&1"),
+              0)
+        << campaign;
+    const Json cold_status = status_of(cold);
+    const long long jobs = cold_status.at("jobs_total").as_int();
+    EXPECT_GE(jobs, 3) << campaign;
+    EXPECT_EQ(cold_status.at("executed").as_int(), jobs) << campaign;
+    EXPECT_EQ(cold_status.at("cache_hits").as_int(), 0) << campaign;
+
+    ASSERT_EQ(run_cmd("./campaignd run " + file + " --out=" + warm +
+                      " --cache=" + cold + "/cache > " + warm + ".log 2>&1"),
+              0)
+        << campaign;
+    const Json warm_status = status_of(warm);
+    EXPECT_EQ(warm_status.at("executed").as_int(), 0) << campaign;
+    EXPECT_EQ(warm_status.at("executed_cycles").as_double(), 0.0) << campaign;
+    EXPECT_EQ(warm_status.at("cache_hits").as_int(), jobs) << campaign;
+
+    // Every cold per-job report replays byte-identically. (The merged
+    // BENCH_campaign.json summary carries wall-clock fields, so it is the
+    // one BENCH_*.json file exempt from the byte contract.)
+    std::size_t compared = 0;
+    for (const auto& entry : fs::directory_iterator(cold)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) != 0 || name == "BENCH_campaign.json") continue;
+      EXPECT_EQ(slurp(cold + "/" + name), slurp(warm + "/" + name)) << name;
+      ++compared;
+    }
+    EXPECT_EQ(compared, static_cast<std::size_t>(jobs)) << campaign;
+  }
 }
 
 // `campaignd manifest` splits jobs across shards by content hash:

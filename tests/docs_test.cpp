@@ -24,7 +24,9 @@ namespace {
 
 // One campaign that walks every parser branch: a bench reference with
 // flags, a closed_loop with every declarative knob and both tunable
-// controller kinds, a static_sweep, and every trace source / corner form.
+// controller kinds, a static_sweep, a multi_bus with lanes + arbitration +
+// a linear drift ramp, a piecewise drift schedule, and every trace source
+// / corner form.
 const char* kExemplarCampaign = R"JSON({
   "name": "exemplar",
   "description": "covers every schema branch",
@@ -49,7 +51,16 @@ const char* kExemplarCampaign = R"JSON({
     {"name": "sweep_suite", "experiment": "static_sweep",
      "trace": {"source": "suite"}},
     {"name": "sweep_file", "experiment": "static_sweep",
-     "trace": {"source": "file", "path": "some.rbtrace"}}
+     "trace": {"source": "file", "path": "some.rbtrace"}},
+    {"name": "soc", "experiment": "multi_bus", "arbitration": "weighted",
+     "buses": [{"width": 16, "weight": 0.5,
+                "trace": {"source": "synthetic", "style": "sparse", "seed": 2}},
+               {"width": 64}],
+     "drift": {"temp_start": 25.0, "temp_end": 100.0,
+               "vth_shift_start": 0.0, "vth_shift_end": 0.05}},
+    {"name": "cl_aging", "experiment": "closed_loop",
+     "drift": {"points": [{"cycle": 0, "temp_c": 25.0, "vth_shift": 0.0},
+                          {"cycle": 900, "temp_c": 100.0, "vth_shift": 0.03}]}}
   ]
 })JSON";
 
@@ -101,8 +112,9 @@ std::string join(const std::set<std::string>& keys) {
 
 TEST(DocsSchema, ExemplarExercisesEveryObject) {
   const auto accepted = core::record_accepted_keys(Json::parse(kExemplarCampaign));
-  for (const char* section :
-       {"campaign", "defaults", "scenario", "trace", "controllers", "corners"})
+  for (const char* section : {"campaign", "defaults", "scenario", "trace",
+                              "controllers", "corners", "buses", "drift",
+                              "drift_points"})
     EXPECT_TRUE(accepted.count(section))
         << "exemplar campaign never parsed a '" << section << "' object";
 }

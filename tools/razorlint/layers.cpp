@@ -14,6 +14,8 @@ namespace razorlint {
 
 const std::vector<std::pair<std::string, std::vector<std::string>>>& layer_dag() {
   static const std::vector<std::pair<std::string, std::vector<std::string>>> kDag = {
+      // multi-bus shared-supply systems — composes the drivers' machinery
+      {"sys", {"bus", "core", "drift", "dvs", "tech", "trace", "util"}},
       // campaign service (queue/cache/scheduler) — sits above the drivers
       {"svc", {"core", "bus", "cpu", "dvs", "gatesim", "interconnect", "lut",
                "razor", "spice", "tech", "trace", "util"}},
@@ -30,6 +32,8 @@ const std::vector<std::pair<std::string, std::vector<std::string>>>& layer_dag()
       {"lut", {"interconnect", "spice", "tech", "util"}},
       // gate-level reference sim (standalone circuits-adjacent layer)
       {"gatesim", {"tech", "util"}},
+      // lifetime drift schedules (pure corner math, no engine dependency)
+      {"drift", {"tech", "util"}},
       // circuits
       {"interconnect", {"spice", "tech", "util"}},
       {"spice", {"tech", "util"}},
